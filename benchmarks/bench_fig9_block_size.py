@@ -1,0 +1,63 @@
+"""Figure 9 — serial (single-user) access time vs block size.
+
+Asserts the §5.4 claims: CleanDisk best (contiguous + read-ahead), FragDisk
+pays per-fragment seeks, StegFS pays per-block seeks but still beats the
+other steganographic schemes; the penalty shrinks as blocks grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.bench import fig9
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig9.run()
+
+
+def test_fig9_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: fig9.render(result))
+    print("\n" + text)
+
+
+@pytest.mark.parametrize("op", ["read", "write"])
+def test_serial_ordering(result, op):
+    """CleanDisk < FragDisk < StegFS < StegCover at every block size."""
+    table = result.read_s if op == "read" else result.write_s
+    for i in range(len(result.block_sizes_kb)):
+        assert table["CleanDisk"][i] < table["FragDisk"][i]
+        assert table["FragDisk"][i] < table["StegFS"][i]
+        assert table["StegFS"][i] < table["StegCover"][i]
+
+
+def test_stegfs_penalty_is_noticeable_serially(result):
+    """§5.4: 'the penalty that StegFS incurs … is noticeable when the load
+    is so light that file I/Os are not interleaved.'"""
+    i = result.block_sizes_kb.index(1)
+    assert result.read_s["StegFS"][i] > 3.0 * result.read_s["CleanDisk"][i]
+
+
+def test_access_time_falls_with_block_size(result):
+    for table in (result.read_s, result.write_s):
+        for name, series in table.items():
+            assert series[0] > series[-1], name
+            # Strictly decreasing modulo small noise at the tail.
+            assert all(a >= b * 0.9 for a, b in zip(series, series[1:])), name
+
+
+def test_gaps_compress_at_large_blocks(result):
+    """Seek amortisation: the StegFS/CleanDisk gap shrinks with block size."""
+    first = result.block_sizes_kb.index(0.5)
+    last = result.block_sizes_kb.index(64)
+    gap_small = result.read_s["StegFS"][first] / result.read_s["CleanDisk"][first]
+    gap_large = result.read_s["StegFS"][last] / result.read_s["CleanDisk"][last]
+    assert gap_large < gap_small
+
+
+def test_stegrand_read_close_to_stegfs(result):
+    i = result.block_sizes_kb.index(1)
+    ratio = result.read_s["StegRand"][i] / result.read_s["StegFS"][i]
+    assert 0.8 <= ratio <= 1.6

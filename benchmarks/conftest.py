@@ -1,0 +1,41 @@
+"""Benchmark-suite configuration.
+
+These are experiment regenerators, not micro-benchmarks: each test runs its
+paper experiment once under pytest-benchmark's timer, checks the paper's
+qualitative claims (orderings, factors, crossovers) as assertions, prints
+the paper-shaped table, and drops it in ``benchmarks/results/``.
+
+Scale: experiments default to 1/16 of the paper's 1 GB volume (every ratio
+preserved); set ``REPRO_BENCH_SCALE=1`` for paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Benchmarks live outside the package; make `import benchmarks.x` needless.
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(autouse=True)
+def _claims_run_under_benchmark_only(benchmark):
+    """Keep claim-assertion tests alive under ``--benchmark-only``.
+
+    pytest-benchmark skips any test that does not use the ``benchmark``
+    fixture when ``--benchmark-only`` is passed; the qualitative-claim
+    tests (orderings, factors, crossovers) must still run, since they are
+    the reproduction's acceptance criteria.  This autouse fixture makes
+    every test a benchmark user; tests that did not time anything get a
+    trivial timing record after their assertions pass.
+    """
+    yield
+    if getattr(benchmark, "stats", None) is None:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The adversary's workbench: every §3.1 attack, and why each one fails.
+
+Plays both sides.  The attacker gets exactly what the paper's threat model
+grants — the raw device image, the allocation bitmap, the central directory
+and full knowledge of the implementation — and runs:
+
+1. a randomness scan (do hidden blocks stand out statistically?);
+2. the census attack (allocated ∧ unaccounted ⇒ suspicious);
+3. the snapshot-differencing attack of a resident intruder.
+
+Ground truth (which the attacker never sees) scores each attack.
+
+Run:  python examples/adversary_analysis.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import (
+    SnapshotMonitor,
+    census_unaccounted,
+    detection_report,
+    scan_volume,
+)
+from repro.core import StegFS, StegFSParams
+from repro.crypto import derive_key
+from repro.storage import RamDevice
+
+
+def main() -> None:
+    rng = random.Random(1337)
+    steg = StegFS.mkfs(
+        RamDevice(block_size=1024, total_blocks=8192),
+        params=StegFSParams(
+            abandoned_fraction=0.02,
+            dummy_count=6,
+            dummy_avg_size=48 * 1024,
+            pool_min=2,
+            pool_max=8,
+        ),
+        inode_count=128,
+        rng=rng,
+    )
+    uak = derive_key("the user's secret")
+
+    # Normal-looking activity: plain files plus two hidden objects.
+    steg.create("/inbox.mbox", b"From: boss\nSubject: TPS reports\n" * 50)
+    steg.steg_create("secret-a", uak, data=rng.randbytes(80_000))
+    steg.steg_create("secret-b", uak, data=b"meeting notes, do not leak " * 900)
+
+    ground_truth: set[int] = set()
+    for name in ("secret-a", "secret-b"):
+        for blocks in steg.hidden_footprint(name, uak).values():
+            ground_truth.update(blocks)
+    print(f"Ground truth (attacker never sees this): "
+          f"{len(ground_truth)} user-hidden blocks\n")
+
+    # -- Attack 1: randomness scan ----------------------------------------
+    report = scan_volume(steg.device, skip=set(steg.fs.layout.metadata_blocks()))
+    hits = set(report.flagged) & ground_truth
+    print("Attack 1 — statistical scan of the raw image:")
+    print(f"  {len(report.flagged)} blocks flagged as non-random; "
+          f"{len(hits)} of them are actually hidden data")
+    print("  -> hidden blocks are indistinguishable from the random fill\n")
+
+    # -- Attack 2: the census ------------------------------------------------
+    flagged = census_unaccounted(steg.fs)
+    census = detection_report(flagged, ground_truth)
+    print("Attack 2 — census (allocated but not in the central directory):")
+    print(f"  {census.flagged} blocks flagged; recall {census.recall:.0%} "
+          f"but precision only {census.precision:.0%}")
+    print(f"  -> {census.decoy_fraction:.0%} of the flagged set is decoys "
+          f"(abandoned blocks, dummies, internal pools)\n")
+
+    # -- Attack 3: the resident snapshot-taker ------------------------------
+    monitor = SnapshotMonitor()
+    monitor.observe(steg.fs)
+    # Interval 1: user writes hidden data, system churns dummies.
+    steg.steg_write("secret-a", uak, rng.randbytes(60_000))
+    steg.dummy_tick()
+    monitor.observe(steg.fs)
+    # Interval 2: only dummy churn — no user activity at all.
+    steg.dummy_tick()
+    steg.dummy_tick()
+    monitor.observe(steg.fs)
+
+    suspicious = monitor.cumulative_suspicious()
+    snap = detection_report(suspicious, suspicious & ground_truth)
+    print("Attack 3 — bitmap snapshot differencing:")
+    print(f"  {len(suspicious)} blocks changed suspiciously across snapshots")
+    print(f"  precision {snap.precision:.0%} — dummy churn and pool "
+          f"rotation manufacture suspicious blocks continuously")
+    print("  -> the attacker cannot even tell *whether* interval 2 "
+          "contained user activity\n")
+
+    print("Verdict: the user can surrender the plain files and deny the "
+          "rest;\nno attack establishes the existence of hidden data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Multi-user StegFS: UAK hierarchies, sharing, and revocation (§3.2).
+
+Reproduces Figure 3's directory structure and Figure 4's sharing workflow:
+
+* Alice keeps two access levels — a *routine* level she can surrender
+  under compulsion and a *sensitive* level she denies exists;
+* she shares one hidden file with Bob by public-key-encrypting its
+  (name, FAK) entry;
+* she later revokes the share by re-keying the file.
+
+Run:  python examples/multiuser_sharing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import StegFS, StegFSParams
+from repro.crypto import derive_key, generate_keypair, level_keys
+from repro.errors import HiddenObjectNotFoundError
+from repro.storage import RamDevice
+
+
+def main() -> None:
+    steg = StegFS.mkfs(
+        RamDevice(block_size=1024, total_blocks=8192),
+        params=StegFSParams(dummy_count=4, dummy_avg_size=16 * 1024),
+        inode_count=128,
+        rng=random.Random(42),
+    )
+
+    # -- Alice's linear access hierarchy (§3.2) ---------------------------
+    # Signing on with the top key derives every lower level; lower keys
+    # reveal nothing about higher ones. Under compulsion Alice surrenders
+    # level 0 only — the attacker cannot tell more levels exist.
+    alice_top = derive_key("alice: the real passphrase")
+    routine_uak, sensitive_uak = level_keys(alice_top, 2)
+
+    steg.steg_create("diary.txt", routine_uak, data=b"dear diary: nothing much")
+    steg.steg_create("merger-plan.doc", sensitive_uak,
+                     data=b"Project BLUEBIRD acquisition terms " * 20)
+
+    print("Alice signs on at the SENSITIVE level and sees:")
+    for level, uak in (("routine", routine_uak), ("sensitive", sensitive_uak)):
+        print(f"  {level:>9}: {steg.steg_list(uak)}")
+
+    print("\nUnder compulsion she reveals only the routine UAK:")
+    print(f"  attacker sees: {steg.steg_list(routine_uak)}")
+    print("  (nothing marks the existence of a higher level)")
+
+    # -- Sharing with Bob (Figure 4) ---------------------------------------
+    bob_keys = generate_keypair(bits=1024, rng=random.Random(7))
+    bob_uak = derive_key("bob's own passphrase")
+
+    # Owner side: steg_getentry encrypts (name, FAK) for the recipient.
+    blob = steg.steg_getentry("merger-plan.doc", sensitive_uak, bob_keys.public)
+    print(f"\nAlice exports an entry blob for Bob ({len(blob)} bytes, "
+          f"RSA-OAEP + AES-CTR + HMAC)")
+
+    # Recipient side: steg_addentry decrypts and registers it under his UAK.
+    name = steg.steg_addentry(blob, bob_uak, bob_keys.private)
+    print(f"Bob imports it as {name!r} and reads "
+          f"{len(steg.steg_read(name, bob_uak))} bytes")
+
+    # -- Revocation (§3.2): re-key, old FAK goes dead ----------------------
+    steg.steg_revoke("merger-plan.doc", sensitive_uak)
+    print("\nAlice revokes the share (fresh FAK, new physical name):")
+    print(f"  Alice still reads {len(steg.steg_read('merger-plan.doc', sensitive_uak))} bytes")
+    try:
+        steg.steg_read("merger-plan.doc", bob_uak)
+    except HiddenObjectNotFoundError:
+        print("  Bob's stale entry now resolves to nothing "
+              "(indistinguishable from never-existed)")
+
+    # "The outdated FAK will be deleted from the directories of other users
+    # the next time they log in with their UAKs" — steg_prune is that login
+    # sweep.
+    pruned = steg.steg_prune(bob_uak)
+    print(f"  Bob's next login prunes stale entries: {pruned}")
+    print(f"  Bob's directory is now: {steg.steg_list(bob_uak)}")
+
+
+if __name__ == "__main__":
+    main()

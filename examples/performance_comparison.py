@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Mini §5.3: all five systems of Table 4 on one workload, timed.
+
+A pocket edition of Figure 7: store and fetch a small file population on
+StegFS, both Anderson schemes and both native-FS configurations, record the
+real block traces, and price them through the calibrated disk model at two
+concurrency levels.  For the full sweeps, see ``python -m repro.bench``.
+
+Run:  python examples/performance_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import ALL_SYSTEMS, build_store, collect_traces
+from repro.workload import WorkloadSpec, generate_jobs, replay_interleaved
+
+KB = 1024
+MB = 1024 * KB
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        block_size=1 * KB,
+        file_size_min=24 * KB,
+        file_size_max=48 * KB,
+        volume_bytes=24 * MB,
+        n_files=24,
+        seed=7,
+    )
+    jobs = generate_jobs(spec)
+    print(f"Workload: {spec.n_files} files of "
+          f"{spec.file_size_min // KB}-{spec.file_size_max // KB} KB on a "
+          f"{spec.volume_bytes // MB} MB volume, {spec.block_size // KB} KB blocks\n")
+
+    print(f"{'system':<10} {'ops/file':>9} {'read@1u':>9} {'read@16u':>9} "
+          f"{'write@1u':>9} {'write@16u':>10}")
+    print("-" * 62)
+    for name in ALL_SYSTEMS:
+        setup = collect_traces(build_store(name, spec, seed=7), jobs)
+        ops = sum(len(t) for _, t in setup.read_traces) / len(setup.read_traces)
+        row = [f"{name:<10}", f"{ops:>9.0f}"]
+        for traces in (setup.read_traces, setup.write_traces):
+            for users in (1, 16):
+                run = replay_interleaved(traces, users, setup.disk_model())
+                row.append(f"{run.mean_access_ms / 1000:>9.2f}s")
+        print(" ".join(row))
+
+    print(
+        "\nReading the table:"
+        "\n  * StegCover pays ~8 cover reads per logical block — off the chart;"
+        "\n  * StegRand reads hunt replicas, writes update all 4 replicas;"
+        "\n  * StegFS tracks the native file system once users interleave"
+        "\n    (the paper's headline result)."
+    )
+
+
+if __name__ == "__main__":
+    main()

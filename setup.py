@@ -1,0 +1,11 @@
+"""Setup shim: lets `pip install -e . --no-use-pep517` work offline.
+
+The environment has setuptools but no `wheel` package and no network, so the
+PEP 517 editable path (which shells out to bdist_wheel) cannot run; the
+legacy `setup.py develop` path needs this file.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

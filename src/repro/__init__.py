@@ -1,0 +1,98 @@
+"""StegFS — a steganographic file system (Pang, Tan & Zhou, ICDE 2003).
+
+Full Python reproduction: the StegFS construction itself plus every
+substrate (from-scratch crypto, block storage, an ext2-like plain file
+system, a calibrated disk timing model) and every baseline the paper's
+evaluation compares against (StegCover, StegRand, CleanDisk, FragDisk).
+
+Quick tour::
+
+    from repro import StegFS, StegFSParams, RamDevice, derive_key
+
+    steg = StegFS.mkfs(RamDevice(block_size=1024, total_blocks=65536))
+    steg.create("/plain.txt", b"visible to everyone")
+
+    uak = derive_key("passphrase")
+    steg.steg_create("secret.txt", uak, data=b"deniable")
+    steg.steg_read("secret.txt", uak)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and per-experiment index, and ``python -m repro.bench`` for the
+paper's tables and figures.
+"""
+
+from repro import errors
+from repro.analysis import (
+    SnapshotMonitor,
+    census_unaccounted,
+    detection_report,
+    scan_volume,
+)
+from repro.baselines import (
+    StegCoverStore,
+    StegFSStore,
+    StegRandStore,
+    clean_disk,
+    frag_disk,
+)
+from repro.core import (
+    HiddenDirEntry,
+    HiddenDirectory,
+    HiddenFile,
+    ObjectKeys,
+    Session,
+    StegFS,
+    StegFSParams,
+)
+from repro.crypto import derive_key, generate_keypair, level_keys
+from repro.db import HiddenKVStore
+from repro.fs import FileSystem
+from repro.storage import (
+    Bitmap,
+    DiskModel,
+    DiskParameters,
+    FileDevice,
+    RamDevice,
+    SparseDevice,
+    TraceRecordingDevice,
+)
+from repro.vfs import VFS
+from repro.workload import WorkloadSpec, generate_jobs, replay_interleaved
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bitmap",
+    "DiskModel",
+    "DiskParameters",
+    "FileDevice",
+    "FileSystem",
+    "HiddenDirEntry",
+    "HiddenDirectory",
+    "HiddenFile",
+    "HiddenKVStore",
+    "ObjectKeys",
+    "RamDevice",
+    "Session",
+    "SnapshotMonitor",
+    "SparseDevice",
+    "StegCoverStore",
+    "StegFS",
+    "StegFSParams",
+    "StegFSStore",
+    "StegRandStore",
+    "TraceRecordingDevice",
+    "VFS",
+    "WorkloadSpec",
+    "census_unaccounted",
+    "clean_disk",
+    "derive_key",
+    "detection_report",
+    "errors",
+    "frag_disk",
+    "generate_jobs",
+    "generate_keypair",
+    "level_keys",
+    "replay_interleaved",
+    "scan_volume",
+]

@@ -1,0 +1,24 @@
+"""Adversary tooling: the attacks §3.1's defences exist to blunt."""
+
+from repro.analysis.attacker import DetectionReport, census_unaccounted, detection_report
+from repro.analysis.entropy import (
+    BlockRandomnessReport,
+    bit_balance_z,
+    byte_chi2,
+    looks_uniform,
+    scan_volume,
+)
+from repro.analysis.snapshot import SnapshotDelta, SnapshotMonitor
+
+__all__ = [
+    "BlockRandomnessReport",
+    "DetectionReport",
+    "SnapshotDelta",
+    "SnapshotMonitor",
+    "bit_balance_z",
+    "byte_chi2",
+    "census_unaccounted",
+    "detection_report",
+    "looks_uniform",
+    "scan_volume",
+]

@@ -1,0 +1,62 @@
+"""The §1 adversary: full implementation knowledge, raw-disk access.
+
+The attacker is given exactly what the paper grants: the device image, the
+bitmap, and the central directory (i.e. a mounted plain view).  The
+strongest generic attack is the **census**: allocated blocks that no plain
+file accounts for must hold *something* — but that set is deliberately
+polluted with abandoned blocks, dummy files and internal pool blocks, so
+membership does not imply user data.  :func:`detection_report` quantifies
+how far the census gets against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fs.filesystem import FileSystem
+
+__all__ = ["DetectionReport", "census_unaccounted", "detection_report"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Outcome of the census attack against known ground truth.
+
+    ``precision`` is the attacker's confidence that a flagged block is real
+    user data; plausible deniability requires it to be well below 1 even
+    for this best-possible generic attack.
+    """
+
+    flagged: int
+    true_hidden: int
+    true_positives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged blocks that are actual user-hidden data."""
+        return self.true_positives / self.flagged if self.flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of user-hidden blocks that were flagged (always 1 for
+        the census — hidden blocks are by definition unaccounted)."""
+        return self.true_positives / self.true_hidden if self.true_hidden else 0.0
+
+    @property
+    def decoy_fraction(self) -> float:
+        """Fraction of the flagged set that is decoy (deniability cover)."""
+        return 1.0 - self.precision if self.flagged else 0.0
+
+
+def census_unaccounted(fs: FileSystem) -> set[int]:
+    """The attacker's census: allocated ∧ not metadata ∧ not plain-owned."""
+    return fs.unaccounted_blocks()
+
+
+def detection_report(flagged: set[int], user_hidden: set[int]) -> DetectionReport:
+    """Score a flagged-block set against ground-truth user-hidden blocks."""
+    return DetectionReport(
+        flagged=len(flagged),
+        true_hidden=len(user_hidden),
+        true_positives=len(flagged & user_hidden),
+    )

@@ -1,0 +1,80 @@
+"""Snapshot-differencing intruder (§3.1's stronger adversary).
+
+This attacker "starts to monitor the file system right after it is created,
+and hence is able to eliminate the abandoned blocks from consideration,
+then continues to take snapshots frequently enough to track block
+allocations in between updates to the dummy hidden files."  Two defences
+blunt it: dummy churn makes allocation diffs ambiguous, and internal free
+pools mean even correctly-attributed blocks may hold no data.
+
+:class:`SnapshotMonitor` records (bitmap, plain-census) pairs over time and
+computes the attacker's best block attribution from consecutive diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.filesystem import FileSystem
+from repro.storage.bitmap import Bitmap
+
+__all__ = ["SnapshotMonitor", "SnapshotDelta"]
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """What changed between two consecutive snapshots."""
+
+    newly_allocated: set[int]
+    newly_freed: set[int]
+    suspicious: set[int]
+    """Newly allocated blocks not explained by plain-file growth — the
+    attacker's candidates for hidden-data writes in this interval."""
+
+
+@dataclass
+class SnapshotMonitor:
+    """Accumulates snapshots and derives the attacker's suspicion set."""
+
+    _bitmaps: list[Bitmap] = field(default_factory=list)
+    _plain_owned: list[set[int]] = field(default_factory=list)
+
+    def observe(self, fs: FileSystem) -> None:
+        """Record one snapshot of the public state."""
+        self._bitmaps.append(fs.bitmap.snapshot())
+        self._plain_owned.append(fs.plain_owned_blocks())
+
+    @property
+    def n_snapshots(self) -> int:
+        """Snapshots recorded so far."""
+        return len(self._bitmaps)
+
+    def deltas(self) -> list[SnapshotDelta]:
+        """Per-interval attribution between consecutive snapshots."""
+        out = []
+        for before, after, plain_after in zip(
+            self._bitmaps, self._bitmaps[1:], self._plain_owned[1:]
+        ):
+            allocated, freed = before.diff(after)
+            allocated_set = set(int(b) for b in allocated)
+            freed_set = set(int(b) for b in freed)
+            out.append(
+                SnapshotDelta(
+                    newly_allocated=allocated_set,
+                    newly_freed=freed_set,
+                    suspicious=allocated_set - plain_after,
+                )
+            )
+        return out
+
+    def cumulative_suspicious(self) -> set[int]:
+        """Union of all per-interval suspicion sets, minus blocks that were
+        later freed (the attacker prunes dead candidates)."""
+        suspicious: set[int] = set()
+        for delta in self.deltas():
+            suspicious |= delta.suspicious
+            suspicious -= delta.newly_freed
+        if self._bitmaps:
+            final = self._bitmaps[-1]
+            suspicious = {b for b in suspicious if final.is_allocated(b)}
+        return suspicious

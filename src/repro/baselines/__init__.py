@@ -1,0 +1,20 @@
+"""The comparison systems of Table 4: StegCover, StegRand, CleanDisk,
+FragDisk, plus StegFS itself behind the same store interface."""
+
+from repro.baselines.interface import FileStore
+from repro.baselines.nativefs import NativeStore, clean_disk, frag_disk
+from repro.baselines.stegcover import RECOMMENDED_COVERS, StegCoverStore
+from repro.baselines.stegfs_adapter import StegFSStore
+from repro.baselines.stegrand import RECOMMENDED_REPLICATION, StegRandStore
+
+__all__ = [
+    "FileStore",
+    "NativeStore",
+    "RECOMMENDED_COVERS",
+    "RECOMMENDED_REPLICATION",
+    "StegCoverStore",
+    "StegFSStore",
+    "StegRandStore",
+    "clean_disk",
+    "frag_disk",
+]

@@ -1,0 +1,35 @@
+"""The common protocol all five evaluated systems speak.
+
+Table 4 of the paper compares StegFS, StegCover, StegRand, CleanDisk and
+FragDisk.  The benchmarks drive each through this minimal whole-file store
+interface — the paper's workloads read and write entire files — while the
+trace recorder captures the block-level consequences.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["FileStore"]
+
+
+class FileStore(ABC):
+    """Whole-file store over a block device."""
+
+    #: Table 4 indicator name (e.g. ``"StegFS"``); set by subclasses.
+    name: str = "?"
+
+    @abstractmethod
+    def store(self, file_id: str, data: bytes) -> None:
+        """Write (create or replace) a file."""
+
+    @abstractmethod
+    def fetch(self, file_id: str) -> bytes:
+        """Read a file's full contents."""
+
+    @abstractmethod
+    def delete(self, file_id: str) -> None:
+        """Remove a file."""
+
+    def flush(self) -> None:
+        """Persist any buffered metadata (default: nothing to do)."""

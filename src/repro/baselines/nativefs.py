@@ -1,0 +1,88 @@
+"""CleanDisk / FragDisk: the native-file-system upper bounds of Table 4.
+
+"CleanDisk … files are loaded onto a freshly formatted disk volume and
+occupy contiguous blocks"; "FragDisk reflects a well-used disk volume where
+files are fragmented, and is simulated by breaking each file into fragments
+of 8 blocks" (§5.1).  Both are the plain substrate file system under
+different allocation policies, adapted to the common store interface.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.interface import FileStore
+from repro.fs.filesystem import FileSystem
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["NativeStore", "clean_disk", "frag_disk"]
+
+
+class NativeStore(FileStore):
+    """Plain file system behind the store interface."""
+
+    def __init__(self, fs: FileSystem, name: str) -> None:
+        self._fs = fs
+        self.name = name
+
+    @property
+    def fs(self) -> FileSystem:
+        """The underlying plain file system."""
+        return self._fs
+
+    def _path(self, file_id: str) -> str:
+        return "/" + file_id
+
+    def store(self, file_id: str, data: bytes) -> None:
+        path = self._path(file_id)
+        if self._fs.exists(path):
+            self._fs.write(path, data)
+        else:
+            self._fs.create(path, data)
+
+    def fetch(self, file_id: str) -> bytes:
+        return self._fs.read(self._path(file_id))
+
+    def delete(self, file_id: str) -> None:
+        self._fs.unlink(self._path(file_id))
+
+    def flush(self) -> None:
+        self._fs.flush()
+
+    def file_blocks(self, file_id: str) -> list[int]:
+        """Device blocks of a stored file (for trace planning/analysis)."""
+        return self._fs.file_blocks(self._path(file_id))
+
+
+def clean_disk(
+    device: BlockDevice,
+    inode_count: int | None = None,
+    auto_flush: bool = False,
+) -> NativeStore:
+    """A freshly formatted contiguous-allocation volume."""
+    fs = FileSystem.mkfs(
+        device,
+        inode_count=inode_count,
+        alloc_policy="contiguous",
+        auto_flush=auto_flush,
+    )
+    return NativeStore(fs, "CleanDisk")
+
+
+def frag_disk(
+    device: BlockDevice,
+    inode_count: int | None = None,
+    fragment_blocks: int = 8,
+    rng: random.Random | None = None,
+    auto_flush: bool = False,
+) -> NativeStore:
+    """A well-aged volume: files fragmented into 8-block pieces."""
+    fs = FileSystem.mkfs(
+        device,
+        inode_count=inode_count,
+        alloc_policy="fragmented",
+        fragment_blocks=fragment_blocks,
+        rng=rng or random.Random(0),
+        auto_flush=auto_flush,
+    )
+    return NativeStore(fs, "FragDisk")

@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Run them all from the command line::
+
+    python -m repro.bench all          # or fig6|fig7|fig8|fig9|space|tables|ablation
+
+or through pytest-benchmark::
+
+    pytest benchmarks/ --benchmark-only
+
+Formatted result tables land in ``benchmarks/results/``.
+"""
+
+from repro.bench import ablation, common, fig6, fig7, fig8, fig9, space, tables
+
+__all__ = ["ablation", "common", "fig6", "fig7", "fig8", "fig9", "space", "tables"]

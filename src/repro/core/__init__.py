@@ -1,0 +1,33 @@
+"""The paper's contribution: the steganographic layer and its facade."""
+
+from repro.core.dummy import DummyManager
+from repro.core.header import OBJ_DIRECTORY, OBJ_FILE, HiddenHeader
+from repro.core.hidden_dir import HiddenDirectory, HiddenDirEntry, UAK_DIRECTORY_NAME
+from repro.core.hidden_file import HiddenFile
+from repro.core.keys import FAK_SIZE, ObjectKeys, generate_fak, physical_name
+from repro.core.params import StegFSParams
+from repro.core.session import Session
+from repro.core.sharing import export_entry, import_entry
+from repro.core.stegfs import StegFS
+from repro.core.volume import HiddenVolume
+
+__all__ = [
+    "DummyManager",
+    "FAK_SIZE",
+    "HiddenDirEntry",
+    "HiddenDirectory",
+    "HiddenFile",
+    "HiddenHeader",
+    "HiddenVolume",
+    "OBJ_DIRECTORY",
+    "OBJ_FILE",
+    "ObjectKeys",
+    "Session",
+    "StegFS",
+    "StegFSParams",
+    "UAK_DIRECTORY_NAME",
+    "export_entry",
+    "generate_fak",
+    "import_entry",
+    "physical_name",
+]

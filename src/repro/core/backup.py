@@ -1,0 +1,176 @@
+"""Backup and recovery — §3.3 of the paper.
+
+The administrator cannot enumerate hidden files, so backup saves **raw
+images of every allocated block that no plain file owns** (hidden files,
+dummies, abandoned blocks, internal pools) plus the plain tree by content.
+Recovery restores those images **to their original addresses first** — the
+hidden inode chains inside them cannot be relocated — and then rebuilds
+plain files, possibly elsewhere.  The §3.4 limitation falls out of the
+format: hidden state is restored wholesale or not at all.
+
+The backup blob is integrity-protected with a SHA-256 digest; hidden block
+images are already ciphertext, and plain content is stored as-is (like any
+conventional backup).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.sha256 import sha256
+from repro.errors import BackupFormatError
+from repro.fs.filesystem import FileSystem
+from repro.fs.inode import FileType
+from repro.fs.superblock import Superblock
+from repro.util.serialization import CodecError, Reader, pack_bytes, pack_str, pack_u16, pack_u32, pack_u64
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["create_backup", "restore_backup"]
+
+_MAGIC = b"STEGBAK1"
+
+
+def create_backup(fs: FileSystem) -> bytes:
+    """Serialise the §3.3 backup of a mounted (Steg)FS volume."""
+    superblock = fs.superblock
+    body = bytearray()
+    body += _MAGIC
+    body += pack_u32(superblock.block_size)
+    body += pack_u64(superblock.total_blocks)
+    body += pack_u32(superblock.inode_count)
+    body += pack_u16(superblock.alloc_policy)
+    body += pack_u16(superblock.fragment_blocks)
+    body += superblock.system_seed
+
+    unaccounted = sorted(fs.unaccounted_blocks())
+    body += pack_u32(len(unaccounted))
+    for block in unaccounted:
+        body += pack_u64(block)
+        body += fs.device.read_block(block)
+
+    listing = _walk_plain_tree(fs)
+    body += pack_u32(len(listing))
+    for path, is_dir, content in listing:
+        body += pack_str(path)
+        body += pack_u16(1 if is_dir else 0)
+        body += pack_bytes(content)
+
+    digest = sha256(bytes(body))
+    return bytes(body) + digest
+
+
+def restore_backup(
+    device: BlockDevice, blob: bytes, rng: random.Random | None = None
+) -> FileSystem:
+    """Rebuild a volume on ``device`` from a backup blob.
+
+    Returns the restored *plain* file system; callers wanting the hidden
+    layer mount StegFS over it (`StegFS.mount`), after which every hidden
+    object opens with its original (name, FAK) pair.
+    """
+    rng = rng or random.Random(0)
+    if len(blob) < 32:
+        raise BackupFormatError("backup blob too short")
+    body, digest = blob[:-32], blob[-32:]
+    if sha256(body) != digest:
+        raise BackupFormatError("backup checksum mismatch (corrupt image)")
+    try:
+        reader = Reader(body)
+        if reader.take(len(_MAGIC)) != _MAGIC:
+            raise BackupFormatError("not a StegFS backup image")
+        block_size = reader.u32()
+        total_blocks = reader.u64()
+        inode_count = reader.u32()
+        alloc_policy = reader.u16()
+        fragment_blocks = reader.u16()
+        system_seed = reader.take(32)
+
+        if device.block_size != block_size or device.total_blocks != total_blocks:
+            raise BackupFormatError(
+                f"device geometry ({device.block_size} B × {device.total_blocks}) "
+                f"does not match backup ({block_size} B × {total_blocks})"
+            )
+
+        n_images = reader.u32()
+        images: list[tuple[int, bytes]] = []
+        for _ in range(n_images):
+            index = reader.u64()
+            images.append((index, reader.take(block_size)))
+
+        n_plain = reader.u32()
+        plain: list[tuple[str, bool, bytes]] = []
+        for _ in range(n_plain):
+            path = reader.str_(max_len=1 << 16)
+            is_dir = bool(reader.u16())
+            content = reader.bytes_(max_len=1 << 32)
+            plain.append((path, is_dir, content))
+        reader.expect_exhausted()
+    except CodecError as exc:
+        raise BackupFormatError(f"malformed backup image: {exc}") from exc
+
+    policy_name = {0: "contiguous", 1: "fragmented", 2: "random"}[alloc_policy]
+    fs = FileSystem.mkfs(
+        device,
+        inode_count=inode_count,
+        alloc_policy=policy_name,
+        fragment_blocks=fragment_blocks,
+        rng=rng,
+        fill_random=True,
+    )
+    _install_system_seed(fs, system_seed)
+
+    # Phase 1 (paper order): hidden/abandoned images back to their original
+    # addresses, claimed in the bitmap before any plain allocation happens.
+    for index, image in images:
+        if index >= total_blocks:
+            raise BackupFormatError(f"image block {index} outside volume")
+        if fs.bitmap.is_allocated(index):
+            raise BackupFormatError(
+                f"image block {index} collides with file-system metadata"
+            )
+        fs.bitmap.allocate(index)
+        fs.device.write_block(index, image)
+
+    # Phase 2: plain files, wherever the allocator now puts them.
+    for path, is_dir, content in sorted(plain, key=lambda item: item[0].count("/")):
+        if path == "/":
+            continue
+        if is_dir:
+            fs.mkdir(path)
+        else:
+            fs.create(path, content)
+    fs.flush()
+    return fs
+
+
+def _walk_plain_tree(fs: FileSystem) -> list[tuple[str, bool, bytes]]:
+    listing: list[tuple[str, bool, bytes]] = []
+
+    def recurse(path: str) -> None:
+        for name in fs.listdir(path):
+            child = path.rstrip("/") + "/" + name
+            stat = fs.stat(child)
+            if stat.type == FileType.DIRECTORY:
+                listing.append((child, True, b""))
+                recurse(child)
+            else:
+                listing.append((child, False, fs.read(child)))
+
+    recurse("/")
+    return listing
+
+
+def _install_system_seed(fs: FileSystem, system_seed: bytes) -> None:
+    """Rewrite the superblock with the restored dummy-key seed."""
+    superblock = fs.superblock
+    restored = Superblock(
+        block_size=superblock.block_size,
+        total_blocks=superblock.total_blocks,
+        inode_count=superblock.inode_count,
+        root_inode=superblock.root_inode,
+        alloc_policy=superblock.alloc_policy,
+        fragment_blocks=superblock.fragment_blocks,
+        system_seed=system_seed,
+    )
+    fs.device.write_block(0, restored.to_bytes(fs.block_size))
+    fs._superblock = restored

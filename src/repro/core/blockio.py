@@ -1,0 +1,73 @@
+"""Sealed-block encoding shared by every hidden structure.
+
+Every block of a hidden object — header, inode-table block, data block — is
+stored as::
+
+    [ 8-byte random nonce ][ AES-CTR(encryption_key, nonce, payload) ]
+
+The nonce is plaintext, but it is *random* plaintext: to an observer it is
+indistinguishable from the pseudorandom fill that mkfs wrote over the whole
+volume (§3.1), so nothing marks the block as meaningful.  A fresh nonce per
+write keeps rewrites of the same block unlinkable across disk snapshots —
+without it, CTR reuse would hand the §3.1 snapshot-taking intruder the XOR
+of consecutive block versions.
+
+Payloads shorter than the capacity are padded with the keystream tail
+(i.e. encrypted zeros), which is again indistinguishable from random.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.vector_aes import ctr_xor
+from repro.errors import StegFSError
+
+__all__ = ["NONCE_SIZE", "capacity", "seal", "unseal", "unseal_prefix"]
+
+NONCE_SIZE = 8
+
+
+def capacity(block_size: int) -> int:
+    """Payload bytes available per sealed block."""
+    usable = block_size - NONCE_SIZE
+    if usable <= 0:
+        raise StegFSError(f"block size {block_size} too small for sealed blocks")
+    return usable
+
+
+def seal(encryption_key: bytes, payload: bytes, block_size: int, rng: random.Random) -> bytes:
+    """Encrypt ``payload`` into a full block image with a fresh nonce."""
+    room = capacity(block_size)
+    if len(payload) > room:
+        raise StegFSError(
+            f"payload of {len(payload)} bytes exceeds sealed capacity {room}"
+        )
+    nonce = rng.randbytes(NONCE_SIZE)
+    padded = payload.ljust(room, b"\x00")
+    return nonce + ctr_xor(encryption_key, nonce, padded)
+
+
+def unseal(encryption_key: bytes, block_image: bytes) -> bytes:
+    """Decrypt a sealed block image; returns the full-capacity payload.
+
+    Callers slice to their structure's real length; on a wrong key the
+    result is uniform garbage, which signature checks reject.
+    """
+    if len(block_image) <= NONCE_SIZE:
+        raise StegFSError(f"block image of {len(block_image)} bytes too small")
+    nonce = block_image[:NONCE_SIZE]
+    return ctr_xor(encryption_key, nonce, block_image[NONCE_SIZE:])
+
+
+def unseal_prefix(encryption_key: bytes, block_image: bytes, length: int) -> bytes:
+    """Decrypt only the first ``length`` payload bytes of a sealed block.
+
+    The locator probes many allocated candidates per lookup but needs only
+    the 32-byte signature from each; decrypting the whole block for every
+    probe would dominate lookup cost at realistic volume sizes.
+    """
+    if len(block_image) <= NONCE_SIZE:
+        raise StegFSError(f"block image of {len(block_image)} bytes too small")
+    nonce = block_image[:NONCE_SIZE]
+    return ctr_xor(encryption_key, nonce, block_image[NONCE_SIZE : NONCE_SIZE + length])

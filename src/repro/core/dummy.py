@@ -1,0 +1,91 @@
+"""Dummy hidden files (§3.1).
+
+Dummies are real hidden files whose keys belong to the *system* rather than
+any user: StegFS creates ``n_dummy`` of them at mkfs and "updates [them]
+periodically", so that blocks seen changing between bitmap snapshots cannot
+be attributed to user data.  Their keys derive from the superblock's
+``system_seed`` — visible to an administrator, which is the weakness the
+paper concedes and the reason abandoned blocks exist as the stronger decoy.
+"""
+
+from __future__ import annotations
+
+from repro.core.hidden_file import HiddenFile
+from repro.core.keys import ObjectKeys
+from repro.core.volume import HiddenVolume
+from repro.crypto.kdf import subkey
+from repro.errors import HiddenObjectNotFoundError, NoSpaceError
+
+__all__ = ["DummyManager"]
+
+
+class DummyManager:
+    """Creates and periodically churns the dummy hidden files."""
+
+    def __init__(self, volume: HiddenVolume, system_seed: bytes) -> None:
+        self._volume = volume
+        self._seed = system_seed
+
+    def _keys(self, index: int) -> ObjectKeys:
+        fak = subkey(self._seed, "dummy", index.to_bytes(4, "little"))
+        return ObjectKeys.derive(f"__dummy__:{index}", fak)
+
+    def _draw_size(self) -> int:
+        """Dummy sizes vary uniformly within ±50 % of s_dummy."""
+        avg = self._volume.params.dummy_avg_size
+        if avg <= 1:
+            return avg
+        return self._volume.rng.randint(avg // 2, avg + avg // 2)
+
+    def create_all(self) -> int:
+        """Create the full dummy population; returns how many were created.
+
+        Stops early (without failing mkfs) if the volume runs out of space —
+        a tiny volume with fewer decoys is degraded, not broken.
+        """
+        created = 0
+        for index in range(self._volume.params.dummy_count):
+            content = self._volume.rng.randbytes(self._draw_size())
+            try:
+                HiddenFile.create(
+                    self._volume, self._keys(index), data=content, check_exists=False
+                )
+            except NoSpaceError:
+                break
+            created += 1
+        return created
+
+    def open(self, index: int) -> HiddenFile:
+        """Open one dummy file (system-side maintenance access)."""
+        return HiddenFile.open(self._volume, self._keys(index))
+
+    def live_indices(self) -> list[int]:
+        """Indices of dummies that exist on this volume."""
+        alive = []
+        for index in range(self._volume.params.dummy_count):
+            try:
+                self.open(index)
+            except HiddenObjectNotFoundError:
+                continue
+            alive.append(index)
+        return alive
+
+    def tick(self) -> int | None:
+        """One maintenance step: rewrite a random dummy with fresh content.
+
+        Returns the index updated, or None if no dummy exists.  Called
+        "periodically" in the paper; tests and benchmarks drive it
+        explicitly to keep runs deterministic.
+        """
+        alive = self.live_indices()
+        if not alive:
+            return None
+        index = alive[self._volume.rng.randrange(len(alive))]
+        dummy = self.open(index)
+        try:
+            dummy.write(self._volume.rng.randbytes(self._draw_size()))
+        except NoSpaceError:
+            # A full volume simply skips churn; deniability degrades
+            # gracefully rather than erroring user writes.
+            return None
+        return index

@@ -1,0 +1,99 @@
+"""The hidden-file header block — Figure 2 of the paper.
+
+The header carries the three structures the paper names:
+
+* a **signature** that uniquely identifies the file (one-way hash of the
+  physical name and access key, compared on lookup);
+* a **link to the inode table** (first block of the chained hidden inode
+  table, :mod:`repro.core.hidden_inode`);
+* the **free-blocks list** — the internal pool of §3.1 that makes data
+  blocks indistinguishable from reserved-but-empty blocks to a
+  snapshot-taking intruder.
+
+The whole header is sealed (:mod:`repro.core.blockio`), so on disk it is
+indistinguishable from an abandoned block or random fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SignatureMismatchError, StegFSError
+from repro.util.serialization import CodecError, Reader, pack_u16, pack_u32, pack_u64
+
+__all__ = ["HiddenHeader", "OBJ_FILE", "OBJ_DIRECTORY", "SIGNATURE_SIZE", "NULL_BLOCK"]
+
+SIGNATURE_SIZE = 32
+NULL_BLOCK = 0xFFFFFFFF
+
+OBJ_FILE = 1
+OBJ_DIRECTORY = 2
+_TYPES = {OBJ_FILE, OBJ_DIRECTORY}
+
+
+@dataclass
+class HiddenHeader:
+    """Parsed header contents of one hidden object."""
+
+    signature: bytes
+    object_type: int
+    size: int = 0
+    inode_root: int = NULL_BLOCK
+    pool: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.signature) != SIGNATURE_SIZE:
+            raise StegFSError(
+                f"signature must be {SIGNATURE_SIZE} bytes, got {len(self.signature)}"
+            )
+        if self.object_type not in _TYPES:
+            raise StegFSError(f"unknown hidden object type {self.object_type}")
+
+    @property
+    def is_directory(self) -> bool:
+        """Whether the object is a hidden directory."""
+        return self.object_type == OBJ_DIRECTORY
+
+    def to_bytes(self) -> bytes:
+        """Serialise for sealing into the header block."""
+        body = (
+            self.signature
+            + pack_u16(self.object_type)
+            + pack_u64(self.size)
+            + pack_u32(self.inode_root)
+            + pack_u16(len(self.pool))
+        )
+        for block in self.pool:
+            body += pack_u32(block)
+        return body
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, expected_signature: bytes) -> "HiddenHeader":
+        """Parse an unsealed payload, verifying the signature first.
+
+        Raises :class:`SignatureMismatchError` when the payload does not
+        open with ``expected_signature`` — the normal outcome when probing a
+        candidate block that belongs to something else (or to nothing).
+        """
+        if payload[:SIGNATURE_SIZE] != expected_signature:
+            raise SignatureMismatchError("candidate block signature mismatch")
+        reader = Reader(payload[SIGNATURE_SIZE:])
+        try:
+            object_type = reader.u16()
+            size = reader.u64()
+            inode_root = reader.u32()
+            pool_len = reader.u16()
+            pool = [reader.u32() for _ in range(pool_len)]
+        except CodecError as exc:
+            raise StegFSError(f"corrupt hidden header: {exc}") from exc
+        return cls(
+            signature=payload[:SIGNATURE_SIZE],
+            object_type=object_type,
+            size=size,
+            inode_root=inode_root,
+            pool=pool,
+        )
+
+    def required_bytes(self) -> int:
+        """Serialised size — used to validate pool bounds fit the block."""
+        return SIGNATURE_SIZE + 2 + 8 + 4 + 2 + 4 * len(self.pool)

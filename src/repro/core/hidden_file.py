@@ -1,0 +1,280 @@
+"""Hidden file objects: creation, lookup, I/O, and the internal free pool.
+
+This module is the heart of the reproduction — the per-object mechanics of
+§3.1:
+
+* the header is placed at the first free block of the keyed pseudorandom
+  candidate stream and found again by signature probing
+  (:mod:`repro.core.locator`);
+* data and inode-chain blocks are allocated uniformly at random from the
+  shared free space;
+* every object holds an **internal pool** of ρ_min…ρ_max free blocks.
+  Extension draws blocks from the pool (topping it up from the file system
+  when it falls below ρ_min); truncation returns blocks to the pool,
+  spilling back to the file system above ρ_max.  The pool is why an
+  intruder diffing bitmap snapshots cannot tell a hidden file's data
+  blocks from reserved-but-empty blocks.
+
+Pool blocks are *reserved indices with untouched contents* — they still
+hold the mkfs random fill, which is exactly what sealed data blocks look
+like.
+"""
+
+from __future__ import annotations
+
+from repro.core import blockio, hidden_inode, locator
+from repro.core.header import NULL_BLOCK, OBJ_DIRECTORY, OBJ_FILE, HiddenHeader
+from repro.core.keys import ObjectKeys
+from repro.core.volume import HiddenVolume
+from repro.errors import HiddenObjectExistsError, HiddenObjectNotFoundError, NoSpaceError
+
+__all__ = ["HiddenFile"]
+
+
+class HiddenFile:
+    """One open hidden object (regular file or directory payload)."""
+
+    def __init__(
+        self,
+        volume: HiddenVolume,
+        keys: ObjectKeys,
+        header_block: int,
+        header: HiddenHeader,
+    ) -> None:
+        self._volume = volume
+        self._keys = keys
+        self._header_block = header_block
+        self._header = header
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        volume: HiddenVolume,
+        keys: ObjectKeys,
+        object_type: int = OBJ_FILE,
+        data: bytes = b"",
+        check_exists: bool = True,
+    ) -> "HiddenFile":
+        """Create a new hidden object addressed by ``keys``.
+
+        Raises :class:`HiddenObjectExistsError` if the (name, key) pair
+        already addresses a live object (which would otherwise be silently
+        shadowed), and :class:`NoSpaceError` if the volume cannot hold the
+        header plus the initial pool.  Callers that track name uniqueness
+        themselves (bulk loaders, the UAK-directory layer) may pass
+        ``check_exists=False`` to skip the full-scan existence probe.
+        """
+        if check_exists:
+            try:
+                locator.find_header(
+                    volume.device, volume.bitmap, keys, volume.params.locator_scan_limit
+                )
+            except HiddenObjectNotFoundError:
+                pass
+            else:
+                raise HiddenObjectExistsError(
+                    "a hidden object for this (name, key) pair already exists"
+                )
+        header_block = locator.choose_header_block(
+            volume.bitmap, keys, volume.params.locator_scan_limit
+        )
+        volume.bitmap.allocate(header_block)
+        # §3.1: "When a hidden file is created, StegFS straightaway
+        # allocates several blocks to the file" — the initial pool.
+        pool = volume.take_free_blocks_best_effort(volume.params.pool_max)
+        header = HiddenHeader(
+            signature=keys.signature,
+            object_type=object_type,
+            size=0,
+            inode_root=NULL_BLOCK,
+            pool=pool,
+        )
+        hidden = cls(volume, keys, header_block, header)
+        hidden._store_header()
+        if data:
+            hidden.write(data)
+        return hidden
+
+    @classmethod
+    def open(cls, volume: HiddenVolume, keys: ObjectKeys) -> "HiddenFile":
+        """Open an existing hidden object; raises if absent or wrong key."""
+        block, header = locator.find_header(
+            volume.device, volume.bitmap, keys, volume.params.locator_scan_limit
+        )
+        return cls(volume, keys, block, header)
+
+    def delete(self) -> None:
+        """Remove the object: free every block it holds.
+
+        Contents are left in place as unreadable ciphertext — overwriting
+        them is unnecessary (they are indistinguishable from free-space
+        fill) and would time-stamp the deletion for a snapshot attacker.
+        """
+        data_blocks, chain_blocks = self._mapped_blocks()
+        self._volume.release_blocks(data_blocks)
+        self._volume.release_blocks(chain_blocks)
+        self._volume.release_blocks(self._header.pool)
+        self._volume.release_blocks([self._header_block])
+        self._header.pool = []
+        self._header.size = 0
+        self._header.inode_root = NULL_BLOCK
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current object size in bytes."""
+        return self._header.size
+
+    @property
+    def object_type(self) -> int:
+        """OBJ_FILE or OBJ_DIRECTORY."""
+        return self._header.object_type
+
+    @property
+    def is_directory(self) -> bool:
+        """Whether this object is a hidden directory."""
+        return self._header.object_type == OBJ_DIRECTORY
+
+    @property
+    def header_block(self) -> int:
+        """Device block holding the sealed header."""
+        return self._header_block
+
+    @property
+    def pool_size(self) -> int:
+        """Current number of internally-held free blocks."""
+        return len(self._header.pool)
+
+    def footprint(self) -> dict[str, list[int]]:
+        """Ground-truth block ownership, for tests and attack analysis."""
+        data_blocks, chain_blocks = self._mapped_blocks()
+        return {
+            "header": [self._header_block],
+            "inode": chain_blocks,
+            "data": data_blocks,
+            "pool": list(self._header.pool),
+        }
+
+    def all_blocks(self) -> set[int]:
+        """Every block this object holds in the bitmap."""
+        footprint = self.footprint()
+        return set().union(*footprint.values())
+
+    # ------------------------------------------------------------------
+    # data I/O
+    # ------------------------------------------------------------------
+
+    def read(self) -> bytes:
+        """Read and decrypt the whole object."""
+        data_blocks, _chain = self._mapped_blocks()
+        pieces = [
+            blockio.unseal(self._keys.encryption_key, self._volume.device.read_block(b))
+            for b in data_blocks
+        ]
+        return b"".join(pieces)[: self._header.size]
+
+    def write(self, data: bytes) -> None:
+        """Replace the object's contents with ``data``.
+
+        Surviving blocks are rewritten in place with fresh nonces; growth
+        draws on the internal pool per §3.1; shrinkage feeds it.
+        """
+        volume = self._volume
+        room = blockio.capacity(volume.block_size)
+        n_data = -(-len(data) // room) if data else 0
+        old_data, old_chain = self._mapped_blocks()
+        n_chain = hidden_inode.chain_blocks_needed(n_data, volume.block_size)
+
+        self._ensure_space(n_data, n_chain, len(old_data), len(old_chain))
+
+        data_blocks = self._resize(old_data, n_data)
+        chain_blocks = self._resize(old_chain, n_chain)
+
+        for index, block in enumerate(data_blocks):
+            chunk = data[index * room : (index + 1) * room]
+            volume.device.write_block(
+                block,
+                blockio.seal(self._keys.encryption_key, chunk, volume.block_size, volume.rng),
+            )
+        self._header.inode_root = hidden_inode.write_chain(
+            volume.device, self._keys.encryption_key, chain_blocks, data_blocks, volume.rng
+        )
+        self._header.size = len(data)
+        self._store_header()
+
+    def append(self, data: bytes) -> None:
+        """Append ``data`` (whole-object rewrite; see module docstring)."""
+        if data:
+            self.write(self.read() + data)
+
+    # ------------------------------------------------------------------
+    # internal pool management (§3.1)
+    # ------------------------------------------------------------------
+
+    def _take_block(self) -> int:
+        """Draw one block for data/inode use, maintaining pool bounds."""
+        volume = self._volume
+        pool = self._header.pool
+        if not pool:
+            return volume.take_free_blocks(1)[0]
+        block = pool.pop(volume.rng.randrange(len(pool)))
+        if len(pool) < volume.params.pool_min:
+            # "the internal pool is topped up" — best effort: a full volume
+            # must not fail the write itself.
+            pool.extend(
+                volume.take_free_blocks_best_effort(volume.params.pool_max - len(pool))
+            )
+        return block
+
+    def _give_block(self, block: int) -> None:
+        """Return a no-longer-needed block to the pool, spilling above ρ_max."""
+        volume = self._volume
+        pool = self._header.pool
+        pool.append(block)
+        while len(pool) > volume.params.pool_max:
+            victim = pool.pop(volume.rng.randrange(len(pool)))
+            volume.release_blocks([victim])
+
+    def _resize(self, blocks: list[int], target: int) -> list[int]:
+        blocks = list(blocks)
+        while len(blocks) < target:
+            blocks.append(self._take_block())
+        while len(blocks) > target:
+            self._give_block(blocks.pop())
+        return blocks
+
+    def _ensure_space(self, n_data: int, n_chain: int, old_data: int, old_chain: int) -> None:
+        growth = max(0, n_data - old_data) + max(0, n_chain - old_chain)
+        from_fs = max(0, growth - len(self._header.pool))
+        if from_fs > self._volume.bitmap.free_count:
+            raise NoSpaceError(
+                f"write needs {from_fs} free blocks, only "
+                f"{self._volume.bitmap.free_count} remain"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _mapped_blocks(self) -> tuple[list[int], list[int]]:
+        if self._header.inode_root == NULL_BLOCK:
+            return [], []
+        return hidden_inode.read_chain(
+            self._volume.device, self._keys.encryption_key, self._header.inode_root
+        )
+
+    def _store_header(self) -> None:
+        payload = self._header.to_bytes()
+        self._volume.device.write_block(
+            self._header_block,
+            blockio.seal(
+                self._keys.encryption_key, payload, self._volume.block_size, self._volume.rng
+            ),
+        )

@@ -1,0 +1,105 @@
+"""The hidden inode table: a sealed, chained list of data-block pointers.
+
+The paper stores a hidden file's inode table *inside the object itself*
+(§3), reachable only through the header's link.  We realise it as a chain
+of sealed blocks, each carrying::
+
+    next_block : u32   (NULL_BLOCK terminates the chain)
+    count      : u16
+    pointers   : u32 × count
+
+Chain blocks are allocated from the same random free space as data blocks,
+so nothing about their placement distinguishes metadata from data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import blockio
+from repro.core.header import NULL_BLOCK
+from repro.errors import StegFSError
+from repro.storage.block_device import BlockDevice
+from repro.util.serialization import CodecError, Reader, pack_u16, pack_u32
+
+__all__ = ["pointers_per_block", "read_chain", "write_chain", "chain_blocks_needed"]
+
+
+def pointers_per_block(block_size: int) -> int:
+    """Data-block pointers that fit in one sealed chain block."""
+    room = blockio.capacity(block_size) - 6  # next(4) + count(2)
+    if room < 4:
+        raise StegFSError(f"block size {block_size} cannot hold an inode chain block")
+    return room // 4
+
+
+def chain_blocks_needed(n_pointers: int, block_size: int) -> int:
+    """Chain blocks required to index ``n_pointers`` data blocks."""
+    if n_pointers == 0:
+        return 0
+    per = pointers_per_block(block_size)
+    return -(-n_pointers // per)
+
+
+def read_chain(
+    device: BlockDevice, encryption_key: bytes, root: int
+) -> tuple[list[int], list[int]]:
+    """Walk the chain from ``root``.
+
+    Returns ``(data_blocks, chain_blocks)`` in logical order.  Raises
+    :class:`StegFSError` on structural corruption (cycles, bad counts).
+    """
+    data_blocks: list[int] = []
+    chain_blocks: list[int] = []
+    seen: set[int] = set()
+    current = root
+    while current != NULL_BLOCK:
+        if current in seen:
+            raise StegFSError(f"inode chain cycle at block {current}")
+        seen.add(current)
+        chain_blocks.append(current)
+        payload = blockio.unseal(encryption_key, device.read_block(current))
+        reader = Reader(payload)
+        try:
+            next_block = reader.u32()
+            count = reader.u16()
+            if count > pointers_per_block(device.block_size):
+                raise StegFSError(f"inode chain block {current}: bad count {count}")
+            pointers = [reader.u32() for _ in range(count)]
+        except CodecError as exc:
+            raise StegFSError(f"corrupt inode chain block {current}: {exc}") from exc
+        data_blocks.extend(pointers)
+        current = next_block
+    return data_blocks, chain_blocks
+
+
+def write_chain(
+    device: BlockDevice,
+    encryption_key: bytes,
+    chain_blocks: list[int],
+    data_blocks: list[int],
+    rng: random.Random,
+) -> int:
+    """Write ``data_blocks`` pointers into the given chain blocks.
+
+    ``chain_blocks`` must be exactly ``chain_blocks_needed(len(data_blocks))``
+    long (the caller manages allocation).  Returns the root block, or
+    ``NULL_BLOCK`` for an empty file.
+    """
+    needed = chain_blocks_needed(len(data_blocks), device.block_size)
+    if len(chain_blocks) != needed:
+        raise StegFSError(
+            f"chain of {len(chain_blocks)} blocks cannot index "
+            f"{len(data_blocks)} pointers (need {needed})"
+        )
+    if not chain_blocks:
+        return NULL_BLOCK
+    per = pointers_per_block(device.block_size)
+    for index, block in enumerate(chain_blocks):
+        span = data_blocks[index * per : (index + 1) * per]
+        next_block = chain_blocks[index + 1] if index + 1 < len(chain_blocks) else NULL_BLOCK
+        payload = pack_u32(next_block) + pack_u16(len(span))
+        for pointer in span:
+            payload += pack_u32(pointer)
+        device.write_block(block, blockio.seal(encryption_key, payload, device.block_size, rng))
+    return chain_blocks[0]

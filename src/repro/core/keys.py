@@ -1,0 +1,73 @@
+"""Key material for hidden objects: FAKs, UAKs and derived subkeys (§3.2).
+
+Each hidden file is secured with its own random *file access key* (FAK) so
+that (name, FAK) pairs can be shared per-file.  A *user access key* (UAK)
+secures the user's hidden directory of such pairs.  From whichever key
+addresses an object, :class:`ObjectKeys` derives independent subkeys for the
+three distinct uses §3.1 makes of "the access key":
+
+* ``locator`` — seeds the pseudorandom block-number generator;
+* ``signature`` — the one-way signature stored in the header;
+* ``encrypt`` — the AES key sealing every block of the object.
+
+The *physical name* bound into all three is the paper's collision guard:
+"the physical file name is derived by concatenating the user id with the
+complete path name of the file".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.kdf import subkey
+from repro.errors import InvalidKeyError
+
+__all__ = ["ObjectKeys", "generate_fak", "physical_name", "FAK_SIZE"]
+
+FAK_SIZE = 32
+
+
+def generate_fak(rng: random.Random) -> bytes:
+    """Fresh random file access key."""
+    return rng.randbytes(FAK_SIZE)
+
+
+def physical_name(owner_id: str, object_name: str) -> str:
+    """Globally unique on-disk name: ``owner_id + ':' + object_name``.
+
+    Prevents two users who pick the same name and key from computing the
+    same locator seed (§3.1's overwrite guard).
+    """
+    if not owner_id or ":" in owner_id:
+        raise InvalidKeyError(f"invalid owner id {owner_id!r}")
+    if not object_name:
+        raise InvalidKeyError("object name must not be empty")
+    return f"{owner_id}:{object_name}"
+
+
+@dataclass(frozen=True)
+class ObjectKeys:
+    """The derived key bundle addressing one hidden object."""
+
+    physical_name: str
+    locator_seed: bytes
+    signature: bytes
+    encryption_key: bytes
+
+    @classmethod
+    def derive(cls, name: str, access_key: bytes) -> "ObjectKeys":
+        """Derive the bundle from the object's physical name and access key."""
+        if not name:
+            raise InvalidKeyError("physical name must not be empty")
+        if len(access_key) < 16:
+            raise InvalidKeyError(
+                f"access key too short: {len(access_key)} bytes (need >= 16)"
+            )
+        context = name.encode("utf-8")
+        return cls(
+            physical_name=name,
+            locator_seed=subkey(access_key, "locator", context),
+            signature=subkey(access_key, "signature", context),
+            encryption_key=subkey(access_key, "encrypt", context),
+        )

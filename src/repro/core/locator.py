@@ -1,0 +1,82 @@
+"""Header placement and lookup via the seeded block-number generator (§3.1).
+
+Creation walks the pseudorandom candidate stream derived from
+``hash(physical name, access key)`` and takes the **first free block** for
+the header.  Lookup walks the *same* stream, probing each **allocated**
+candidate: unseal it with the derived key and check the 32-byte signature.
+The signature is what makes the search sound — early candidates may have
+been occupied at creation time (the paper's "initial block numbers … may
+not hold the correct file header because they were unavailable"), and
+candidates that are free now cannot be the header because a live header
+stays allocated.
+"""
+
+from __future__ import annotations
+
+from repro.core import blockio
+from repro.core.header import HiddenHeader
+from repro.core.keys import ObjectKeys
+from repro.crypto.prng import BlockNumberGenerator
+from repro.errors import (
+    HiddenObjectNotFoundError,
+    NoSpaceError,
+    SignatureMismatchError,
+    StegFSError,
+)
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["choose_header_block", "find_header"]
+
+
+def choose_header_block(bitmap: Bitmap, keys: ObjectKeys, scan_limit: int) -> int:
+    """First free candidate on the (name, key) stream — the header's home.
+
+    Does not allocate; the caller claims the block.  Raises
+    :class:`NoSpaceError` if no free candidate appears within
+    ``scan_limit`` draws (pathologically full volume).
+    """
+    generator = BlockNumberGenerator(keys.locator_seed, bitmap.total_blocks)
+    for _ in range(scan_limit):
+        candidate = next(generator)
+        if not bitmap.is_allocated(candidate):
+            return candidate
+    raise NoSpaceError(
+        f"no free header block within {scan_limit} candidates; volume too full"
+    )
+
+
+def find_header(
+    device: BlockDevice, bitmap: Bitmap, keys: ObjectKeys, scan_limit: int
+) -> tuple[int, HiddenHeader]:
+    """Locate and parse the header for ``keys``.
+
+    Returns ``(block_index, header)``.  Raises
+    :class:`HiddenObjectNotFoundError` after ``scan_limit`` candidates —
+    deliberately the same outcome for "wrong key" and "no such object",
+    since distinguishing them would break deniability.
+    """
+    generator = BlockNumberGenerator(keys.locator_seed, bitmap.total_blocks)
+    signature_len = len(keys.signature)
+    for _ in range(scan_limit):
+        candidate = next(generator)
+        if not bitmap.is_allocated(candidate):
+            continue
+        image = device.read_block(candidate)
+        probe = blockio.unseal_prefix(keys.encryption_key, image, signature_len)
+        if probe != keys.signature:
+            continue
+        payload = blockio.unseal(keys.encryption_key, image)
+        try:
+            header = HiddenHeader.from_bytes(payload, keys.signature)
+        except SignatureMismatchError:  # pragma: no cover — prefix matched
+            continue
+        except StegFSError:
+            # Signature matched but the body is garbage: with a 256-bit
+            # signature an accidental collision is cryptographically
+            # impossible, so surface it as corruption rather than mask it.
+            raise
+        return candidate, header
+    raise HiddenObjectNotFoundError(
+        "no hidden object for this (name, key) pair"
+    )

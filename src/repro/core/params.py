@@ -1,0 +1,66 @@
+"""StegFS tuning parameters — Table 1 of the paper.
+
+=====================  =============================================  =======
+Paper symbol           Meaning                                        Default
+=====================  =============================================  =======
+f_abandoned            Percentage of abandoned blocks in the volume   1 %
+rho_min                Minimum free blocks held within a hidden file  0
+rho_max                Maximum free blocks held within a hidden file  10
+n_dummy                Number of dummy hidden files                   10
+s_dummy                Average size of the dummy hidden files         1 MB
+=====================  =============================================  =======
+
+``locator_scan_limit`` is an implementation bound the paper leaves implicit:
+how many pseudorandom candidates the header search examines before declaring
+the object absent.  Creation places the header at the first candidate that
+was free, so lookup only misses if it gives up too early; the default is far
+beyond the expected miss count at any realistic fill level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StegFSParams"]
+
+
+@dataclass(frozen=True)
+class StegFSParams:
+    """Configuration knobs of the steganographic layer (Table 1)."""
+
+    abandoned_fraction: float = 0.01
+    pool_min: int = 0
+    pool_max: int = 10
+    dummy_count: int = 10
+    dummy_avg_size: int = 1 << 20
+    locator_scan_limit: int = 2048
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.abandoned_fraction < 1.0:
+            raise ValueError(
+                f"abandoned_fraction must be in [0, 1), got {self.abandoned_fraction}"
+            )
+        if self.pool_min < 0:
+            raise ValueError(f"pool_min must be >= 0, got {self.pool_min}")
+        if self.pool_max < max(self.pool_min, 1):
+            raise ValueError(
+                f"pool_max must be >= max(pool_min, 1), got {self.pool_max}"
+            )
+        if self.dummy_count < 0:
+            raise ValueError(f"dummy_count must be >= 0, got {self.dummy_count}")
+        if self.dummy_avg_size < 0:
+            raise ValueError(f"dummy_avg_size must be >= 0, got {self.dummy_avg_size}")
+        if self.locator_scan_limit < 1:
+            raise ValueError(
+                f"locator_scan_limit must be >= 1, got {self.locator_scan_limit}"
+            )
+
+    @classmethod
+    def paper_defaults(cls) -> "StegFSParams":
+        """Exactly the Table 1 defaults."""
+        return cls()
+
+    @classmethod
+    def for_tests(cls) -> "StegFSParams":
+        """Small-volume settings: tiny dummies so MB-scale devices suffice."""
+        return cls(dummy_count=2, dummy_avg_size=4096, pool_max=4)

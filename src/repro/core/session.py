@@ -1,0 +1,101 @@
+"""User sessions: the connect/disconnect model of §4.
+
+``steg_connect`` makes a hidden object visible to the current session
+(recursively revealing a directory's offspring); ``steg_disconnect`` — or
+session logout — makes it invisible again.  Data is decrypted on the fly at
+access time, never en masse at connect time, matching the paper's API
+notes.
+"""
+
+from __future__ import annotations
+
+from repro.core.hidden_dir import HiddenDirEntry, parse_entries
+from repro.core.hidden_file import HiddenFile
+from repro.core.volume import HiddenVolume
+from repro.errors import NotConnectedError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One user's view of connected hidden objects."""
+
+    def __init__(self, volume: HiddenVolume, user_id: str = "user") -> None:
+        self._volume = volume
+        self._user_id = user_id
+        self._connected: dict[str, HiddenFile] = {}
+        self._entries: dict[str, HiddenDirEntry] = {}
+
+    @property
+    def user_id(self) -> str:
+        """Identity used for physical-name derivation."""
+        return self._user_id
+
+    def connected_names(self) -> list[str]:
+        """Sorted names currently visible in this session."""
+        return sorted(self._connected)
+
+    def is_connected(self, name: str) -> bool:
+        """Whether ``name`` is visible."""
+        return name in self._connected
+
+    # ------------------------------------------------------------------
+    # connect / disconnect
+    # ------------------------------------------------------------------
+
+    def connect_entry(self, name: str, entry: HiddenDirEntry) -> HiddenFile:
+        """Attach a resolved entry under ``name``; recurses into directories."""
+        hidden = HiddenFile.open(self._volume, entry.keys())
+        self._connected[name] = hidden
+        self._entries[name] = entry
+        if hidden.is_directory:
+            # "Connecting a hidden directory reveals all its offsprings."
+            for child in parse_entries(hidden.read()).values():
+                self.connect_entry(f"{name}/{child.name}", child)
+        return hidden
+
+    def disconnect(self, name: str) -> None:
+        """Detach ``name`` (and, for directories, everything beneath it)."""
+        if name not in self._connected:
+            raise NotConnectedError(f"{name!r} is not connected")
+        prefix = name + "/"
+        for victim in [n for n in self._connected if n == name or n.startswith(prefix)]:
+            del self._connected[victim]
+            del self._entries[victim]
+
+    def disconnect_all(self) -> None:
+        """Logout semantics: every connected object becomes invisible."""
+        self._connected.clear()
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # I/O on connected objects
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> HiddenFile:
+        """The connected object, or :class:`NotConnectedError`."""
+        hidden = self._connected.get(name)
+        if hidden is None:
+            raise NotConnectedError(f"{name!r} is not connected")
+        return hidden
+
+    def entry(self, name: str) -> HiddenDirEntry:
+        """The directory entry behind a connected name."""
+        if name not in self._entries:
+            raise NotConnectedError(f"{name!r} is not connected")
+        return self._entries[name]
+
+    def read(self, name: str) -> bytes:
+        """Read a connected object (decrypt-on-access)."""
+        return self.get(name).read()
+
+    def write(self, name: str, data: bytes) -> None:
+        """Replace a connected object's contents."""
+        self.get(name).write(data)
+
+    def listdir(self, name: str) -> list[str]:
+        """Child names of a connected hidden directory."""
+        hidden = self.get(name)
+        if not hidden.is_directory:
+            raise NotConnectedError(f"{name!r} is not a hidden directory")
+        return sorted(parse_entries(hidden.read()))

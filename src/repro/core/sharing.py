@@ -1,0 +1,71 @@
+"""File sharing between users — §3.2 and Figure 4.
+
+The owner exports a hidden-directory entry (name, physical name, FAK, type)
+encrypted under the recipient's public key; the recipient imports it into
+their own UAK directory and the transport blob is destroyed.  We use hybrid
+encryption — RSA-OAEP wraps a fresh symmetric key, AES-CTR carries the
+entry, HMAC-SHA256 authenticates it — so entries of any size share one code
+path and tampering is detected rather than silently importing garbage.
+
+The paper notes this transport is StegFS's weak point (the ciphertext's
+existence is observable); per-file FAKs bound the damage, and revocation
+(:func:`revoke`) re-keys the file so old FAKs go dead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hidden_dir import HiddenDirEntry
+from repro.crypto.hmac import hmac_sha256, verify_hmac_sha256
+from repro.crypto.kdf import subkey
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.crypto.vector_aes import ctr_xor
+from repro.errors import CryptoError, SharingError, StegFSError
+from repro.util.serialization import CodecError, Reader, pack_bytes
+
+__all__ = ["export_entry", "import_entry"]
+
+# 24 bytes (192-bit) so the wrapped key fits OAEP even under a 768-bit test
+# modulus; the KDF expands it to independent 256-bit encryption/MAC keys.
+_SESSION_KEY_SIZE = 24
+_NONCE = b"shareexp"  # fixed nonce is safe: the session key is single-use
+
+
+def export_entry(
+    entry: HiddenDirEntry, recipient_public: RSAPublicKey, rng: random.Random
+) -> bytes:
+    """Produce the encrypted "entryfile" blob for ``steg_getentry``."""
+    session_key = rng.randbytes(_SESSION_KEY_SIZE)
+    wrapped = recipient_public.encrypt(session_key, rng)
+    body = ctr_xor(subkey(session_key, "encrypt"), _NONCE, entry.to_bytes())
+    tag = hmac_sha256(subkey(session_key, "mac"), body)
+    return pack_bytes(wrapped) + pack_bytes(body) + tag
+
+
+def import_entry(blob: bytes, recipient_private: RSAPrivateKey) -> HiddenDirEntry:
+    """Decrypt and validate an entry blob for ``steg_addentry``."""
+    try:
+        reader = Reader(blob)
+        wrapped = reader.bytes_(max_len=1 << 16)
+        body = reader.bytes_(max_len=1 << 20)
+        tag = reader.take(32)
+        reader.expect_exhausted()
+    except CodecError as exc:
+        raise SharingError(f"malformed entry blob: {exc}") from exc
+    try:
+        session_key = recipient_private.decrypt(wrapped)
+    except CryptoError as exc:
+        raise SharingError("entry blob was not encrypted for this key") from exc
+    if len(session_key) != _SESSION_KEY_SIZE:
+        raise SharingError("entry blob carries a malformed session key")
+    if not verify_hmac_sha256(subkey(session_key, "mac"), body, tag):
+        raise SharingError("entry blob failed authentication (tampered?)")
+    raw = ctr_xor(subkey(session_key, "encrypt"), _NONCE, body)
+    try:
+        reader = Reader(raw)
+        entry = HiddenDirEntry.read_from(reader)
+        reader.expect_exhausted()
+    except (CodecError, StegFSError) as exc:
+        raise SharingError(f"entry blob payload is corrupt: {exc}") from exc
+    return entry

@@ -1,0 +1,53 @@
+"""Shared volume context handed to every hidden-object operation.
+
+Bundles the device, the (shared!) allocation bitmap, the Table 1 parameters
+and the randomness source.  Hidden files, dummy files and abandoned blocks
+all allocate through :attr:`allocator`, which draws uniformly from the same
+free space the plain file system uses — Figure 1's single bitmap is the
+whole point: one allocation namespace, many indistinguishable owners.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.params import StegFSParams
+from repro.storage.allocator import RandomAllocator
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["HiddenVolume"]
+
+
+@dataclass
+class HiddenVolume:
+    """Context for hidden-layer operations on one mounted volume."""
+
+    device: BlockDevice
+    bitmap: Bitmap
+    params: StegFSParams
+    rng: random.Random
+    allocator: RandomAllocator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.allocator = RandomAllocator(self.bitmap, self.rng)
+
+    @property
+    def block_size(self) -> int:
+        """Volume block size."""
+        return self.device.block_size
+
+    def take_free_blocks(self, count: int) -> list[int]:
+        """Claim ``count`` uniformly random free blocks."""
+        return self.allocator.allocate_many(count)
+
+    def take_free_blocks_best_effort(self, count: int) -> list[int]:
+        """Claim up to ``count`` random free blocks (possibly fewer)."""
+        available = min(count, self.bitmap.free_count)
+        return self.allocator.allocate_many(available)
+
+    def release_blocks(self, blocks: list[int]) -> None:
+        """Return blocks to the shared free space."""
+        for block in blocks:
+            self.bitmap.free(block)

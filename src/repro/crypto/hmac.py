@@ -1,0 +1,41 @@
+"""HMAC-SHA256 (RFC 2104) built on the from-scratch SHA-256.
+
+StegFS needs a keyed MAC in two places: block-integrity tags in the StegRand
+baseline (corruption detection is what makes replica hunting possible) and
+authenticated backup images (§3.3).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import BLOCK_SIZE, SHA256, sha256
+
+__all__ = ["hmac_sha256", "verify_hmac_sha256", "constant_time_equal"]
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256 of ``message`` under ``key``."""
+    if len(key) > BLOCK_SIZE:
+        key = sha256(key)
+    key = key.ljust(BLOCK_SIZE, b"\x00")
+    inner_pad = bytes(b ^ 0x36 for b in key)
+    outer_pad = bytes(b ^ 0x5C for b in key)
+    inner = SHA256(inner_pad)
+    inner.update(message)
+    outer = SHA256(outer_pad)
+    outer.update(inner.digest())
+    return outer.digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without short-circuiting on the first diff."""
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0
+
+
+def verify_hmac_sha256(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Return True iff ``tag`` is the HMAC-SHA256 of ``message`` under ``key``."""
+    return constant_time_equal(hmac_sha256(key, message), tag)

@@ -1,0 +1,175 @@
+"""Rabin's Information Dispersal Algorithm over GF(256).
+
+§2 of the paper discusses Hand & Roscoe's Mnemosyne [10], which hardens the
+random-placement scheme by encoding each hidden file into ``n`` cipher-files
+such that any ``m`` of them reconstruct it (Rabin's IDA [15]).  We implement
+the algorithm as an optional resilience layer and as an extra baseline for
+the space-utilisation ablation: it trades a factor ``n/m`` of space for
+tolerance of ``n - m`` lost shares.
+
+Construction: a fixed ``n × m`` Vandermonde matrix ``A`` over GF(256) with
+``A[i][k] = x_i^k`` for distinct evaluation points ``x_i``; every ``m``-row
+submatrix of a Vandermonde matrix with distinct points is invertible, which
+is exactly the any-``m``-suffice property.  Encoding multiplies ``A`` by the
+data arranged in ``m``-byte columns; decoding inverts the ``m`` chosen rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+__all__ = ["disperse", "reconstruct", "Share"]
+
+_POLY = 0x11B  # the AES field polynomial; any primitive polynomial works
+
+
+def _gf_mul_scalar(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _POLY
+        b >>= 1
+    return result
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    # 3 generates the full multiplicative group of GF(256) under 0x11B
+    # (2 does not: its cyclic subgroup has order 51).
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul_scalar(x, 3)
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def _gf_mul_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``vec`` by ``scalar`` in GF(256)."""
+    if scalar == 0:
+        return np.zeros_like(vec)
+    log_s = _LOG[scalar]
+    out = np.zeros_like(vec)
+    nz = vec != 0
+    out[nz] = _EXP[log_s + _LOG[vec[nz]]]
+    return out
+
+
+def _gf_inverse(a: int) -> int:
+    if a == 0:
+        raise CryptoError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def _vandermonde(n: int, m: int) -> list[list[int]]:
+    matrix = []
+    for i in range(n):
+        x = i + 1  # 0 is excluded so no row is all-but-first zeros
+        row, power = [], 1
+        for _ in range(m):
+            row.append(power)
+            power = _gf_mul_scalar(power, x)
+        matrix.append(row)
+    return matrix
+
+
+def _invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Gauss–Jordan inversion over GF(256)."""
+    m = len(matrix)
+    aug = [row[:] + [1 if i == j else 0 for j in range(m)] for i, row in enumerate(matrix)]
+    for col in range(m):
+        pivot_row = next((r for r in range(col, m) if aug[r][col]), None)
+        if pivot_row is None:
+            raise CryptoError("singular share matrix (duplicate share indices?)")
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        inv_pivot = _gf_inverse(aug[col][col])
+        aug[col] = [_gf_mul_scalar(v, inv_pivot) for v in aug[col]]
+        for r in range(m):
+            if r != col and aug[r][col]:
+                factor = aug[r][col]
+                aug[r] = [v ^ _gf_mul_scalar(factor, p) for v, p in zip(aug[r], aug[col])]
+    return [row[m:] for row in aug]
+
+
+class Share:
+    """One dispersed fragment: its matrix row index and payload bytes."""
+
+    __slots__ = ("index", "payload")
+
+    def __init__(self, index: int, payload: bytes) -> None:
+        self.index = index
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Share(index={self.index}, {len(self.payload)} bytes)"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Share)
+            and self.index == other.index
+            and self.payload == other.payload
+        )
+
+
+def disperse(data: bytes, m: int, n: int) -> list[Share]:
+    """Encode ``data`` into ``n`` shares, any ``m`` of which reconstruct it.
+
+    Each share is ``ceil((len(data) + 4) / m)`` bytes — total storage is a
+    factor ``n / m`` of the original, the IDA's defining space advantage
+    over ``n``-way replication (factor ``n``).
+    """
+    if not 1 <= m <= n <= 255:
+        raise CryptoError(f"need 1 <= m <= n <= 255, got m={m}, n={n}")
+    framed = len(data).to_bytes(4, "big") + data
+    if len(framed) % m:
+        framed += b"\x00" * (m - len(framed) % m)
+    columns = np.frombuffer(framed, dtype=np.uint8).reshape(-1, m).T  # (m, cols)
+    matrix = _vandermonde(n, m)
+    shares = []
+    for i in range(n):
+        acc = np.zeros(columns.shape[1], dtype=np.uint8)
+        for k in range(m):
+            acc ^= _gf_mul_vec(matrix[i][k], columns[k])
+        shares.append(Share(i, acc.tobytes()))
+    return shares
+
+
+def reconstruct(shares: list[Share], m: int) -> bytes:
+    """Rebuild the original data from any ``m`` distinct shares."""
+    if len(shares) < m:
+        raise CryptoError(f"need {m} shares to reconstruct, got {len(shares)}")
+    chosen = shares[:m]
+    indices = [s.index for s in chosen]
+    if len(set(indices)) != m:
+        raise CryptoError("duplicate share indices")
+    length = len(chosen[0].payload)
+    if any(len(s.payload) != length for s in chosen):
+        raise CryptoError("shares have inconsistent lengths")
+    full = _vandermonde(max(indices) + 1, m)
+    sub = [full[i] for i in indices]
+    inverse = _invert(sub)
+    share_rows = [np.frombuffer(s.payload, dtype=np.uint8) for s in chosen]
+    data_rows = []
+    for r in range(m):
+        acc = np.zeros(length, dtype=np.uint8)
+        for k in range(m):
+            acc ^= _gf_mul_vec(inverse[r][k], share_rows[k])
+        data_rows.append(acc)
+    framed = np.stack(data_rows, axis=1).reshape(-1).tobytes()
+    if len(framed) < 4:
+        raise CryptoError("reconstructed data too short")
+    n_bytes = int.from_bytes(framed[:4], "big")
+    if n_bytes > len(framed) - 4:
+        raise CryptoError("reconstructed length prefix is inconsistent")
+    return framed[4 : 4 + n_bytes]

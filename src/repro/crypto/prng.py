@@ -1,0 +1,94 @@
+"""Pseudorandom generators used by StegFS block placement.
+
+§4 of the paper: *"It uses SHA256 as the pseudorandom number generator for
+locating the hidden object (the seed is recursively hashed to generate the
+pseudorandom numbers)."*  :class:`HashChainPRNG` is exactly that — a chain
+``s_{i+1} = SHA256(s_i)`` whose digests are consumed as an entropy stream —
+and :class:`BlockNumberGenerator` maps the stream onto block numbers of a
+volume via rejection sampling (no modulo bias: a biased generator would give
+a distinguisher exactly where the paper needs uniformity).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256
+
+__all__ = ["HashChainPRNG", "BlockNumberGenerator"]
+
+
+class HashChainPRNG:
+    """Deterministic byte stream from a recursively hashed seed.
+
+    Security note: forward secrecy is irrelevant here — the generator's sole
+    job is that, *without the seed*, outputs are unpredictable, and with it
+    they are reproducible.  That is all §3.1's header search requires.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        if not seed:
+            raise ValueError("PRNG seed must not be empty")
+        self._state = sha256(seed)
+        self._buffer = b""
+
+    def read(self, n: int) -> bytes:
+        """Return the next ``n`` bytes of the stream."""
+        if n < 0:
+            raise ValueError(f"negative read: {n}")
+        while len(self._buffer) < n:
+            self._buffer += self._state
+            self._state = sha256(self._state)
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def read_u64(self) -> int:
+        """Return the next 8 stream bytes as a big-endian integer."""
+        return int.from_bytes(self.read(8), "big")
+
+    def randint_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` by rejection sampling."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        # Smallest power-of-two mask covering bound, then reject overshoot.
+        mask = (1 << bound.bit_length()) - 1
+        while True:
+            candidate = self.read_u64() & mask
+            if candidate < bound:
+                return candidate
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher–Yates shuffle driven by the hash chain."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint_below(i + 1)
+            items[i], items[j] = items[j], items[i]
+
+
+class BlockNumberGenerator:
+    """Stream of candidate block numbers for one (name, key) locator seed.
+
+    File creation walks this stream until it meets a free block (the header
+    goes there); lookup walks the *same* stream checking allocated blocks
+    for a matching signature (§3.1).  Determinism given the seed is the
+    whole mechanism, so the generator is intentionally stateless beyond the
+    hash chain.
+    """
+
+    def __init__(self, seed: bytes, total_blocks: int) -> None:
+        if total_blocks <= 0:
+            raise ValueError(f"total_blocks must be positive, got {total_blocks}")
+        self._prng = HashChainPRNG(seed)
+        self._total_blocks = total_blocks
+
+    @property
+    def total_blocks(self) -> int:
+        """Volume size this generator draws from."""
+        return self._total_blocks
+
+    def __iter__(self) -> "BlockNumberGenerator":
+        return self
+
+    def __next__(self) -> int:
+        return self._prng.randint_below(self._total_blocks)
+
+    def first(self, count: int) -> list[int]:
+        """Convenience: the first ``count`` candidates (for tests/analysis)."""
+        return [next(self) for _ in range(count)]

@@ -1,0 +1,205 @@
+"""RSA public-key encryption for the file-sharing path (§3.2, Figure 4).
+
+Sharing a hidden file means sending its ``(name, FAK)`` pair encrypted under
+the *recipient's public key*; the paper names no specific algorithm, only
+the public/private-key workflow, so we implement textbook-size RSA with an
+OAEP padding (RFC 8017 style, SHA-256 MGF1) from scratch: Miller–Rabin
+primality testing, safe public exponent 65537, CRT-free decryption for
+clarity.
+
+Keys here protect one short sharing blob in transit between two users of the
+same machine-local library; 1024-bit defaults keep tests fast while the code
+path is identical at any size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.sha256 import sha256
+from repro.errors import CryptoError, InvalidKeyError
+
+__all__ = ["RSAPublicKey", "RSAPrivateKey", "generate_keypair", "KeyPair"]
+
+_E = 65537
+_HASH_LEN = 32
+
+# Deterministic witnesses make Miller–Rabin *correct* (not probabilistic)
+# for n < 3.3e24; beyond that we add random witnesses.
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    witnesses = list(_SMALL_PRIMES) + [rng.randrange(2, n - 1) for _ in range(rounds)]
+    for a in witnesses:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """Random prime with exactly ``bits`` bits (top two bits set so that the
+    product of two such primes has exactly ``2*bits`` bits)."""
+    while True:
+        candidate = rng.getrandbits(bits) | (0b11 << (bits - 2)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _mgf1(seed: bytes, length: int) -> bytes:
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += sha256(seed + counter.to_bytes(4, "big"))
+        counter += 1
+    return out[:length]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """RSA public key ``(n, e)`` with OAEP encryption."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def max_message_length(self) -> int:
+        """Largest plaintext OAEP can carry under this modulus."""
+        return self.byte_length - 2 * _HASH_LEN - 2
+
+    def encrypt(self, message: bytes, rng: random.Random | None = None) -> bytes:
+        """OAEP-encrypt ``message``; returns a modulus-sized ciphertext."""
+        rng = rng or random.SystemRandom()
+        k = self.byte_length
+        if len(message) > self.max_message_length:
+            raise CryptoError(
+                f"message of {len(message)} bytes exceeds OAEP capacity "
+                f"{self.max_message_length} for a {k * 8}-bit key"
+            )
+        pad_len = k - len(message) - 2 * _HASH_LEN - 2
+        data_block = sha256(b"") + b"\x00" * pad_len + b"\x01" + message
+        seed = bytes(rng.getrandbits(8) for _ in range(_HASH_LEN))
+        masked_db = _xor(data_block, _mgf1(seed, len(data_block)))
+        masked_seed = _xor(seed, _mgf1(masked_db, _HASH_LEN))
+        encoded = b"\x00" + masked_seed + masked_db
+        c = pow(int.from_bytes(encoded, "big"), self.e, self.n)
+        return c.to_bytes(k, "big")
+
+    def to_bytes(self) -> bytes:
+        """Serialise as ``len(n) || n || len(e) || e`` (big-endian)."""
+        n_raw = self.n.to_bytes(self.byte_length, "big")
+        e_raw = self.e.to_bytes((self.e.bit_length() + 7) // 8, "big")
+        return (
+            len(n_raw).to_bytes(4, "big") + n_raw + len(e_raw).to_bytes(4, "big") + e_raw
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RSAPublicKey":
+        """Parse the :meth:`to_bytes` format."""
+        try:
+            n_len = int.from_bytes(raw[:4], "big")
+            n = int.from_bytes(raw[4 : 4 + n_len], "big")
+            offset = 4 + n_len
+            e_len = int.from_bytes(raw[offset : offset + 4], "big")
+            e = int.from_bytes(raw[offset + 4 : offset + 4 + e_len], "big")
+        except (IndexError, ValueError) as exc:
+            raise InvalidKeyError("malformed RSA public key") from exc
+        if n <= 0 or e <= 0:
+            raise InvalidKeyError("malformed RSA public key")
+        return cls(n=n, e=e)
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """RSA private key ``(n, d)`` with OAEP decryption."""
+
+    n: int
+    d: int
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """OAEP-decrypt; raises :class:`CryptoError` on any malformation."""
+        k = self.byte_length
+        if len(ciphertext) != k:
+            raise CryptoError(f"ciphertext must be {k} bytes, got {len(ciphertext)}")
+        m = pow(int.from_bytes(ciphertext, "big"), self.d, self.n)
+        encoded = m.to_bytes(k, "big")
+        if encoded[0] != 0:
+            raise CryptoError("OAEP decoding failed")
+        masked_seed = encoded[1 : 1 + _HASH_LEN]
+        masked_db = encoded[1 + _HASH_LEN :]
+        seed = _xor(masked_seed, _mgf1(masked_db, _HASH_LEN))
+        data_block = _xor(masked_db, _mgf1(seed, len(masked_db)))
+        if data_block[:_HASH_LEN] != sha256(b""):
+            raise CryptoError("OAEP decoding failed")
+        try:
+            separator = data_block.index(b"\x01", _HASH_LEN)
+        except ValueError as exc:
+            raise CryptoError("OAEP decoding failed") from exc
+        if any(data_block[_HASH_LEN:separator]):
+            raise CryptoError("OAEP decoding failed")
+        return data_block[separator + 1 :]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A matched RSA public/private key pair."""
+
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+
+def generate_keypair(bits: int = 1024, rng: random.Random | None = None) -> KeyPair:
+    """Generate an RSA key pair with a ``bits``-bit modulus.
+
+    Pass a seeded ``random.Random`` for reproducible test keys; the default
+    draws from ``SystemRandom``.
+    """
+    if bits < 512 or bits % 2:
+        raise InvalidKeyError(f"modulus bits must be an even number >= 512, got {bits}")
+    rng = rng or random.SystemRandom()
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _E == 0:
+            continue
+        d = pow(_E, -1, phi)
+        if n.bit_length() == bits:
+            return KeyPair(RSAPublicKey(n, _E), RSAPrivateKey(n, d))

@@ -1,0 +1,10 @@
+"""Hidden database structures — the paper's §6 future work, implemented.
+
+Steganographic tables built entirely from hidden objects: a hash-indexed
+key–value store whose buckets are individually-keyed hidden files, so the
+DBMS layer inherits the file layer's deniability wholesale.
+"""
+
+from repro.db.kvstore import HiddenKVStore
+
+__all__ = ["HiddenKVStore"]

@@ -1,0 +1,220 @@
+"""Hidden key–value store: the paper's §6 future work, implemented.
+
+"For future work, we are extending the techniques in StegFS to DBMS.
+Specifically, we are investigating how database tables, hash indices and
+B-trees can be hidden effectively…"
+
+:class:`HiddenKVStore` is a steganographic hash-indexed table.  It is built
+*entirely* out of hidden objects, so it inherits every deniability property
+of the file layer:
+
+* one **root** object holds the table's parameters (bucket count, epoch);
+* each **hash bucket** is its own hidden object, located — like any hidden
+  file — only through a key derived from the table's access key and the
+  bucket number.  No central structure lists the buckets; an attacker
+  cannot even count them.
+
+Records are ``bytes → bytes``; buckets store sorted records and split is
+handled by a whole-table rehash into a doubled bucket population (epoch
+bump), which keeps the on-disk structure simple and every intermediate
+state deniable.  Point lookups touch exactly one bucket (plus the root on
+open), matching the access-cost shape of a conventional hash index.
+"""
+
+from __future__ import annotations
+
+from repro.core.hidden_file import HiddenFile
+from repro.core.keys import ObjectKeys
+from repro.core.volume import HiddenVolume
+from repro.crypto.kdf import subkey
+from repro.crypto.sha256 import sha256
+from repro.errors import HiddenObjectNotFoundError, StegFSError
+from repro.util.serialization import Reader, pack_bytes, pack_u32, pack_u64
+
+__all__ = ["HiddenKVStore"]
+
+_MAX_BLOB = 1 << 24
+
+
+class HiddenKVStore:
+    """A hash-indexed table stored across hidden objects."""
+
+    def __init__(self, volume: HiddenVolume, table_key: bytes, name: str,
+                 root: HiddenFile, n_buckets: int, epoch: int) -> None:
+        self._volume = volume
+        self._table_key = table_key
+        self._name = name
+        self._root = root
+        self._n_buckets = n_buckets
+        self._epoch = epoch
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        volume: HiddenVolume,
+        table_key: bytes,
+        name: str,
+        n_buckets: int = 8,
+    ) -> "HiddenKVStore":
+        """Create an empty hidden table addressed by (name, table_key)."""
+        if n_buckets < 1:
+            raise StegFSError(f"n_buckets must be >= 1, got {n_buckets}")
+        root_keys = cls._root_keys(table_key, name)
+        root = HiddenFile.create(
+            volume, root_keys, data=cls._root_payload(n_buckets, 0)
+        )
+        return cls(volume, table_key, name, root, n_buckets, 0)
+
+    @classmethod
+    def open(cls, volume: HiddenVolume, table_key: bytes, name: str) -> "HiddenKVStore":
+        """Open an existing hidden table (raises if absent / wrong key)."""
+        root_keys = cls._root_keys(table_key, name)
+        root = HiddenFile.open(volume, root_keys)
+        reader = Reader(root.read())
+        n_buckets = reader.u32()
+        epoch = reader.u64()
+        reader.expect_exhausted()
+        return cls(volume, table_key, name, root, n_buckets, epoch)
+
+    def drop(self) -> None:
+        """Delete the table and every bucket."""
+        for bucket in range(self._n_buckets):
+            hidden = self._open_bucket(bucket)
+            if hidden is not None:
+                hidden.delete()
+        self._root.delete()
+
+    # ------------------------------------------------------------------
+    # key derivation & bucket objects
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _root_keys(table_key: bytes, name: str) -> ObjectKeys:
+        return ObjectKeys.derive(f"__kv__:{name}:root", table_key)
+
+    def _bucket_keys(self, bucket: int) -> ObjectKeys:
+        fak = subkey(
+            self._table_key,
+            "directory",
+            f"{self._name}:bucket:{self._epoch}:{bucket}".encode(),
+        )
+        return ObjectKeys.derive(f"__kv__:{self._name}:{self._epoch}:{bucket}", fak)
+
+    @staticmethod
+    def _root_payload(n_buckets: int, epoch: int) -> bytes:
+        return pack_u32(n_buckets) + pack_u64(epoch)
+
+    def _bucket_of(self, key: bytes) -> int:
+        digest = sha256(self._table_key[:8] + b"|" + key)
+        return int.from_bytes(digest[:8], "big") % self._n_buckets
+
+    def _open_bucket(self, bucket: int) -> HiddenFile | None:
+        try:
+            return HiddenFile.open(self._volume, self._bucket_keys(bucket))
+        except HiddenObjectNotFoundError:
+            return None
+
+    def _load_bucket(self, bucket: int) -> dict[bytes, bytes]:
+        hidden = self._open_bucket(bucket)
+        if hidden is None:
+            return {}
+        raw = hidden.read()
+        if not raw:
+            return {}
+        reader = Reader(raw)
+        count = reader.u32()
+        records: dict[bytes, bytes] = {}
+        for _ in range(count):
+            key = reader.bytes_(max_len=_MAX_BLOB)
+            records[key] = reader.bytes_(max_len=_MAX_BLOB)
+        reader.expect_exhausted()
+        return records
+
+    def _store_bucket(self, bucket: int, records: dict[bytes, bytes]) -> None:
+        payload = pack_u32(len(records))
+        for key in sorted(records):
+            payload += pack_bytes(key) + pack_bytes(records[key])
+        hidden = self._open_bucket(bucket)
+        if hidden is None:
+            # Buckets are created lazily: an empty table is just a root.
+            hidden = HiddenFile.create(
+                self._volume, self._bucket_keys(bucket), check_exists=False
+            )
+        hidden.write(payload)
+
+    # ------------------------------------------------------------------
+    # table API
+    # ------------------------------------------------------------------
+
+    @property
+    def n_buckets(self) -> int:
+        """Current hash-bucket population."""
+        return self._n_buckets
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or replace one record."""
+        if not key:
+            raise StegFSError("record key must not be empty")
+        bucket = self._bucket_of(key)
+        records = self._load_bucket(bucket)
+        records[key] = value
+        self._store_bucket(bucket, records)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Value for ``key``, or None — touching exactly one bucket."""
+        return self._load_bucket(self._bucket_of(key)).get(key)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove a record; returns whether it existed."""
+        bucket = self._bucket_of(key)
+        records = self._load_bucket(bucket)
+        if key not in records:
+            return False
+        del records[key]
+        self._store_bucket(bucket, records)
+        return True
+
+    def keys(self) -> list[bytes]:
+        """All keys (full table scan, sorted)."""
+        out: list[bytes] = []
+        for bucket in range(self._n_buckets):
+            out.extend(self._load_bucket(bucket))
+        return sorted(out)
+
+    def items(self) -> dict[bytes, bytes]:
+        """Full contents (table scan)."""
+        merged: dict[bytes, bytes] = {}
+        for bucket in range(self._n_buckets):
+            merged.update(self._load_bucket(bucket))
+        return merged
+
+    def __len__(self) -> int:
+        return sum(len(self._load_bucket(b)) for b in range(self._n_buckets))
+
+    def rehash(self, n_buckets: int) -> None:
+        """Re-distribute every record over a new bucket population.
+
+        The epoch bump re-keys every bucket object, so pre- and post-rehash
+        structures are unlinkable on disk — an observer cannot correlate
+        the old and new bucket objects, only see churn consistent with the
+        dummy-file background.
+        """
+        if n_buckets < 1:
+            raise StegFSError(f"n_buckets must be >= 1, got {n_buckets}")
+        contents = self.items()
+        for bucket in range(self._n_buckets):
+            hidden = self._open_bucket(bucket)
+            if hidden is not None:
+                hidden.delete()
+        self._n_buckets = n_buckets
+        self._epoch += 1
+        self._root.write(self._root_payload(n_buckets, self._epoch))
+        by_bucket: dict[int, dict[bytes, bytes]] = {}
+        for key, value in contents.items():
+            by_bucket.setdefault(self._bucket_of(key), {})[key] = value
+        for bucket, records in by_bucket.items():
+            self._store_bucket(bucket, records)

@@ -1,0 +1,21 @@
+"""Plain ext2-like file system substrate (the non-hidden half of Figure 1)."""
+
+from repro.fs.directory import DirectoryData, split_path, validate_name
+from repro.fs.filesystem import FileStat, FileSystem
+from repro.fs.inode import BlockMapper, FileType, Inode
+from repro.fs.layout import INODE_SIZE, Layout
+from repro.fs.superblock import Superblock
+
+__all__ = [
+    "BlockMapper",
+    "DirectoryData",
+    "FileStat",
+    "FileSystem",
+    "FileType",
+    "INODE_SIZE",
+    "Inode",
+    "Layout",
+    "Superblock",
+    "split_path",
+    "validate_name",
+]

@@ -1,0 +1,614 @@
+"""The plain (non-steganographic) file system.
+
+This is the substrate StegFS sits beside: an ext2-like file system with a
+superblock, a shared allocation bitmap, a central inode table, hierarchical
+directories, and pluggable data-allocation policy.  The evaluation's
+*CleanDisk* and *FragDisk* configurations are this file system with the
+contiguous and fragmenting allocators respectively (§5.1).
+
+Concurrency: instances are single-threaded by design, matching the
+trace-then-simulate benching model (DESIGN.md §5) where multi-user
+interleaving is applied at the disk model, not with locks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import (
+    BadSuperblockError,
+    FileExistsError_,
+    FileNotFoundError_,
+    FileSystemError,
+    InvalidPathError,
+    IsADirectoryError_,
+    NoSpaceError,
+    NotADirectoryError_,
+)
+from repro.fs.directory import DirectoryData, split_path
+from repro.fs.inode import BlockMapper, FileType, Inode
+from repro.fs.layout import INODE_SIZE, Layout
+from repro.fs.superblock import (
+    POLICY_CONTIGUOUS,
+    POLICY_FRAGMENTED,
+    POLICY_RANDOM,
+    Superblock,
+)
+from repro.storage.allocator import (
+    ContiguousAllocator,
+    FragmentingAllocator,
+    RandomAllocator,
+)
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["FileSystem", "FileStat"]
+
+_POLICY_NAMES = {
+    "contiguous": POLICY_CONTIGUOUS,
+    "fragmented": POLICY_FRAGMENTED,
+    "random": POLICY_RANDOM,
+}
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Result of :meth:`FileSystem.stat`."""
+
+    inode: int
+    type: FileType
+    size: int
+    n_blocks: int
+
+    @property
+    def is_dir(self) -> bool:
+        """Whether the object is a directory."""
+        return self.type == FileType.DIRECTORY
+
+
+class FileSystem:
+    """Mountable plain file system over a :class:`BlockDevice`."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        superblock: Superblock,
+        bitmap: Bitmap,
+        rng: random.Random | None = None,
+        auto_flush: bool = True,
+    ) -> None:
+        self._device = device
+        self._superblock = superblock
+        self._layout = superblock.layout()
+        self._bitmap = bitmap
+        self._rng = rng or random.Random(0)
+        self._auto_flush = auto_flush
+        self._inode_cache: dict[int, Inode] = {}
+        self._dirty_inodes: set[int] = set()
+        self._bitmap_dirty = False
+        policy = superblock.alloc_policy
+        if policy == POLICY_CONTIGUOUS:
+            self._data_allocator = ContiguousAllocator(bitmap)
+        elif policy == POLICY_FRAGMENTED:
+            self._data_allocator = FragmentingAllocator(
+                bitmap, self._rng, superblock.fragment_blocks
+            )
+        else:
+            self._data_allocator = _RandomRunAdapter(RandomAllocator(bitmap, self._rng))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def mkfs(
+        cls,
+        device: BlockDevice,
+        inode_count: int | None = None,
+        alloc_policy: str = "contiguous",
+        fragment_blocks: int = 8,
+        rng: random.Random | None = None,
+        fill_random: bool = False,
+        auto_flush: bool = True,
+        system_seed: bytes | None = None,
+    ) -> "FileSystem":
+        """Create a fresh file system on ``device`` and return it mounted.
+
+        ``fill_random=True`` performs the §3.1 whole-disk random fill (a
+        :class:`~repro.storage.block_device.SparseDevice` provides this
+        lazily for free).  ``alloc_policy`` is one of ``"contiguous"``,
+        ``"fragmented"``, ``"random"``.  ``system_seed`` is stored for the
+        steganographic layer's dummy-file keys.
+        """
+        if alloc_policy not in _POLICY_NAMES:
+            raise ValueError(
+                f"alloc_policy must be one of {sorted(_POLICY_NAMES)}, got {alloc_policy!r}"
+            )
+        rng = rng or random.Random(0)
+        if fill_random:
+            device.fill_random(rng)
+        layout = Layout.compute(device.block_size, device.total_blocks, inode_count)
+        superblock = Superblock(
+            block_size=device.block_size,
+            total_blocks=device.total_blocks,
+            inode_count=layout.inode_count,
+            root_inode=0,
+            alloc_policy=_POLICY_NAMES[alloc_policy],
+            fragment_blocks=fragment_blocks,
+            system_seed=system_seed if system_seed is not None else b"\x00" * 32,
+        )
+        bitmap = Bitmap(device.total_blocks)
+        for block in layout.metadata_blocks():
+            bitmap.allocate(block)
+
+        fs = cls(device, superblock, bitmap, rng=rng, auto_flush=auto_flush)
+        fs._initialise_inode_table()
+        root = fs._load_inode(superblock.root_inode)
+        root.type = FileType.DIRECTORY
+        fs._mark_dirty(root)
+        fs._write_inode_data(root, DirectoryData().to_bytes())
+        fs._device.write_block(0, superblock.to_bytes(device.block_size))
+        fs.flush()
+        return fs
+
+    @classmethod
+    def mount(
+        cls,
+        device: BlockDevice,
+        rng: random.Random | None = None,
+        auto_flush: bool = True,
+    ) -> "FileSystem":
+        """Mount an existing file system from ``device``."""
+        superblock = Superblock.from_bytes(device.read_block(0))
+        if superblock.block_size != device.block_size:
+            raise BadSuperblockError(
+                f"superblock block size {superblock.block_size} != device "
+                f"block size {device.block_size}"
+            )
+        if superblock.total_blocks != device.total_blocks:
+            raise BadSuperblockError("superblock geometry does not match device")
+        layout = superblock.layout()
+        raw_bitmap = b"".join(
+            device.read_block(b)
+            for b in range(layout.bitmap_start, layout.inode_table_start)
+        )
+        bitmap = Bitmap.from_bytes(raw_bitmap, superblock.total_blocks)
+        return cls(device, superblock, bitmap, rng=rng, auto_flush=auto_flush)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def device(self) -> BlockDevice:
+        """The underlying block device."""
+        return self._device
+
+    @property
+    def block_size(self) -> int:
+        """Volume block size in bytes."""
+        return self._superblock.block_size
+
+    @property
+    def layout(self) -> Layout:
+        """Region layout of the volume."""
+        return self._layout
+
+    @property
+    def bitmap(self) -> Bitmap:
+        """The shared allocation bitmap (hidden layers allocate from it too)."""
+        return self._bitmap
+
+    @property
+    def superblock(self) -> Superblock:
+        """Parsed superblock."""
+        return self._superblock
+
+    # ------------------------------------------------------------------
+    # public file API
+    # ------------------------------------------------------------------
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a regular file at ``path`` holding ``data``."""
+        parent, name = self._resolve_parent(path)
+        listing = self._read_directory(parent)
+        if name in listing:
+            raise FileExistsError_(f"{path!r} already exists")
+        inode = self._allocate_inode(FileType.REGULAR)
+        try:
+            self._write_inode_data(inode, data)
+        except NoSpaceError:
+            inode.type = FileType.FREE
+            self._mark_dirty(inode)
+            self._maybe_flush()
+            raise
+        listing.add(name, inode.number)
+        self._write_directory(parent, listing)
+        self._maybe_flush()
+
+    def write(self, path: str, data: bytes) -> None:
+        """Replace the contents of an existing regular file."""
+        inode = self._lookup_file(path)
+        self._write_inode_data(inode, data)
+        self._maybe_flush()
+
+    def read(self, path: str) -> bytes:
+        """Read an entire regular file."""
+        return self._read_inode_data(self._lookup_file(path))
+
+    def read_range(self, path: str, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` (clamped to EOF)."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        inode = self._lookup_file(path)
+        if offset >= inode.size:
+            return b""
+        length = min(length, inode.size - offset)
+        mapper = BlockMapper(self, inode)
+        blocks = mapper.get_blocks()
+        bs = self.block_size
+        first, last = offset // bs, (offset + length - 1) // bs
+        raw = b"".join(self._device.read_block(b) for b in blocks[first : last + 1])
+        start = offset - first * bs
+        return raw[start : start + length]
+
+    def write_range(self, path: str, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, extending the file if needed."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        inode = self._lookup_file(path)
+        if not data:
+            return
+        end = offset + len(data)
+        bs = self.block_size
+        mapper = BlockMapper(self, inode)
+        blocks = mapper.get_blocks()
+        needed = -(-max(end, inode.size) // bs)
+        if needed > len(blocks):
+            blocks = blocks + self._data_allocator.allocate_run(needed - len(blocks))
+            self._bitmap_dirty = True
+            mapper.set_blocks(blocks)
+        first, last = offset // bs, (end - 1) // bs
+        for logical in range(first, last + 1):
+            block_start = logical * bs
+            lo = max(offset, block_start) - block_start
+            hi = min(end, block_start + bs) - block_start
+            if lo == 0 and hi == bs:
+                chunk = data[block_start - offset : block_start - offset + bs]
+            else:
+                existing = (
+                    self._device.read_block(blocks[logical])
+                    if logical < -(-inode.size // bs)
+                    else b"\x00" * bs
+                )
+                chunk = (
+                    existing[:lo]
+                    + data[block_start + lo - offset : block_start + hi - offset]
+                    + existing[hi:]
+                )
+            self._device.write_block(blocks[logical], chunk)
+        inode.size = max(inode.size, end)
+        self._mark_dirty(inode)
+        self._maybe_flush()
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append ``data`` to an existing regular file."""
+        inode = self._lookup_file(path)
+        self.write_range(path, inode.size, data)
+
+    def truncate(self, path: str, size: int) -> None:
+        """Shrink or zero-extend a regular file to exactly ``size`` bytes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        inode = self._lookup_file(path)
+        if size == inode.size:
+            return
+        if size > inode.size:
+            pad = size - inode.size
+            self.write_range(path, inode.size, b"\x00" * pad)
+            return
+        bs = self.block_size
+        mapper = BlockMapper(self, inode)
+        blocks = mapper.get_blocks()
+        keep = -(-size // bs)
+        for block in blocks[keep:]:
+            self._bitmap.free(block)
+            self._bitmap_dirty = True
+        mapper.set_blocks(blocks[:keep])
+        inode.size = size
+        self._mark_dirty(inode)
+        self._maybe_flush()
+
+    def unlink(self, path: str) -> None:
+        """Delete a regular file."""
+        parent, name = self._resolve_parent(path)
+        listing = self._read_directory(parent)
+        number = listing.get(name)
+        if number is None:
+            raise FileNotFoundError_(f"no such file: {path!r}")
+        inode = self._load_inode(number)
+        if inode.type == FileType.DIRECTORY:
+            raise IsADirectoryError_(f"{path!r} is a directory; use rmdir")
+        self._release_inode(inode)
+        listing.remove(name)
+        self._write_directory(parent, listing)
+        self._maybe_flush()
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory."""
+        parent, name = self._resolve_parent(path)
+        listing = self._read_directory(parent)
+        if name in listing:
+            raise FileExistsError_(f"{path!r} already exists")
+        inode = self._allocate_inode(FileType.DIRECTORY)
+        self._write_inode_data(inode, DirectoryData().to_bytes())
+        listing.add(name, inode.number)
+        self._write_directory(parent, listing)
+        self._maybe_flush()
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        components = split_path(path)
+        if not components:
+            raise InvalidPathError("cannot remove the root directory")
+        parent, name = self._resolve_parent(path)
+        listing = self._read_directory(parent)
+        number = listing.get(name)
+        if number is None:
+            raise FileNotFoundError_(f"no such directory: {path!r}")
+        inode = self._load_inode(number)
+        if inode.type != FileType.DIRECTORY:
+            raise NotADirectoryError_(f"{path!r} is not a directory")
+        if len(self._read_directory(inode)) != 0:
+            raise FileSystemError(f"directory {path!r} is not empty")
+        self._release_inode(inode)
+        listing.remove(name)
+        self._write_directory(parent, listing)
+        self._maybe_flush()
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Sorted names in a directory."""
+        inode = self._resolve(path)
+        if inode.type != FileType.DIRECTORY:
+            raise NotADirectoryError_(f"{path!r} is not a directory")
+        return self._read_directory(inode).names()
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names an existing object."""
+        try:
+            self._resolve(path)
+            return True
+        except (FileNotFoundError_, NotADirectoryError_):
+            return False
+
+    def stat(self, path: str) -> FileStat:
+        """Metadata for ``path``."""
+        inode = self._resolve(path)
+        mapper = BlockMapper(self, inode)
+        return FileStat(
+            inode=inode.number,
+            type=inode.type,
+            size=inode.size,
+            n_blocks=len(mapper.get_blocks()),
+        )
+
+    def file_blocks(self, path: str) -> list[int]:
+        """Device blocks of a file, in logical order (for analysis/tracing)."""
+        inode = self._resolve(path)
+        return BlockMapper(self, inode).get_blocks()
+
+    # ------------------------------------------------------------------
+    # census used by backup (§3.3) and the attacker model
+    # ------------------------------------------------------------------
+
+    def plain_owned_blocks(self) -> set[int]:
+        """Every block owned by the central directory: data + indirect."""
+        owned: set[int] = set()
+        stack = [self._load_inode(self._superblock.root_inode)]
+        seen: set[int] = set()
+        while stack:
+            inode = stack.pop()
+            if inode.number in seen:
+                continue
+            seen.add(inode.number)
+            mapper = BlockMapper(self, inode)
+            owned.update(mapper.get_blocks())
+            owned.update(mapper.indirect_blocks())
+            if inode.type == FileType.DIRECTORY:
+                for child in self._read_directory(inode).entries.values():
+                    stack.append(self._load_inode(child))
+        return owned
+
+    def unaccounted_blocks(self) -> set[int]:
+        """Allocated blocks not owned by metadata or any plain file.
+
+        This is the §3.3 backup set and the §3.1 attacker's census: the
+        union of hidden files, dummy files and abandoned blocks — which is
+        exactly why those categories exist.
+        """
+        allocated = set(int(b) for b in self._bitmap.allocated_indices())
+        allocated -= set(self._layout.metadata_blocks())
+        allocated -= self.plain_owned_blocks()
+        return allocated
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def mark_bitmap_dirty(self) -> None:
+        """Note an out-of-band bitmap mutation (the hidden layer allocates
+        directly against the shared bitmap) so the next flush persists it."""
+        self._bitmap_dirty = True
+
+    def flush(self) -> None:
+        """Write dirty metadata (bitmap, inodes) back to the device."""
+        if self._bitmap_dirty:
+            raw = self._bitmap.to_bytes()
+            bs = self.block_size
+            for i, block in enumerate(
+                range(self._layout.bitmap_start, self._layout.inode_table_start)
+            ):
+                chunk = raw[i * bs : (i + 1) * bs].ljust(bs, b"\x00")
+                self._device.write_block(block, chunk)
+            self._bitmap_dirty = False
+        for number in sorted(self._dirty_inodes):
+            self._store_inode(self._inode_cache[number])
+        self._dirty_inodes.clear()
+
+    # ------------------------------------------------------------------
+    # internals: inode table
+    # ------------------------------------------------------------------
+
+    def _initialise_inode_table(self) -> None:
+        empty = Inode(number=0).to_bytes()
+        per_block = self._layout.inodes_per_block
+        block_image = (empty * per_block).ljust(self.block_size, b"\x00")
+        for block in range(self._layout.inode_table_start, self._layout.data_start):
+            self._device.write_block(block, block_image)
+
+    def _load_inode(self, number: int) -> Inode:
+        cached = self._inode_cache.get(number)
+        if cached is not None:
+            return cached
+        block, offset = self._layout.inode_location(number)
+        raw = self._device.read_block(block)[offset : offset + INODE_SIZE]
+        inode = Inode.from_bytes(number, raw)
+        self._inode_cache[number] = inode
+        return inode
+
+    def _store_inode(self, inode: Inode) -> None:
+        block, offset = self._layout.inode_location(inode.number)
+        raw = bytearray(self._device.read_block(block))
+        raw[offset : offset + INODE_SIZE] = inode.to_bytes()
+        self._device.write_block(block, bytes(raw))
+
+    def _mark_dirty(self, inode: Inode) -> None:
+        self._inode_cache[inode.number] = inode
+        self._dirty_inodes.add(inode.number)
+
+    def _allocate_inode(self, file_type: FileType) -> Inode:
+        for number in range(self._superblock.inode_count):
+            inode = self._load_inode(number)
+            if inode.is_free:
+                inode.type = file_type
+                inode.size = 0
+                self._mark_dirty(inode)
+                return inode
+        raise NoSpaceError("inode table is full")
+
+    def _release_inode(self, inode: Inode) -> None:
+        mapper = BlockMapper(self, inode)
+        for block in mapper.release_all():
+            self._bitmap.free(block)
+        self._bitmap_dirty = True
+        inode.type = FileType.FREE
+        self._mark_dirty(inode)
+
+    # ------------------------------------------------------------------
+    # internals: data I/O
+    # ------------------------------------------------------------------
+
+    def _read_inode_data(self, inode: Inode) -> bytes:
+        mapper = BlockMapper(self, inode)
+        raw = b"".join(self._device.read_block(b) for b in mapper.get_blocks())
+        return raw[: inode.size]
+
+    def _write_inode_data(self, inode: Inode, data: bytes) -> None:
+        bs = self.block_size
+        mapper = BlockMapper(self, inode)
+        old_blocks = mapper.get_blocks()
+        needed = -(-len(data) // bs)
+        if needed != len(old_blocks):
+            for block in old_blocks:
+                self._bitmap.free(block)
+            try:
+                blocks = self._data_allocator.allocate_run(needed) if needed else []
+            except NoSpaceError:
+                for block in old_blocks:  # roll back so the file is intact
+                    self._bitmap.allocate(block)
+                raise
+            self._bitmap_dirty = True
+        else:
+            blocks = old_blocks
+        for i, block in enumerate(blocks):
+            chunk = data[i * bs : (i + 1) * bs]
+            if len(chunk) < bs:
+                chunk = chunk.ljust(bs, b"\x00")
+            self._device.write_block(block, chunk)
+        inode.size = len(data)
+        mapper.set_blocks(blocks)
+        self._mark_dirty(inode)
+
+    # ------------------------------------------------------------------
+    # internals: directories and path resolution
+    # ------------------------------------------------------------------
+
+    def _read_directory(self, inode: Inode) -> DirectoryData:
+        return DirectoryData.from_bytes(self._read_inode_data(inode))
+
+    def _write_directory(self, inode: Inode, listing: DirectoryData) -> None:
+        self._write_inode_data(inode, listing.to_bytes())
+
+    def _resolve(self, path: str) -> Inode:
+        components = split_path(path)
+        inode = self._load_inode(self._superblock.root_inode)
+        for depth, name in enumerate(components):
+            if inode.type != FileType.DIRECTORY:
+                prefix = "/" + "/".join(components[:depth])
+                raise NotADirectoryError_(f"{prefix!r} is not a directory")
+            child = self._read_directory(inode).get(name)
+            if child is None:
+                raise FileNotFoundError_(f"no such file or directory: {path!r}")
+            inode = self._load_inode(child)
+        return inode
+
+    def _resolve_parent(self, path: str) -> tuple[Inode, str]:
+        components = split_path(path)
+        if not components:
+            raise InvalidPathError("path must name a file, not the root")
+        parent_path = "/" + "/".join(components[:-1])
+        parent = self._resolve(parent_path)
+        if parent.type != FileType.DIRECTORY:
+            raise NotADirectoryError_(f"{parent_path!r} is not a directory")
+        return parent, components[-1]
+
+    def _lookup_file(self, path: str) -> Inode:
+        inode = self._resolve(path)
+        if inode.type == FileType.DIRECTORY:
+            raise IsADirectoryError_(f"{path!r} is a directory")
+        return inode
+
+    def _maybe_flush(self) -> None:
+        if self._auto_flush:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # internals: metadata block I/O for BlockMapper
+    # ------------------------------------------------------------------
+
+    def _read_meta_block(self, block: int) -> bytes:
+        return self._device.read_block(block)
+
+    def _write_meta_block(self, block: int, data: bytes) -> None:
+        self._device.write_block(block, data.ljust(self.block_size, b"\x00"))
+
+    def _alloc_meta_block(self) -> int:
+        block = self._bitmap.find_free_run(1, start=self._layout.data_start)
+        self._bitmap.allocate(block)
+        self._bitmap_dirty = True
+        return block
+
+    def _free_meta_block(self, block: int) -> None:
+        self._bitmap.free(block)
+        self._bitmap_dirty = True
+
+
+class _RandomRunAdapter:
+    """Gives :class:`RandomAllocator` the ``allocate_run`` policy interface."""
+
+    def __init__(self, allocator: RandomAllocator) -> None:
+        self._allocator = allocator
+
+    def allocate_run(self, length: int) -> list[int]:
+        return self._allocator.allocate_many(length)

@@ -1,0 +1,109 @@
+"""On-disk layout of the plain file system.
+
+The volume is divided into four regions, mirroring ext2's shape (the paper
+implements StegFS "alongside other file system drivers like Ext2fs"):
+
+    block 0        superblock
+    blocks 1..b    allocation bitmap (1 bit per block, Figure 1)
+    blocks b..i    inode table (the "central directory")
+    blocks i..N    data region — plain files, hidden files, dummies and
+                   abandoned blocks all live here, distinguishable only to
+                   key holders
+
+Metadata blocks are marked allocated in the bitmap at mkfs time, so every
+allocator — including the hidden layer's random placement — naturally avoids
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BadSuperblockError
+
+__all__ = ["Layout", "INODE_SIZE"]
+
+INODE_SIZE = 128
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Region boundaries computed from the device geometry."""
+
+    block_size: int
+    total_blocks: int
+    inode_count: int
+    bitmap_start: int
+    inode_table_start: int
+    data_start: int
+
+    @classmethod
+    def compute(cls, block_size: int, total_blocks: int, inode_count: int | None = None) -> "Layout":
+        """Derive a layout for a device of ``total_blocks`` blocks.
+
+        ``inode_count`` defaults to one inode per 8 data-region blocks
+        (ext2's bytes-per-inode heuristic scaled to small volumes), with a
+        floor of 64 so tiny test volumes still hold a useful file count.
+        """
+        if block_size < INODE_SIZE:
+            raise BadSuperblockError(
+                f"block size {block_size} is smaller than one inode ({INODE_SIZE} bytes)"
+            )
+        bitmap_blocks = _ceil_div(_ceil_div(total_blocks, 8), block_size)
+        if inode_count is None:
+            inode_count = max(64, total_blocks // 8)
+        inodes_per_block = block_size // INODE_SIZE
+        inode_blocks = _ceil_div(inode_count, inodes_per_block)
+        bitmap_start = 1
+        inode_table_start = bitmap_start + bitmap_blocks
+        data_start = inode_table_start + inode_blocks
+        if data_start >= total_blocks:
+            raise BadSuperblockError(
+                f"volume of {total_blocks} blocks too small: metadata alone "
+                f"needs {data_start} blocks"
+            )
+        return cls(
+            block_size=block_size,
+            total_blocks=total_blocks,
+            inode_count=inode_count,
+            bitmap_start=bitmap_start,
+            inode_table_start=inode_table_start,
+            data_start=data_start,
+        )
+
+    @property
+    def bitmap_blocks(self) -> int:
+        """Number of blocks holding the bitmap."""
+        return self.inode_table_start - self.bitmap_start
+
+    @property
+    def inode_blocks(self) -> int:
+        """Number of blocks holding the inode table."""
+        return self.data_start - self.inode_table_start
+
+    @property
+    def inodes_per_block(self) -> int:
+        """Inodes stored per metadata block."""
+        return self.block_size // INODE_SIZE
+
+    @property
+    def data_blocks(self) -> int:
+        """Number of blocks in the data region."""
+        return self.total_blocks - self.data_start
+
+    def metadata_blocks(self) -> range:
+        """Indices of all metadata blocks (superblock, bitmap, inode table)."""
+        return range(0, self.data_start)
+
+    def inode_location(self, inode_number: int) -> tuple[int, int]:
+        """(block index, byte offset) of ``inode_number`` in the table."""
+        if not 0 <= inode_number < self.inode_count:
+            raise BadSuperblockError(
+                f"inode {inode_number} out of range [0, {self.inode_count})"
+            )
+        block, slot = divmod(inode_number, self.inodes_per_block)
+        return self.inode_table_start + block, slot * INODE_SIZE
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)

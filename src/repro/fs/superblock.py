@@ -1,0 +1,98 @@
+"""Superblock: the volume's self-description, stored in block 0."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BadSuperblockError
+from repro.fs.layout import Layout
+from repro.util.serialization import Reader, pack_u16, pack_u32, pack_u64
+
+__all__ = ["Superblock", "MAGIC"]
+
+MAGIC = b"REPROFS1"
+_VERSION = 1
+
+# Allocation policy codes persisted in the superblock so a remount keeps the
+# volume's layout behaviour (CleanDisk vs FragDisk experiments).
+POLICY_CONTIGUOUS = 0
+POLICY_FRAGMENTED = 1
+POLICY_RANDOM = 2
+_POLICIES = {POLICY_CONTIGUOUS, POLICY_FRAGMENTED, POLICY_RANDOM}
+
+
+@dataclass
+class Superblock:
+    """Parsed superblock contents.
+
+    ``system_seed`` is StegFS state: the seed from which dummy-hidden-file
+    keys are derived (§3.1).  It is deliberately *not* secret from an
+    administrator — the paper concedes dummy files "could be vulnerable to
+    an attacker with administrator privileges", which is exactly why
+    abandoned blocks exist as the stronger, untraceable decoys.
+    """
+
+    block_size: int
+    total_blocks: int
+    inode_count: int
+    root_inode: int
+    alloc_policy: int
+    fragment_blocks: int
+    system_seed: bytes = b"\x00" * 32
+
+    def __post_init__(self) -> None:
+        if self.alloc_policy not in _POLICIES:
+            raise BadSuperblockError(f"unknown allocation policy {self.alloc_policy}")
+        if len(self.system_seed) != 32:
+            raise BadSuperblockError(
+                f"system seed must be 32 bytes, got {len(self.system_seed)}"
+            )
+
+    def layout(self) -> Layout:
+        """Region layout implied by this superblock."""
+        return Layout.compute(self.block_size, self.total_blocks, self.inode_count)
+
+    def to_bytes(self, block_size: int) -> bytes:
+        """Serialise into one padded block image."""
+        body = (
+            MAGIC
+            + pack_u16(_VERSION)
+            + pack_u32(self.block_size)
+            + pack_u64(self.total_blocks)
+            + pack_u32(self.inode_count)
+            + pack_u32(self.root_inode)
+            + pack_u16(self.alloc_policy)
+            + pack_u16(self.fragment_blocks)
+            + self.system_seed
+        )
+        if len(body) > block_size:
+            raise BadSuperblockError("superblock does not fit in one block")
+        return body.ljust(block_size, b"\x00")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Superblock":
+        """Parse a block image; raises :class:`BadSuperblockError` if foreign."""
+        if raw[: len(MAGIC)] != MAGIC:
+            raise BadSuperblockError("bad magic: not a repro file system")
+        reader = Reader(raw[len(MAGIC) :])
+        version = reader.u16()
+        if version != _VERSION:
+            raise BadSuperblockError(f"unsupported version {version}")
+        block_size = reader.u32()
+        total_blocks = reader.u64()
+        inode_count = reader.u32()
+        root_inode = reader.u32()
+        alloc_policy = reader.u16()
+        fragment_blocks = reader.u16()
+        system_seed = reader.take(32)
+        if block_size <= 0 or total_blocks <= 0 or len(raw) != block_size:
+            raise BadSuperblockError("inconsistent superblock geometry")
+        return cls(
+            block_size=block_size,
+            total_blocks=total_blocks,
+            inode_count=inode_count,
+            root_inode=root_inode,
+            alloc_policy=alloc_policy,
+            fragment_blocks=fragment_blocks,
+            system_seed=system_seed,
+        )

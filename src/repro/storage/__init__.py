@@ -1,0 +1,33 @@
+"""Storage substrate: block devices, allocation bitmap, disk timing model.
+
+The device layer is deliberately ignorant of files and keys — it is the
+"raw disk" the paper's adversary scours.  The disk model prices recorded
+block traces so performance experiments are deterministic and decoupled
+from functional correctness (see DESIGN.md §5).
+"""
+
+from repro.storage.allocator import (
+    ContiguousAllocator,
+    FragmentingAllocator,
+    RandomAllocator,
+)
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import BlockDevice, FileDevice, RamDevice, SparseDevice
+from repro.storage.disk_model import DiskModel, DiskParameters
+from repro.storage.trace import BlockOp, Trace, TraceRecordingDevice
+
+__all__ = [
+    "Bitmap",
+    "BlockDevice",
+    "BlockOp",
+    "ContiguousAllocator",
+    "DiskModel",
+    "DiskParameters",
+    "FileDevice",
+    "FragmentingAllocator",
+    "RamDevice",
+    "RandomAllocator",
+    "SparseDevice",
+    "Trace",
+    "TraceRecordingDevice",
+]

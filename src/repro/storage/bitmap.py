@@ -1,0 +1,143 @@
+"""The allocation bitmap of Figure 1.
+
+One bit per block: 0 = free, 1 = allocated.  The bitmap is the *only*
+publicly readable allocation state in StegFS — plain files, hidden files,
+dummy files and abandoned blocks all mark their blocks here and are
+indistinguishable in it.  That property is load-bearing for deniability, so
+the structure is deliberately dumb: it knows who owns nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NoSpaceError, OutOfRangeError, StorageError
+
+__all__ = ["Bitmap"]
+
+
+class Bitmap:
+    """Bit-per-block allocation map with numpy-backed bulk operations."""
+
+    def __init__(self, total_blocks: int) -> None:
+        if total_blocks <= 0:
+            raise ValueError(f"total_blocks must be positive, got {total_blocks}")
+        self._total = total_blocks
+        self._bits = np.zeros(total_blocks, dtype=bool)
+
+    @property
+    def total_blocks(self) -> int:
+        """Number of blocks tracked."""
+        return self._total
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of blocks currently marked allocated."""
+        return int(self._bits.sum())
+
+    @property
+    def free_count(self) -> int:
+        """Number of blocks currently free."""
+        return self._total - self.allocated_count
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._total:
+            raise OutOfRangeError(f"block {index} out of range [0, {self._total})")
+
+    def is_allocated(self, index: int) -> bool:
+        """Whether block ``index`` is marked allocated."""
+        self._check(index)
+        return bool(self._bits[index])
+
+    def allocate(self, index: int) -> None:
+        """Mark block ``index`` allocated; it must currently be free."""
+        self._check(index)
+        if self._bits[index]:
+            raise StorageError(f"block {index} is already allocated")
+        self._bits[index] = True
+
+    def free(self, index: int) -> None:
+        """Mark block ``index`` free; it must currently be allocated."""
+        self._check(index)
+        if not self._bits[index]:
+            raise StorageError(f"block {index} is already free")
+        self._bits[index] = False
+
+    def allocated_indices(self) -> np.ndarray:
+        """Sorted array of all allocated block indices."""
+        return np.flatnonzero(self._bits)
+
+    def free_indices(self) -> np.ndarray:
+        """Sorted array of all free block indices."""
+        return np.flatnonzero(~self._bits)
+
+    def find_free_run(self, length: int, start: int = 0) -> int:
+        """First index ``>= start`` beginning a run of ``length`` free blocks.
+
+        Used by the contiguous (CleanDisk) allocation policy.  Raises
+        :class:`NoSpaceError` when no such run exists.
+        """
+        if length <= 0:
+            raise ValueError(f"run length must be positive, got {length}")
+        if length > self._total:
+            raise NoSpaceError(
+                f"run of {length} blocks exceeds volume size {self._total}"
+            )
+        free = ~self._bits
+        free[:start] = False
+        if length == 1:
+            candidates = np.flatnonzero(free)
+            if candidates.size:
+                return int(candidates[0])
+            raise NoSpaceError(f"no free block at or after {start}")
+        # Run-length detection: positions where a free run of `length` starts.
+        window = np.lib.stride_tricks.sliding_window_view(free, length)
+        starts = np.flatnonzero(window.all(axis=1))
+        if starts.size:
+            return int(starts[0])
+        raise NoSpaceError(f"no free run of {length} blocks at or after {start}")
+
+    def snapshot(self) -> "Bitmap":
+        """Independent copy (what a snapshot-taking intruder records, §3.1)."""
+        twin = Bitmap(self._total)
+        twin._bits = self._bits.copy()
+        return twin
+
+    def diff(self, later: "Bitmap") -> tuple[np.ndarray, np.ndarray]:
+        """Blocks newly allocated / newly freed between self and ``later``.
+
+        This is exactly the attacker computation §3.1's dummy files exist to
+        confuse, so it lives on the public type.
+        """
+        if later.total_blocks != self._total:
+            raise StorageError("cannot diff bitmaps of different sizes")
+        newly_allocated = np.flatnonzero(~self._bits & later._bits)
+        newly_freed = np.flatnonzero(self._bits & ~later._bits)
+        return newly_allocated, newly_freed
+
+    def to_bytes(self) -> bytes:
+        """Serialise as packed bits (for persistence in the FS metadata area)."""
+        return np.packbits(self._bits).tobytes()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, total_blocks: int) -> "Bitmap":
+        """Parse the :meth:`to_bytes` format."""
+        needed = (total_blocks + 7) // 8
+        if len(raw) < needed:
+            raise StorageError(
+                f"bitmap blob of {len(raw)} bytes too short for {total_blocks} blocks"
+            )
+        bitmap = cls(total_blocks)
+        bits = np.unpackbits(np.frombuffer(raw[:needed], dtype=np.uint8))
+        bitmap._bits = bits[:total_blocks].astype(bool)
+        return bitmap
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bitmap)
+            and self._total == other._total
+            and bool(np.array_equal(self._bits, other._bits))
+        )
+
+    def __repr__(self) -> str:
+        return f"Bitmap({self.allocated_count}/{self._total} allocated)"

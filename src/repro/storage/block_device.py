@@ -1,0 +1,236 @@
+"""Block devices: the raw disk abstraction everything sits on.
+
+The paper's threat model gives the adversary "full access … to the content
+on the raw disks" (§1), so the device layer deliberately knows nothing about
+files, keys, or allocation state — it is an array of fixed-size blocks, and
+that is precisely what :mod:`repro.analysis` hands to the attacker.
+
+Two implementations: :class:`RamDevice` (bytearray-backed, used by tests and
+benchmarks) and :class:`FileDevice` (a real file on the host file system,
+used by the examples so a reproduction run leaves an inspectable image).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.errors import DeviceClosedError, OutOfRangeError
+
+__all__ = ["BlockDevice", "RamDevice", "FileDevice", "SparseDevice"]
+
+
+class BlockDevice(ABC):
+    """Fixed-geometry array of blocks addressed by integer index."""
+
+    def __init__(self, block_size: int, total_blocks: int) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if total_blocks <= 0:
+            raise ValueError(f"total_blocks must be positive, got {total_blocks}")
+        self._block_size = block_size
+        self._total_blocks = total_blocks
+        self._closed = False
+
+    @property
+    def block_size(self) -> int:
+        """Size of every block in bytes."""
+        return self._block_size
+
+    @property
+    def total_blocks(self) -> int:
+        """Number of blocks on the device."""
+        return self._total_blocks
+
+    @property
+    def capacity(self) -> int:
+        """Total device capacity in bytes."""
+        return self._block_size * self._total_blocks
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check(self, index: int) -> None:
+        if self._closed:
+            raise DeviceClosedError("device is closed")
+        if not 0 <= index < self._total_blocks:
+            raise OutOfRangeError(
+                f"block {index} out of range [0, {self._total_blocks})"
+            )
+
+    @abstractmethod
+    def read_block(self, index: int) -> bytes:
+        """Return the ``block_size`` bytes stored at ``index``."""
+
+    @abstractmethod
+    def write_block(self, index: int, data: bytes) -> None:
+        """Store exactly ``block_size`` bytes at ``index``."""
+
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        """Read several blocks in order."""
+        return [self.read_block(i) for i in indices]
+
+    def fill_random(self, rng: random.Random) -> None:
+        """Overwrite the whole device with pseudorandom bytes.
+
+        This is the mkfs step of §3.1: *"randomly generated patterns are
+        written into all the blocks so that used blocks do not stand out
+        from the free blocks."*
+        """
+        for index in range(self._total_blocks):
+            self.write_block(index, rng.randbytes(self._block_size))
+
+    def image(self) -> bytes:
+        """Raw image of the whole device (the attacker's view)."""
+        return b"".join(self.read_block(i) for i in range(self._total_blocks))
+
+    def close(self) -> None:
+        """Release resources; further I/O raises :class:`DeviceClosedError`."""
+        self._closed = True
+
+    def __enter__(self) -> "BlockDevice":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(block_size={self._block_size}, "
+            f"total_blocks={self._total_blocks})"
+        )
+
+
+class RamDevice(BlockDevice):
+    """Memory-backed device; zero-filled until written or ``fill_random``."""
+
+    def __init__(self, block_size: int, total_blocks: int) -> None:
+        super().__init__(block_size, total_blocks)
+        self._data = bytearray(block_size * total_blocks)
+
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        start = index * self._block_size
+        return bytes(self._data[start : start + self._block_size])
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) != self._block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
+            )
+        start = index * self._block_size
+        self._data[start : start + self._block_size] = data
+
+    def image(self) -> bytes:
+        if self._closed:
+            raise DeviceClosedError("device is closed")
+        return bytes(self._data)
+
+    def clone(self) -> "RamDevice":
+        """Independent copy — used to snapshot a disk for attack analysis."""
+        if self._closed:
+            raise DeviceClosedError("device is closed")
+        twin = RamDevice(self._block_size, self._total_blocks)
+        twin._data[:] = self._data
+        return twin
+
+
+class SparseDevice(BlockDevice):
+    """Dict-backed device whose unwritten blocks read as pseudorandom bytes.
+
+    Semantically identical to a :class:`RamDevice` that was ``fill_random``-ed
+    at creation, but with memory proportional to the blocks actually written.
+    This lets benchmarks run paper-scale volumes (1 GB at 1 KB blocks) without
+    materialising a gigabyte: the "random fill" of §3.1 is generated lazily
+    and deterministically from ``fill_seed``, so repeated reads of an
+    unwritten block agree and mkfs stays reproducible.
+    """
+
+    def __init__(self, block_size: int, total_blocks: int, fill_seed: int = 0) -> None:
+        super().__init__(block_size, total_blocks)
+        self._written: dict[int, bytes] = {}
+        self._fill_seed = fill_seed
+
+    @property
+    def written_block_count(self) -> int:
+        """Number of blocks that have been explicitly written."""
+        return len(self._written)
+
+    def _fill_pattern(self, index: int) -> bytes:
+        rng = random.Random((self._fill_seed << 40) ^ index)
+        return rng.randbytes(self._block_size)
+
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        data = self._written.get(index)
+        if data is None:
+            return self._fill_pattern(index)
+        return data
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) != self._block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
+            )
+        self._written[index] = bytes(data)
+
+    def fill_random(self, rng: random.Random) -> None:
+        """No-op by design: unwritten blocks already read as random fill."""
+
+    def clone(self) -> "SparseDevice":
+        """Independent copy (for snapshot-based attack analysis)."""
+        if self._closed:
+            raise DeviceClosedError("device is closed")
+        twin = SparseDevice(self._block_size, self._total_blocks, self._fill_seed)
+        twin._written = dict(self._written)
+        return twin
+
+
+class FileDevice(BlockDevice):
+    """Device backed by a file on the host file system."""
+
+    def __init__(self, path: str | os.PathLike, block_size: int, total_blocks: int) -> None:
+        super().__init__(block_size, total_blocks)
+        self._path = os.fspath(path)
+        exists = os.path.exists(self._path)
+        self._file = open(self._path, "r+b" if exists else "w+b")
+        self._file.seek(self.capacity - 1)
+        if not exists or os.path.getsize(self._path) < self.capacity:
+            self._file.write(b"\x00")
+        self._file.flush()
+
+    @property
+    def path(self) -> str:
+        """Backing file path."""
+        return self._path
+
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        self._file.seek(index * self._block_size)
+        return self._file.read(self._block_size)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) != self._block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
+            )
+        self._file.seek(index * self._block_size)
+        self._file.write(data)
+
+    def flush(self) -> None:
+        """Flush buffered writes to the backing file."""
+        if not self._closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+        super().close()

@@ -1,0 +1,130 @@
+"""Block-trace recording: the bridge between file systems and the disk model.
+
+Benchmarks run the *real* (reproduced) file systems against a real block
+device wrapped in :class:`TraceRecordingDevice`; the wrapper captures the
+exact sequence of block reads/writes per labelled stream.  The workload
+runner then replays those traces — interleaved across simulated users —
+through :class:`repro.storage.disk_model.DiskModel` to price them.  This
+separation keeps functional correctness and timing orthogonal: the traces
+are ground truth about behaviour, the model only prices them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.block_device import BlockDevice
+
+__all__ = ["BlockOp", "Trace", "TraceRecordingDevice"]
+
+
+@dataclass(frozen=True)
+class BlockOp:
+    """One block access: ``op`` is ``"r"`` or ``"w"``."""
+
+    op: str
+    block: int
+
+
+@dataclass
+class Trace:
+    """An ordered list of block operations attributed to one stream."""
+
+    label: str
+    ops: list[BlockOp] = field(default_factory=list)
+
+    def append(self, op: str, block: int) -> None:
+        """Record one operation."""
+        self.ops.append(BlockOp(op, block))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def reads(self) -> list[BlockOp]:
+        """Only the read operations."""
+        return [o for o in self.ops if o.op == "r"]
+
+    def writes(self) -> list[BlockOp]:
+        """Only the write operations."""
+        return [o for o in self.ops if o.op == "w"]
+
+    def touched_blocks(self) -> set[int]:
+        """Set of distinct block indices accessed."""
+        return {o.block for o in self.ops}
+
+
+class TraceRecordingDevice(BlockDevice):
+    """Pass-through device that records every access into labelled traces.
+
+    Set :attr:`stream` (or use :meth:`recording`) to attribute subsequent
+    operations; operations issued with no active stream go to the
+    ``"(unattributed)"`` trace so nothing is silently dropped.
+    """
+
+    UNATTRIBUTED = "(unattributed)"
+
+    def __init__(self, inner: BlockDevice) -> None:
+        super().__init__(inner.block_size, inner.total_blocks)
+        self._inner = inner
+        self._traces: dict[str, Trace] = {}
+        self.stream: str | None = None
+
+    @property
+    def inner(self) -> BlockDevice:
+        """The wrapped device."""
+        return self._inner
+
+    @property
+    def traces(self) -> dict[str, Trace]:
+        """All recorded traces, keyed by stream label."""
+        return self._traces
+
+    def trace(self, label: str) -> Trace:
+        """The trace for ``label`` (created empty if absent)."""
+        if label not in self._traces:
+            self._traces[label] = Trace(label)
+        return self._traces[label]
+
+    def recording(self, label: str) -> "_StreamContext":
+        """Context manager that attributes enclosed operations to ``label``."""
+        return _StreamContext(self, label)
+
+    def _record(self, op: str, block: int) -> None:
+        label = self.stream if self.stream is not None else self.UNATTRIBUTED
+        self.trace(label).append(op, block)
+
+    def read_block(self, index: int) -> bytes:
+        data = self._inner.read_block(index)
+        self._record("r", index)
+        return data
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._inner.write_block(index, data)
+        self._record("w", index)
+
+    def image(self) -> bytes:
+        # Image dumps are an analysis operation, not workload I/O: bypass
+        # recording so attacker snapshots do not pollute timing traces.
+        return self._inner.image()
+
+    def close(self) -> None:
+        self._inner.close()
+        super().close()
+
+
+class _StreamContext:
+    def __init__(self, device: TraceRecordingDevice, label: str) -> None:
+        self._device = device
+        self._label = label
+        self._previous: str | None = None
+
+    def __enter__(self) -> Trace:
+        self._previous = self._device.stream
+        self._device.stream = self._label
+        return self._device.trace(self._label)
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._device.stream = self._previous

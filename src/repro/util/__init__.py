@@ -1,0 +1,31 @@
+"""Shared utilities: binary codecs and validation helpers."""
+
+from repro.util.serialization import (
+    CodecError,
+    Reader,
+    iter_chunks,
+    pack_bytes,
+    pack_str,
+    pack_u16,
+    pack_u32,
+    pack_u64,
+    unpack_u16,
+    unpack_u32,
+    unpack_u64,
+    xor_bytes,
+)
+
+__all__ = [
+    "CodecError",
+    "Reader",
+    "iter_chunks",
+    "pack_bytes",
+    "pack_str",
+    "pack_u16",
+    "pack_u32",
+    "pack_u64",
+    "unpack_u16",
+    "unpack_u32",
+    "unpack_u64",
+    "xor_bytes",
+]

@@ -1,0 +1,5 @@
+"""POSIX-ish open/read/write/seek surface over plain + connected-hidden files."""
+
+from repro.vfs.vfs import HIDDEN_PREFIX, FileHandle, VFS
+
+__all__ = ["FileHandle", "HIDDEN_PREFIX", "VFS"]

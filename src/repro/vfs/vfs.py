@@ -1,0 +1,227 @@
+"""A POSIX-ish handle layer over the combined plain + hidden namespace.
+
+The paper's driver sits below the VFS, so applications use ordinary
+``open()/read()/write()/seek()`` calls on both plain files and *connected*
+hidden objects (§4: ``steg_connect`` "adds an entry to the current working
+directory to make the hidden object visible").  This module reproduces that
+surface in user space:
+
+* plain paths resolve as usual (``/docs/a.txt``);
+* connected hidden objects appear under the virtual mount ``/steg/<name>``
+  for exactly as long as the session keeps them connected;
+* handles support ``read / write / seek / tell / truncate / close`` and the
+  context-manager protocol.
+
+Hidden-file handles buffer the object and write back on flush/close —
+whole-object write-back matches the sealed-block store's natural grain and
+the semantics a fusepy prototype of this design would have.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.session import Session
+from repro.core.stegfs import StegFS
+from repro.errors import (
+    FileNotFoundError_,
+    InvalidPathError,
+    IsADirectoryError_,
+    NotConnectedError,
+)
+
+__all__ = ["VFS", "FileHandle", "HIDDEN_PREFIX"]
+
+HIDDEN_PREFIX = "/steg"
+
+_MODES = {"r", "r+", "w", "a"}
+
+
+class FileHandle:
+    """One open file: a seekable byte stream with deferred write-back."""
+
+    def __init__(self, flush_callback, initial: bytes, mode: str) -> None:
+        self._flush = flush_callback
+        self._mode = mode
+        self._closed = False
+        self._dirty = False
+        self._buffer = io.BytesIO(b"" if mode == "w" else initial)
+        if mode == "a":
+            self._buffer.seek(0, io.SEEK_END)
+        if mode == "w":
+            self._dirty = True
+
+    @property
+    def mode(self) -> str:
+        """The mode the handle was opened with."""
+        return self._mode
+
+    @property
+    def closed(self) -> bool:
+        """Whether the handle has been closed."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O operation on closed file")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self._mode == "r":
+            raise io.UnsupportedOperation("file not open for writing")
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to ``size`` bytes (all remaining by default)."""
+        self._check_open()
+        return self._buffer.read(size)
+
+    def write(self, data: bytes) -> int:
+        """Write ``data`` at the current position; returns bytes written."""
+        self._check_writable()
+        self._dirty = True
+        return self._buffer.write(data)
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        """Reposition; returns the new absolute position."""
+        self._check_open()
+        return self._buffer.seek(offset, whence)
+
+    def tell(self) -> int:
+        """Current position."""
+        self._check_open()
+        return self._buffer.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        """Truncate to ``size`` (default: current position)."""
+        self._check_writable()
+        self._dirty = True
+        return self._buffer.truncate(size)
+
+    def flush(self) -> None:
+        """Write buffered changes through to the backing object."""
+        self._check_open()
+        if self._dirty:
+            self._flush(self._buffer.getvalue())
+            self._dirty = False
+
+    def close(self) -> None:
+        """Flush (if writable) and invalidate the handle."""
+        if self._closed:
+            return
+        if self._mode != "r":
+            self.flush()
+        self._closed = True
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class VFS:
+    """Unified namespace over one StegFS volume and one user session."""
+
+    def __init__(self, steg: StegFS, session: Session | None = None) -> None:
+        self._steg = steg
+        self._session = session or steg.session
+
+    @property
+    def session(self) -> Session:
+        """The session whose connected objects are visible under /steg."""
+        return self._session
+
+    # ------------------------------------------------------------------
+    # namespace
+    # ------------------------------------------------------------------
+
+    def _split(self, path: str) -> tuple[bool, str]:
+        """(is_hidden, residual_path)."""
+        if not path.startswith("/"):
+            raise InvalidPathError(f"path must be absolute, got {path!r}")
+        if path == HIDDEN_PREFIX or path.startswith(HIDDEN_PREFIX + "/"):
+            return True, path[len(HIDDEN_PREFIX) :].lstrip("/")
+        return False, path
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` resolves (plain, or connected hidden)."""
+        hidden, rest = self._split(path)
+        if not hidden:
+            return self._steg.exists(rest)
+        return rest == "" or self._session.is_connected(rest)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Directory listing; ``/steg`` lists connected objects."""
+        hidden, rest = self._split(path)
+        if not hidden:
+            names = self._steg.listdir(rest if rest else "/")
+            if (rest in ("", "/")) and self._session.connected_names():
+                names = sorted(set(names) | {HIDDEN_PREFIX.strip("/")})
+            return names
+        if rest == "":
+            # Top-level connected objects only (children appear under them).
+            return sorted(
+                name for name in self._session.connected_names() if "/" not in name
+            )
+        return self._session.listdir(rest)
+
+    def open(self, path: str, mode: str = "r") -> FileHandle:
+        """Open a plain or connected-hidden file.
+
+        Modes: ``r`` (read), ``r+`` (read/write), ``w`` (truncate/create
+        for plain; truncate for hidden), ``a`` (append).
+        """
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {sorted(_MODES)}, got {mode!r}")
+        hidden, rest = self._split(path)
+        if hidden:
+            return self._open_hidden(rest, mode)
+        return self._open_plain(rest, mode)
+
+    def remove(self, path: str) -> None:
+        """Delete a plain file, or disconnect+delete a hidden one."""
+        hidden, rest = self._split(path)
+        if not hidden:
+            self._steg.unlink(rest)
+            return
+        entry = self._session.entry(rest)
+        self._session.disconnect(rest)
+        from repro.core.hidden_file import HiddenFile
+
+        HiddenFile.open(self._steg.volume, entry.keys()).delete()
+        self._steg.flush()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _open_plain(self, path: str, mode: str) -> FileHandle:
+        exists = self._steg.exists(path)
+        if not exists:
+            if mode in ("r", "r+"):
+                raise FileNotFoundError_(f"no such file: {path!r}")
+            self._steg.create(path)
+        elif self._steg.stat(path).is_dir:
+            raise IsADirectoryError_(f"{path!r} is a directory")
+        initial = b"" if mode == "w" else self._steg.read(path)
+
+        def flush(data: bytes) -> None:
+            self._steg.write(path, data)
+
+        return FileHandle(flush, initial, mode)
+
+    def _open_hidden(self, name: str, mode: str) -> FileHandle:
+        if not self._session.is_connected(name):
+            raise NotConnectedError(
+                f"{name!r} is not connected; call steg_connect first"
+            )
+        hidden = self._session.get(name)
+        if hidden.is_directory:
+            raise IsADirectoryError_(f"/steg/{name} is a hidden directory")
+        initial = b"" if mode == "w" else hidden.read()
+
+        def flush(data: bytes) -> None:
+            hidden.write(data)
+            self._steg.flush()
+
+        return FileHandle(flush, initial, mode)

@@ -1,0 +1,23 @@
+"""Workload generation (Table 3) and the interleaved replay harness."""
+
+from repro.workload.generator import FileJob, WorkloadSpec, generate_jobs
+from repro.workload.metrics import Summary, space_utilization, summarize
+from repro.workload.runner import (
+    FileAccessResult,
+    RunResult,
+    replay_interleaved,
+    replay_serial,
+)
+
+__all__ = [
+    "FileAccessResult",
+    "FileJob",
+    "RunResult",
+    "Summary",
+    "WorkloadSpec",
+    "generate_jobs",
+    "replay_interleaved",
+    "replay_serial",
+    "space_utilization",
+    "summarize",
+]

@@ -1,0 +1,100 @@
+"""Workload generation — Table 3 of the paper.
+
+=============================  =======================
+Parameter                      Default
+=============================  =======================
+Size of each disk block        1 KB
+Size of each file              (1, 2] MB uniform
+Capacity of the disk volume    1 GB
+Number of files                100
+File access pattern            Interleaved
+Number of concurrent users     1
+=============================  =======================
+
+Benchmarks may scale the volume/file sizes down by a common factor; the
+block-count ratios that drive every result are preserved and the scale is
+recorded in the bench output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["WorkloadSpec", "FileJob", "generate_jobs"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The Table 3 knobs."""
+
+    block_size: int = 1 * KB
+    file_size_min: int = 1 * MB + 1
+    file_size_max: int = 2 * MB
+    volume_bytes: int = 1024 * MB
+    n_files: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {self.block_size}")
+        if not 0 < self.file_size_min <= self.file_size_max:
+            raise ValueError(
+                f"need 0 < file_size_min <= file_size_max, got "
+                f"({self.file_size_min}, {self.file_size_max})"
+            )
+        if self.n_files < 1:
+            raise ValueError(f"n_files must be >= 1, got {self.n_files}")
+
+    @property
+    def total_blocks(self) -> int:
+        """Volume size in blocks."""
+        return self.volume_bytes // self.block_size
+
+    @classmethod
+    def paper_defaults(cls) -> "WorkloadSpec":
+        """Exactly Table 3."""
+        return cls()
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """Volume and file sizes scaled by ``factor``; block size unchanged.
+
+        Keeps files-per-volume and blocks-per-file ratios, so orderings and
+        crossovers are preserved while runtimes shrink.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return WorkloadSpec(
+            block_size=self.block_size,
+            file_size_min=max(1, int(self.file_size_min * factor)),
+            file_size_max=max(1, int(self.file_size_max * factor)),
+            volume_bytes=max(self.block_size * 64, int(self.volume_bytes * factor)),
+            n_files=self.n_files,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class FileJob:
+    """One file in the population: its identity, size and payload seed."""
+
+    file_id: str
+    size: int
+    payload_seed: int = field(repr=False, default=0)
+
+    def payload(self) -> bytes:
+        """Deterministic pseudorandom contents."""
+        return random.Random(self.payload_seed).randbytes(self.size)
+
+
+def generate_jobs(spec: WorkloadSpec) -> list[FileJob]:
+    """The file population: sizes uniform in (min, max], deterministic."""
+    rng = random.Random(spec.seed)
+    jobs = []
+    for index in range(spec.n_files):
+        size = rng.randint(spec.file_size_min, spec.file_size_max)
+        jobs.append(FileJob(file_id=f"file{index:04d}", size=size, payload_seed=rng.getrandbits(48)))
+    return jobs

@@ -1,0 +1,47 @@
+"""Metric helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Summary", "summarize", "space_utilization"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distributional summary of a set of access times."""
+
+    n: int
+    mean: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: list[float]) -> Summary:
+    """Summary statistics (empty input → all-zero summary)."""
+    if not values:
+        return Summary(n=0, mean=0.0, minimum=0.0, median=0.0, maximum=0.0)
+    ordered = sorted(values)
+    n = len(ordered)
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    )
+    return Summary(
+        n=n,
+        mean=sum(ordered) / n,
+        minimum=ordered[0],
+        median=median,
+        maximum=ordered[-1],
+    )
+
+
+def space_utilization(unique_data_bytes: int, volume_bytes: int) -> float:
+    """§5.2's effective space utilisation: unique payload ÷ volume capacity."""
+    if volume_bytes <= 0:
+        raise ValueError(f"volume_bytes must be positive, got {volume_bytes}")
+    if unique_data_bytes < 0:
+        raise ValueError(f"unique_data_bytes must be >= 0, got {unique_data_bytes}")
+    return unique_data_bytes / volume_bytes

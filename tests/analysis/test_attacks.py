@@ -1,0 +1,142 @@
+"""Adversary tooling: census, snapshot differencing, randomness scans —
+and the deniability properties they are supposed to demonstrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.attacker import census_unaccounted, detection_report
+from repro.analysis.entropy import bit_balance_z, byte_chi2, looks_uniform, scan_volume
+from repro.analysis.snapshot import SnapshotMonitor
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.storage.block_device import RamDevice
+
+
+def make_steg(**params_kwargs) -> StegFS:
+    defaults = dict(dummy_count=2, dummy_avg_size=4096, pool_max=4)
+    defaults.update(params_kwargs)
+    device = RamDevice(block_size=256, total_blocks=4096)
+    return StegFS.mkfs(
+        device,
+        params=StegFSParams(**defaults),
+        inode_count=64,
+        rng=random.Random(5),
+    )
+
+
+UAK = b"U" * 32
+
+
+class TestCensusAttack:
+    def test_census_precision_is_bounded_by_decoys(self):
+        steg = make_steg()
+        steg.steg_create("secret", UAK, data=b"s" * 2000)
+        hidden_blocks = set().union(*steg.hidden_footprint("secret", UAK).values())
+        flagged = census_unaccounted(steg.fs)
+        report = detection_report(flagged, hidden_blocks)
+        assert report.recall == 1.0  # census always finds hidden blocks...
+        assert report.precision < 0.5  # ...drowned among decoys
+        assert report.decoy_fraction > 0.5
+
+    def test_more_abandoned_blocks_lower_precision(self):
+        precisions = []
+        for fraction in (0.005, 0.05):
+            steg = make_steg(abandoned_fraction=fraction)
+            steg.steg_create("s", UAK, data=b"x" * 1000)
+            hidden = set().union(*steg.hidden_footprint("s", UAK).values())
+            report = detection_report(census_unaccounted(steg.fs), hidden)
+            precisions.append(report.precision)
+        assert precisions[1] < precisions[0]
+
+    def test_empty_report(self):
+        report = detection_report(set(), set())
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+
+
+class TestSnapshotAttack:
+    def test_plain_growth_is_not_suspicious(self):
+        steg = make_steg()
+        monitor = SnapshotMonitor()
+        monitor.observe(steg.fs)
+        steg.create("/public", b"p" * 3000)
+        monitor.observe(steg.fs)
+        deltas = monitor.deltas()
+        assert len(deltas) == 1
+        assert deltas[0].newly_allocated  # growth happened...
+        assert not deltas[0].suspicious  # ...fully explained by plain files
+
+    def test_hidden_write_is_flagged_without_dummy_cover(self):
+        steg = make_steg(dummy_count=0)
+        monitor = SnapshotMonitor()
+        monitor.observe(steg.fs)
+        steg.steg_create("secret", UAK, data=b"s" * 2000)
+        monitor.observe(steg.fs)
+        suspicious = monitor.cumulative_suspicious()
+        hidden = set().union(*steg.hidden_footprint("secret", UAK).values())
+        assert hidden & suspicious  # the intruder sees the allocation...
+
+    def test_dummy_churn_pollutes_the_suspicion_set(self):
+        """With dummies churning, suspicious blocks are not mostly user data."""
+        steg = make_steg(dummy_count=3, dummy_avg_size=2048)
+        monitor = SnapshotMonitor()
+        monitor.observe(steg.fs)
+        steg.steg_create("secret", UAK, data=b"s" * 1500)
+        steg.dummy_tick()
+        monitor.observe(steg.fs)
+        steg.dummy_tick()
+        monitor.observe(steg.fs)
+        suspicious = monitor.cumulative_suspicious()
+        hidden = set().union(*steg.hidden_footprint("secret", UAK).values())
+        report = detection_report(suspicious, hidden & suspicious)
+        assert report.flagged > 0
+        assert report.decoy_fraction > 0.2  # dummies + pools provide cover
+
+    def test_pool_blocks_are_indistinguishable_members(self):
+        """Even correctly-flagged files include no-data pool blocks."""
+        steg = make_steg(pool_min=2, pool_max=6)
+        steg.steg_create("secret", UAK, data=b"d" * 1000)
+        footprint = steg.hidden_footprint("secret", UAK)
+        assert footprint["pool"]  # the pool exists
+        flagged = census_unaccounted(steg.fs)
+        for block in footprint["pool"]:
+            assert block in flagged  # attacker cannot separate them
+
+
+class TestEntropy:
+    def test_random_data_passes(self, rng):
+        assert looks_uniform(rng.randbytes(4096))
+
+    def test_structured_data_fails(self):
+        assert not looks_uniform(b"\x00" * 4096)
+        assert not looks_uniform(b"ABCD" * 1024)
+
+    def test_statistics_behave(self, rng):
+        assert abs(bit_balance_z(rng.randbytes(8192))) < 6
+        assert byte_chi2(b"") == 0.0
+        assert byte_chi2(b"\xff" * 2048) > byte_chi2(rng.randbytes(2048))
+
+    def test_stegfs_volume_is_statistically_silent(self):
+        """Hidden data must not raise the flag rate above the baseline."""
+        steg = make_steg()
+        baseline = scan_volume(
+            steg.device, skip=set(steg.fs.layout.metadata_blocks())
+        )
+        steg.steg_create("secret", UAK, data=b"structured plaintext! " * 200)
+        after = scan_volume(
+            steg.device, skip=set(steg.fs.layout.metadata_blocks())
+        )
+        # 256-byte blocks only get the bit-balance test; allow tiny noise.
+        assert after.flag_rate <= baseline.flag_rate + 0.01
+
+    def test_plain_files_do_stand_out(self):
+        """Sanity check of the attacker's power: unencrypted plain content
+        is visible — the flag applies to content, not the attack."""
+        steg = make_steg()
+        steg.create("/plain", b"A" * 4000)
+        report = scan_volume(steg.device, skip=set(steg.fs.layout.metadata_blocks()))
+        plain_blocks = set(steg.fs.file_blocks("/plain"))
+        assert plain_blocks & set(report.flagged)

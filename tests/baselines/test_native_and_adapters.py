@@ -1,0 +1,100 @@
+"""Native-FS adapters (CleanDisk/FragDisk) and the StegFS store adapter."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.nativefs import clean_disk, frag_disk
+from repro.baselines.stegfs_adapter import StegFSStore
+from repro.core.params import StegFSParams
+from repro.errors import FileNotFoundError_, HiddenObjectNotFoundError
+from repro.storage.block_device import RamDevice
+
+
+def device(total_blocks=2048, block_size=256):
+    return RamDevice(block_size=block_size, total_blocks=total_blocks)
+
+
+class TestCleanDisk:
+    def test_roundtrip_and_name(self):
+        store = clean_disk(device(), inode_count=64)
+        assert store.name == "CleanDisk"
+        store.store("f1", b"contiguous data" * 30)
+        assert store.fetch("f1") == b"contiguous data" * 30
+
+    def test_files_are_contiguous(self):
+        store = clean_disk(device(), inode_count=64)
+        store.store("f1", b"x" * 2000)
+        blocks = store.file_blocks("f1")
+        assert blocks == list(range(blocks[0], blocks[0] + len(blocks)))
+
+    def test_rewrite(self):
+        store = clean_disk(device(), inode_count=64)
+        store.store("f", b"v1")
+        store.store("f", b"v2 is longer than before")
+        assert store.fetch("f") == b"v2 is longer than before"
+
+    def test_delete(self):
+        store = clean_disk(device(), inode_count=64)
+        store.store("f", b"gone soon")
+        store.delete("f")
+        with pytest.raises(FileNotFoundError_):
+            store.fetch("f")
+
+
+class TestFragDisk:
+    def test_roundtrip_and_name(self):
+        store = frag_disk(device(4096), inode_count=64, rng=random.Random(1))
+        assert store.name == "FragDisk"
+        store.store("f1", b"fragmented data" * 40)
+        assert store.fetch("f1") == b"fragmented data" * 40
+
+    def test_files_are_fragmented(self):
+        store = frag_disk(device(4096), inode_count=64, rng=random.Random(1))
+        store.store("f1", b"y" * (256 * 24))
+        blocks = store.file_blocks("f1")
+        fragments = [blocks[i : i + 8] for i in range(0, len(blocks), 8)]
+        for fragment in fragments:
+            assert fragment == list(range(fragment[0], fragment[0] + len(fragment)))
+        starts = [fragment[0] for fragment in fragments]
+        assert any(b - a != 8 for a, b in zip(starts, starts[1:]))
+
+
+class TestStegFSStore:
+    def make(self):
+        return StegFSStore(
+            device(4096),
+            params=StegFSParams.for_tests(),
+            inode_count=64,
+            rng=random.Random(4),
+        )
+
+    def test_roundtrip_and_name(self):
+        store = self.make()
+        assert store.name == "StegFS"
+        store.store("h", b"hidden via adapter")
+        assert store.fetch("h") == b"hidden via adapter"
+
+    def test_rewrite(self):
+        store = self.make()
+        store.store("h", b"v1")
+        store.store("h", b"v2" * 100)
+        assert store.fetch("h") == b"v2" * 100
+
+    def test_delete(self):
+        store = self.make()
+        store.store("h", b"temp")
+        store.delete("h")
+        with pytest.raises(HiddenObjectNotFoundError):
+            store.fetch("h")
+
+    def test_fetch_unknown(self):
+        with pytest.raises(HiddenObjectNotFoundError):
+            self.make().fetch("ghost")
+
+    def test_files_invisible_to_plain_layer(self):
+        store = self.make()
+        store.store("h", b"invisible")
+        assert store.stegfs.listdir("/") == []

@@ -1,0 +1,156 @@
+"""StegCover: XOR-of-covers correctness and the GF(2) sibling isolation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.stegcover import (
+    StegCoverStore,
+    _independent,
+    _solve_update_vector,
+    _xor_basis,
+)
+from repro.errors import CoverConfigError, FileNotFoundError_, NoSpaceError
+from repro.storage.block_device import RamDevice
+
+
+def make_store(n_covers=8, cover_blocks=4, total_blocks=512, block_size=64):
+    device = RamDevice(block_size=block_size, total_blocks=total_blocks)
+    return StegCoverStore(
+        device,
+        cover_size=cover_blocks * block_size,
+        n_covers=n_covers,
+        rng=random.Random(3),
+    )
+
+
+class TestGF2Helpers:
+    def test_basis_detects_dependence(self):
+        rows = [0b1100, 0b0011]
+        assert _independent(0b1000, rows)
+        assert not _independent(0b1111, rows)  # xor of the two rows
+        assert not _independent(0b1100, rows)
+
+    def test_empty_row_is_dependent(self):
+        assert not _independent(0, [0b1])
+
+    def test_basis_size(self):
+        basis = _xor_basis([0b110, 0b011, 0b101])  # third = xor of first two
+        assert len(basis) == 2
+
+    def test_solve_update_vector_properties(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            n = rng.randrange(2, 12)
+            rows: list[int] = []
+            while len(rows) < rng.randrange(1, n + 1):
+                candidate = rng.getrandbits(n)
+                if candidate and _independent(candidate, rows):
+                    rows.append(candidate)
+            target = rng.randrange(len(rows))
+            v = _solve_update_vector(rows, target, n)
+            for m, row in enumerate(rows):
+                parity = bin(v & row).count("1") & 1
+                assert parity == (1 if m == target else 0)
+
+
+class TestStoreFetch:
+    def test_roundtrip(self):
+        store = make_store()
+        store.store("a", b"alpha contents")
+        assert store.fetch("a") == b"alpha contents"
+
+    def test_multiple_files_in_one_set_are_isolated(self):
+        store = make_store()
+        payloads = {f"f{i}": bytes([i]) * (20 + i) for i in range(8)}
+        for name, data in payloads.items():
+            store.store(name, data)
+        assert store.sets_created == 1  # all 8 fit one 8-cover set
+        for name, data in payloads.items():
+            assert store.fetch(name) == data
+
+    def test_rewrite_does_not_disturb_siblings(self):
+        store = make_store()
+        store.store("a", b"original A")
+        store.store("b", b"original B")
+        store.store("a", b"rewritten A, longer this time")
+        assert store.fetch("a") == b"rewritten A, longer this time"
+        assert store.fetch("b") == b"original B"
+
+    def test_interleaved_rewrites(self, rng):
+        store = make_store()
+        model = {}
+        names = ["x", "y", "z", "w"]
+        for _ in range(30):
+            name = rng.choice(names)
+            data = rng.randbytes(rng.randrange(0, 200))
+            store.store(name, data)
+            model[name] = data
+        for name, data in model.items():
+            assert store.fetch(name) == data
+
+    def test_overflow_to_second_set(self):
+        store = make_store(n_covers=4, cover_blocks=2, total_blocks=512)
+        for i in range(6):
+            store.store(f"f{i}", bytes([i]) * 10)
+        assert store.sets_created == 2
+        for i in range(6):
+            assert store.fetch(f"f{i}") == bytes([i]) * 10
+
+    def test_file_too_large(self):
+        store = make_store(cover_blocks=2, block_size=64)
+        with pytest.raises(NoSpaceError):
+            store.store("big", b"x" * 200)
+
+    def test_volume_exhaustion(self):
+        store = make_store(n_covers=4, cover_blocks=4, total_blocks=16)
+        store.store("one", b"fits")  # set of 16 blocks
+        store.store("two", b"also")
+        store.store("three", b"shares the set")
+        store.store("four", b"fills it")
+        with pytest.raises(NoSpaceError):
+            store.store("five", b"needs a new set that cannot fit")
+
+    def test_fetch_missing(self):
+        with pytest.raises(FileNotFoundError_):
+            make_store().fetch("ghost")
+
+    def test_delete_frees_slot(self):
+        store = make_store(n_covers=2, cover_blocks=2)
+        store.store("a", b"1")
+        store.store("b", b"2")
+        store.delete("a")
+        store.store("c", b"3")  # reuses a's slot in the same set
+        assert store.sets_created == 1
+        assert store.fetch("c") == b"3"
+        with pytest.raises(FileNotFoundError_):
+            store.fetch("a")
+
+    def test_empty_file(self):
+        store = make_store()
+        store.store("empty", b"")
+        assert store.fetch("empty") == b""
+
+    def test_bad_config_rejected(self):
+        device = RamDevice(block_size=64, total_blocks=64)
+        with pytest.raises(CoverConfigError):
+            StegCoverStore(device, cover_size=64, n_covers=1)
+        with pytest.raises(CoverConfigError):
+            StegCoverStore(device, cover_size=0)
+
+
+class TestIOAmplification:
+    def test_read_touches_about_half_the_covers_per_block(self):
+        """The §5.3 cost driver: each logical block read = |subset| reads."""
+        from repro.storage.trace import TraceRecordingDevice
+
+        inner = RamDevice(block_size=64, total_blocks=2048)
+        device = TraceRecordingDevice(inner)
+        store = StegCoverStore(device, cover_size=4 * 64, n_covers=16, rng=random.Random(1))
+        store.store("f", b"p" * 150)
+        with device.recording("read"):
+            store.fetch("f")
+        reads_per_block = len(device.trace("read").reads()) / 4  # 4 cover blocks
+        assert reads_per_block >= 4  # ~K/2 = 8 expected, allow sparse subsets

@@ -1,0 +1,135 @@
+"""StegRand: key-only addressing, replica hunting, and data loss."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.stegrand import StegRandStore
+from repro.errors import DataLossError, FileNotFoundError_
+from repro.storage.block_device import RamDevice
+from repro.storage.trace import TraceRecordingDevice
+
+
+def make_store(replication=4, total_blocks=4096, block_size=64, tag_mode="hmac"):
+    device = RamDevice(block_size=block_size, total_blocks=total_blocks)
+    store = StegRandStore(
+        device, replication=replication, rng=random.Random(1), tag_mode=tag_mode
+    )
+    return store, device
+
+
+class TestBasics:
+    def test_roundtrip(self):
+        store, _ = make_store()
+        store.store("f", b"random-placement contents")
+        assert store.fetch("f") == b"random-placement contents"
+
+    def test_multi_block_roundtrip(self):
+        store, _ = make_store()
+        data = random.Random(2).randbytes(500)  # ~11 blocks at 48-byte payload
+        store.store("f", data)
+        assert store.fetch("f") == data
+
+    def test_empty_file(self):
+        store, _ = make_store()
+        store.store("f", b"")
+        assert store.fetch("f") == b""
+
+    def test_crc_mode_roundtrip(self):
+        store, _ = make_store(tag_mode="crc")
+        store.store("f", b"crc-tagged data" * 10)
+        assert store.fetch("f") == b"crc-tagged data" * 10
+
+    def test_fetch_unknown(self):
+        store, _ = make_store()
+        with pytest.raises(FileNotFoundError_):
+            store.fetch("ghost")
+
+    def test_delete_forgets_key(self):
+        store, _ = make_store()
+        store.store("f", b"data")
+        store.delete("f")
+        with pytest.raises(FileNotFoundError_):
+            store.fetch("f")
+
+    def test_bad_parameters(self):
+        device = RamDevice(block_size=64, total_blocks=64)
+        with pytest.raises(ValueError):
+            StegRandStore(device, replication=0)
+        with pytest.raises(ValueError):
+            StegRandStore(device, tag_mode="md5")
+
+    def test_addresses_deterministic_from_key(self):
+        store, _ = make_store()
+        key = b"k" * 32
+        assert store.addresses(key, 5) == store.addresses(key, 5)
+
+    def test_addresses_within_volume(self):
+        store, _ = make_store(total_blocks=100)
+        for replicas in store.addresses(b"key" * 11, 50):
+            assert all(0 <= addr < 100 for addr in replicas)
+
+
+class TestReplicaHunting:
+    def test_survives_primary_corruption(self):
+        store, device = make_store(replication=4)
+        store.store("f", b"resilient data")
+        key = store._keys["f"]
+        primary = store.addresses(key, 1)[0][0]
+        device.write_block(primary, b"\xde" * 64)  # clobber the primary
+        assert store.fetch("f") == b"resilient data"
+
+    def test_reads_hunt_only_when_needed(self):
+        inner = RamDevice(block_size=64, total_blocks=4096)
+        device = TraceRecordingDevice(inner)
+        store = StegRandStore(device, replication=4, rng=random.Random(1))
+        store.store("f", b"x" * 96)  # 3 blocks framed
+        with device.recording("clean"):
+            store.fetch("f")
+        clean_reads = len(device.trace("clean").reads())
+        key = store._keys["f"]
+        device.inner.write_block(store.addresses(key, 1)[0][0], b"\xad" * 64)
+        with device.recording("hunt"):
+            store.fetch("f")
+        hunt_reads = len(device.trace("hunt").reads())
+        assert hunt_reads == clean_reads + 1  # one extra probe for the hunt
+
+    def test_data_loss_when_all_replicas_die(self):
+        store, device = make_store(replication=2)
+        store.store("f", b"doomed")
+        key = store._keys["f"]
+        for address in store.addresses(key, 1)[0]:
+            device.write_block(address, b"\x00" * 64)
+        with pytest.raises(DataLossError):
+            store.fetch("f")
+        assert not store.is_intact("f")
+
+    def test_writes_update_all_replicas(self):
+        inner = RamDevice(block_size=64, total_blocks=4096)
+        device = TraceRecordingDevice(inner)
+        store = StegRandStore(device, replication=4, rng=random.Random(1))
+        with device.recording("write"):
+            store.store("f", b"y" * 40)  # single framed block
+        assert len(device.trace("write").writes()) == 4
+
+
+class TestMutualOverwrites:
+    def test_dense_volume_loses_files(self):
+        """Load far beyond the safe level: some earlier file must corrupt —
+        the Figure 6 phenomenon."""
+        store, _ = make_store(replication=2, total_blocks=256)
+        names = []
+        for i in range(40):  # 40 files × ~3 blocks × 2 replicas ≈ volume size
+            name = f"f{i}"
+            store.store(name, bytes([i]) * 100)
+            names.append(name)
+        intact = sum(store.is_intact(name) for name in names)
+        assert intact < len(names)
+
+    def test_sparse_volume_keeps_everything(self):
+        store, _ = make_store(replication=4, total_blocks=8192)
+        for i in range(5):
+            store.store(f"f{i}", bytes([i]) * 100)
+        assert all(store.is_intact(f"f{i}") for i in range(5))

@@ -1,0 +1,49 @@
+"""Fixtures for the steganographic-layer tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.core.volume import HiddenVolume
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import RamDevice
+
+
+@pytest.fixture
+def volume() -> HiddenVolume:
+    """Bare hidden volume (no plain FS) for low-level object tests."""
+    device = RamDevice(block_size=256, total_blocks=1024)
+    device.fill_random(random.Random(9))
+    bitmap = Bitmap(1024)
+    return HiddenVolume(
+        device=device,
+        bitmap=bitmap,
+        params=StegFSParams.for_tests(),
+        rng=random.Random(1),
+    )
+
+
+@pytest.fixture
+def steg() -> StegFS:
+    """A small mounted StegFS for facade-level tests."""
+    device = RamDevice(block_size=256, total_blocks=4096)
+    return StegFS.mkfs(
+        device,
+        params=StegFSParams.for_tests(),
+        inode_count=64,
+        rng=random.Random(5),
+    )
+
+
+@pytest.fixture
+def uak() -> bytes:
+    return b"U" * 32
+
+
+@pytest.fixture
+def other_uak() -> bytes:
+    return b"V" * 32

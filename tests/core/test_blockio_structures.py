@@ -1,0 +1,154 @@
+"""Sealed blocks, hidden headers, and the chained inode table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import blockio, hidden_inode
+from repro.core.header import NULL_BLOCK, OBJ_DIRECTORY, OBJ_FILE, HiddenHeader
+from repro.crypto.modes import random_looking
+from repro.errors import SignatureMismatchError, StegFSError
+from repro.storage.block_device import RamDevice
+
+KEY = b"K" * 32
+SIG = b"s" * 32
+
+
+class TestBlockIO:
+    def test_capacity(self):
+        assert blockio.capacity(256) == 256 - blockio.NONCE_SIZE
+        with pytest.raises(StegFSError):
+            blockio.capacity(blockio.NONCE_SIZE)
+
+    def test_seal_unseal_roundtrip(self, rng):
+        sealed = blockio.seal(KEY, b"payload", 256, rng)
+        assert len(sealed) == 256
+        assert blockio.unseal(KEY, sealed)[:7] == b"payload"
+
+    def test_fresh_nonce_per_seal(self, rng):
+        a = blockio.seal(KEY, b"same", 256, rng)
+        b = blockio.seal(KEY, b"same", 256, rng)
+        assert a != b  # rewrites are unlinkable across snapshots
+
+    def test_payload_too_large(self, rng):
+        with pytest.raises(StegFSError):
+            blockio.seal(KEY, b"x" * 249, 256, rng)
+
+    def test_wrong_key_gives_garbage(self, rng):
+        sealed = blockio.seal(KEY, b"secret-contents!", 256, rng)
+        assert blockio.unseal(b"W" * 32, sealed)[:16] != b"secret-contents!"
+
+    def test_sealed_block_looks_random(self, rng):
+        # Aggregate across many sealed blocks for statistical power.
+        sealed = b"".join(blockio.seal(KEY, b"\x00" * 248, 256, rng) for _ in range(64))
+        assert random_looking(sealed)
+
+    def test_unseal_prefix_matches_full(self, rng):
+        sealed = blockio.seal(KEY, b"ABCDEFGH-rest-of-payload", 256, rng)
+        assert blockio.unseal_prefix(KEY, sealed, 8) == blockio.unseal(KEY, sealed)[:8]
+
+    def test_tiny_image_rejected(self):
+        with pytest.raises(StegFSError):
+            blockio.unseal(KEY, b"tiny")
+
+
+class TestHiddenHeader:
+    def make(self, **kwargs) -> HiddenHeader:
+        defaults = dict(signature=SIG, object_type=OBJ_FILE, size=1234,
+                        inode_root=77, pool=[5, 9, 13])
+        defaults.update(kwargs)
+        return HiddenHeader(**defaults)
+
+    def test_roundtrip(self):
+        header = self.make()
+        parsed = HiddenHeader.from_bytes(header.to_bytes(), SIG)
+        assert parsed == header
+
+    def test_empty_file_header(self):
+        header = self.make(size=0, inode_root=NULL_BLOCK, pool=[])
+        parsed = HiddenHeader.from_bytes(header.to_bytes(), SIG)
+        assert parsed.size == 0
+        assert parsed.inode_root == NULL_BLOCK
+
+    def test_signature_mismatch(self):
+        header = self.make()
+        with pytest.raises(SignatureMismatchError):
+            HiddenHeader.from_bytes(header.to_bytes(), b"x" * 32)
+
+    def test_truncated_body_rejected(self):
+        header = self.make()
+        with pytest.raises(StegFSError):
+            HiddenHeader.from_bytes(header.to_bytes()[:40], SIG)
+
+    def test_bad_signature_size_rejected(self):
+        with pytest.raises(StegFSError):
+            HiddenHeader(signature=b"short", object_type=OBJ_FILE)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(StegFSError):
+            HiddenHeader(signature=SIG, object_type=9)
+
+    def test_directory_flag(self):
+        assert self.make(object_type=OBJ_DIRECTORY).is_directory
+        assert not self.make().is_directory
+
+    def test_required_bytes_tracks_pool(self):
+        small = self.make(pool=[])
+        big = self.make(pool=list(range(20)))
+        assert big.required_bytes() == small.required_bytes() + 80
+
+
+class TestInodeChain:
+    def setup_method(self):
+        self.device = RamDevice(block_size=256, total_blocks=128)
+        self.rng = random.Random(3)
+
+    def test_pointer_capacity(self):
+        per = hidden_inode.pointers_per_block(256)
+        assert per == (256 - blockio.NONCE_SIZE - 6) // 4
+
+    def test_needed_blocks(self):
+        per = hidden_inode.pointers_per_block(256)
+        assert hidden_inode.chain_blocks_needed(0, 256) == 0
+        assert hidden_inode.chain_blocks_needed(1, 256) == 1
+        assert hidden_inode.chain_blocks_needed(per, 256) == 1
+        assert hidden_inode.chain_blocks_needed(per + 1, 256) == 2
+
+    def test_write_read_roundtrip_single_block(self):
+        data_blocks = [7, 3, 99, 12]
+        root = hidden_inode.write_chain(self.device, KEY, [50], data_blocks, self.rng)
+        assert root == 50
+        read_data, read_chain = hidden_inode.read_chain(self.device, KEY, root)
+        assert read_data == data_blocks
+        assert read_chain == [50]
+
+    def test_write_read_roundtrip_multi_block(self):
+        per = hidden_inode.pointers_per_block(256)
+        data_blocks = list(range(per * 2 + 5))
+        chain = [100, 101, 102]
+        root = hidden_inode.write_chain(self.device, KEY, chain, data_blocks, self.rng)
+        read_data, read_chain = hidden_inode.read_chain(self.device, KEY, root)
+        assert read_data == data_blocks
+        assert read_chain == chain
+
+    def test_empty_chain(self):
+        root = hidden_inode.write_chain(self.device, KEY, [], [], self.rng)
+        assert root == NULL_BLOCK
+        assert hidden_inode.read_chain(self.device, KEY, NULL_BLOCK) == ([], [])
+
+    def test_wrong_chain_length_rejected(self):
+        with pytest.raises(StegFSError):
+            hidden_inode.write_chain(self.device, KEY, [1, 2], [3], self.rng)
+
+    def test_cycle_detection(self):
+        per = hidden_inode.pointers_per_block(256)
+        data_blocks = list(range(per + 1))
+        hidden_inode.write_chain(self.device, KEY, [10, 11], data_blocks, self.rng)
+        # Manually corrupt: make block 11 point back to 10.
+        payload = blockio.unseal(KEY, self.device.read_block(11))
+        forged = (10).to_bytes(4, "little") + payload[4:]
+        self.device.write_block(11, blockio.seal(KEY, forged[: 256 - 8], 256, self.rng))
+        with pytest.raises(StegFSError, match="cycle"):
+            hidden_inode.read_chain(self.device, KEY, 10)

@@ -1,0 +1,103 @@
+"""Dummy hidden files (§3.1) and the sharing workflow (§3.2 / Figure 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dummy import DummyManager
+from repro.core.hidden_dir import HiddenDirEntry
+from repro.core.header import OBJ_FILE
+from repro.core.sharing import export_entry, import_entry
+from repro.crypto.rsa import generate_keypair
+from repro.errors import SharingError
+
+
+def make_entry() -> HiddenDirEntry:
+    return HiddenDirEntry(
+        name="budget.xls",
+        physical_name="alice:budget.xls",
+        fak=b"F" * 32,
+        object_type=OBJ_FILE,
+    )
+
+
+class TestDummyManager:
+    def test_create_all_makes_params_count(self, volume):
+        manager = DummyManager(volume, b"S" * 32)
+        created = manager.create_all()
+        assert created == volume.params.dummy_count
+        assert manager.live_indices() == list(range(created))
+
+    def test_dummies_occupy_bitmap_blocks(self, volume):
+        before = volume.bitmap.allocated_count
+        DummyManager(volume, b"S" * 32).create_all()
+        assert volume.bitmap.allocated_count > before
+
+    def test_tick_changes_a_dummy(self, volume):
+        manager = DummyManager(volume, b"S" * 32)
+        manager.create_all()
+        index = manager.tick()
+        assert index in range(volume.params.dummy_count)
+
+    def test_tick_changes_allocation_pattern_eventually(self, volume):
+        """Churn must move blocks, else the snapshot defence is vacuous."""
+        manager = DummyManager(volume, b"S" * 32)
+        manager.create_all()
+        snapshot = volume.bitmap.snapshot()
+        for _ in range(6):
+            manager.tick()
+        newly_allocated, newly_freed = snapshot.diff(volume.bitmap)
+        assert len(newly_allocated) + len(newly_freed) > 0
+
+    def test_tick_with_no_dummies(self, volume):
+        manager = DummyManager(
+            volume.__class__(
+                device=volume.device,
+                bitmap=volume.bitmap,
+                params=volume.params,
+                rng=volume.rng,
+            ),
+            b"T" * 32,
+        )
+        assert manager.tick() is None
+
+    def test_different_seeds_give_disjoint_dummies(self, volume):
+        a = DummyManager(volume, b"A" * 32)
+        a.create_all()
+        b = DummyManager(volume, b"B" * 32)
+        assert b.live_indices() == []
+
+
+class TestSharing:
+    def test_export_import_roundtrip(self, rsa_keypair, rng):
+        blob = export_entry(make_entry(), rsa_keypair.public, rng)
+        entry = import_entry(blob, rsa_keypair.private)
+        assert entry == make_entry()
+
+    def test_blob_is_fresh_per_export(self, rsa_keypair):
+        a = export_entry(make_entry(), rsa_keypair.public, random.Random(1))
+        b = export_entry(make_entry(), rsa_keypair.public, random.Random(2))
+        assert a != b
+
+    def test_wrong_private_key_rejected(self, rsa_keypair, rng):
+        other = generate_keypair(bits=768, rng=random.Random(123))
+        blob = export_entry(make_entry(), rsa_keypair.public, rng)
+        with pytest.raises(SharingError):
+            import_entry(blob, other.private)
+
+    def test_tampered_body_rejected(self, rsa_keypair, rng):
+        blob = bytearray(export_entry(make_entry(), rsa_keypair.public, rng))
+        blob[-40] ^= 0x01  # flip a bit inside the encrypted body
+        with pytest.raises(SharingError):
+            import_entry(bytes(blob), rsa_keypair.private)
+
+    def test_truncated_blob_rejected(self, rsa_keypair, rng):
+        blob = export_entry(make_entry(), rsa_keypair.public, rng)
+        with pytest.raises(SharingError):
+            import_entry(blob[:20], rsa_keypair.private)
+
+    def test_garbage_blob_rejected(self, rsa_keypair):
+        with pytest.raises(SharingError):
+            import_entry(b"\x00" * 200, rsa_keypair.private)

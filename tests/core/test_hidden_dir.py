@@ -1,0 +1,99 @@
+"""Per-UAK directories and nested hidden directories (§3.2, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.header import OBJ_DIRECTORY, OBJ_FILE
+from repro.core.hidden_dir import (
+    HiddenDirEntry,
+    HiddenDirectory,
+    parse_entries,
+    serialize_entries,
+)
+from repro.core.keys import ObjectKeys
+from repro.errors import HiddenObjectNotFoundError, StegFSError
+
+
+def entry(name="budget", pname=None, fak=None, objtype=OBJ_FILE) -> HiddenDirEntry:
+    return HiddenDirEntry(
+        name=name,
+        physical_name=pname or f"alice:{name}",
+        fak=fak or b"F" * 32,
+        object_type=objtype,
+    )
+
+
+class TestEntrySerialization:
+    def test_roundtrip(self):
+        entries = {
+            "a": entry("a"),
+            "d": entry("d", objtype=OBJ_DIRECTORY),
+            "üñï": entry("üñï", fak=b"G" * 32),
+        }
+        assert parse_entries(serialize_entries(entries)) == entries
+
+    def test_empty_roundtrip(self):
+        assert parse_entries(serialize_entries({})) == {}
+        assert parse_entries(b"") == {}
+
+    def test_validation(self):
+        with pytest.raises(StegFSError):
+            entry(fak=b"short")
+        with pytest.raises(StegFSError):
+            HiddenDirEntry(name="", physical_name="p", fak=b"F" * 32, object_type=OBJ_FILE)
+        with pytest.raises(StegFSError):
+            HiddenDirEntry(name="n", physical_name="p", fak=b"F" * 32, object_type=7)
+
+    def test_keys_derivation_uses_physical_name(self):
+        a = entry("x", pname="alice:x").keys()
+        b = entry("x", pname="bob:x").keys()
+        assert a.locator_seed != b.locator_seed
+
+
+class TestHiddenDirectory:
+    def test_for_uak_creates_on_first_use(self, volume, uak):
+        directory = HiddenDirectory.for_uak(volume, uak)
+        assert directory.names() == []
+
+    def test_persists_across_reopen(self, volume, uak):
+        directory = HiddenDirectory.for_uak(volume, uak)
+        directory.add(entry("budget"))
+        directory.add(entry("plans", objtype=OBJ_DIRECTORY))
+        reopened = HiddenDirectory.for_uak(volume, uak)
+        assert reopened.names() == ["budget", "plans"]
+        assert reopened.get("plans").is_directory
+
+    def test_two_uaks_have_disjoint_directories(self, volume, uak, other_uak):
+        HiddenDirectory.for_uak(volume, uak).add(entry("mine"))
+        assert HiddenDirectory.for_uak(volume, other_uak).names() == []
+
+    def test_duplicate_add_rejected(self, volume, uak):
+        directory = HiddenDirectory.for_uak(volume, uak)
+        directory.add(entry("x"))
+        with pytest.raises(StegFSError):
+            directory.add(entry("x"))
+
+    def test_remove(self, volume, uak):
+        directory = HiddenDirectory.for_uak(volume, uak)
+        directory.add(entry("gone"))
+        removed = directory.remove("gone")
+        assert removed.name == "gone"
+        assert HiddenDirectory.for_uak(volume, uak).names() == []
+        with pytest.raises(HiddenObjectNotFoundError):
+            directory.remove("gone")
+
+    def test_replace(self, volume, uak):
+        directory = HiddenDirectory.for_uak(volume, uak)
+        directory.add(entry("f", fak=b"1" * 32))
+        directory.replace(entry("f", fak=b"2" * 32))
+        assert HiddenDirectory.for_uak(volume, uak).get("f").fak == b"2" * 32
+
+    def test_replace_missing_rejected(self, volume, uak):
+        with pytest.raises(HiddenObjectNotFoundError):
+            HiddenDirectory.for_uak(volume, uak).replace(entry("nope"))
+
+    def test_open_missing_raises(self, volume):
+        keys = ObjectKeys.derive("ghost:dir", b"Z" * 32)
+        with pytest.raises(HiddenObjectNotFoundError):
+            HiddenDirectory.open(volume, keys)

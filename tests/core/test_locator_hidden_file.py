@@ -1,0 +1,262 @@
+"""Header placement/lookup and hidden-file object behaviour (§3.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import blockio, locator
+from repro.core.header import OBJ_DIRECTORY
+from repro.core.hidden_file import HiddenFile
+from repro.core.keys import ObjectKeys
+from repro.core.params import StegFSParams
+from repro.core.volume import HiddenVolume
+from repro.crypto.prng import BlockNumberGenerator
+from repro.errors import (
+    HiddenObjectExistsError,
+    HiddenObjectNotFoundError,
+    NoSpaceError,
+)
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import RamDevice
+
+KEYS = ObjectKeys.derive("alice:budget.xls", b"F" * 32)
+
+
+class TestLocator:
+    def test_header_goes_to_first_free_candidate(self, volume):
+        expected = next(BlockNumberGenerator(KEYS.locator_seed, 1024))
+        chosen = locator.choose_header_block(volume.bitmap, KEYS, 100)
+        assert chosen == expected  # empty bitmap: first candidate is free
+
+    def test_occupied_candidates_are_skipped(self, volume):
+        stream = BlockNumberGenerator(KEYS.locator_seed, 1024).first(3)
+        for block in stream[:2]:
+            if not volume.bitmap.is_allocated(block):
+                volume.bitmap.allocate(block)
+        chosen = locator.choose_header_block(volume.bitmap, KEYS, 100)
+        assert chosen not in stream[:2]
+
+    def test_full_volume_raises_no_space(self):
+        bitmap = Bitmap(64)
+        for i in range(64):
+            bitmap.allocate(i)
+        with pytest.raises(NoSpaceError):
+            locator.choose_header_block(bitmap, KEYS, 50)
+
+    def test_find_absent_object_raises_not_found(self, volume):
+        with pytest.raises(HiddenObjectNotFoundError):
+            locator.find_header(volume.device, volume.bitmap, KEYS, 64)
+
+    def test_find_after_create(self, volume):
+        created = HiddenFile.create(volume, KEYS)
+        block, header = locator.find_header(
+            volume.device, volume.bitmap, KEYS, volume.params.locator_scan_limit
+        )
+        assert block == created.header_block
+        assert header.signature == KEYS.signature
+
+    def test_wrong_key_is_not_found(self, volume):
+        HiddenFile.create(volume, KEYS)
+        wrong = ObjectKeys.derive("alice:budget.xls", b"G" * 32)
+        with pytest.raises(HiddenObjectNotFoundError):
+            locator.find_header(volume.device, volume.bitmap, wrong, 256)
+
+    def test_lookup_skips_earlier_occupied_candidates(self, volume):
+        """The paper's key subtlety: candidates occupied at creation time."""
+        stream = BlockNumberGenerator(KEYS.locator_seed, 1024).first(4)
+        # Occupy the first three candidates with foreign data before create.
+        for block in stream[:3]:
+            if not volume.bitmap.is_allocated(block):
+                volume.bitmap.allocate(block)
+        created = HiddenFile.create(volume, KEYS)
+        assert created.header_block not in stream[:3]
+        found_block, _ = locator.find_header(
+            volume.device, volume.bitmap, KEYS, volume.params.locator_scan_limit
+        )
+        assert found_block == created.header_block
+
+    def test_lookup_survives_earlier_candidates_being_freed(self, volume):
+        """Blocks freed after creation must not derail the signature scan."""
+        stream = BlockNumberGenerator(KEYS.locator_seed, 1024).first(3)
+        for block in stream[:3]:
+            if not volume.bitmap.is_allocated(block):
+                volume.bitmap.allocate(block)
+        created = HiddenFile.create(volume, KEYS)
+        for block in stream[:3]:
+            volume.bitmap.free(block)  # foreign owner deleted its data
+        found_block, _ = locator.find_header(
+            volume.device, volume.bitmap, KEYS, volume.params.locator_scan_limit
+        )
+        assert found_block == created.header_block
+
+
+class TestHiddenFileLifecycle:
+    def test_create_then_open_roundtrip(self, volume):
+        HiddenFile.create(volume, KEYS, data=b"the secret budget")
+        reopened = HiddenFile.open(volume, KEYS)
+        assert reopened.read() == b"the secret budget"
+        assert reopened.size == len(b"the secret budget")
+
+    def test_create_duplicate_rejected(self, volume):
+        HiddenFile.create(volume, KEYS)
+        with pytest.raises(HiddenObjectExistsError):
+            HiddenFile.create(volume, KEYS)
+
+    def test_empty_file(self, volume):
+        HiddenFile.create(volume, KEYS)
+        assert HiddenFile.open(volume, KEYS).read() == b""
+
+    def test_multi_block_content(self, volume):
+        data = random.Random(7).randbytes(5000)  # ~20 blocks at 248 capacity
+        HiddenFile.create(volume, KEYS, data=data)
+        assert HiddenFile.open(volume, KEYS).read() == data
+
+    def test_overwrite_grow_and_shrink(self, volume):
+        hidden = HiddenFile.create(volume, KEYS, data=b"short")
+        big = random.Random(8).randbytes(4000)
+        hidden.write(big)
+        assert HiddenFile.open(volume, KEYS).read() == big
+        hidden.write(b"tiny again")
+        assert HiddenFile.open(volume, KEYS).read() == b"tiny again"
+
+    def test_append(self, volume):
+        hidden = HiddenFile.create(volume, KEYS, data=b"log:")
+        hidden.append(b" entry1")
+        hidden.append(b" entry2")
+        assert HiddenFile.open(volume, KEYS).read() == b"log: entry1 entry2"
+
+    def test_directory_type_persists(self, volume):
+        HiddenFile.create(volume, KEYS, object_type=OBJ_DIRECTORY)
+        assert HiddenFile.open(volume, KEYS).is_directory
+
+    def test_delete_frees_every_block(self, volume):
+        before = volume.bitmap.allocated_count
+        hidden = HiddenFile.create(volume, KEYS, data=b"x" * 3000)
+        assert volume.bitmap.allocated_count > before
+        hidden.delete()
+        assert volume.bitmap.allocated_count == before
+        with pytest.raises(HiddenObjectNotFoundError):
+            HiddenFile.open(volume, KEYS)
+
+    def test_footprint_accounts_for_allocation(self, volume):
+        before = volume.bitmap.allocated_count
+        hidden = HiddenFile.create(volume, KEYS, data=b"y" * 2000)
+        footprint = hidden.footprint()
+        total = sum(len(v) for v in footprint.values())
+        assert volume.bitmap.allocated_count - before == total
+        assert len(footprint["header"]) == 1
+        assert footprint["data"]  # multi-block file has data blocks
+        for category in footprint.values():
+            for block in category:
+                assert volume.bitmap.is_allocated(block)
+
+    def test_no_space_reported_before_mutation(self, volume):
+        # Fill the volume almost completely.
+        free = volume.bitmap.free_count
+        volume.take_free_blocks(free - 12)
+        hidden = HiddenFile.create(volume, ObjectKeys.derive("t:s", b"k" * 32))
+        with pytest.raises(NoSpaceError):
+            hidden.write(b"z" * 100_000)
+
+    def test_data_blocks_scattered_not_contiguous(self, volume):
+        hidden = HiddenFile.create(volume, KEYS, data=b"d" * 4000)
+        blocks = hidden.footprint()["data"]
+        assert blocks != sorted(blocks) or any(
+            b - a != 1 for a, b in zip(sorted(blocks), sorted(blocks)[1:])
+        )
+
+
+class TestInternalPool:
+    """The §3.1 free-block pool: ρ_min / ρ_max maintenance."""
+
+    def make_volume(self, pool_min: int, pool_max: int) -> HiddenVolume:
+        device = RamDevice(block_size=256, total_blocks=1024)
+        device.fill_random(random.Random(0))
+        return HiddenVolume(
+            device=device,
+            bitmap=Bitmap(1024),
+            params=StegFSParams(pool_min=pool_min, pool_max=pool_max, dummy_count=0),
+            rng=random.Random(2),
+        )
+
+    def test_creation_fills_pool_to_max(self):
+        volume = self.make_volume(2, 8)
+        hidden = HiddenFile.create(volume, KEYS)
+        assert hidden.pool_size == 8
+
+    def test_pool_blocks_are_allocated_but_unwritten(self):
+        volume = self.make_volume(2, 8)
+        hidden = HiddenFile.create(volume, KEYS)
+        for block in hidden.footprint()["pool"]:
+            assert volume.bitmap.is_allocated(block)
+
+    def test_growth_draws_from_pool_first(self):
+        volume = self.make_volume(0, 8)
+        hidden = HiddenFile.create(volume, KEYS)
+        allocated_before = volume.bitmap.allocated_count
+        hidden.write(b"x" * 248)  # exactly one data block + one chain block
+        # Two blocks came from the pool: total allocation must not grow.
+        assert volume.bitmap.allocated_count == allocated_before
+        assert hidden.pool_size == 6
+
+    def test_pool_tops_up_when_below_min(self):
+        volume = self.make_volume(3, 6)
+        hidden = HiddenFile.create(volume, KEYS)
+        hidden.write(b"x" * 248 * 4)  # drains pool below min
+        assert 3 <= hidden.pool_size <= 6
+
+    def test_shrink_feeds_pool_then_spills(self):
+        volume = self.make_volume(0, 4)
+        hidden = HiddenFile.create(volume, KEYS)
+        hidden.write(b"x" * 248 * 12)
+        allocated_at_peak = volume.bitmap.allocated_count
+        hidden.write(b"")  # truncate to nothing
+        assert hidden.pool_size <= 4
+        assert volume.bitmap.allocated_count < allocated_at_peak
+
+    def test_pool_respected_across_reopen(self):
+        volume = self.make_volume(1, 5)
+        created = HiddenFile.create(volume, KEYS, data=b"persist")
+        pool = set(created.footprint()["pool"])
+        reopened = HiddenFile.open(volume, KEYS)
+        assert set(reopened.footprint()["pool"]) == pool
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=3000), min_size=1, max_size=6),
+        pool_min=st.integers(min_value=0, max_value=3),
+        extra=st.integers(min_value=1, max_value=5),
+    )
+    def test_pool_bounds_invariant(self, sizes, pool_min, extra):
+        """After any write sequence, pool stays within [0, pool_max] and the
+        object's bitmap accounting stays exact."""
+        volume = self.make_volume(pool_min, pool_min + extra)
+        hidden = HiddenFile.create(volume, ObjectKeys.derive("p:q", b"h" * 32))
+        for size in sizes:
+            hidden.write(b"b" * size)
+            assert 0 <= hidden.pool_size <= pool_min + extra
+        footprint = hidden.footprint()
+        owned = sum(len(v) for v in footprint.values())
+        assert volume.bitmap.allocated_count == owned
+        hidden.delete()
+        assert volume.bitmap.allocated_count == 0
+
+
+class TestIsolation:
+    def test_two_objects_never_share_blocks(self, volume):
+        a = HiddenFile.create(volume, KEYS, data=b"a" * 3000)
+        b = HiddenFile.create(
+            volume, ObjectKeys.derive("bob:notes", b"B" * 32), data=b"b" * 3000
+        )
+        assert a.all_blocks().isdisjoint(b.all_blocks())
+
+    def test_deleting_one_leaves_other_intact(self, volume):
+        a = HiddenFile.create(volume, KEYS, data=b"a" * 2000)
+        b_keys = ObjectKeys.derive("bob:notes", b"B" * 32)
+        HiddenFile.create(volume, b_keys, data=b"b" * 2000)
+        a.delete()
+        assert HiddenFile.open(volume, b_keys).read() == b"b" * 2000

@@ -1,0 +1,95 @@
+"""Table 1 parameters and key derivation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.keys import FAK_SIZE, ObjectKeys, generate_fak, physical_name
+from repro.core.params import StegFSParams
+from repro.errors import InvalidKeyError
+
+
+class TestParams:
+    def test_paper_defaults_match_table1(self):
+        params = StegFSParams.paper_defaults()
+        assert params.abandoned_fraction == pytest.approx(0.01)
+        assert params.pool_min == 0
+        assert params.pool_max == 10
+        assert params.dummy_count == 10
+        assert params.dummy_avg_size == 1 << 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"abandoned_fraction": -0.1},
+            {"abandoned_fraction": 1.0},
+            {"pool_min": -1},
+            {"pool_min": 5, "pool_max": 4},
+            {"pool_max": 0},
+            {"dummy_count": -1},
+            {"dummy_avg_size": -5},
+            {"locator_scan_limit": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StegFSParams(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            StegFSParams().pool_max = 3  # type: ignore[misc]
+
+
+class TestPhysicalName:
+    def test_concatenates_owner_and_name(self):
+        assert physical_name("alice", "budget.xls") == "alice:budget.xls"
+
+    def test_distinct_owners_distinct_names(self):
+        """The paper's collision guard: same (name, key) from two users."""
+        assert physical_name("alice", "f") != physical_name("bob", "f")
+
+    def test_rejects_bad_owner(self):
+        with pytest.raises(InvalidKeyError):
+            physical_name("", "f")
+        with pytest.raises(InvalidKeyError):
+            physical_name("a:b", "f")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(InvalidKeyError):
+            physical_name("alice", "")
+
+
+class TestObjectKeys:
+    def test_fak_generation(self):
+        fak = generate_fak(random.Random(0))
+        assert len(fak) == FAK_SIZE
+        assert fak != generate_fak(random.Random(1))
+
+    def test_derivation_is_deterministic(self):
+        a = ObjectKeys.derive("alice:f", b"k" * 32)
+        b = ObjectKeys.derive("alice:f", b"k" * 32)
+        assert a == b
+
+    def test_subkeys_are_independent(self):
+        keys = ObjectKeys.derive("alice:f", b"k" * 32)
+        assert len({keys.locator_seed, keys.signature, keys.encryption_key}) == 3
+
+    def test_name_sensitivity(self):
+        a = ObjectKeys.derive("alice:f", b"k" * 32)
+        b = ObjectKeys.derive("alice:g", b"k" * 32)
+        assert a.locator_seed != b.locator_seed
+        assert a.signature != b.signature
+
+    def test_key_sensitivity(self):
+        a = ObjectKeys.derive("alice:f", b"k" * 32)
+        b = ObjectKeys.derive("alice:f", b"j" * 32)
+        assert a.locator_seed != b.locator_seed
+        assert a.encryption_key != b.encryption_key
+
+    def test_rejects_weak_keys(self):
+        with pytest.raises(InvalidKeyError):
+            ObjectKeys.derive("alice:f", b"short")
+        with pytest.raises(InvalidKeyError):
+            ObjectKeys.derive("", b"k" * 32)

@@ -1,0 +1,97 @@
+"""AES against FIPS 197 / NIST SP 800-38A known-answer vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+from repro.errors import InvalidKeyError
+
+# FIPS 197 Appendix C example vectors: one plaintext, three key sizes.
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CASES = [
+    ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617", "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+# NIST SP 800-38A F.1.1 (ECB-AES128) block vectors.
+SP800_38A_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SP800_38A_BLOCKS = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+def test_sbox_pinned_values():
+    # Spot-check the derived S-box against published FIPS 197 entries.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+    assert INV_SBOX[0x63] == 0x00
+    assert INV_SBOX[SBOX[0xAB]] == 0xAB
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(256))
+    assert sorted(INV_SBOX) == list(range(256))
+
+
+@pytest.mark.parametrize("key_hex,cipher_hex", FIPS_CASES)
+def test_fips197_appendix_c(key_hex, cipher_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(FIPS_PLAINTEXT).hex() == cipher_hex
+    assert cipher.decrypt_block(bytes.fromhex(cipher_hex)) == FIPS_PLAINTEXT
+
+
+@pytest.mark.parametrize("plain_hex,cipher_hex", SP800_38A_BLOCKS)
+def test_sp800_38a_ecb_aes128(plain_hex, cipher_hex):
+    cipher = AES(SP800_38A_KEY)
+    assert cipher.encrypt_block(bytes.fromhex(plain_hex)).hex() == cipher_hex
+
+
+def test_round_counts():
+    assert AES(b"k" * 16).rounds == 10
+    assert AES(b"k" * 24).rounds == 12
+    assert AES(b"k" * 32).rounds == 14
+
+
+def test_rejects_bad_key_lengths():
+    for bad in (0, 1, 15, 17, 23, 33, 64):
+        with pytest.raises(InvalidKeyError):
+            AES(b"x" * bad)
+
+
+def test_rejects_bad_block_lengths():
+    cipher = AES(b"k" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.binary(min_size=16, max_size=16),
+    st.sampled_from([16, 24, 32]),
+    st.data(),
+)
+def test_roundtrip_property(block, key_len, data):
+    key = data.draw(st.binary(min_size=key_len, max_size=key_len))
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_distinct_keys_distinct_ciphertexts():
+    block = b"\x00" * 16
+    c1 = AES(b"a" * 16).encrypt_block(block)
+    c2 = AES(b"b" * 16).encrypt_block(block)
+    assert c1 != c2

@@ -1,0 +1,99 @@
+"""Rabin IDA: any-m-of-n reconstruction and space accounting."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ida import Share, disperse, reconstruct
+from repro.errors import CryptoError
+
+
+class TestDisperse:
+    def test_share_count_and_size(self):
+        data = b"x" * 100
+        shares = disperse(data, m=4, n=7)
+        assert len(shares) == 7
+        expected = (100 + 4 + 3) // 4  # framed length 104, ceil over m=4
+        assert all(len(s.payload) == expected for s in shares)
+
+    def test_space_factor_is_n_over_m(self):
+        data = b"d" * 1000
+        shares = disperse(data, m=5, n=10)
+        total = sum(len(s.payload) for s in shares)
+        assert total == pytest.approx(len(data) * 10 / 5, rel=0.05)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CryptoError):
+            disperse(b"d", m=0, n=3)
+        with pytest.raises(CryptoError):
+            disperse(b"d", m=4, n=3)
+        with pytest.raises(CryptoError):
+            disperse(b"d", m=1, n=300)
+
+
+class TestReconstruct:
+    def test_every_m_subset_reconstructs(self):
+        data = b"The secret blueprints, page 1 of 3."
+        m, n = 3, 6
+        shares = disperse(data, m, n)
+        for subset in itertools.combinations(shares, m):
+            assert reconstruct(list(subset), m) == data
+
+    def test_share_order_is_irrelevant(self):
+        data = b"order independence"
+        shares = disperse(data, 3, 5)
+        assert reconstruct([shares[4], shares[0], shares[2]], 3) == data
+
+    def test_extra_shares_are_ignored(self):
+        data = b"redundant"
+        shares = disperse(data, 2, 4)
+        assert reconstruct(shares, 2) == data
+
+    def test_too_few_shares(self):
+        shares = disperse(b"data", 3, 5)
+        with pytest.raises(CryptoError):
+            reconstruct(shares[:2], 3)
+
+    def test_duplicate_indices_rejected(self):
+        shares = disperse(b"data", 2, 4)
+        with pytest.raises(CryptoError):
+            reconstruct([shares[0], shares[0]], 2)
+
+    def test_inconsistent_lengths_rejected(self):
+        shares = disperse(b"data-data-data", 2, 4)
+        broken = [shares[0], Share(shares[1].index, shares[1].payload[:-1])]
+        with pytest.raises(CryptoError):
+            reconstruct(broken, 2)
+
+    def test_empty_data(self):
+        shares = disperse(b"", 2, 3)
+        assert reconstruct(shares[1:], 2) == b""
+
+    def test_m_equals_one_is_replication(self):
+        data = b"replica"
+        shares = disperse(data, 1, 3)
+        for share in shares:
+            assert reconstruct([share], 1) == data
+
+    def test_m_equals_n(self):
+        data = b"all-or-nothing"
+        shares = disperse(data, 4, 4)
+        assert reconstruct(shares, 4) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.binary(max_size=400),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=4),
+    st.randoms(use_true_random=False),
+)
+def test_roundtrip_property(data, m, extra, rnd):
+    n = m + extra
+    shares = disperse(data, m, n)
+    chosen = rnd.sample(shares, m)
+    assert reconstruct(chosen, m) == data

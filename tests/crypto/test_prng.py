@@ -1,0 +1,90 @@
+"""Hash-chain PRNG and the block-number generator of §3.1/§4."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prng import BlockNumberGenerator, HashChainPRNG
+
+
+class TestHashChainPRNG:
+    def test_deterministic(self):
+        a = HashChainPRNG(b"seed").read(100)
+        b = HashChainPRNG(b"seed").read(100)
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        assert HashChainPRNG(b"seed1").read(32) != HashChainPRNG(b"seed2").read(32)
+
+    def test_chunked_reads_equal_one_big_read(self):
+        whole = HashChainPRNG(b"s").read(90)
+        gen = HashChainPRNG(b"s")
+        parts = gen.read(1) + gen.read(31) + gen.read(58)
+        assert parts == whole
+
+    def test_rejects_empty_seed_and_negative_read(self):
+        with pytest.raises(ValueError):
+            HashChainPRNG(b"")
+        with pytest.raises(ValueError):
+            HashChainPRNG(b"s").read(-1)
+
+    def test_randint_below_bounds(self):
+        gen = HashChainPRNG(b"bounds")
+        values = [gen.randint_below(10) for _ in range(500)]
+        assert all(0 <= v < 10 for v in values)
+        assert set(values) == set(range(10))  # all residues hit in 500 draws
+
+    def test_randint_below_rejects_nonpositive(self):
+        gen = HashChainPRNG(b"s")
+        with pytest.raises(ValueError):
+            gen.randint_below(0)
+
+    def test_randint_is_roughly_uniform(self):
+        gen = HashChainPRNG(b"uniformity")
+        n, k = 8000, 16
+        counts = [0] * k
+        for _ in range(n):
+            counts[gen.randint_below(k)] += 1
+        expected = n / k
+        # chi-squared with 15 dof; 99.9th percentile ~ 37.7
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 37.7
+
+    def test_shuffle_is_a_permutation(self):
+        gen = HashChainPRNG(b"shuffle")
+        items = list(range(50))
+        shuffled = items[:]
+        gen.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=10_000))
+    def test_randint_below_property(self, seed, bound):
+        gen = BlockNumberGenerator(seed, bound)
+        assert all(0 <= next(gen) < bound for _ in range(20))
+
+
+class TestBlockNumberGenerator:
+    def test_same_seed_same_stream(self):
+        a = BlockNumberGenerator(b"file+key", 1000).first(50)
+        b = BlockNumberGenerator(b"file+key", 1000).first(50)
+        assert a == b
+
+    def test_stream_is_iterator(self):
+        gen = BlockNumberGenerator(b"seed", 64)
+        assert iter(gen) is gen
+        assert isinstance(next(gen), int)
+
+    def test_rejects_empty_volume(self):
+        with pytest.raises(ValueError):
+            BlockNumberGenerator(b"s", 0)
+
+    def test_covers_small_volume(self):
+        gen = BlockNumberGenerator(b"cover", 8)
+        assert set(gen.first(200)) == set(range(8))
+
+    def test_total_blocks_property(self):
+        assert BlockNumberGenerator(b"s", 42).total_blocks == 42

@@ -1,0 +1,80 @@
+"""RSA-OAEP used by the sharing workflow."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import RSAPublicKey, generate_keypair
+from repro.errors import CryptoError, InvalidKeyError
+
+
+class TestKeygen:
+    def test_deterministic_with_seeded_rng(self):
+        pair1 = generate_keypair(bits=512, rng=random.Random(1))
+        pair2 = generate_keypair(bits=512, rng=random.Random(1))
+        assert pair1.public.n == pair2.public.n
+
+    def test_modulus_size(self, rsa_keypair):
+        assert rsa_keypair.public.n.bit_length() == 768
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(InvalidKeyError):
+            generate_keypair(bits=100)
+        with pytest.raises(InvalidKeyError):
+            generate_keypair(bits=513)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, rsa_keypair, rng):
+        message = b"f.txt\x00" + bytes(range(16))
+        sealed = rsa_keypair.public.encrypt(message, rng)
+        assert rsa_keypair.private.decrypt(sealed) == message
+
+    def test_empty_message(self, rsa_keypair, rng):
+        assert rsa_keypair.private.decrypt(rsa_keypair.public.encrypt(b"", rng)) == b""
+
+    def test_encryption_is_randomised(self, rsa_keypair):
+        c1 = rsa_keypair.public.encrypt(b"msg", random.Random(1))
+        c2 = rsa_keypair.public.encrypt(b"msg", random.Random(2))
+        assert c1 != c2
+        assert rsa_keypair.private.decrypt(c1) == rsa_keypair.private.decrypt(c2) == b"msg"
+
+    def test_message_too_long(self, rsa_keypair, rng):
+        too_long = b"x" * (rsa_keypair.public.max_message_length + 1)
+        with pytest.raises(CryptoError):
+            rsa_keypair.public.encrypt(too_long, rng)
+
+    def test_max_length_message_fits(self, rsa_keypair, rng):
+        message = b"m" * rsa_keypair.public.max_message_length
+        assert rsa_keypair.private.decrypt(rsa_keypair.public.encrypt(message, rng)) == message
+
+    def test_tampered_ciphertext_rejected(self, rsa_keypair, rng):
+        sealed = bytearray(rsa_keypair.public.encrypt(b"secret", rng))
+        sealed[5] ^= 0x40
+        with pytest.raises(CryptoError):
+            rsa_keypair.private.decrypt(bytes(sealed))
+
+    def test_wrong_length_ciphertext_rejected(self, rsa_keypair):
+        with pytest.raises(CryptoError):
+            rsa_keypair.private.decrypt(b"short")
+
+    def test_wrong_key_rejected(self, rsa_keypair, rng):
+        other = generate_keypair(bits=768, rng=random.Random(99))
+        sealed = rsa_keypair.public.encrypt(b"secret", rng)
+        with pytest.raises(CryptoError):
+            other.private.decrypt(sealed)
+
+
+class TestSerialization:
+    def test_public_key_roundtrip(self, rsa_keypair):
+        raw = rsa_keypair.public.to_bytes()
+        parsed = RSAPublicKey.from_bytes(raw)
+        assert parsed == rsa_keypair.public
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(InvalidKeyError):
+            RSAPublicKey.from_bytes(b"")
+        with pytest.raises(InvalidKeyError):
+            RSAPublicKey.from_bytes(b"\x00\x00\x00\x00" * 2)

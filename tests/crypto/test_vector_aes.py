@@ -1,0 +1,83 @@
+"""Vectorised AES must agree byte-for-byte with the scalar cipher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.vector_aes import VectorAES, ctr_keystream, ctr_xor
+
+
+def test_matches_scalar_on_random_blocks(rng):
+    key = bytes(rng.getrandbits(8) for _ in range(16))
+    blocks = np.frombuffer(
+        bytes(rng.getrandbits(8) for _ in range(64 * 16)), dtype=np.uint8
+    ).reshape(64, 16)
+    scalar = AES(key)
+    expected = [scalar.encrypt_block(blocks[i].tobytes()) for i in range(64)]
+    got = VectorAES(key).encrypt_blocks(blocks)
+    for i in range(64):
+        assert got[i].tobytes() == expected[i]
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_all_key_sizes(rng, key_len):
+    key = bytes(rng.getrandbits(8) for _ in range(key_len))
+    block = bytes(rng.getrandbits(8) for _ in range(16))
+    arr = np.frombuffer(block, dtype=np.uint8).reshape(1, 16)
+    assert VectorAES(key).encrypt_blocks(arr)[0].tobytes() == AES(key).encrypt_block(block)
+
+
+def test_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        VectorAES(b"k" * 16).encrypt_blocks(np.zeros(16, dtype=np.uint8))
+
+
+def test_ctr_roundtrip():
+    key, nonce = b"0123456789abcdef", b"noncenon"
+    data = b"The quick brown fox jumps over the lazy dog" * 7
+    sealed = ctr_xor(key, nonce, data)
+    assert sealed != data
+    assert ctr_xor(key, nonce, sealed) == data
+
+
+def test_ctr_keystream_offsets_are_consistent():
+    key, nonce = b"0123456789abcdef", b"12345678"
+    full = ctr_keystream(key, nonce, 160)
+    tail = ctr_keystream(key, nonce, 160 - 32, start_block=2)
+    assert full[32:] == tail
+
+
+def test_ctr_keystream_lengths():
+    key, nonce = b"k" * 16, b"n" * 8
+    assert ctr_keystream(key, nonce, 0) == b""
+    assert len(ctr_keystream(key, nonce, 1)) == 1
+    assert len(ctr_keystream(key, nonce, 17)) == 17
+    with pytest.raises(ValueError):
+        ctr_keystream(key, nonce, -1)
+
+
+def test_ctr_rejects_bad_nonce():
+    with pytest.raises(ValueError):
+        ctr_keystream(b"k" * 16, b"short", 16)
+
+
+def test_ctr_keystream_is_sp800_38a_f51():
+    # NIST SP 800-38A F.5.1 CTR-AES128: the init counter splits into our
+    # (nonce, start_block) form as nonce = first 8 bytes, start = last 8.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    nonce = bytes.fromhex("f0f1f2f3f4f5f6f7")
+    start = int.from_bytes(bytes.fromhex("f8f9fafbfcfdfeff"), "big")
+    plain = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    expected = bytes.fromhex("874d6191b620e3261bef6864990db6ce")
+    assert ctr_xor(key, nonce, plain, start_block=start) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_ctr_roundtrip_property(data):
+    key, nonce = b"propkeypropkey!!", b"propnonc"
+    assert ctr_xor(key, nonce, ctr_xor(key, nonce, data)) == data

@@ -1,0 +1,198 @@
+"""Hidden key–value store (§6 future work): correctness + deniability."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.attacker import census_unaccounted
+from repro.core.params import StegFSParams
+from repro.core.volume import HiddenVolume
+from repro.db.kvstore import HiddenKVStore
+from repro.errors import HiddenObjectNotFoundError, StegFSError
+from repro.storage.bitmap import Bitmap
+from repro.storage.block_device import RamDevice
+
+TABLE_KEY = b"T" * 32
+
+
+def make_volume(total_blocks=4096) -> HiddenVolume:
+    device = RamDevice(block_size=256, total_blocks=total_blocks)
+    device.fill_random(random.Random(7))
+    return HiddenVolume(
+        device=device,
+        bitmap=Bitmap(total_blocks),
+        params=StegFSParams.for_tests(),
+        rng=random.Random(3),
+    )
+
+
+@pytest.fixture
+def store():
+    return HiddenKVStore.create(make_volume(), TABLE_KEY, "accounts", n_buckets=4)
+
+
+class TestBasicOperations:
+    def test_put_get(self, store):
+        store.put(b"alice", b"1000")
+        assert store.get(b"alice") == b"1000"
+
+    def test_get_missing(self, store):
+        assert store.get(b"nobody") is None
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.delete(b"k") is True
+        assert store.get(b"k") is None
+        assert store.delete(b"k") is False
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(StegFSError):
+            store.put(b"", b"v")
+
+    def test_empty_value_allowed(self, store):
+        store.put(b"k", b"")
+        assert store.get(b"k") == b""
+
+    def test_len_and_keys(self, store):
+        for i in range(10):
+            store.put(f"key{i}".encode(), bytes([i]))
+        assert len(store) == 10
+        assert store.keys() == sorted(f"key{i}".encode() for i in range(10))
+
+    def test_items(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert store.items() == {b"a": b"1", b"b": b"2"}
+
+    def test_large_values_span_blocks(self, store):
+        blob = random.Random(1).randbytes(5000)
+        store.put(b"big", blob)
+        assert store.get(b"big") == blob
+
+
+class TestPersistence:
+    def test_reopen_with_key(self):
+        volume = make_volume()
+        table = HiddenKVStore.create(volume, TABLE_KEY, "t", n_buckets=4)
+        table.put(b"persist", b"me")
+        reopened = HiddenKVStore.open(volume, TABLE_KEY, "t")
+        assert reopened.get(b"persist") == b"me"
+        assert reopened.n_buckets == 4
+
+    def test_wrong_key_finds_nothing(self):
+        volume = make_volume()
+        HiddenKVStore.create(volume, TABLE_KEY, "t").put(b"k", b"v")
+        with pytest.raises(HiddenObjectNotFoundError):
+            HiddenKVStore.open(volume, b"W" * 32, "t")
+
+    def test_two_tables_are_disjoint(self):
+        volume = make_volume()
+        a = HiddenKVStore.create(volume, TABLE_KEY, "a")
+        b = HiddenKVStore.create(volume, TABLE_KEY, "b")
+        a.put(b"k", b"from-a")
+        assert b.get(b"k") is None
+
+    def test_drop_releases_blocks(self):
+        volume = make_volume()
+        baseline = volume.bitmap.allocated_count
+        table = HiddenKVStore.create(volume, TABLE_KEY, "t", n_buckets=2)
+        for i in range(20):
+            table.put(f"k{i}".encode(), b"x" * 100)
+        assert volume.bitmap.allocated_count > baseline
+        table.drop()
+        assert volume.bitmap.allocated_count == baseline
+        with pytest.raises(HiddenObjectNotFoundError):
+            HiddenKVStore.open(volume, TABLE_KEY, "t")
+
+
+class TestRehash:
+    def test_rehash_preserves_contents(self, store):
+        data = {f"key{i}".encode(): bytes([i]) * 3 for i in range(25)}
+        for key, value in data.items():
+            store.put(key, value)
+        store.rehash(16)
+        assert store.n_buckets == 16
+        assert store.items() == data
+
+    def test_rehash_survives_reopen(self):
+        volume = make_volume()
+        table = HiddenKVStore.create(volume, TABLE_KEY, "t", n_buckets=2)
+        table.put(b"k", b"v")
+        table.rehash(8)
+        reopened = HiddenKVStore.open(volume, TABLE_KEY, "t")
+        assert reopened.n_buckets == 8
+        assert reopened.get(b"k") == b"v"
+
+    def test_rehash_rekeys_buckets(self):
+        """Old-epoch bucket objects must be gone after a rehash."""
+        volume = make_volume()
+        table = HiddenKVStore.create(volume, TABLE_KEY, "t", n_buckets=2)
+        table.put(b"k", b"v")
+        old_keys = table._bucket_keys(table._bucket_of(b"k"))
+        table.rehash(4)
+        from repro.core.hidden_file import HiddenFile
+
+        with pytest.raises(HiddenObjectNotFoundError):
+            HiddenFile.open(volume, old_keys)
+
+    def test_invalid_bucket_counts(self, store):
+        with pytest.raises(StegFSError):
+            store.rehash(0)
+        with pytest.raises(StegFSError):
+            HiddenKVStore.create(make_volume(), TABLE_KEY, "x", n_buckets=0)
+
+
+class TestDeniability:
+    def test_table_blocks_are_unaccounted(self):
+        """The table's entire footprint sits in the deniable census set."""
+        from repro.fs.filesystem import FileSystem
+
+        device = RamDevice(block_size=256, total_blocks=4096)
+        fs = FileSystem.mkfs(device, inode_count=64)
+        volume = HiddenVolume(
+            device=device, bitmap=fs.bitmap,
+            params=StegFSParams.for_tests(), rng=random.Random(3),
+        )
+        before = len(census_unaccounted(fs))
+        table = HiddenKVStore.create(volume, TABLE_KEY, "t", n_buckets=2)
+        table.put(b"customer", b"records " * 50)
+        fs.mark_bitmap_dirty()
+        after = census_unaccounted(fs)
+        assert len(after) > before
+        # Nothing in the plain namespace betrays the table.
+        assert fs.listdir("/") == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["put", "delete"]),
+            st.binary(min_size=1, max_size=12),
+            st.binary(max_size=40),
+        ),
+        max_size=25,
+    )
+)
+def test_model_based_property(ops):
+    """The hidden table agrees with a dict under random op sequences."""
+    store = HiddenKVStore.create(make_volume(), TABLE_KEY, "prop", n_buckets=3)
+    model: dict[bytes, bytes] = {}
+    for action, key, value in ops:
+        if action == "put":
+            store.put(key, value)
+            model[key] = value
+        else:
+            assert store.delete(key) == (key in model)
+            model.pop(key, None)
+    assert store.items() == model
+    assert len(store) == len(model)

@@ -1,0 +1,87 @@
+"""Directory data structure and path splitting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidPathError
+from repro.fs.directory import DirectoryData, split_path, validate_name
+
+
+class TestValidateName:
+    def test_accepts_normal_names(self):
+        for name in ("a", "file.txt", "UPPER", "with space", "üñïçödé"):
+            assert validate_name(name) == name
+
+    @pytest.mark.parametrize("bad", ["", ".", "..", "a/b", "nul\x00byte", "x" * 256])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(InvalidPathError):
+            validate_name(bad)
+
+
+class TestSplitPath:
+    def test_root(self):
+        assert split_path("/") == []
+
+    def test_nested(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_collapses_duplicate_slashes(self):
+        assert split_path("//a///b") == ["a", "b"]
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidPathError):
+            split_path("a/b")
+
+    def test_dot_component_rejected(self):
+        with pytest.raises(InvalidPathError):
+            split_path("/a/../b")
+
+
+class TestDirectoryData:
+    def test_add_get_remove(self):
+        listing = DirectoryData()
+        listing.add("alpha", 3)
+        assert "alpha" in listing
+        assert listing.get("alpha") == 3
+        assert listing.remove("alpha") == 3
+        assert "alpha" not in listing
+
+    def test_duplicate_add_rejected(self):
+        listing = DirectoryData({"x": 1})
+        with pytest.raises(InvalidPathError):
+            listing.add("x", 2)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(InvalidPathError):
+            DirectoryData().remove("ghost")
+
+    def test_names_sorted(self):
+        listing = DirectoryData({"zeta": 1, "alpha": 2})
+        assert listing.names() == ["alpha", "zeta"]
+
+    def test_roundtrip(self):
+        listing = DirectoryData({"one": 1, "two": 2, "üñï": 77})
+        parsed = DirectoryData.from_bytes(listing.to_bytes())
+        assert parsed.entries == listing.entries
+
+    def test_empty_roundtrip(self):
+        assert DirectoryData.from_bytes(DirectoryData().to_bytes()).entries == {}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(blacklist_characters="/\x00", blacklist_categories=("Cs",)),
+                min_size=1,
+                max_size=40,
+            ).filter(lambda s: s not in (".", "..")),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, entries):
+        listing = DirectoryData(entries)
+        assert DirectoryData.from_bytes(listing.to_bytes()).entries == entries

@@ -1,0 +1,67 @@
+"""Volume layout arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BadSuperblockError
+from repro.fs.layout import INODE_SIZE, Layout
+
+
+class TestCompute:
+    def test_regions_are_ordered_and_disjoint(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096)
+        assert layout.bitmap_start == 1
+        assert layout.inode_table_start == layout.bitmap_start + layout.bitmap_blocks
+        assert layout.data_start == layout.inode_table_start + layout.inode_blocks
+        assert layout.data_start < layout.total_blocks
+
+    def test_bitmap_sized_for_all_blocks(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096)
+        assert layout.bitmap_blocks * 1024 * 8 >= 4096
+
+    def test_default_inode_heuristic(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096)
+        assert layout.inode_count == 4096 // 8
+
+    def test_inode_floor_for_tiny_volumes(self):
+        layout = Layout.compute(block_size=1024, total_blocks=256)
+        assert layout.inode_count == 64
+
+    def test_explicit_inode_count(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096, inode_count=100)
+        assert layout.inode_count == 100
+        assert layout.inode_blocks == -(-100 // (1024 // INODE_SIZE))
+
+    def test_too_small_volume_rejected(self):
+        with pytest.raises(BadSuperblockError):
+            Layout.compute(block_size=1024, total_blocks=2)
+
+    def test_block_smaller_than_inode_rejected(self):
+        with pytest.raises(BadSuperblockError):
+            Layout.compute(block_size=64, total_blocks=1024)
+
+
+class TestLocations:
+    def test_inode_location_arithmetic(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096, inode_count=64)
+        per_block = 1024 // INODE_SIZE
+        block, offset = layout.inode_location(0)
+        assert block == layout.inode_table_start and offset == 0
+        block, offset = layout.inode_location(per_block)
+        assert block == layout.inode_table_start + 1 and offset == 0
+        block, offset = layout.inode_location(per_block + 3)
+        assert offset == 3 * INODE_SIZE
+
+    def test_inode_location_bounds(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096, inode_count=64)
+        with pytest.raises(BadSuperblockError):
+            layout.inode_location(64)
+
+    def test_metadata_blocks_cover_prefix(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096)
+        assert list(layout.metadata_blocks()) == list(range(layout.data_start))
+
+    def test_data_blocks_count(self):
+        layout = Layout.compute(block_size=1024, total_blocks=4096)
+        assert layout.data_blocks == 4096 - layout.data_start

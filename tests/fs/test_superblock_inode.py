@@ -1,0 +1,82 @@
+"""Superblock and inode record serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BadSuperblockError, FileSystemError
+from repro.fs.inode import N_DIRECT, FileType, Inode
+from repro.fs.layout import INODE_SIZE
+from repro.fs.superblock import POLICY_FRAGMENTED, Superblock
+
+
+class TestSuperblock:
+    def make(self) -> Superblock:
+        return Superblock(
+            block_size=1024,
+            total_blocks=4096,
+            inode_count=512,
+            root_inode=0,
+            alloc_policy=POLICY_FRAGMENTED,
+            fragment_blocks=8,
+        )
+
+    def test_roundtrip(self):
+        sb = self.make()
+        raw = sb.to_bytes(1024)
+        assert len(raw) == 1024
+        assert Superblock.from_bytes(raw) == sb
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(self.make().to_bytes(1024))
+        raw[0] ^= 0xFF
+        with pytest.raises(BadSuperblockError):
+            Superblock.from_bytes(bytes(raw))
+
+    def test_random_block_rejected(self):
+        with pytest.raises(BadSuperblockError):
+            Superblock.from_bytes(b"\xa5" * 1024)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(BadSuperblockError):
+            Superblock(
+                block_size=1024,
+                total_blocks=16,
+                inode_count=4,
+                root_inode=0,
+                alloc_policy=99,
+                fragment_blocks=8,
+            )
+
+    def test_layout_derivation(self):
+        layout = self.make().layout()
+        assert layout.inode_count == 512
+        assert layout.total_blocks == 4096
+
+
+class TestInodeRecord:
+    def test_roundtrip(self):
+        inode = Inode(number=7, type=FileType.REGULAR, size=123456)
+        inode.direct[0] = 99
+        inode.direct[11] = 1234
+        inode.single_indirect = 555
+        raw = inode.to_bytes()
+        assert len(raw) == INODE_SIZE
+        parsed = Inode.from_bytes(7, raw)
+        assert parsed == inode
+
+    def test_free_inode_roundtrip(self):
+        raw = Inode(number=3).to_bytes()
+        parsed = Inode.from_bytes(3, raw)
+        assert parsed.is_free
+        assert parsed.direct == [Inode.NULL] * N_DIRECT
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(FileSystemError):
+            Inode.from_bytes(0, b"\x00" * 10)
+
+    def test_unknown_type_rejected(self):
+        raw = bytearray(Inode(number=0).to_bytes())
+        raw[0] = 0x7F
+        with pytest.raises(FileSystemError):
+            Inode.from_bytes(0, bytes(raw))

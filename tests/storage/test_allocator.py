@@ -1,0 +1,141 @@
+"""Allocation policies: random uniformity, contiguity, fragmentation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NoSpaceError
+from repro.storage.allocator import (
+    ContiguousAllocator,
+    FragmentingAllocator,
+    RandomAllocator,
+)
+from repro.storage.bitmap import Bitmap
+
+
+class TestRandomAllocator:
+    def test_allocates_free_blocks_only(self, rng):
+        bitmap = Bitmap(64)
+        alloc = RandomAllocator(bitmap, rng)
+        seen = {alloc.allocate_one() for _ in range(64)}
+        assert seen == set(range(64))  # exhausts the volume exactly once
+
+    def test_full_volume_raises(self, rng):
+        bitmap = Bitmap(4)
+        alloc = RandomAllocator(bitmap, rng)
+        alloc.allocate_many(4)
+        with pytest.raises(NoSpaceError):
+            alloc.allocate_one()
+
+    def test_allocate_many_checks_space_up_front(self, rng):
+        bitmap = Bitmap(4)
+        alloc = RandomAllocator(bitmap, rng)
+        with pytest.raises(NoSpaceError):
+            alloc.allocate_many(5)
+        assert bitmap.allocated_count == 0  # nothing half-done
+
+    def test_allocate_many_negative(self, rng):
+        with pytest.raises(ValueError):
+            RandomAllocator(Bitmap(4), rng).allocate_many(-1)
+
+    def test_deterministic_given_seed(self):
+        a = RandomAllocator(Bitmap(128), random.Random(42))
+        b = RandomAllocator(Bitmap(128), random.Random(42))
+        assert [a.allocate_one() for _ in range(50)] == [
+            b.allocate_one() for _ in range(50)
+        ]
+
+    def test_roughly_uniform_over_free_space(self):
+        """First allocation is uniform over the whole volume."""
+        counts = [0] * 16
+        for seed in range(2000):
+            bitmap = Bitmap(16)
+            alloc = RandomAllocator(bitmap, random.Random(seed))
+            counts[alloc.allocate_one()] += 1
+        expected = 2000 / 16
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 37.7  # 99.9th percentile of chi²(15)
+
+    def test_dense_bitmap_fallback_path(self, rng):
+        """Rejection sampling falls back to the free list when nearly full."""
+        bitmap = Bitmap(1000)
+        for i in range(999):
+            bitmap.allocate(i)
+        alloc = RandomAllocator(bitmap, rng)
+        assert alloc.allocate_one() == 999
+
+
+class TestContiguousAllocator:
+    def test_allocates_adjacent_runs(self):
+        bitmap = Bitmap(20)
+        alloc = ContiguousAllocator(bitmap)
+        first = alloc.allocate_run(5)
+        second = alloc.allocate_run(5)
+        assert first == [0, 1, 2, 3, 4]
+        assert second == [5, 6, 7, 8, 9]
+
+    def test_skips_allocated_gaps(self):
+        bitmap = Bitmap(10)
+        bitmap.allocate(2)
+        run = ContiguousAllocator(bitmap).allocate_run(3)
+        assert run == [3, 4, 5]
+
+    def test_no_space(self):
+        bitmap = Bitmap(4)
+        bitmap.allocate(1)
+        with pytest.raises(NoSpaceError):
+            ContiguousAllocator(bitmap).allocate_run(3)
+
+
+class TestFragmentingAllocator:
+    def test_fragments_have_requested_shape(self, rng):
+        bitmap = Bitmap(256)
+        alloc = FragmentingAllocator(bitmap, rng, fragment_blocks=8)
+        blocks = alloc.allocate_run(24)
+        assert len(blocks) == 24
+        assert len(set(blocks)) == 24
+        # Each group of 8 consecutive file blocks is disk-contiguous.
+        for start in range(0, 24, 8):
+            fragment = blocks[start : start + 8]
+            assert fragment == list(range(fragment[0], fragment[0] + 8))
+
+    def test_tail_fragment_is_short(self, rng):
+        bitmap = Bitmap(128)
+        alloc = FragmentingAllocator(bitmap, rng, fragment_blocks=8)
+        blocks = alloc.allocate_run(11)
+        assert len(blocks) == 11
+        tail = blocks[8:]
+        assert tail == list(range(tail[0], tail[0] + 3))
+
+    def test_scatters_fragments(self):
+        """Fragments are not simply adjacent to each other (aged disk)."""
+        bitmap = Bitmap(4096)
+        alloc = FragmentingAllocator(bitmap, random.Random(0), fragment_blocks=8)
+        blocks = alloc.allocate_run(64)
+        gaps = [
+            blocks[i * 8] - (blocks[i * 8 - 1] + 1) for i in range(1, 8)
+        ]
+        assert any(gap != 0 for gap in gaps)
+
+    def test_rolls_back_on_failure(self, rng):
+        bitmap = Bitmap(12)
+        alloc = FragmentingAllocator(bitmap, rng, fragment_blocks=8)
+        with pytest.raises(NoSpaceError):
+            alloc.allocate_run(16)
+        assert bitmap.allocated_count == 0
+
+    def test_rejects_bad_fragment_size(self, rng):
+        with pytest.raises(ValueError):
+            FragmentingAllocator(Bitmap(8), rng, fragment_blocks=0)
+
+    def test_falls_back_to_first_fit_when_fragmented(self):
+        """Random probing may fail on a checkerboard bitmap; first-fit must save it."""
+        bitmap = Bitmap(64)
+        for i in range(0, 64, 2):
+            bitmap.allocate(i)  # only odd blocks free, no run of 2
+        alloc = FragmentingAllocator(bitmap, random.Random(1), fragment_blocks=1)
+        blocks = alloc.allocate_run(3)
+        assert len(blocks) == 3
+        assert all(b % 2 == 1 for b in blocks)

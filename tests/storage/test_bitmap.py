@@ -1,0 +1,160 @@
+"""Allocation bitmap invariants, persistence and snapshot diffing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NoSpaceError, OutOfRangeError, StorageError
+from repro.storage.bitmap import Bitmap
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        bitmap = Bitmap(10)
+        assert bitmap.allocated_count == 0
+        assert bitmap.free_count == 10
+        assert not bitmap.is_allocated(0)
+
+    def test_allocate_and_free(self):
+        bitmap = Bitmap(10)
+        bitmap.allocate(3)
+        assert bitmap.is_allocated(3)
+        assert bitmap.allocated_count == 1
+        bitmap.free(3)
+        assert not bitmap.is_allocated(3)
+        assert bitmap.free_count == 10
+
+    def test_double_allocate_rejected(self):
+        bitmap = Bitmap(4)
+        bitmap.allocate(1)
+        with pytest.raises(StorageError):
+            bitmap.allocate(1)
+
+    def test_double_free_rejected(self):
+        bitmap = Bitmap(4)
+        with pytest.raises(StorageError):
+            bitmap.free(1)
+
+    def test_bounds(self):
+        bitmap = Bitmap(4)
+        with pytest.raises(OutOfRangeError):
+            bitmap.allocate(4)
+        with pytest.raises(OutOfRangeError):
+            bitmap.is_allocated(-1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Bitmap(0)
+
+    def test_indices_views(self):
+        bitmap = Bitmap(6)
+        for i in (1, 4):
+            bitmap.allocate(i)
+        assert list(bitmap.allocated_indices()) == [1, 4]
+        assert list(bitmap.free_indices()) == [0, 2, 3, 5]
+
+
+class TestFreeRuns:
+    def test_finds_first_run(self):
+        bitmap = Bitmap(10)
+        bitmap.allocate(0)
+        bitmap.allocate(3)
+        assert bitmap.find_free_run(2) == 1
+        assert bitmap.find_free_run(3) == 4
+
+    def test_run_of_one(self):
+        bitmap = Bitmap(3)
+        bitmap.allocate(0)
+        assert bitmap.find_free_run(1) == 1
+
+    def test_respects_start(self):
+        bitmap = Bitmap(10)
+        assert bitmap.find_free_run(2, start=5) == 5
+
+    def test_no_run_raises(self):
+        bitmap = Bitmap(4)
+        bitmap.allocate(1)
+        with pytest.raises(NoSpaceError):
+            bitmap.find_free_run(3)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            Bitmap(4).find_free_run(0)
+
+
+class TestSnapshotAndDiff:
+    def test_snapshot_is_independent(self):
+        bitmap = Bitmap(8)
+        snap = bitmap.snapshot()
+        bitmap.allocate(2)
+        assert not snap.is_allocated(2)
+
+    def test_diff_reports_changes(self):
+        before = Bitmap(8)
+        before.allocate(1)
+        before.allocate(2)
+        after = before.snapshot()
+        after.free(1)
+        after.allocate(5)
+        newly_allocated, newly_freed = before.diff(after)
+        assert list(newly_allocated) == [5]
+        assert list(newly_freed) == [1]
+
+    def test_diff_size_mismatch(self):
+        with pytest.raises(StorageError):
+            Bitmap(4).diff(Bitmap(5))
+
+    def test_equality(self):
+        a, b = Bitmap(6), Bitmap(6)
+        assert a == b
+        a.allocate(3)
+        assert a != b
+        b.allocate(3)
+        assert a == b
+
+
+class TestPersistence:
+    def test_roundtrip(self):
+        bitmap = Bitmap(19)
+        for i in (0, 7, 8, 18):
+            bitmap.allocate(i)
+        restored = Bitmap.from_bytes(bitmap.to_bytes(), 19)
+        assert restored == bitmap
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(StorageError):
+            Bitmap.from_bytes(b"\x00", 19)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=99), max_size=40))
+    def test_roundtrip_property(self, allocated):
+        bitmap = Bitmap(100)
+        for index in allocated:
+            bitmap.allocate(index)
+        restored = Bitmap.from_bytes(bitmap.to_bytes(), 100)
+        assert restored == bitmap
+        assert set(restored.allocated_indices()) == allocated
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 31)),
+        max_size=60,
+    )
+)
+def test_count_invariant_under_random_ops(ops):
+    """allocated_count always equals the number of set bits."""
+    bitmap = Bitmap(32)
+    model: set[int] = set()
+    for action, index in ops:
+        if action == "alloc" and index not in model:
+            bitmap.allocate(index)
+            model.add(index)
+        elif action == "free" and index in model:
+            bitmap.free(index)
+            model.remove(index)
+    assert bitmap.allocated_count == len(model)
+    assert set(bitmap.allocated_indices()) == model

@@ -1,0 +1,173 @@
+"""Block devices: geometry, bounds, persistence, sparse fill semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DeviceClosedError, OutOfRangeError
+from repro.storage.block_device import FileDevice, RamDevice, SparseDevice
+
+
+@pytest.fixture(params=["ram", "sparse", "file"])
+def device(request, tmp_path):
+    if request.param == "ram":
+        dev = RamDevice(block_size=64, total_blocks=32)
+    elif request.param == "sparse":
+        dev = SparseDevice(block_size=64, total_blocks=32)
+    else:
+        dev = FileDevice(tmp_path / "disk.img", block_size=64, total_blocks=32)
+    yield dev
+    if not dev.closed:
+        dev.close()
+
+
+class TestCommonBehaviour:
+    def test_geometry(self, device):
+        assert device.block_size == 64
+        assert device.total_blocks == 32
+        assert device.capacity == 64 * 32
+
+    def test_write_read_roundtrip(self, device):
+        payload = bytes(range(64))
+        device.write_block(5, payload)
+        assert device.read_block(5) == payload
+
+    def test_overwrite(self, device):
+        device.write_block(3, b"a" * 64)
+        device.write_block(3, b"b" * 64)
+        assert device.read_block(3) == b"b" * 64
+
+    def test_out_of_range(self, device):
+        with pytest.raises(OutOfRangeError):
+            device.read_block(32)
+        with pytest.raises(OutOfRangeError):
+            device.write_block(-1, b"x" * 64)
+
+    def test_wrong_write_size(self, device):
+        with pytest.raises(ValueError):
+            device.write_block(0, b"short")
+        with pytest.raises(ValueError):
+            device.write_block(0, b"x" * 65)
+
+    def test_closed_device_rejects_io(self, device):
+        device.close()
+        with pytest.raises(DeviceClosedError):
+            device.read_block(0)
+
+    def test_context_manager_closes(self, device):
+        with device:
+            pass
+        assert device.closed
+
+    def test_read_blocks_order(self, device):
+        device.write_block(1, b"1" * 64)
+        device.write_block(2, b"2" * 64)
+        assert device.read_blocks([2, 1]) == [b"2" * 64, b"1" * 64]
+
+
+class TestRejectsBadGeometry:
+    def test_zero_block_size(self):
+        with pytest.raises(ValueError):
+            RamDevice(block_size=0, total_blocks=4)
+
+    def test_zero_blocks(self):
+        with pytest.raises(ValueError):
+            RamDevice(block_size=64, total_blocks=0)
+
+
+class TestRamDevice:
+    def test_zero_filled_initially(self):
+        dev = RamDevice(16, 4)
+        assert dev.read_block(0) == b"\x00" * 16
+
+    def test_fill_random_covers_everything(self):
+        dev = RamDevice(16, 8)
+        dev.fill_random(random.Random(1))
+        blocks = {dev.read_block(i) for i in range(8)}
+        assert b"\x00" * 16 not in blocks
+        assert len(blocks) == 8  # 16-byte random blocks will not collide
+
+    def test_image_matches_blocks(self):
+        dev = RamDevice(8, 4)
+        dev.write_block(2, b"ABCDEFGH")
+        image = dev.image()
+        assert len(image) == 32
+        assert image[16:24] == b"ABCDEFGH"
+
+    def test_clone_is_independent(self):
+        dev = RamDevice(8, 2)
+        dev.write_block(0, b"original")
+        twin = dev.clone()
+        dev.write_block(0, b"modified")
+        assert twin.read_block(0) == b"original"
+
+
+class TestSparseDevice:
+    def test_unwritten_blocks_read_random_not_zero(self):
+        dev = SparseDevice(64, 16, fill_seed=3)
+        assert dev.read_block(0) != b"\x00" * 64
+
+    def test_unwritten_reads_are_stable(self):
+        dev = SparseDevice(64, 16, fill_seed=3)
+        assert dev.read_block(7) == dev.read_block(7)
+
+    def test_fill_seed_changes_pattern(self):
+        a = SparseDevice(64, 16, fill_seed=1)
+        b = SparseDevice(64, 16, fill_seed=2)
+        assert a.read_block(0) != b.read_block(0)
+
+    def test_distinct_blocks_differ(self):
+        dev = SparseDevice(64, 16)
+        assert dev.read_block(0) != dev.read_block(1)
+
+    def test_written_blocks_stick(self):
+        dev = SparseDevice(64, 16)
+        dev.write_block(4, b"w" * 64)
+        assert dev.read_block(4) == b"w" * 64
+        assert dev.written_block_count == 1
+
+    def test_fill_random_is_noop(self):
+        dev = SparseDevice(64, 16, fill_seed=5)
+        before = dev.read_block(2)
+        dev.fill_random(random.Random(0))
+        assert dev.read_block(2) == before
+        assert dev.written_block_count == 0
+
+    def test_matches_prefilled_ram_semantics(self):
+        """A sparse device behaves like an eagerly random-filled device."""
+        dev = SparseDevice(32, 8, fill_seed=9)
+        first_view = [dev.read_block(i) for i in range(8)]
+        dev.write_block(3, b"x" * 32)
+        second_view = [dev.read_block(i) for i in range(8)]
+        for i in range(8):
+            if i != 3:
+                assert second_view[i] == first_view[i]
+
+    def test_clone_is_independent(self):
+        dev = SparseDevice(16, 4, fill_seed=1)
+        dev.write_block(1, b"y" * 16)
+        twin = dev.clone()
+        dev.write_block(1, b"z" * 16)
+        assert twin.read_block(1) == b"y" * 16
+
+
+class TestFileDevice:
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.img"
+        with FileDevice(path, 32, 8) as dev:
+            dev.write_block(6, b"p" * 32)
+        with FileDevice(path, 32, 8) as dev:
+            assert dev.read_block(6) == b"p" * 32
+
+    def test_creates_full_size_file(self, tmp_path):
+        path = tmp_path / "sized.img"
+        with FileDevice(path, 32, 8):
+            pass
+        assert path.stat().st_size == 32 * 8
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "p.img"
+        with FileDevice(path, 16, 2) as dev:
+            assert dev.path == str(path)

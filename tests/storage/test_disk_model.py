@@ -1,0 +1,138 @@
+"""Disk model: cost ordering, cache-segment behaviour, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.disk_model import DiskModel, DiskParameters
+
+
+def make_model(**kwargs) -> DiskModel:
+    return DiskModel(block_size=1024, total_blocks=1 << 20, **kwargs)
+
+
+class TestParameters:
+    def test_rotation_average_is_half_revolution(self):
+        params = DiskParameters(rpm=7200)
+        assert params.rotation_avg_ms == pytest.approx(60_000 / 7200 / 2)
+
+    def test_transfer_scales_linearly(self):
+        params = DiskParameters(transfer_mb_per_s=40)
+        assert params.transfer_ms(2048) == pytest.approx(2 * params.transfer_ms(1024))
+
+    def test_seek_monotone_in_distance(self):
+        params = DiskParameters()
+        total = 1 << 20
+        costs = [params.seek_ms(d, total) for d in (0, 1, 100, 10_000, total)]
+        assert costs[0] == 0.0
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+        assert costs[-1] == pytest.approx(params.seek_max_ms)
+
+    def test_model_validates_geometry(self):
+        with pytest.raises(ValueError):
+            DiskModel(block_size=0, total_blocks=10)
+        with pytest.raises(ValueError):
+            DiskModel(block_size=512, total_blocks=0)
+
+
+class TestServiceCosts:
+    def test_sequential_read_is_much_cheaper_than_random(self):
+        model = make_model()
+        model.service("r", 1000)  # establish stream
+        seq = model.service("r", 1001)
+        rnd = model.service("r", 500_000)
+        assert seq < rnd / 3
+
+    def test_sequential_cost_matches_helper(self):
+        model = make_model()
+        model.service("r", 0)
+        assert model.service("r", 1) == pytest.approx(model.sequential_ms_per_block())
+
+    def test_first_access_pays_mechanical_cost(self):
+        model = make_model()
+        cost = model.service("r", 12345)
+        assert cost > model.sequential_ms_per_block()
+
+    def test_busy_time_accumulates(self):
+        model = make_model()
+        a = model.service("r", 0)
+        b = model.service("r", 1)
+        assert model.busy_ms == pytest.approx(a + b)
+
+    def test_reset_restores_initial_state(self):
+        model = make_model()
+        model.service("r", 100)
+        first = model.service("r", 101)
+        model.reset()
+        assert model.busy_ms == 0.0
+        model.service("r", 100)
+        again = model.service("r", 101)
+        assert again == pytest.approx(first)
+
+    def test_multi_block_request_amortises_overhead(self):
+        model = make_model()
+        batched = model.service("r", 0, count=8)
+        model.reset()
+        single = sum(model.service("r", i) for i in range(8))
+        assert batched < single
+
+    def test_validates_arguments(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.service("x", 0)
+        with pytest.raises(ValueError):
+            model.service("r", 0, count=0)
+
+    def test_deterministic_given_seed(self):
+        a, b = make_model(seed=3), make_model(seed=3)
+        blocks = [5, 9000, 9001, 17, 5000, 5001, 42]
+        costs_a = [a.service("r", blk) for blk in blocks]
+        costs_b = [b.service("r", blk) for blk in blocks]
+        assert costs_a == costs_b
+
+
+class TestSegmentCache:
+    """The segment-limited cache drives the paper's Figure 7 convergence."""
+
+    def _interleaved_cost_per_block(self, n_streams: int, op: str) -> float:
+        """Average per-block cost for n interleaved sequential streams."""
+        model = make_model()
+        bases = [i * 10_000 for i in range(n_streams)]
+        positions = list(bases)
+        total, count = 0.0, 0
+        for _ in range(100):
+            for s in range(n_streams):
+                total += model.service(op, positions[s])
+                positions[s] += 1
+                count += 1
+        return total / count
+
+    def test_few_streams_keep_sequential_speed(self):
+        cost = self._interleaved_cost_per_block(4, "r")
+        model = make_model()
+        assert cost < 2.0 * model.sequential_ms_per_block()
+
+    def test_many_streams_degrade_to_random(self):
+        few = self._interleaved_cost_per_block(4, "r")
+        many = self._interleaved_cost_per_block(32, "r")
+        assert many > 3.0 * few
+
+    def test_write_cache_saturates_before_read_cache(self):
+        """Fewer write segments: 8 write streams thrash, 8 read streams do not."""
+        read8 = self._interleaved_cost_per_block(8, "r")
+        write8 = self._interleaved_cost_per_block(8, "w")
+        assert write8 > 1.5 * read8
+
+    def test_lru_gives_sharp_convergence_at_segment_count(self):
+        """Below the segment count streams stay near-sequential; past it
+        they thrash to random cost and plateau — the Figure 7 cliff."""
+        costs = {n: self._interleaved_cost_per_block(n, "r") for n in (2, 8, 16, 32)}
+        assert costs[8] < 1.5 * costs[2]
+        assert costs[16] > 3 * costs[8]
+        assert costs[32] == pytest.approx(costs[16], rel=0.15)
+
+    def test_random_expectation_helper_bounds(self):
+        model = make_model()
+        assert model.random_ms_per_block() > model.sequential_ms_per_block()
+        partial = model.random_ms_per_block(span_blocks=1000)
+        assert partial < model.random_ms_per_block()

@@ -1,0 +1,76 @@
+"""Trace recording wrapper."""
+
+from __future__ import annotations
+
+from repro.storage.block_device import RamDevice
+from repro.storage.trace import BlockOp, Trace, TraceRecordingDevice
+
+
+def make_traced():
+    return TraceRecordingDevice(RamDevice(block_size=16, total_blocks=8))
+
+
+class TestTrace:
+    def test_append_and_filters(self):
+        trace = Trace("t")
+        trace.append("r", 1)
+        trace.append("w", 2)
+        trace.append("r", 2)
+        assert len(trace) == 3
+        assert trace.reads() == [BlockOp("r", 1), BlockOp("r", 2)]
+        assert trace.writes() == [BlockOp("w", 2)]
+        assert trace.touched_blocks() == {1, 2}
+
+    def test_iter(self):
+        trace = Trace("t")
+        trace.append("r", 5)
+        assert list(trace) == [BlockOp("r", 5)]
+
+
+class TestTraceRecordingDevice:
+    def test_passthrough_io(self):
+        dev = make_traced()
+        dev.write_block(3, b"x" * 16)
+        assert dev.read_block(3) == b"x" * 16
+        assert dev.inner.read_block(3) == b"x" * 16
+
+    def test_records_in_order_with_stream_labels(self):
+        dev = make_traced()
+        with dev.recording("alice"):
+            dev.write_block(0, b"a" * 16)
+            dev.read_block(0)
+        with dev.recording("bob"):
+            dev.read_block(1)
+        assert [op.op for op in dev.trace("alice")] == ["w", "r"]
+        assert dev.trace("bob").ops == [BlockOp("r", 1)]
+
+    def test_nested_recording_restores_outer_stream(self):
+        dev = make_traced()
+        with dev.recording("outer"):
+            dev.read_block(0)
+            with dev.recording("inner"):
+                dev.read_block(1)
+            dev.read_block(2)
+        assert [op.block for op in dev.trace("outer")] == [0, 2]
+        assert [op.block for op in dev.trace("inner")] == [1]
+
+    def test_unattributed_ops_are_kept(self):
+        dev = make_traced()
+        dev.read_block(4)
+        assert dev.trace(TraceRecordingDevice.UNATTRIBUTED).ops == [BlockOp("r", 4)]
+
+    def test_image_is_not_recorded(self):
+        dev = make_traced()
+        with dev.recording("s"):
+            dev.image()
+        assert len(dev.trace("s")) == 0
+
+    def test_geometry_mirrors_inner(self):
+        dev = make_traced()
+        assert dev.block_size == 16
+        assert dev.total_blocks == 8
+
+    def test_close_closes_inner(self):
+        dev = make_traced()
+        dev.close()
+        assert dev.inner.closed

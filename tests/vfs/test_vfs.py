@@ -1,0 +1,189 @@
+"""VFS handle layer over plain and connected-hidden files."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.errors import (
+    FileNotFoundError_,
+    InvalidPathError,
+    IsADirectoryError_,
+    NotConnectedError,
+)
+from repro.storage.block_device import RamDevice
+from repro.vfs import VFS
+
+UAK = b"U" * 32
+
+
+@pytest.fixture
+def vfs():
+    steg = StegFS.mkfs(
+        RamDevice(block_size=256, total_blocks=4096),
+        params=StegFSParams.for_tests(),
+        inode_count=64,
+        rng=random.Random(5),
+    )
+    steg.create("/plain.txt", b"plain contents here")
+    steg.steg_create("secret", UAK, data=b"hidden contents here")
+    steg.steg_connect("secret", UAK)
+    return VFS(steg)
+
+
+class TestPlainHandles:
+    def test_read(self, vfs):
+        with vfs.open("/plain.txt") as handle:
+            assert handle.read() == b"plain contents here"
+
+    def test_partial_reads_and_seek(self, vfs):
+        with vfs.open("/plain.txt") as handle:
+            assert handle.read(5) == b"plain"
+            assert handle.tell() == 5
+            handle.seek(6)
+            assert handle.read(8) == b"contents"
+            handle.seek(-4, io.SEEK_END)
+            assert handle.read() == b"here"
+
+    def test_write_mode_truncates(self, vfs):
+        with vfs.open("/plain.txt", "w") as handle:
+            handle.write(b"new")
+        with vfs.open("/plain.txt") as handle:
+            assert handle.read() == b"new"
+
+    def test_write_creates_missing_file(self, vfs):
+        with vfs.open("/fresh.txt", "w") as handle:
+            handle.write(b"created")
+        assert vfs.exists("/fresh.txt")
+
+    def test_append(self, vfs):
+        with vfs.open("/plain.txt", "a") as handle:
+            handle.write(b"!")
+        with vfs.open("/plain.txt") as handle:
+            assert handle.read() == b"plain contents here!"
+
+    def test_read_plus_mode(self, vfs):
+        with vfs.open("/plain.txt", "r+") as handle:
+            handle.seek(0)
+            handle.write(b"PLAIN")
+        with vfs.open("/plain.txt") as handle:
+            assert handle.read() == b"PLAIN contents here"
+
+    def test_truncate(self, vfs):
+        with vfs.open("/plain.txt", "r+") as handle:
+            handle.truncate(5)
+        with vfs.open("/plain.txt") as handle:
+            assert handle.read() == b"plain"
+
+    def test_missing_file_read_mode(self, vfs):
+        with pytest.raises(FileNotFoundError_):
+            vfs.open("/ghost", "r")
+
+    def test_directory_rejected(self, vfs):
+        vfs._steg.mkdir("/d")
+        with pytest.raises(IsADirectoryError_):
+            vfs.open("/d")
+
+    def test_bad_mode(self, vfs):
+        with pytest.raises(ValueError):
+            vfs.open("/plain.txt", "x")
+
+    def test_relative_path_rejected(self, vfs):
+        with pytest.raises(InvalidPathError):
+            vfs.open("plain.txt")
+
+    def test_closed_handle_rejects_io(self, vfs):
+        handle = vfs.open("/plain.txt")
+        handle.close()
+        assert handle.closed
+        with pytest.raises(ValueError):
+            handle.read()
+
+    def test_read_mode_rejects_write(self, vfs):
+        with vfs.open("/plain.txt") as handle:
+            with pytest.raises(io.UnsupportedOperation):
+                handle.write(b"nope")
+
+
+class TestHiddenHandles:
+    def test_read_connected(self, vfs):
+        with vfs.open("/steg/secret") as handle:
+            assert handle.read() == b"hidden contents here"
+
+    def test_write_back_on_close(self, vfs):
+        with vfs.open("/steg/secret", "w") as handle:
+            handle.write(b"rewritten")
+        with vfs.open("/steg/secret") as handle:
+            assert handle.read() == b"rewritten"
+
+    def test_append_and_seek(self, vfs):
+        with vfs.open("/steg/secret", "a") as handle:
+            handle.write(b"++")
+        with vfs.open("/steg/secret") as handle:
+            handle.seek(-2, io.SEEK_END)
+            assert handle.read() == b"++"
+
+    def test_unconnected_rejected(self, vfs):
+        vfs._steg.steg_create("other", UAK, data=b"x")
+        with pytest.raises(NotConnectedError):
+            vfs.open("/steg/other")
+
+    def test_disconnected_becomes_invisible(self, vfs):
+        vfs._steg.steg_disconnect("secret")
+        assert not vfs.exists("/steg/secret")
+        with pytest.raises(NotConnectedError):
+            vfs.open("/steg/secret")
+
+    def test_persists_to_hidden_layer(self, vfs):
+        with vfs.open("/steg/secret", "w") as handle:
+            handle.write(b"through the stack")
+        assert vfs._steg.steg_read("secret", UAK) == b"through the stack"
+
+    def test_hidden_directory_rejected(self, vfs):
+        vfs._steg.steg_create("dir", UAK, objtype="d")
+        vfs._steg.steg_connect("dir", UAK)
+        with pytest.raises(IsADirectoryError_):
+            vfs.open("/steg/dir")
+
+
+class TestNamespace:
+    def test_root_listing_shows_steg_mount_when_connected(self, vfs):
+        assert "steg" in vfs.listdir("/")
+        assert "plain.txt" in vfs.listdir("/")
+
+    def test_steg_listing(self, vfs):
+        assert vfs.listdir("/steg") == ["secret"]
+
+    def test_steg_mount_hidden_when_nothing_connected(self, vfs):
+        vfs._steg.steg_disconnect("secret")
+        assert "steg" not in vfs.listdir("/")
+
+    def test_hidden_directory_listing(self, vfs):
+        vfs._steg.steg_create("docs", UAK, objtype="d")
+        vfs._steg.steg_create("docs/inner.txt", UAK, data=b"i")
+        vfs._steg.steg_connect("docs", UAK)
+        assert vfs.listdir("/steg/docs") == ["inner.txt"]
+        with vfs.open("/steg/docs/inner.txt") as handle:
+            assert handle.read() == b"i"
+
+    def test_remove_plain(self, vfs):
+        vfs.remove("/plain.txt")
+        assert not vfs.exists("/plain.txt")
+
+    def test_remove_hidden_deletes_object(self, vfs):
+        vfs.remove("/steg/secret")
+        assert not vfs.exists("/steg/secret")
+        # The UAK-directory entry goes stale (the VFS holds no UAK) and is
+        # swept at the owner's next login, per §3.2.
+        assert vfs._steg.steg_prune(UAK) == ["secret"]
+        assert vfs._steg.steg_list(UAK) == []
+
+    def test_exists(self, vfs):
+        assert vfs.exists("/plain.txt")
+        assert vfs.exists("/steg/secret")
+        assert vfs.exists("/steg")
+        assert not vfs.exists("/nope")

@@ -1,0 +1,96 @@
+"""Interleaved replay: queueing behaviour and the convergence mechanism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.disk_model import DiskModel
+from repro.storage.trace import BlockOp
+from repro.workload.runner import replay_interleaved, replay_serial
+
+
+def model() -> DiskModel:
+    return DiskModel(block_size=1024, total_blocks=1 << 20)
+
+
+def sequential_trace(label: str, start: int, n: int) -> tuple[str, list[BlockOp]]:
+    return (label, [BlockOp("r", start + i) for i in range(n)])
+
+
+def random_trace(label: str, seed: int, n: int, span: int = 1 << 20):
+    import random
+
+    rng = random.Random(seed)
+    return (label, [BlockOp("r", rng.randrange(span)) for _ in range(n)])
+
+
+class TestBasics:
+    def test_single_file_serial(self):
+        result = replay_serial([sequential_trace("f", 0, 100)], model())
+        assert len(result.files) == 1
+        f = result.files[0]
+        assert f.label == "f"
+        assert f.n_ops == 100
+        assert f.access_time_ms > 0
+        assert result.total_ms == pytest.approx(f.end_ms)
+
+    def test_empty_trace_is_zero_time(self):
+        result = replay_serial([("empty", [])], model())
+        assert result.files[0].access_time_ms == 0.0
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            replay_interleaved([], 0, model())
+
+    def test_files_dealt_round_robin(self):
+        traces = [sequential_trace(f"f{i}", i * 1000, 10) for i in range(4)]
+        result = replay_interleaved(traces, 2, model())
+        by_label = {f.label: f.user for f in result.files}
+        assert by_label == {"f0": 0, "f1": 1, "f2": 0, "f3": 1}
+
+    def test_deterministic(self):
+        traces = [random_trace(f"f{i}", i, 50) for i in range(6)]
+        a = replay_interleaved(traces, 3, model()).mean_access_ms
+        b = replay_interleaved(traces, 3, model()).mean_access_ms
+        assert a == b
+
+    def test_serial_matches_one_user(self):
+        traces = [random_trace("a", 1, 30), random_trace("b", 2, 30)]
+        serial = replay_serial(traces, model()).mean_access_ms
+        one_user = replay_interleaved(traces, 1, model()).mean_access_ms
+        assert serial == pytest.approx(one_user)
+
+
+class TestQueueingEffects:
+    def test_access_time_grows_with_user_count(self):
+        """More concurrent users → each file takes longer wall-clock."""
+        traces = [random_trace(f"f{i}", i, 60) for i in range(32)]
+        means = [
+            replay_interleaved(traces, n, model()).mean_access_ms for n in (1, 4, 16)
+        ]
+        assert means[0] < means[1] < means[2]
+
+    def test_sequential_streams_converge_to_random_under_load(self):
+        """The Figure 7 mechanism: few sequential streams keep their speed
+        advantage; many thrash the read-ahead segments and match random."""
+        n_files = 32
+        per_file = 128
+        seq = [sequential_trace(f"s{i}", i * 100_000, per_file) for i in range(n_files)]
+        rnd = [random_trace(f"r{i}", i, per_file) for i in range(n_files)]
+
+        def ratio(n_users: int) -> float:
+            seq_ms = replay_interleaved(seq, n_users, model()).mean_access_ms
+            rnd_ms = replay_interleaved(rnd, n_users, model()).mean_access_ms
+            return rnd_ms / seq_ms
+
+        assert ratio(1) > 4.0       # sequential far faster serially
+        assert ratio(32) < 1.7      # near-parity once segments thrash
+
+    def test_normalized_metric(self):
+        traces = [sequential_trace("f", 0, 100)]
+        result = replay_serial(traces, model())
+        sizes = {"f": 100 * 1024}
+        per_kb = result.normalized_access_s_per_kb(sizes)
+        assert per_kb == pytest.approx(
+            result.files[0].access_time_ms / 1000.0 / 100.0
+        )

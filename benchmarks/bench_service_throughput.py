@@ -1,0 +1,65 @@
+"""Service-layer throughput — real threads through the concurrent service.
+
+Unlike the figure benches (trace replay through the disk model), this one
+drives a live :class:`~repro.service.StegFSService` with actual client
+threads over a latency-priced device stack, and asserts the subsystem's
+acceptance claims:
+
+* aggregate ops/sec *increases* from 1 to 8 clients for a read-heavy mix
+  (threads overlap crypto compute with modeled disk waits);
+* re-reads through the write-back :class:`~repro.storage.cache.
+  CachedDevice` are ≥ 3× faster than uncached on a FileDevice-backed
+  volume;
+* no operation errors at any concurrency level.
+
+Run standalone (CI smoke) with ``python benchmarks/
+bench_service_throughput.py --smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import service_throughput
+
+
+@pytest.fixture(scope="module")
+def result():
+    return service_throughput.run()
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: service_throughput.render(result))
+    print("\n" + text)
+
+
+class TestThroughputClaims:
+    def test_read_heavy_throughput_rises_1_to_8_clients(self, result):
+        """More clients → more aggregate ops/sec while the disk has slack."""
+        series = result.ops_per_sec["uncached"]
+        one = series[result.threads.index(1)]
+        eight = series[result.threads.index(8)]
+        assert eight > 1.3 * one, (one, eight)
+
+    def test_cache_lifts_every_point_of_the_curve(self, result):
+        for i, clients in enumerate(result.threads):
+            assert result.ops_per_sec["cached"][i] > result.ops_per_sec["uncached"][i], clients
+
+    def test_no_operation_errors(self, result):
+        assert all(e == 0 for series in result.errors.values() for e in series)
+
+
+class TestCacheClaims:
+    def test_cached_rereads_at_least_3x_faster(self, result):
+        assert result.cache_speedup >= 3.0, result.cache_speedup
+
+    def test_cache_actually_hit(self, result):
+        stats = result.reread_cache_stats
+        assert stats is not None and stats.hits > stats.misses
+
+
+if __name__ == "__main__":
+    raise SystemExit(service_throughput.main(sys.argv[1:]))

@@ -47,11 +47,15 @@ from repro.core import (
 from repro.crypto import derive_key, generate_keypair, level_keys
 from repro.db import HiddenKVStore
 from repro.fs import FileSystem
+from repro.service import SessionManager, StegFSService
 from repro.storage import (
     Bitmap,
+    CachedDevice,
+    CacheStats,
     DiskModel,
     DiskParameters,
     FileDevice,
+    LatencyDevice,
     RamDevice,
     SparseDevice,
     TraceRecordingDevice,
@@ -63,6 +67,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Bitmap",
+    "CacheStats",
+    "CachedDevice",
     "DiskModel",
     "DiskParameters",
     "FileDevice",
@@ -71,14 +77,17 @@ __all__ = [
     "HiddenDirectory",
     "HiddenFile",
     "HiddenKVStore",
+    "LatencyDevice",
     "ObjectKeys",
     "RamDevice",
     "Session",
+    "SessionManager",
     "SnapshotMonitor",
     "SparseDevice",
     "StegCoverStore",
     "StegFS",
     "StegFSParams",
+    "StegFSService",
     "StegFSStore",
     "StegRandStore",
     "TraceRecordingDevice",

@@ -11,6 +11,26 @@ or through pytest-benchmark::
 Formatted result tables land in ``benchmarks/results/``.
 """
 
-from repro.bench import ablation, common, fig6, fig7, fig8, fig9, space, tables
+from repro.bench import (
+    ablation,
+    common,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    service_throughput,
+    space,
+    tables,
+)
 
-__all__ = ["ablation", "common", "fig6", "fig7", "fig8", "fig9", "space", "tables"]
+__all__ = [
+    "ablation",
+    "common",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "service_throughput",
+    "space",
+    "tables",
+]

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import sys
 
-from repro.bench import ablation, fig6, fig7, fig8, fig9, space, tables
+from repro.bench import (
+    ablation,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    service_throughput,
+    space,
+    tables,
+)
 
 _EXPERIMENTS = {
     "tables": lambda: tables.render_all(),
@@ -14,6 +23,7 @@ _EXPERIMENTS = {
     "fig9": lambda: fig9.render(fig9.run()),
     "space": lambda: space.render(space.run()),
     "ablation": lambda: ablation.render(ablation.run()),
+    "service": lambda: service_throughput.render(service_throughput.run()),
 }
 
 

@@ -1,0 +1,269 @@
+"""Service-layer throughput: real client threads vs ops/sec, cache on/off.
+
+This experiment is the live-concurrency counterpart of Figure 7.  Where the
+figure replays recorded traces through the disk model, here ``1 → N``
+actual threads hammer a :class:`~repro.service.StegFSService` through its
+locks, with a :class:`~repro.storage.latency.LatencyDevice` charging
+disk-model service time as real (scaled) sleeps so compute and I/O overlap
+exactly as they would over hardware.
+
+Two measurements:
+
+* **Throughput sweep** — aggregate ops/sec for a read-heavy mix at each
+  client count, with and without a :class:`~repro.storage.cache.
+  CachedDevice` under the volume.  Uncached throughput should *rise* with
+  clients (threads overlap crypto with disk waits) until the CPU
+  saturates; the cache lifts the whole curve by absorbing re-reads.
+* **Re-read latency** — on a :class:`~repro.storage.block_device.
+  FileDevice`-backed volume, mean per-op latency of re-reading a working
+  set with a cold stack vs a warmed write-back cache.  The acceptance
+  claim is cached re-reads ≥ 3× faster.
+
+Run from the command line (``--smoke`` for the CI-sized configuration)::
+
+    python -m repro.bench.service_throughput [--smoke]
+
+or through pytest via ``benchmarks/bench_service_throughput.py``, which
+asserts the claims above.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.common import format_table, write_result
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import StegFSService
+from repro.storage.block_device import BlockDevice, FileDevice, RamDevice
+from repro.storage.cache import CachedDevice, CacheStats
+from repro.storage.latency import LatencyDevice
+from repro.workload.live import OpMix, populate_hidden_files, run_live_clients
+
+__all__ = ["ServiceThroughputConfig", "ServiceThroughputResult", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class ServiceThroughputConfig:
+    """Knobs for one experiment run."""
+
+    threads: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    ops_per_client: int = 12
+    n_files: int = 8
+    file_size: int = 2048
+    payload_size: int = 2048
+    block_size: int = 512
+    total_blocks: int = 4096
+    cache_blocks: int = 2048
+    time_scale: float = 1.0
+    reread_passes: int = 3
+    seed: int = 2003
+
+    @classmethod
+    def smoke(cls) -> "ServiceThroughputConfig":
+        """CI-sized configuration: seconds, not minutes."""
+        return cls(
+            threads=(1, 2, 4),
+            ops_per_client=4,
+            n_files=4,
+            file_size=1024,
+            payload_size=1024,
+            total_blocks=2048,
+            time_scale=0.25,
+            reread_passes=2,
+        )
+
+
+@dataclass
+class ServiceThroughputResult:
+    """Everything the render and the claim assertions need."""
+
+    config: ServiceThroughputConfig
+    threads: list[int]
+    ops_per_sec: dict[str, list[float]] = field(default_factory=dict)
+    p50_ms: dict[str, list[float]] = field(default_factory=dict)
+    errors: dict[str, list[int]] = field(default_factory=dict)
+    reread_uncached_ms: float = 0.0
+    reread_cached_ms: float = 0.0
+    reread_cache_stats: CacheStats | None = None
+
+    @property
+    def cache_speedup(self) -> float:
+        """How much faster cached re-reads are than uncached ones."""
+        if self.reread_cached_ms <= 0:
+            return 0.0
+        return self.reread_uncached_ms / self.reread_cached_ms
+
+
+def _base_volume(config: ServiceThroughputConfig) -> tuple[RamDevice, list[str], bytes]:
+    """Build one populated volume on a raw RamDevice (cloned per run)."""
+    uak = b"B" * 32
+    device = RamDevice(config.block_size, config.total_blocks)
+    steg = StegFS.mkfs(
+        device,
+        params=StegFSParams.for_tests(),
+        inode_count=max(64, config.n_files * 4),
+        rng=random.Random(config.seed),
+        auto_flush=False,
+    )
+    service = StegFSService(steg)
+    names = populate_hidden_files(
+        service, uak, config.n_files, config.file_size, seed=config.seed
+    )
+    service.close()
+    return device, names, uak
+
+
+def _mounted_service(
+    device: BlockDevice, config: ServiceThroughputConfig, cached: bool
+) -> tuple[StegFSService, CachedDevice | None]:
+    """Mount a fresh latency-priced (and optionally cached) stack."""
+    stack: BlockDevice = LatencyDevice(device, time_scale=config.time_scale)
+    cache: CachedDevice | None = None
+    if cached:
+        cache = CachedDevice(stack, capacity_blocks=config.cache_blocks)
+        stack = cache
+    steg = StegFS.mount(
+        stack,
+        params=StegFSParams.for_tests(),
+        rng=random.Random(config.seed),
+        auto_flush=False,
+    )
+    return StegFSService(steg), cache
+
+
+def _throughput_sweep(
+    result: ServiceThroughputResult,
+    base: RamDevice,
+    names: list[str],
+    uak: bytes,
+) -> None:
+    config = result.config
+    for label, cached in (("uncached", False), ("cached", True)):
+        series_ops, series_p50, series_err = [], [], []
+        for n_clients in config.threads:
+            service, _ = _mounted_service(base.clone(), config, cached)
+            run_result = run_live_clients(
+                service,
+                uak,
+                names,
+                n_clients=n_clients,
+                ops_per_client=config.ops_per_client,
+                mix=OpMix.read_heavy(),
+                payload_size=config.payload_size,
+                seed=config.seed + n_clients,
+            )
+            series_ops.append(run_result.ops_per_sec)
+            series_p50.append(run_result.latency_ms(50))
+            series_err.append(run_result.total_errors)
+            service.close()
+        result.ops_per_sec[label] = series_ops
+        result.p50_ms[label] = series_p50
+        result.errors[label] = series_err
+
+
+def _reread_experiment(result: ServiceThroughputResult) -> None:
+    """Cached vs uncached re-read latency on a FileDevice-backed volume."""
+    config = result.config
+    uak = b"R" * 32
+    with tempfile.TemporaryDirectory(prefix="stegfs-bench-") as tmp:
+        path = os.path.join(tmp, "volume.img")
+        device = FileDevice(path, config.block_size, config.total_blocks)
+        steg = StegFS.mkfs(
+            device,
+            params=StegFSParams.for_tests(),
+            inode_count=max(64, config.n_files * 4),
+            rng=random.Random(config.seed),
+            auto_flush=False,
+        )
+        setup = StegFSService(steg)
+        names = populate_hidden_files(
+            setup, uak, config.n_files, config.file_size, prefix="rr", seed=config.seed
+        )
+        setup.close()
+
+        def mean_reread_ms(cached: bool) -> tuple[float, CacheStats | None]:
+            service, cache = _mounted_service(device, config, cached)
+            for name in names:  # warm-up pass: not measured either way
+                service.steg_read(name, uak)
+            count = 0
+            started = time.perf_counter()
+            for _ in range(config.reread_passes):
+                for name in names:
+                    service.steg_read(name, uak)
+                    count += 1
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            stats = cache.stats if cache is not None else None
+            service.close()
+            return elapsed_ms / count, stats
+
+        result.reread_uncached_ms, _ = mean_reread_ms(cached=False)
+        result.reread_cached_ms, result.reread_cache_stats = mean_reread_ms(cached=True)
+        device.close()
+
+
+def run(smoke: bool = False, config: ServiceThroughputConfig | None = None) -> ServiceThroughputResult:
+    """Run both measurements and return the collected result."""
+    config = config or (
+        ServiceThroughputConfig.smoke() if smoke else ServiceThroughputConfig()
+    )
+    result = ServiceThroughputResult(config=config, threads=list(config.threads))
+    base, names, uak = _base_volume(config)
+    _throughput_sweep(result, base, names, uak)
+    _reread_experiment(result)
+    return result
+
+
+def render(result: ServiceThroughputResult) -> str:
+    """Paper-style table + re-read summary; persisted to results/."""
+    headers = ["clients"] + [str(n) for n in result.threads]
+    rows = []
+    for label in ("uncached", "cached"):
+        rows.append(
+            [f"{label} ops/s"]
+            + [f"{v:.1f}" for v in result.ops_per_sec.get(label, [])]
+        )
+        rows.append(
+            [f"{label} p50 ms"]
+            + [f"{v:.1f}" for v in result.p50_ms.get(label, [])]
+        )
+    text = format_table(
+        "Service throughput vs concurrent clients (read-heavy mix)",
+        headers,
+        rows,
+    )
+    text += (
+        f"\nRe-reads on a FileDevice-backed volume:"
+        f"\n  uncached mean {result.reread_uncached_ms:.2f} ms/op"
+        f"\n  cached   mean {result.reread_cached_ms:.2f} ms/op"
+        f"\n  speedup  {result.cache_speedup:.1f}x"
+    )
+    if result.reread_cache_stats is not None:
+        stats = result.reread_cache_stats
+        text += (
+            f"\n  cache    {stats.hits} hits / {stats.misses} misses"
+            f" (hit rate {stats.hit_rate:.0%}), {stats.evictions} evictions"
+        )
+    text += "\n"
+    write_result("service_throughput", text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``--smoke`` for the CI configuration)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized configuration"
+    )
+    args = parser.parse_args(argv)
+    print(render(run(smoke=args.smoke)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

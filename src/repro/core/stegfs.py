@@ -57,7 +57,10 @@ class StegFS:
     ) -> None:
         self._fs = fs
         self._params = params or StegFSParams()
-        self._rng = rng or random.Random()
+        # Crypto-strength randomness by default: FAKs, dummy-file contents
+        # and abandoned-block placement must be unpredictable to the §1
+        # adversary.  Tests inject a seeded random.Random for determinism.
+        self._rng = rng or random.SystemRandom()
         self._auto_flush = auto_flush
         self._default_user = default_user
         self._volume = HiddenVolume(
@@ -91,7 +94,7 @@ class StegFS:
         hidden files are created for the snapshot defence.
         """
         params = params or StegFSParams()
-        rng = rng or random.Random()
+        rng = rng or random.SystemRandom()
         fs = FileSystem.mkfs(
             device,
             inode_count=inode_count,
@@ -169,6 +172,11 @@ class StegFS:
     def block_size(self) -> int:
         """Volume block size."""
         return self._fs.block_size
+
+    @property
+    def auto_flush(self) -> bool:
+        """Whether every mutation flushes dirty metadata immediately."""
+        return self._auto_flush
 
     @property
     def session(self) -> Session:

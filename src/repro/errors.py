@@ -133,6 +133,28 @@ class SharingError(StegFSError):
 
 
 # ---------------------------------------------------------------------------
+# service layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for multi-client service-layer failures."""
+
+
+class SessionNotFoundError(ServiceError):
+    """No live session matches the given session id (never opened, closed,
+    or evicted for idleness)."""
+
+
+class SessionAuthError(ServiceError):
+    """Session authentication failed: unknown user or wrong credential."""
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was submitted to a service that has been shut down."""
+
+
+# ---------------------------------------------------------------------------
 # baselines
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Concurrent multi-client service layer over a mounted StegFS volume.
+
+The paper evaluates StegFS under 1–32 concurrent users (§5.3) and designs
+for many agents with independent access keys (§4); this package is the
+piece that serves them.  It follows the protocol-agnostic
+service-over-storage shape: everything here is transport-neutral — a TCP,
+FUSE or HTTP front end would translate its wire format into these calls.
+
+* :class:`StegFSService` — the thread-safe operation surface: striped
+  reader–writer locks per object, a global volume reader–writer lock for
+  the shared core structures, atomic read–modify–write, a worker pool
+  with a futures API, and per-operation statistics.
+* :class:`SessionManager` / :class:`ServiceSession` — authenticated
+  ``steg_connect``/``steg_disconnect`` lifecycles with idle eviction.
+* :class:`~repro.service.locks.RWLock` / :class:`~repro.service.locks.
+  LockStripes` — the synchronization primitives, reusable by future
+  subsystems (sharding, async front ends).
+
+Pair the service with a :class:`~repro.storage.cache.CachedDevice` under
+the volume so hot blocks skip the disk, and see
+``benchmarks/bench_service_throughput.py`` for the ops/sec-vs-clients
+measurement harness.
+"""
+
+from repro.service.locks import LockStripes, RWLock
+from repro.service.service import OpStats, ServiceStats, StegFSService
+from repro.service.sessions import ServiceSession, SessionManager
+
+__all__ = [
+    "LockStripes",
+    "OpStats",
+    "RWLock",
+    "ServiceSession",
+    "ServiceStats",
+    "SessionManager",
+    "StegFSService",
+]

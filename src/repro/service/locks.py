@@ -1,0 +1,119 @@
+"""Reader–writer locks and lock striping for the multi-client service.
+
+:class:`RWLock` is a classic condition-variable reader–writer lock with
+writer preference: any number of readers share it, a writer gets it alone,
+and arriving readers queue behind a waiting writer so sustained read
+traffic cannot starve mutations.
+
+:class:`LockStripes` spreads a key space (hidden object names, plain
+paths) over a fixed array of :class:`RWLock` stripes.  Keys hash to
+stripes with CRC-32, so the mapping is stable across processes and runs —
+two sessions touching the same object always contend on the same stripe,
+while sessions touching different objects almost always proceed in
+parallel.  :meth:`LockStripes.stripes_for` returns the (deduplicated)
+stripes for a set of keys in ascending index order, the canonical
+acquisition order that makes multi-object operations deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RWLock", "LockStripes"]
+
+
+class RWLock:
+    """Shared/exclusive lock with writer preference.
+
+    Not reentrant: a thread must not re-acquire a lock it already holds in
+    either mode (the service layer acquires each stripe exactly once per
+    operation, in sorted order).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until the lock can be shared, then hold it shared."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read without matching acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is free, then hold it exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with`` helper for a shared hold."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with`` helper for an exclusive hold."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class LockStripes:
+    """A fixed array of :class:`RWLock` stripes addressed by hashed key."""
+
+    def __init__(self, n_stripes: int = 64) -> None:
+        if n_stripes <= 0:
+            raise ValueError(f"n_stripes must be positive, got {n_stripes}")
+        self._stripes = [RWLock() for _ in range(n_stripes)]
+
+    def __len__(self) -> int:
+        return len(self._stripes)
+
+    def index_for(self, key: str) -> int:
+        """Stable stripe index for ``key``."""
+        return zlib.crc32(key.encode("utf-8")) % len(self._stripes)
+
+    def for_key(self, key: str) -> RWLock:
+        """The stripe guarding ``key``."""
+        return self._stripes[self.index_for(key)]
+
+    def stripes_for(self, *keys: str) -> list[RWLock]:
+        """Deduplicated stripes for ``keys``, in canonical (index) order."""
+        indices = sorted({self.index_for(key) for key in keys})
+        return [self._stripes[i] for i in indices]

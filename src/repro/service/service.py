@@ -1,0 +1,483 @@
+"""Thread-safe multi-client service over one mounted :class:`StegFS`.
+
+The core layers (:mod:`repro.fs`, :mod:`repro.core`) are deliberately
+single-threaded — they share one bitmap, one inode cache and one device.
+:class:`StegFSService` is the concurrency boundary that lets real client
+threads hammer a volume the way §5.3 of the paper hammers its testbed:
+
+* **Striped reader–writer locks** (:class:`~repro.service.locks.
+  LockStripes`) — every operation locks the stripe(s) of the objects it
+  names: shared for reads, exclusive for mutations.  Two sessions reading
+  *different* objects never wait on each other's stripes; two writers of
+  the *same* object always serialize.  Multi-object operations
+  (``steg_hide``/``steg_unhide`` touch a plain path *and* a hidden name)
+  take their stripes in canonical index order, so they cannot deadlock.
+* **A global volume reader–writer lock** — readers share it, mutations
+  hold it exclusively.  This is what protects the core's shared
+  structures (bitmap, allocators, inode cache, dirty sets) until they
+  grow finer-grained locking; the stripes are the scaffolding future
+  sharding PRs will hang parallel mutations on.
+* **Read–modify–write without lost updates** — :meth:`steg_update` holds
+  the object's stripe exclusively across the whole read→compute→write
+  cycle while taking the volume lock only as needed, so concurrent
+  updates to one object serialize and updates to different objects
+  overlap their compute phases.
+* **A worker pool** — :meth:`submit` dispatches any service operation to
+  a :class:`~concurrent.futures.ThreadPoolExecutor` and returns a
+  :class:`~concurrent.futures.Future`, giving callers an async surface
+  without a framework dependency.
+
+Sessions (authentication, idle eviction) are managed by the embedded
+:class:`~repro.service.sessions.SessionManager`; per-operation counters
+live in :class:`ServiceStats`.
+
+For write-heavy workloads mount the :class:`StegFS` with
+``auto_flush=False`` and call :meth:`flush` at checkpoints — otherwise
+every mutation pays a full metadata write-back while holding the volume
+lock exclusively.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.core.stegfs import StegFS
+from repro.errors import ServiceClosedError
+from repro.fs.filesystem import FileStat
+from repro.service.locks import LockStripes, RWLock
+from repro.service.sessions import ServiceSession, SessionManager
+
+__all__ = ["OpStats", "ServiceStats", "StegFSService"]
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Counters for one operation name."""
+
+    count: int
+    errors: int
+    total_s: float
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean wall-clock per call in milliseconds."""
+        return self.total_s / self.count * 1000.0 if self.count else 0.0
+
+
+class ServiceStats:
+    """Thread-safe per-operation counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._times: dict[str, float] = {}
+
+    def record(self, op: str, elapsed_s: float, failed: bool) -> None:
+        """Account one completed (or failed) call."""
+        with self._lock:
+            self._counts[op] = self._counts.get(op, 0) + 1
+            self._times[op] = self._times.get(op, 0.0) + elapsed_s
+            if failed:
+                self._errors[op] = self._errors.get(op, 0) + 1
+
+    def snapshot(self) -> dict[str, OpStats]:
+        """Point-in-time copy of every operation's counters."""
+        with self._lock:
+            return {
+                op: OpStats(
+                    count=self._counts[op],
+                    errors=self._errors.get(op, 0),
+                    total_s=self._times[op],
+                )
+                for op in self._counts
+            }
+
+    @property
+    def total_ops(self) -> int:
+        """Total calls recorded across all operations."""
+        with self._lock:
+            return sum(self._counts.values())
+
+
+def _counted(method: Callable[..., Any]) -> Callable[..., Any]:
+    """Record latency/err counters and reject calls after shutdown."""
+    name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(self: "StegFSService", *args: Any, **kwargs: Any) -> Any:
+        if self._closed:
+            raise ServiceClosedError("service has been shut down")
+        start = time.perf_counter()
+        failed = True
+        try:
+            result = method(self, *args, **kwargs)
+            failed = False
+            return result
+        finally:
+            self._stats.record(name, time.perf_counter() - start, failed)
+
+    return wrapper
+
+
+class StegFSService:
+    """Concurrent facade over one mounted :class:`StegFS` volume.
+
+    Plain-namespace calls mirror :class:`StegFS`'s pass-through API;
+    hidden-object calls mirror the ``steg_*`` API; session calls address
+    objects through an authenticated :class:`ServiceSession`.  Every call
+    is safe to issue from any thread.
+    """
+
+    def __init__(
+        self,
+        steg: StegFS,
+        n_stripes: int = 64,
+        max_workers: int = 8,
+        idle_timeout: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._steg = steg
+        self._stripes = LockStripes(n_stripes)
+        self._volume_lock = RWLock()
+        self._sessions = SessionManager(steg, idle_timeout=idle_timeout, clock=clock)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="stegfs-svc"
+        )
+        self._stats = ServiceStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def steg(self) -> StegFS:
+        """The wrapped single-threaded facade (do not call it directly
+        while service clients are running)."""
+        return self._steg
+
+    @property
+    def sessions(self) -> SessionManager:
+        """The session registry."""
+        return self._sessions
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Per-operation counters."""
+        return self._stats
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # locking helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _canonical(path: str) -> str:
+        # Same split-and-filter that name resolution applies, so spelling
+        # variants ("a//b", "/a/b/") land on one stripe.
+        return "/".join(part for part in path.split("/") if part)
+
+    @classmethod
+    def _plain_key(cls, path: str) -> str:
+        return "p:" + cls._canonical(path)
+
+    @classmethod
+    def _hidden_key(cls, objname: str, uak: bytes) -> str:
+        # The stripe key must separate users who reuse an object name
+        # without leaking the UAK into any data structure: an 8-byte hash
+        # prefix keeps collisions harmless (extra contention only).
+        tag = hashlib.sha256(uak).hexdigest()[:16]
+        return f"h:{tag}:{cls._canonical(objname)}"
+
+    @contextmanager
+    def _shared(self, *keys: str) -> Iterator[None]:
+        """Shared stripes + shared volume lock (read-only operations)."""
+        with ExitStack() as stack:
+            for stripe in self._stripes.stripes_for(*keys):
+                stack.enter_context(stripe.read_locked())
+            stack.enter_context(self._volume_lock.read_locked())
+            yield
+
+    @contextmanager
+    def _exclusive(self, *keys: str) -> Iterator[None]:
+        """Exclusive stripes + exclusive volume lock (mutations)."""
+        with ExitStack() as stack:
+            for stripe in self._stripes.stripes_for(*keys):
+                stack.enter_context(stripe.write_locked())
+            stack.enter_context(self._volume_lock.write_locked())
+            yield
+
+    # ------------------------------------------------------------------
+    # plain namespace
+    # ------------------------------------------------------------------
+
+    @_counted
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a plain file."""
+        with self._exclusive(self._plain_key(path)):
+            self._steg.create(path, data)
+
+    @_counted
+    def read(self, path: str) -> bytes:
+        """Read a plain file."""
+        with self._shared(self._plain_key(path)):
+            return self._steg.read(path)
+
+    @_counted
+    def write(self, path: str, data: bytes) -> None:
+        """Replace a plain file's contents."""
+        with self._exclusive(self._plain_key(path)):
+            self._steg.write(path, data)
+
+    @_counted
+    def append(self, path: str, data: bytes) -> None:
+        """Append to a plain file (read–modify–write, stripe-serialized)."""
+        with self._exclusive(self._plain_key(path)):
+            self._steg.append(path, data)
+
+    @_counted
+    def unlink(self, path: str) -> None:
+        """Delete a plain file."""
+        with self._exclusive(self._plain_key(path)):
+            self._steg.unlink(path)
+
+    @_counted
+    def mkdir(self, path: str) -> None:
+        """Create a plain directory."""
+        with self._exclusive(self._plain_key(path)):
+            self._steg.mkdir(path)
+
+    @_counted
+    def rmdir(self, path: str) -> None:
+        """Remove an empty plain directory."""
+        with self._exclusive(self._plain_key(path)):
+            self._steg.rmdir(path)
+
+    @_counted
+    def listdir(self, path: str = "/") -> list[str]:
+        """List a plain directory."""
+        with self._shared(self._plain_key(path)):
+            return self._steg.listdir(path)
+
+    @_counted
+    def exists(self, path: str) -> bool:
+        """Whether a plain path exists."""
+        with self._shared(self._plain_key(path)):
+            return self._steg.exists(path)
+
+    @_counted
+    def stat(self, path: str) -> FileStat:
+        """Plain file metadata."""
+        with self._shared(self._plain_key(path)):
+            return self._steg.stat(path)
+
+    # ------------------------------------------------------------------
+    # hidden namespace (direct, UAK-addressed)
+    # ------------------------------------------------------------------
+
+    @_counted
+    def steg_create(
+        self,
+        objname: str,
+        uak: bytes,
+        objtype: str = "f",
+        data: bytes = b"",
+        owner: str | None = None,
+    ) -> None:
+        """Create a hidden file or directory."""
+        with self._exclusive(self._hidden_key(objname, uak)):
+            self._steg.steg_create(objname, uak, objtype=objtype, data=data, owner=owner)
+
+    @_counted
+    def steg_read(self, objname: str, uak: bytes) -> bytes:
+        """Read a hidden file."""
+        with self._shared(self._hidden_key(objname, uak)):
+            return self._steg.steg_read(objname, uak)
+
+    @_counted
+    def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
+        """Replace a hidden file's contents."""
+        with self._exclusive(self._hidden_key(objname, uak)):
+            self._steg.steg_write(objname, uak, data)
+
+    @_counted
+    def steg_update(
+        self, objname: str, uak: bytes, fn: Callable[[bytes], bytes | None]
+    ) -> bytes | None:
+        """Atomically transform a hidden file: ``new = fn(current)``.
+
+        The object's stripe is held exclusively across the whole
+        read→compute→write cycle, so concurrent updates to the same
+        object cannot lose each other's effects; the global volume lock
+        is only taken around the I/O phases, so updates to *different*
+        objects overlap their compute.  ``fn`` returning ``None`` skips
+        the write.  Returns what was written (or ``None``).
+        """
+        key = self._hidden_key(objname, uak)
+        stripes = self._stripes.stripes_for(key)
+        with ExitStack() as stack:
+            for stripe in stripes:
+                stack.enter_context(stripe.write_locked())
+            with self._volume_lock.read_locked():
+                current = self._steg.steg_read(objname, uak)
+            new = fn(current)
+            if new is None:
+                return None
+            with self._volume_lock.write_locked():
+                self._steg.steg_write(objname, uak, new)
+            return new
+
+    @_counted
+    def steg_delete(self, objname: str, uak: bytes) -> None:
+        """Delete a hidden object."""
+        with self._exclusive(self._hidden_key(objname, uak)):
+            self._steg.steg_delete(objname, uak)
+
+    @_counted
+    def steg_list(self, uak: bytes, objname: str | None = None) -> list[str]:
+        """List a hidden directory (the UAK root by default)."""
+        key = self._hidden_key(objname if objname is not None else "/", uak)
+        with self._shared(key):
+            return self._steg.steg_list(uak, objname)
+
+    @_counted
+    def steg_hide(self, pathname: str, objname: str, uak: bytes) -> None:
+        """Convert a plain object into a hidden one (both stripes held)."""
+        with self._exclusive(
+            self._plain_key(pathname), self._hidden_key(objname, uak)
+        ):
+            self._steg.steg_hide(pathname, objname, uak)
+
+    @_counted
+    def steg_unhide(self, pathname: str, objname: str, uak: bytes) -> None:
+        """Convert a hidden object back into a plain one."""
+        with self._exclusive(
+            self._plain_key(pathname), self._hidden_key(objname, uak)
+        ):
+            self._steg.steg_unhide(pathname, objname, uak)
+
+    @_counted
+    def steg_revoke(self, objname: str, uak: bytes) -> None:
+        """Re-key a hidden object, invalidating outstanding shares."""
+        with self._exclusive(self._hidden_key(objname, uak)):
+            self._steg.steg_revoke(objname, uak)
+
+    # ------------------------------------------------------------------
+    # authenticated sessions
+    # ------------------------------------------------------------------
+
+    @_counted
+    def open_session(self, user_id: str, uak: bytes) -> str:
+        """Authenticate ``user_id`` and open a session; returns its id."""
+        return self._sessions.open_session(user_id, uak).session_id
+
+    @_counted
+    def close_session(self, session_id: str) -> None:
+        """Logout: all connected objects become invisible again."""
+        self._sessions.close_session(session_id)
+
+    @_counted
+    def connect(self, session_id: str, objname: str) -> None:
+        """``steg_connect``: reveal a hidden object in the session."""
+        record = self._sessions.get(session_id)
+        with record.lock, self._shared(self._session_key(record, objname)):
+            self._steg.steg_connect(objname, record.uak, session=record.session)
+
+    @_counted
+    def disconnect(self, session_id: str, objname: str) -> None:
+        """``steg_disconnect``: hide a connected object again."""
+        record = self._sessions.get(session_id)
+        with record.lock:
+            self._steg.steg_disconnect(objname, session=record.session)
+
+    @_counted
+    def connected_names(self, session_id: str) -> list[str]:
+        """Names currently visible in the session."""
+        record = self._sessions.get(session_id)
+        with record.lock:
+            return record.session.connected_names()
+
+    @_counted
+    def session_read(self, session_id: str, objname: str) -> bytes:
+        """Read a connected object through the session."""
+        record = self._sessions.get(session_id)
+        with record.lock, self._shared(self._session_key(record, objname)):
+            return record.session.read(objname)
+
+    @_counted
+    def session_write(self, session_id: str, objname: str, data: bytes) -> None:
+        """Write a connected object through the session."""
+        record = self._sessions.get(session_id)
+        with record.lock, self._exclusive(self._session_key(record, objname)):
+            record.session.write(objname, data)
+            # Session writes bypass the facade, so account the bitmap
+            # mutation here, honouring the volume's auto_flush policy.
+            self._steg.fs.mark_bitmap_dirty()
+            if self._steg.auto_flush:
+                self._steg.fs.flush()
+
+    def _session_key(self, record: ServiceSession, objname: str) -> str:
+        return self._hidden_key(objname, record.uak)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    @_counted
+    def flush(self) -> None:
+        """Persist dirty metadata and flush the device stack (cache
+        write-back, file fsync) under the exclusive volume lock."""
+        with self._volume_lock.write_locked():
+            self._steg.flush()
+            self._steg.device.flush()
+
+    @_counted
+    def dummy_tick(self) -> int | None:
+        """One round of dummy-file churn, serialized like any mutation."""
+        with self._volume_lock.write_locked():
+            return self._steg.dummy_tick()
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, op: str | Callable[..., Any], /, *args: Any, **kwargs: Any
+    ) -> Future:
+        """Dispatch an operation to the worker pool; returns its future.
+
+        ``op`` is a service method name (``"steg_read"``) or any callable.
+        """
+        if self._closed:
+            raise ServiceClosedError("service has been shut down")
+        target = getattr(self, op) if isinstance(op, str) else op
+        return self._executor.submit(target, *args, **kwargs)
+
+    def close(self) -> None:
+        """Drain the pool, log out every session, flush, and shut down."""
+        if self._closed:
+            return
+        self._executor.shutdown(wait=True)
+        self._sessions.close_all()
+        with self._volume_lock.write_locked():
+            self._steg.flush()
+            self._steg.device.flush()
+        self._closed = True
+
+    def __enter__(self) -> "StegFSService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

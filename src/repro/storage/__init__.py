@@ -13,18 +13,23 @@ from repro.storage.allocator import (
 )
 from repro.storage.bitmap import Bitmap
 from repro.storage.block_device import BlockDevice, FileDevice, RamDevice, SparseDevice
+from repro.storage.cache import CachedDevice, CacheStats
 from repro.storage.disk_model import DiskModel, DiskParameters
+from repro.storage.latency import LatencyDevice
 from repro.storage.trace import BlockOp, Trace, TraceRecordingDevice
 
 __all__ = [
     "Bitmap",
     "BlockDevice",
     "BlockOp",
+    "CacheStats",
+    "CachedDevice",
     "ContiguousAllocator",
     "DiskModel",
     "DiskParameters",
     "FileDevice",
     "FragmentingAllocator",
+    "LatencyDevice",
     "RamDevice",
     "RandomAllocator",
     "SparseDevice",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 from abc import ABC, abstractmethod
 from typing import Iterable
 
@@ -87,6 +88,15 @@ class BlockDevice(ABC):
     def image(self) -> bytes:
         """Raw image of the whole device (the attacker's view)."""
         return b"".join(self.read_block(i) for i in range(self._total_blocks))
+
+    def flush(self) -> None:
+        """Push buffered writes toward durable storage.
+
+        The base implementation is a no-op: :class:`RamDevice` and
+        :class:`SparseDevice` have nothing beneath them.  Devices that
+        buffer (:class:`FileDevice`, the write-back cache in
+        :mod:`repro.storage.cache`) override this; wrappers forward it.
+        """
 
     def close(self) -> None:
         """Release resources; further I/O raises :class:`DeviceClosedError`."""
@@ -200,6 +210,9 @@ class FileDevice(BlockDevice):
         self._path = os.fspath(path)
         exists = os.path.exists(self._path)
         self._file = open(self._path, "r+b" if exists else "w+b")
+        # One file handle, one position: the seek+read/write pairs below
+        # must be atomic under the concurrent service layer's shared reads.
+        self._io_lock = threading.Lock()
         self._file.seek(self.capacity - 1)
         if not exists or os.path.getsize(self._path) < self.capacity:
             self._file.write(b"\x00")
@@ -212,8 +225,9 @@ class FileDevice(BlockDevice):
 
     def read_block(self, index: int) -> bytes:
         self._check(index)
-        self._file.seek(index * self._block_size)
-        return self._file.read(self._block_size)
+        with self._io_lock:
+            self._file.seek(index * self._block_size)
+            return self._file.read(self._block_size)
 
     def write_block(self, index: int, data: bytes) -> None:
         self._check(index)
@@ -221,16 +235,20 @@ class FileDevice(BlockDevice):
             raise ValueError(
                 f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
             )
-        self._file.seek(index * self._block_size)
-        self._file.write(data)
+        with self._io_lock:
+            self._file.seek(index * self._block_size)
+            self._file.write(data)
 
     def flush(self) -> None:
-        """Flush buffered writes to the backing file."""
+        """Flush buffered writes and ``fsync`` so the on-disk image is
+        durable — a host crash must not cost a hidden object its blocks."""
         if not self._closed:
-            self._file.flush()
+            with self._io_lock:
+                self._file.flush()
+                os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if not self._closed:
-            self._file.flush()
+            self.flush()
             self._file.close()
         super().close()

@@ -1,0 +1,112 @@
+"""A block device that charges disk-model service time as real wall-clock.
+
+The trace-replay harness (:mod:`repro.workload.runner`) prices *recorded*
+traces after the fact; that cannot exercise real thread concurrency.
+:class:`LatencyDevice` closes the gap: it wraps any
+:class:`~repro.storage.block_device.BlockDevice` and, on every access,
+prices the request through a :class:`~repro.storage.disk_model.DiskModel`
+and sleeps the resulting (scaled) duration.  Threads blocked in that sleep
+release the GIL, so a multi-client service sees the same compute/IO overlap
+a real disk would provide — which is what makes the service-throughput
+benchmark's concurrency curves meaningful.
+
+Two service disciplines:
+
+* ``exclusive=True`` — the sleep happens while holding the device lock:
+  a single-armed FCFS disk (the paper's Ultra ATA drive), one request in
+  flight at a time.
+* ``exclusive=False`` (default) — model state is updated under the lock
+  but the sleep overlaps across threads: a queue-depth>1 device (NCQ/SSD
+  style), where concurrent requests pipeline.
+
+``time_scale`` shrinks modeled milliseconds to keep benchmarks fast
+(``0`` disables sleeping entirely and only accounts time).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.storage.block_device import BlockDevice
+from repro.storage.disk_model import DiskModel
+
+__all__ = ["LatencyDevice"]
+
+
+class LatencyDevice(BlockDevice):
+    """Pass-through device that sleeps the modeled service time per access."""
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        model: DiskModel | None = None,
+        time_scale: float = 1.0,
+        exclusive: bool = False,
+    ) -> None:
+        super().__init__(inner.block_size, inner.total_blocks)
+        if time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        self._inner = inner
+        self._model = model or DiskModel.ultra_ata_100(
+            inner.block_size, inner.total_blocks
+        )
+        self._time_scale = time_scale
+        self._exclusive = exclusive
+        self._lock = threading.Lock()
+
+    @property
+    def inner(self) -> BlockDevice:
+        """The wrapped device."""
+        return self._inner
+
+    @property
+    def model(self) -> DiskModel:
+        """The pricing model (its ``busy_ms`` accumulates modeled time)."""
+        return self._model
+
+    @property
+    def busy_ms(self) -> float:
+        """Total modeled (unscaled) service time charged so far."""
+        return self._model.busy_ms
+
+    def _charge(self, op: str, index: int) -> None:
+        if self._exclusive:
+            with self._lock:
+                cost_ms = self._model.service(op, index)
+                self._sleep(cost_ms)
+        else:
+            with self._lock:
+                cost_ms = self._model.service(op, index)
+            self._sleep(cost_ms)
+
+    def _sleep(self, cost_ms: float) -> None:
+        if self._time_scale > 0:
+            time.sleep(cost_ms * self._time_scale / 1000.0)
+
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        self._charge("r", index)
+        return self._inner.read_block(index)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        self._charge("w", index)
+        self._inner.write_block(index, data)
+
+    def fill_random(self, rng: random.Random) -> None:
+        """mkfs-time fill is setup, not workload: bypass the pricing."""
+        self._inner.fill_random(rng)
+
+    def image(self) -> bytes:
+        """Analysis snapshots bypass the pricing, like trace recording."""
+        return self._inner.image()
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._inner.close()
+        super().close()

@@ -110,6 +110,9 @@ class TraceRecordingDevice(BlockDevice):
         # recording so attacker snapshots do not pollute timing traces.
         return self._inner.image()
 
+    def flush(self) -> None:
+        self._inner.flush()
+
     def close(self) -> None:
         self._inner.close()
         super().close()

@@ -20,6 +20,7 @@ the semantics a fusepy prototype of this design would have.
 from __future__ import annotations
 
 import io
+import threading
 
 from repro.core.session import Session
 from repro.core.stegfs import StegFS
@@ -38,13 +39,23 @@ _MODES = {"r", "r+", "w", "a"}
 
 
 class FileHandle:
-    """One open file: a seekable byte stream with deferred write-back."""
+    """One open file: a seekable byte stream with deferred write-back.
+
+    Handle operations are serialized by an internal lock, so a handle may
+    be passed between threads without tearing its buffer or position (the
+    position is shared, as with a ``dup``-ed POSIX descriptor).  The
+    write-back on flush/close targets the single-threaded core directly,
+    however — while other clients are mutating the volume concurrently,
+    route mutations through :class:`~repro.service.StegFSService` instead
+    of flushing VFS handles.
+    """
 
     def __init__(self, flush_callback, initial: bytes, mode: str) -> None:
         self._flush = flush_callback
         self._mode = mode
         self._closed = False
         self._dirty = False
+        self._lock = threading.RLock()
         self._buffer = io.BytesIO(b"" if mode == "w" else initial)
         if mode == "a":
             self._buffer.seek(0, io.SEEK_END)
@@ -72,45 +83,52 @@ class FileHandle:
 
     def read(self, size: int = -1) -> bytes:
         """Read up to ``size`` bytes (all remaining by default)."""
-        self._check_open()
-        return self._buffer.read(size)
+        with self._lock:
+            self._check_open()
+            return self._buffer.read(size)
 
     def write(self, data: bytes) -> int:
         """Write ``data`` at the current position; returns bytes written."""
-        self._check_writable()
-        self._dirty = True
-        return self._buffer.write(data)
+        with self._lock:
+            self._check_writable()
+            self._dirty = True
+            return self._buffer.write(data)
 
     def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
         """Reposition; returns the new absolute position."""
-        self._check_open()
-        return self._buffer.seek(offset, whence)
+        with self._lock:
+            self._check_open()
+            return self._buffer.seek(offset, whence)
 
     def tell(self) -> int:
         """Current position."""
-        self._check_open()
-        return self._buffer.tell()
+        with self._lock:
+            self._check_open()
+            return self._buffer.tell()
 
     def truncate(self, size: int | None = None) -> int:
         """Truncate to ``size`` (default: current position)."""
-        self._check_writable()
-        self._dirty = True
-        return self._buffer.truncate(size)
+        with self._lock:
+            self._check_writable()
+            self._dirty = True
+            return self._buffer.truncate(size)
 
     def flush(self) -> None:
         """Write buffered changes through to the backing object."""
-        self._check_open()
-        if self._dirty:
-            self._flush(self._buffer.getvalue())
-            self._dirty = False
+        with self._lock:
+            self._check_open()
+            if self._dirty:
+                self._flush(self._buffer.getvalue())
+                self._dirty = False
 
     def close(self) -> None:
         """Flush (if writable) and invalidate the handle."""
-        if self._closed:
-            return
-        if self._mode != "r":
-            self.flush()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            if self._mode != "r":
+                self.flush()
+            self._closed = True
 
     def __enter__(self) -> "FileHandle":
         return self

@@ -1,6 +1,13 @@
-"""Workload generation (Table 3) and the interleaved replay harness."""
+"""Workload generation (Table 3), trace replay, and live client driving."""
 
 from repro.workload.generator import FileJob, WorkloadSpec, generate_jobs
+from repro.workload.live import (
+    ClientResult,
+    LiveRunResult,
+    OpMix,
+    populate_hidden_files,
+    run_live_clients,
+)
 from repro.workload.metrics import Summary, space_utilization, summarize
 from repro.workload.runner import (
     FileAccessResult,
@@ -10,14 +17,19 @@ from repro.workload.runner import (
 )
 
 __all__ = [
+    "ClientResult",
     "FileAccessResult",
     "FileJob",
+    "LiveRunResult",
+    "OpMix",
     "RunResult",
     "Summary",
     "WorkloadSpec",
     "generate_jobs",
+    "populate_hidden_files",
     "replay_interleaved",
     "replay_serial",
+    "run_live_clients",
     "space_utilization",
     "summarize",
 ]

@@ -1,0 +1,204 @@
+"""Live multi-threaded workload driver for the service layer.
+
+Where :mod:`repro.workload.runner` *replays recorded traces* through the
+disk model (the Figure 7–9 methodology), this module drives a
+:class:`~repro.service.StegFSService` with **real client threads** issuing
+real operations — lock contention, GIL scheduling and device latency all
+happen for real.  It is the measurement engine of
+``benchmarks/bench_service_throughput.py`` and the concurrency stress
+tests.
+
+Each client thread owns a deterministic RNG and loops over an
+:class:`OpMix` (read/write/create/delete weights) against a set of hidden
+objects; all clients start together on a barrier, and the run reports
+aggregate throughput plus per-op latency percentiles.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.service import StegFSService
+
+__all__ = [
+    "ClientResult",
+    "LiveRunResult",
+    "OpMix",
+    "populate_hidden_files",
+    "run_live_clients",
+]
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Relative operation weights for one client loop."""
+
+    read: float = 1.0
+    write: float = 0.0
+    create: float = 0.0
+    delete: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.read + self.write + self.create + self.delete
+        if total <= 0:
+            raise ValueError("operation mix must have positive total weight")
+        if min(self.read, self.write, self.create, self.delete) < 0:
+            raise ValueError("operation weights must be non-negative")
+
+    def choose(self, rng: random.Random) -> str:
+        """Draw one op name according to the weights."""
+        total = self.read + self.write + self.create + self.delete
+        roll = rng.random() * total
+        if roll < self.read:
+            return "read"
+        roll -= self.read
+        if roll < self.write:
+            return "write"
+        roll -= self.write
+        if roll < self.create:
+            return "create"
+        return "delete"
+
+    @classmethod
+    def read_heavy(cls) -> "OpMix":
+        """The §5.3-style mix the throughput bench defaults to."""
+        return cls(read=0.9, write=0.1)
+
+
+@dataclass
+class ClientResult:
+    """One client thread's outcome."""
+
+    client: int
+    ops: int = 0
+    errors: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+
+@dataclass
+class LiveRunResult:
+    """Aggregate outcome of one live run."""
+
+    n_clients: int
+    elapsed_s: float
+    clients: list[ClientResult]
+
+    @property
+    def total_ops(self) -> int:
+        """Completed operations across all clients."""
+        return sum(c.ops for c in self.clients)
+
+    @property
+    def total_errors(self) -> int:
+        """Operations that raised (should be zero in a healthy run)."""
+        return sum(c.errors for c in self.clients)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Aggregate throughput."""
+        return self.total_ops / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_ms(self, percentile: float = 50.0) -> float:
+        """Latency percentile across every operation (ms)."""
+        samples = sorted(
+            value for client in self.clients for value in client.latencies_ms
+        )
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, int(round(percentile / 100.0 * (len(samples) - 1))))
+        return samples[rank]
+
+
+def populate_hidden_files(
+    service: StegFSService,
+    uak: bytes,
+    n_files: int,
+    file_size: int,
+    prefix: str = "bench",
+    seed: int = 0,
+) -> list[str]:
+    """Create ``n_files`` hidden files with deterministic contents."""
+    rng = random.Random(seed)
+    names = []
+    for index in range(n_files):
+        name = f"{prefix}-{index:04d}"
+        service.steg_create(name, uak, data=rng.randbytes(file_size))
+        names.append(name)
+    service.flush()
+    return names
+
+
+def run_live_clients(
+    service: StegFSService,
+    uak: bytes,
+    names: list[str],
+    n_clients: int,
+    ops_per_client: int,
+    mix: OpMix | None = None,
+    payload_size: int = 2048,
+    seed: int = 0,
+) -> LiveRunResult:
+    """Hammer ``service`` with ``n_clients`` real threads.
+
+    Reads and writes target the shared ``names``; creates and deletes use
+    per-client private names so clients never race on namespace existence.
+    Every client is deterministic given ``seed``; wall-clock spans the
+    barrier release to the last thread's exit.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+    if not names:
+        raise ValueError("names must not be empty")
+    mix = mix or OpMix.read_heavy()
+    barrier = threading.Barrier(n_clients + 1)
+    results = [ClientResult(client=i) for i in range(n_clients)]
+
+    def client_loop(index: int) -> None:
+        rng = random.Random((seed << 16) ^ index)
+        result = results[index]
+        private_serial = 0
+        private_live: list[str] = []
+        barrier.wait()
+        for _ in range(ops_per_client):
+            op = mix.choose(rng)
+            start = time.perf_counter()
+            try:
+                if op == "read":
+                    service.steg_read(rng.choice(names), uak)
+                elif op == "write":
+                    service.steg_write(
+                        rng.choice(names), uak, rng.randbytes(payload_size)
+                    )
+                elif op == "create":
+                    name = f"client{index}-{private_serial:04d}"
+                    private_serial += 1
+                    service.steg_create(name, uak, data=rng.randbytes(payload_size))
+                    private_live.append(name)
+                else:  # delete — fall back to create if nothing to delete
+                    if private_live:
+                        service.steg_delete(private_live.pop(), uak)
+                    else:
+                        name = f"client{index}-{private_serial:04d}"
+                        private_serial += 1
+                        service.steg_create(name, uak, data=rng.randbytes(payload_size))
+                        private_live.append(name)
+                result.ops += 1
+            except Exception:
+                result.errors += 1
+            result.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), name=f"client-{i}")
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return LiveRunResult(n_clients=n_clients, elapsed_s=elapsed, clients=results)

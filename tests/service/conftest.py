@@ -1,0 +1,43 @@
+"""Fixtures for the concurrent service-layer tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+from repro.storage.cache import CachedDevice
+
+
+@pytest.fixture
+def backing() -> RamDevice:
+    return RamDevice(block_size=256, total_blocks=4096)
+
+
+@pytest.fixture
+def cached(backing) -> CachedDevice:
+    return CachedDevice(backing, capacity_blocks=512)
+
+
+@pytest.fixture
+def service(cached) -> StegFSService:
+    steg = StegFS.mkfs(
+        cached,
+        params=StegFSParams.for_tests(),
+        inode_count=128,
+        rng=random.Random(11),
+        auto_flush=False,
+    )
+    svc = StegFSService(steg, max_workers=4)
+    yield svc
+    if not svc.closed:
+        svc.close()
+
+
+@pytest.fixture
+def uak() -> bytes:
+    return b"U" * 32

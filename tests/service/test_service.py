@@ -1,0 +1,150 @@
+"""StegFSService: operation surface, futures, sessions, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    HiddenObjectNotFoundError,
+    NotConnectedError,
+    ServiceClosedError,
+    SessionAuthError,
+)
+
+
+class TestPlainOps:
+    def test_create_read_write_roundtrip(self, service):
+        service.mkdir("/docs")
+        service.create("/docs/a.txt", b"one")
+        assert service.read("/docs/a.txt") == b"one"
+        service.write("/docs/a.txt", b"two")
+        service.append("/docs/a.txt", b" three")
+        assert service.read("/docs/a.txt") == b"two three"
+        assert service.listdir("/docs") == ["a.txt"]
+        assert service.stat("/docs/a.txt").size == 9
+        service.unlink("/docs/a.txt")
+        service.rmdir("/docs")
+        assert not service.exists("/docs")
+
+
+class TestHiddenOps:
+    def test_steg_lifecycle(self, service, uak):
+        service.steg_create("secret", uak, data=b"payload")
+        assert service.steg_read("secret", uak) == b"payload"
+        service.steg_write("secret", uak, b"updated")
+        assert service.steg_read("secret", uak) == b"updated"
+        assert service.steg_list(uak) == ["secret"]
+        service.steg_delete("secret", uak)
+        with pytest.raises(HiddenObjectNotFoundError):
+            service.steg_read("secret", uak)
+
+    def test_steg_update_applies_function(self, service, uak):
+        service.steg_create("counter", uak, data=b"41")
+        written = service.steg_update(
+            "counter", uak, lambda cur: str(int(cur) + 1).encode()
+        )
+        assert written == b"42"
+        assert service.steg_read("counter", uak) == b"42"
+
+    def test_steg_update_none_skips_write(self, service, uak):
+        service.steg_create("doc", uak, data=b"keep")
+        assert service.steg_update("doc", uak, lambda cur: None) is None
+        assert service.steg_read("doc", uak) == b"keep"
+
+    def test_hide_and_unhide_cross_namespace(self, service, uak):
+        service.create("/visible.txt", b"sensitive")
+        service.steg_hide("/visible.txt", "stashed", uak)
+        assert not service.exists("/visible.txt")
+        assert service.steg_read("stashed", uak) == b"sensitive"
+        service.steg_unhide("/back.txt", "stashed", uak)
+        assert service.read("/back.txt") == b"sensitive"
+        with pytest.raises(HiddenObjectNotFoundError):
+            service.steg_read("stashed", uak)
+
+    def test_steg_revoke_rekeys_object(self, service, uak):
+        service.steg_create("shared", uak, data=b"v1")
+        service.steg_revoke("shared", uak)
+        assert service.steg_read("shared", uak) == b"v1"
+
+    def test_stripe_keys_canonicalize_path_spellings(self, service, uak):
+        """'a//b' and 'a/b' address one object, so they must share a stripe."""
+        cls = type(service)
+        assert cls._plain_key("/docs//a.txt") == cls._plain_key("/docs/a.txt/")
+        assert cls._hidden_key("dir//doc", uak) == cls._hidden_key("dir/doc", uak)
+        assert cls._hidden_key("doc", uak) != cls._hidden_key("doc", b"W" * 32)
+
+
+class TestSessions:
+    def test_session_connect_read_write(self, service, uak):
+        service.steg_create("doc", uak, data=b"hello")
+        sid = service.open_session("alice", uak)
+        service.connect(sid, "doc")
+        assert service.connected_names(sid) == ["doc"]
+        assert service.session_read(sid, "doc") == b"hello"
+        service.session_write(sid, "doc", b"goodbye")
+        assert service.steg_read("doc", uak) == b"goodbye"
+        service.disconnect(sid, "doc")
+        with pytest.raises(NotConnectedError):
+            service.session_read(sid, "doc")
+        service.close_session(sid)
+
+    def test_session_auth_enforced(self, service, uak):
+        service.open_session("alice", uak)
+        with pytest.raises(SessionAuthError):
+            service.open_session("alice", b"Z" * 32)
+
+
+class TestExecutor:
+    def test_submit_by_name_and_callable(self, service, uak):
+        service.steg_create("doc", uak, data=b"async")
+        future = service.submit("steg_read", "doc", uak)
+        assert future.result(timeout=10) == b"async"
+        future = service.submit(lambda: service.exists("/"))
+        assert future.result(timeout=10) is True
+
+    def test_submit_propagates_exceptions(self, service, uak):
+        future = service.submit("steg_read", "missing", uak)
+        with pytest.raises(HiddenObjectNotFoundError):
+            future.result(timeout=10)
+
+    def test_many_concurrent_futures(self, service, uak):
+        for i in range(4):
+            service.steg_create(f"f{i}", uak, data=bytes([i]) * 64)
+        futures = [service.submit("steg_read", f"f{i % 4}", uak) for i in range(32)]
+        for i, future in enumerate(futures):
+            assert future.result(timeout=30) == bytes([i % 4]) * 64
+
+
+class TestLifecycleAndStats:
+    def test_stats_count_operations(self, service, uak):
+        service.steg_create("doc", uak, data=b"x")
+        service.steg_read("doc", uak)
+        service.steg_read("doc", uak)
+        snapshot = service.stats.snapshot()
+        assert snapshot["steg_create"].count == 1
+        assert snapshot["steg_read"].count == 2
+        assert snapshot["steg_read"].errors == 0
+        assert snapshot["steg_read"].mean_ms >= 0.0
+
+    def test_stats_count_errors(self, service, uak):
+        with pytest.raises(HiddenObjectNotFoundError):
+            service.steg_read("missing", uak)
+        assert service.stats.snapshot()["steg_read"].errors == 1
+
+    def test_flush_writes_cache_back(self, service, cached, backing):
+        service.create("/f.txt", b"data")
+        service.flush()
+        for index, data in cached.snapshot().items():
+            assert backing.read_block(index) == data
+
+    def test_closed_service_rejects_operations(self, service, uak):
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.steg_read("doc", uak)
+        with pytest.raises(ServiceClosedError):
+            service.submit("exists", "/")
+
+    def test_context_manager_closes(self, service):
+        with service as svc:
+            svc.create("/x", b"1")
+        assert service.closed

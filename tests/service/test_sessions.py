@@ -1,0 +1,115 @@
+"""SessionManager: authentication, lifecycle, idle eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SessionAuthError, SessionNotFoundError
+from repro.service.sessions import SessionManager
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def manager(service, clock) -> SessionManager:
+    return SessionManager(service.steg, idle_timeout=60.0, clock=clock)
+
+
+class TestAuthentication:
+    def test_first_open_binds_credential(self, manager, uak):
+        record = manager.open_session("alice", uak)
+        assert record.user_id == "alice"
+        assert manager.active_count() == 1
+
+    def test_wrong_uak_rejected_after_binding(self, manager, uak):
+        manager.open_session("alice", uak)
+        with pytest.raises(SessionAuthError):
+            manager.open_session("alice", b"W" * 32)
+
+    def test_explicit_registration(self, manager, uak):
+        manager.register_user("bob", uak)
+        with pytest.raises(SessionAuthError):
+            manager.open_session("bob", b"X" * 32)
+        manager.open_session("bob", uak)
+
+    def test_users_are_independent(self, manager, uak):
+        manager.open_session("alice", uak)
+        manager.open_session("bob", b"Y" * 32)            # fresh user, fresh key
+
+    def test_verifier_is_not_the_key(self, manager, uak):
+        manager.open_session("alice", uak)
+        assert uak not in manager._verifiers.values()
+
+
+class TestLifecycle:
+    def test_sessions_have_unique_ids(self, manager, uak):
+        first = manager.open_session("alice", uak)
+        second = manager.open_session("alice", uak)
+        assert first.session_id != second.session_id
+        assert manager.active_count() == 2
+
+    def test_get_unknown_session_raises(self, manager):
+        with pytest.raises(SessionNotFoundError):
+            manager.get("nope")
+
+    def test_close_session_disconnects(self, manager, service, uak):
+        service.steg_create("doc", uak, data=b"hi")
+        record = manager.open_session("alice", uak)
+        service.steg.steg_connect("doc", uak, session=record.session)
+        assert record.session.connected_names() == ["doc"]
+        manager.close_session(record.session_id)
+        assert record.session.connected_names() == []
+        with pytest.raises(SessionNotFoundError):
+            manager.get(record.session_id)
+
+    def test_close_all(self, manager, uak):
+        manager.open_session("alice", uak)
+        manager.open_session("alice", uak)
+        manager.close_all()
+        assert manager.active_count() == 0
+
+
+class TestIdleEviction:
+    def test_idle_session_evicted(self, manager, clock, uak):
+        record = manager.open_session("alice", uak)
+        clock.advance(61.0)
+        assert manager.evict_idle() == [record.session_id]
+        with pytest.raises(SessionNotFoundError):
+            manager.get(record.session_id)
+        assert manager.evicted_total == 1
+
+    def test_activity_resets_idle_clock(self, manager, clock, uak):
+        record = manager.open_session("alice", uak)
+        clock.advance(59.0)
+        manager.get(record.session_id)                   # touch
+        clock.advance(59.0)
+        assert manager.evict_idle() == []
+        manager.get(record.session_id)
+
+    def test_eviction_runs_opportunistically(self, manager, clock, uak):
+        stale = manager.open_session("alice", uak)
+        clock.advance(61.0)
+        fresh = manager.open_session("alice", uak)       # triggers the reap
+        assert manager.active_ids() == [fresh.session_id]
+        assert stale.session_id not in manager.active_ids()
+
+    def test_no_timeout_means_no_eviction(self, service, clock, uak):
+        manager = SessionManager(service.steg, idle_timeout=None, clock=clock)
+        manager.open_session("alice", uak)
+        clock.advance(1e9)
+        assert manager.evict_idle() == []
+        assert manager.active_count() == 1

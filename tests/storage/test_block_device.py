@@ -171,3 +171,35 @@ class TestFileDevice:
         path = tmp_path / "p.img"
         with FileDevice(path, 16, 2) as dev:
             assert dev.path == str(path)
+
+    def test_concurrent_readers_get_the_right_blocks(self, tmp_path):
+        """seek+read pairs must be atomic under the service's shared reads."""
+        import threading
+
+        path = tmp_path / "concurrent.img"
+        with FileDevice(path, 32, 64) as dev:
+            for i in range(64):
+                dev.write_block(i, bytes([i]) * 32)
+            errors: list[AssertionError] = []
+
+            def reader(tid: int) -> None:
+                rng = random.Random(tid)
+                try:
+                    for _ in range(200):
+                        index = rng.randrange(64)
+                        assert dev.read_block(index) == bytes([index]) * 32
+                except AssertionError as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=reader, args=(t,)) for t in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert errors == []
+
+    def test_flush_fsyncs_without_error(self, tmp_path):
+        with FileDevice(tmp_path / "sync.img", 32, 4) as dev:
+            dev.write_block(0, b"s" * 32)
+            dev.flush()
+            assert dev.read_block(0) == b"s" * 32

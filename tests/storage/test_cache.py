@@ -1,0 +1,148 @@
+"""Write-back LRU cache: correctness, eviction, stats, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DeviceClosedError, OutOfRangeError
+from repro.storage.block_device import RamDevice
+from repro.storage.cache import CachedDevice
+
+
+def make(capacity: int = 4, blocks: int = 16, bs: int = 32) -> tuple[CachedDevice, RamDevice]:
+    inner = RamDevice(bs, blocks)
+    return CachedDevice(inner, capacity_blocks=capacity), inner
+
+
+def block(byte: int, bs: int = 32) -> bytes:
+    return bytes([byte]) * bs
+
+
+class TestBasics:
+    def test_geometry_mirrors_inner(self):
+        cached, inner = make()
+        assert cached.block_size == inner.block_size
+        assert cached.total_blocks == inner.total_blocks
+
+    def test_read_through_and_hit(self):
+        cached, inner = make()
+        inner.write_block(3, block(7))
+        assert cached.read_block(3) == block(7)          # miss
+        assert cached.read_block(3) == block(7)          # hit
+        stats = cached.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_write_is_deferred_until_flush(self):
+        cached, inner = make()
+        cached.write_block(2, block(9))
+        assert inner.read_block(2) == block(0)           # not written back yet
+        assert cached.read_block(2) == block(9)          # served from cache
+        cached.flush()
+        assert inner.read_block(2) == block(9)
+        assert cached.stats.dirty_blocks == 0
+
+    def test_invalid_write_size_rejected(self):
+        cached, _ = make()
+        with pytest.raises(ValueError):
+            cached.write_block(0, b"short")
+
+    def test_out_of_range_rejected(self):
+        cached, _ = make()
+        with pytest.raises(OutOfRangeError):
+            cached.read_block(99)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CachedDevice(RamDevice(32, 4), capacity_blocks=0)
+
+
+class TestEviction:
+    def test_lru_eviction_writes_back_dirty_victim(self):
+        cached, inner = make(capacity=2)
+        cached.write_block(0, block(1))
+        cached.write_block(1, block(2))
+        cached.write_block(2, block(3))                  # evicts block 0 (LRU)
+        assert inner.read_block(0) == block(1)           # dirty victim written back
+        assert inner.read_block(1) == block(0)           # still only in cache
+        stats = cached.stats
+        assert stats.evictions == 1 and stats.writebacks == 1
+        assert stats.cached_blocks == 2
+
+    def test_clean_eviction_skips_writeback(self):
+        cached, inner = make(capacity=2)
+        inner.write_block(0, block(1))
+        cached.read_block(0)
+        cached.read_block(1)
+        cached.read_block(2)                             # evicts clean block 0
+        stats = cached.stats
+        assert stats.evictions == 1 and stats.writebacks == 0
+
+    def test_reads_refresh_recency(self):
+        cached, inner = make(capacity=2)
+        cached.write_block(0, block(1))
+        cached.write_block(1, block(2))
+        cached.read_block(0)                             # 1 is now LRU
+        cached.read_block(2)                             # evicts 1, not 0
+        assert inner.read_block(1) == block(2)
+        assert 0 in cached.snapshot()
+
+
+class TestCoherence:
+    def test_image_includes_dirty_blocks(self):
+        cached, inner = make()
+        cached.write_block(1, block(5))
+        image = cached.image()
+        assert image[32:64] == block(5)
+
+    def test_flush_then_contents_match_inner_byte_for_byte(self):
+        cached, inner = make(capacity=8)
+        for i in range(8):
+            cached.write_block(i, block(i + 1))
+        cached.flush()
+        for index, data in cached.snapshot().items():
+            assert inner.read_block(index) == data
+        assert cached.image() == inner.image()
+
+    def test_invalidate_drops_cache_after_writeback(self):
+        cached, inner = make()
+        cached.write_block(0, block(9))
+        cached.invalidate()
+        assert cached.stats.cached_blocks == 0
+        assert inner.read_block(0) == block(9)
+
+    def test_close_flushes_and_closes_inner(self):
+        cached, inner = make()
+        cached.write_block(0, block(4))
+        cached.close()
+        assert inner.closed
+        with pytest.raises(DeviceClosedError):
+            cached.read_block(0)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_io_keeps_blocks_intact(self):
+        cached, inner = make(capacity=4, blocks=64)
+        errors: list[Exception] = []
+
+        def worker(tid: int) -> None:
+            try:
+                for round_ in range(50):
+                    index = (tid * 7 + round_) % 64
+                    cached.write_block(index, block((tid + round_) % 256))
+                    data = cached.read_block(index)
+                    assert len(data) == 32
+                    assert len(set(data)) == 1           # never torn
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        cached.flush()
+        for index, data in cached.snapshot().items():
+            assert inner.read_block(index) == data

@@ -1,0 +1,65 @@
+"""LatencyDevice: pass-through correctness and disk-model accounting."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.storage.block_device import RamDevice
+from repro.storage.latency import LatencyDevice
+
+
+def test_passthrough_reads_and_writes():
+    inner = RamDevice(32, 16)
+    device = LatencyDevice(inner, time_scale=0.0)
+    device.write_block(3, b"\x07" * 32)
+    assert device.read_block(3) == b"\x07" * 32
+    assert inner.read_block(3) == b"\x07" * 32
+
+
+def test_accumulates_modeled_time_without_sleeping():
+    inner = RamDevice(32, 16)
+    device = LatencyDevice(inner, time_scale=0.0)
+    started = time.perf_counter()
+    for i in range(8):
+        device.read_block(i)
+    assert time.perf_counter() - started < 0.05          # no real sleeping
+    assert device.busy_ms > 0.0                          # but time was priced
+
+
+def test_scaled_sleep_roughly_matches_model():
+    inner = RamDevice(32, 16)
+    device = LatencyDevice(inner, time_scale=0.5)
+    started = time.perf_counter()
+    device.read_block(8)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    assert elapsed_ms >= device.busy_ms * 0.5 * 0.5      # slept at least ~half of it
+
+
+def test_exclusive_mode_serializes_requests():
+    inner = RamDevice(32, 16)
+    device = LatencyDevice(inner, time_scale=0.0, exclusive=True)
+    device.write_block(0, b"\x01" * 32)
+    assert device.read_block(0) == b"\x01" * 32
+
+
+def test_image_and_fill_random_bypass_pricing(rng):
+    inner = RamDevice(32, 16)
+    device = LatencyDevice(inner, time_scale=0.0)
+    device.fill_random(rng)
+    assert device.image() == inner.image()
+    assert device.busy_ms == 0.0
+
+
+def test_negative_time_scale_rejected():
+    with pytest.raises(ValueError):
+        LatencyDevice(RamDevice(32, 4), time_scale=-1.0)
+
+
+def test_flush_and_close_forward():
+    inner = RamDevice(32, 4)
+    device = LatencyDevice(inner, time_scale=0.0)
+    device.flush()
+    device.close()
+    assert inner.closed and device.closed

@@ -1,0 +1,55 @@
+"""Batched scatter-gather I/O vs the per-block path — claim assertions.
+
+Times the PR-2 batching tentpole and asserts its acceptance criterion:
+batched sequential hidden-file reads on a FileDevice-backed volume run at
+least 2x faster than the per-block loop they replaced, at every measured
+file size.  Device-level contiguous runs must not regress either.
+
+Run standalone (CI smoke) with ``python benchmarks/bench_batch_io.py
+--smoke`` — the CLI exits non-zero if the 2x claim fails, so the smoke job
+is a real gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import batch_io
+
+
+@pytest.fixture(scope="module")
+def result():
+    return batch_io.run()
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: batch_io.render(result))
+    print("\n" + text)
+
+
+class TestBatchClaims:
+    def test_batched_file_read_at_least_2x(self, result):
+        """The tentpole claim, at every measured size."""
+        for size in result.config.file_sizes:
+            assert result.file_read_speedup(size) >= 2.0, (
+                size,
+                result.file_read_speedup(size),
+            )
+
+    def test_batched_file_write_not_slower(self, result):
+        for size in result.config.file_sizes:
+            assert result.file_write_speedup(size) >= 1.0, (
+                size,
+                result.file_write_speedup(size),
+            )
+
+    def test_batched_device_run_not_slower(self, result):
+        assert result.device_read_speedup >= 1.0, result.device_read_speedup
+        assert result.device_write_speedup >= 1.0, result.device_write_speedup
+
+
+if __name__ == "__main__":
+    raise SystemExit(batch_io.main(sys.argv[1:]))

@@ -6,6 +6,11 @@ then standard I/O flows through the hidden inode table), so this adapter
 resolves each object's keys once and keeps the open handle; per-operation
 cost is then exactly the hidden file's own block I/O, like the kernel
 implementation being measured in §5.
+
+Whole-object ``store``/``fetch`` ride the batched scatter-gather pipeline
+(one device call + one vectorised AES pass per operation); the extra
+:meth:`StegFSStore.fetch_range` / :meth:`StegFSStore.store_range` surface
+exposes the extent path for partial-access workloads.
 """
 
 from __future__ import annotations
@@ -70,6 +75,18 @@ class StegFSStore(FileStore):
         if file_id not in self._handles:
             raise HiddenObjectNotFoundError(f"no such hidden file {file_id!r}")
         return self._handle(file_id).read()
+
+    def fetch_range(self, file_id: str, offset: int, length: int) -> bytes:
+        """Read one extent of a stored file (batched block run)."""
+        if file_id not in self._handles:
+            raise HiddenObjectNotFoundError(f"no such hidden file {file_id!r}")
+        return self._handle(file_id).read_extent(offset, length)
+
+    def store_range(self, file_id: str, offset: int, data: bytes) -> None:
+        """Overwrite one extent in place, growing the file if needed."""
+        if file_id not in self._handles:
+            raise HiddenObjectNotFoundError(f"no such hidden file {file_id!r}")
+        self._handle(file_id).write_extent(offset, data)
 
     def delete(self, file_id: str) -> None:
         if file_id not in self._handles:

@@ -25,7 +25,7 @@ from repro.bench.fig6 import simulate_capacity
 from repro.core.params import StegFSParams
 from repro.errors import NoSpaceError
 from repro.storage.block_device import SparseDevice
-from repro.workload.generator import KB, MB, WorkloadSpec
+from repro.workload.generator import KB, WorkloadSpec
 
 __all__ = ["SpaceResult", "run", "render"]
 

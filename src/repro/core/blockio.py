@@ -14,16 +14,30 @@ of consecutive block versions.
 
 Payloads shorter than the capacity are padded with the keystream tail
 (i.e. encrypted zeros), which is again indistinguishable from random.
+
+Hot paths move *runs* of sealed blocks, not single ones: :func:`seal_many`
+and :func:`unseal_many` process a whole batch through one vectorised
+AES-CTR pass (:func:`repro.crypto.vector_aes.ctr_xor_many`), amortising the
+key schedule and the per-call numpy overhead across the batch.  They are
+byte-for-byte equivalent to looping :func:`seal` / :func:`unseal`.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.crypto.vector_aes import ctr_xor
+from repro.crypto.vector_aes import ctr_xor, ctr_xor_many
 from repro.errors import StegFSError
 
-__all__ = ["NONCE_SIZE", "capacity", "seal", "unseal", "unseal_prefix"]
+__all__ = [
+    "NONCE_SIZE",
+    "capacity",
+    "seal",
+    "seal_many",
+    "unseal",
+    "unseal_many",
+    "unseal_prefix",
+]
 
 NONCE_SIZE = 8
 
@@ -58,6 +72,43 @@ def unseal(encryption_key: bytes, block_image: bytes) -> bytes:
         raise StegFSError(f"block image of {len(block_image)} bytes too small")
     nonce = block_image[:NONCE_SIZE]
     return ctr_xor(encryption_key, nonce, block_image[NONCE_SIZE:])
+
+
+def seal_many(
+    encryption_key: bytes,
+    payloads: list[bytes],
+    block_size: int,
+    rng: random.Random,
+) -> list[bytes]:
+    """Seal a batch of payloads, one fresh nonce each, in one AES pass.
+
+    Equivalent to ``[seal(key, p, block_size, rng) for p in payloads]``
+    (same rng draw order: one ``randbytes(NONCE_SIZE)`` per payload, in
+    order), but the whole batch shares a single vectorised keystream
+    computation.
+    """
+    room = capacity(block_size)
+    for payload in payloads:
+        if len(payload) > room:
+            raise StegFSError(f"payload of {len(payload)} bytes exceeds sealed capacity {room}")
+    nonces = [rng.randbytes(NONCE_SIZE) for _ in payloads]
+    padded = [payload.ljust(room, b"\x00") for payload in payloads]
+    bodies = ctr_xor_many(encryption_key, nonces, padded)
+    return [nonce + body for nonce, body in zip(nonces, bodies)]
+
+
+def unseal_many(encryption_key: bytes, block_images: list[bytes]) -> list[bytes]:
+    """Decrypt a batch of sealed block images in one vectorised AES pass.
+
+    Equivalent to ``[unseal(key, img) for img in block_images]``; images
+    must share one size (device blocks do).
+    """
+    for image in block_images:
+        if len(image) <= NONCE_SIZE:
+            raise StegFSError(f"block image of {len(image)} bytes too small")
+    nonces = [image[:NONCE_SIZE] for image in block_images]
+    bodies = [image[NONCE_SIZE:] for image in block_images]
+    return ctr_xor_many(encryption_key, nonces, bodies)
 
 
 def unseal_prefix(encryption_key: bytes, block_image: bytes, length: int) -> bytes:

@@ -172,19 +172,45 @@ class HiddenFile:
     # ------------------------------------------------------------------
 
     def read(self) -> bytes:
-        """Read and decrypt the whole object."""
+        """Read and decrypt the whole object.
+
+        One scatter-gather device read for every data block, one
+        vectorised unseal pass — the batched pipeline end-to-end.
+        """
         data_blocks, _chain = self._mapped_blocks()
-        pieces = [
-            blockio.unseal(self._keys.encryption_key, self._volume.device.read_block(b))
-            for b in data_blocks
-        ]
+        images = self._volume.device.read_blocks(data_blocks)
+        pieces = blockio.unseal_many(self._keys.encryption_key, images)
         return b"".join(pieces)[: self._header.size]
+
+    def read_extent(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at byte ``offset``.
+
+        Only the blocks overlapping the extent are touched: one batched
+        device read plus one vectorised unseal for the run.  Reads beyond
+        the current size truncate (like :func:`os.pread` at EOF); an
+        extent entirely past EOF returns ``b""``.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError(f"negative extent ({offset=}, {length=})")
+        end = min(offset + length, self._header.size)
+        if offset >= end:
+            return b""
+        room = blockio.capacity(self._volume.block_size)
+        first = offset // room
+        last = (end - 1) // room
+        data_blocks, _chain = self._mapped_blocks()
+        images = self._volume.device.read_blocks(data_blocks[first : last + 1])
+        pieces = blockio.unseal_many(self._keys.encryption_key, images)
+        span = b"".join(pieces)
+        return span[offset - first * room : end - first * room]
 
     def write(self, data: bytes) -> None:
         """Replace the object's contents with ``data``.
 
         Surviving blocks are rewritten in place with fresh nonces; growth
-        draws on the internal pool per §3.1; shrinkage feeds it.
+        draws on the internal pool per §3.1; shrinkage feeds it.  All data
+        blocks are sealed in one vectorised pass and reach the device in
+        one scatter-gather write.
         """
         volume = self._volume
         room = blockio.capacity(volume.block_size)
@@ -197,22 +223,95 @@ class HiddenFile:
         data_blocks = self._resize(old_data, n_data)
         chain_blocks = self._resize(old_chain, n_chain)
 
-        for index, block in enumerate(data_blocks):
-            chunk = data[index * room : (index + 1) * room]
-            volume.device.write_block(
-                block,
-                blockio.seal(self._keys.encryption_key, chunk, volume.block_size, volume.rng),
-            )
+        chunks = [data[index * room : (index + 1) * room] for index in range(n_data)]
+        sealed = blockio.seal_many(self._keys.encryption_key, chunks, volume.block_size, volume.rng)
+        volume.device.write_blocks(list(zip(data_blocks, sealed)))
         self._header.inode_root = hidden_inode.write_chain(
             volume.device, self._keys.encryption_key, chain_blocks, data_blocks, volume.rng
         )
         self._header.size = len(data)
         self._store_header()
 
+    def write_extent(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at byte ``offset``, growing the object if needed.
+
+        Unlike :meth:`write`, only the blocks overlapping the extent are
+        re-sealed and rewritten (plus the inode chain when the block list
+        changes and the header when size or root move).  Writing past the
+        current end zero-fills the gap, POSIX-style.  Boundary blocks are
+        read-modify-written; everything moves through the batched
+        scatter-gather path.
+        """
+        if offset < 0:
+            raise ValueError(f"negative write offset {offset}")
+        if not data:
+            return
+        volume = self._volume
+        room = blockio.capacity(volume.block_size)
+        old_size = self._header.size
+        new_size = max(old_size, offset + len(data))
+        n_data = -(-new_size // room)
+        old_data, old_chain = self._mapped_blocks()
+        n_chain = hidden_inode.chain_blocks_needed(n_data, volume.block_size)
+
+        self._ensure_space(n_data, n_chain, len(old_data), len(old_chain))
+
+        data_blocks = self._resize(old_data, n_data)
+        chain_blocks = self._resize(old_chain, n_chain)
+
+        first = offset // room
+        last = (offset + len(data) - 1) // room
+        # Boundary blocks that survive from the old mapping keep their
+        # bytes outside the extent: fetch them in one batched read.
+        # (Sealed padding decrypts to zeros, so the gap between old EOF
+        # and `offset` inside a fetched block already reads as zeros.)
+        preserve: set[int] = set()
+        if offset % room and first < len(old_data):
+            preserve.add(first)
+        if (offset + len(data)) % room and last < len(old_data):
+            preserve.add(last)
+        old_payloads: dict[int, bytes] = {}
+        if preserve:
+            fetch = sorted(preserve)
+            images = volume.device.read_blocks([old_data[b] for b in fetch])
+            for logical, payload in zip(
+                fetch, blockio.unseal_many(self._keys.encryption_key, images)
+            ):
+                old_payloads[logical] = payload
+
+        # Newly materialised blocks below the extent (a write far past the
+        # old end) are the zero-filled gap; the extent's own blocks carry
+        # the overlay of `data` on whatever is preserved.
+        targets = list(range(len(old_data), first)) + list(range(first, last + 1))
+        chunks: list[bytes] = []
+        for logical in targets:
+            block_start = logical * room
+            content_len = min(room, new_size - block_start)
+            piece = bytearray(old_payloads.get(logical, b"").ljust(room, b"\x00"))
+            lo = max(offset, block_start)
+            hi = min(offset + len(data), block_start + room)
+            if lo < hi:
+                piece[lo - block_start : hi - block_start] = data[lo - offset : hi - offset]
+            chunks.append(bytes(piece[:content_len]))
+        sealed = blockio.seal_many(self._keys.encryption_key, chunks, volume.block_size, volume.rng)
+        volume.device.write_blocks(
+            [(data_blocks[logical], image) for logical, image in zip(targets, sealed)]
+        )
+
+        root_before = self._header.inode_root
+        if data_blocks != old_data or chain_blocks != old_chain:
+            self._header.inode_root = hidden_inode.write_chain(
+                volume.device, self._keys.encryption_key, chain_blocks, data_blocks, volume.rng
+            )
+        if new_size != old_size or self._header.inode_root != root_before:
+            self._header.size = new_size
+            self._store_header()
+
     def append(self, data: bytes) -> None:
-        """Append ``data`` (whole-object rewrite; see module docstring)."""
+        """Append ``data`` via :meth:`write_extent` at the current end —
+        no whole-object rewrite."""
         if data:
-            self.write(self.read() + data)
+            self.write_extent(self._header.size, data)
 
     # ------------------------------------------------------------------
     # internal pool management (§3.1)

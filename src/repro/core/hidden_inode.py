@@ -95,11 +95,17 @@ def write_chain(
     if not chain_blocks:
         return NULL_BLOCK
     per = pointers_per_block(device.block_size)
-    for index, block in enumerate(chain_blocks):
+    payloads: list[bytes] = []
+    for index in range(len(chain_blocks)):
         span = data_blocks[index * per : (index + 1) * per]
         next_block = chain_blocks[index + 1] if index + 1 < len(chain_blocks) else NULL_BLOCK
         payload = pack_u32(next_block) + pack_u16(len(span))
         for pointer in span:
             payload += pack_u32(pointer)
-        device.write_block(block, blockio.seal(encryption_key, payload, device.block_size, rng))
+        payloads.append(payload)
+    # One vectorised seal pass + one scatter-gather device call for the
+    # whole chain.  (read_chain stays a pointer chase: each block names
+    # the next, so its reads are inherently sequential.)
+    sealed = blockio.seal_many(encryption_key, payloads, device.block_size, rng)
+    device.write_blocks(list(zip(chain_blocks, sealed)))
     return chain_blocks[0]

@@ -24,7 +24,7 @@ from repro.core.dummy import DummyManager
 from repro.core.header import OBJ_DIRECTORY, OBJ_FILE
 from repro.core.hidden_dir import HiddenDirectory, HiddenDirEntry, parse_entries
 from repro.core.hidden_file import HiddenFile
-from repro.core.keys import ObjectKeys, generate_fak, physical_name
+from repro.core.keys import generate_fak, physical_name
 from repro.core.params import StegFSParams
 from repro.core.session import Session
 from repro.core.sharing import export_entry, import_entry
@@ -298,17 +298,44 @@ class StegFS:
         self._after_hidden_op()
 
     def steg_read(self, objname: str, uak: bytes) -> bytes:
-        """Read a hidden file directly by (name, UAK)."""
+        """Read a hidden file directly by (name, UAK).
+
+        The whole object moves as one scatter-gather device read plus one
+        vectorised unseal pass (see :mod:`repro.core.blockio`).
+        """
         entry = self._resolve_entry(objname, uak)
         return HiddenFile.open(self._volume, entry.keys()).read()
 
+    def steg_read_extent(self, objname: str, uak: bytes, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` of a hidden file.
+
+        Touches only the blocks overlapping the extent — one batched
+        device read for the run; reads past EOF truncate.
+        """
+        entry = self._resolve_entry(objname, uak)
+        return HiddenFile.open(self._volume, entry.keys()).read_extent(offset, length)
+
     def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
-        """Replace a hidden file's contents."""
+        """Replace a hidden file's contents (one batched seal + write)."""
         entry = self._resolve_entry(objname, uak)
         hidden = HiddenFile.open(self._volume, entry.keys())
         if hidden.is_directory:
             raise StegFSError(f"{objname!r} is a hidden directory")
         hidden.write(data)
+        self._after_hidden_op()
+
+    def steg_write_extent(self, objname: str, uak: bytes, offset: int, data: bytes) -> None:
+        """Write ``data`` at byte ``offset`` of a hidden file.
+
+        Only the blocks overlapping the extent are re-sealed and
+        rewritten; writing past the end grows the file, zero-filling any
+        gap (see :meth:`HiddenFile.write_extent`).
+        """
+        entry = self._resolve_entry(objname, uak)
+        hidden = HiddenFile.open(self._volume, entry.keys())
+        if hidden.is_directory:
+            raise StegFSError(f"{objname!r} is a hidden directory")
+        hidden.write_extent(offset, data)
         self._after_hidden_op()
 
     def steg_delete(self, objname: str, uak: bytes) -> None:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.crypto.aes import AES, INV_SBOX, SBOX, _MUL2, _MUL3
 
-__all__ = ["VectorAES", "ctr_keystream", "ctr_xor"]
+__all__ = ["VectorAES", "ctr_keystream", "ctr_xor", "ctr_xor_many"]
 
 _SBOX_NP = np.frombuffer(SBOX, dtype=np.uint8)
 _INV_SBOX_NP = np.frombuffer(INV_SBOX, dtype=np.uint8)
@@ -87,17 +87,25 @@ def _cached_cipher(key: bytes) -> VectorAES:
     return cipher
 
 
+def _write_counters(blocks: np.ndarray, counters: np.ndarray) -> None:
+    """Big-endian split of 64-bit counters into bytes 8..16 of each block.
+
+    The single source of truth for the CTR counter layout: both the
+    scalar-nonce and the batched keystream builders call this, so the two
+    paths cannot drift apart bit-wise.
+    """
+    for byte_index in range(8):
+        shift = np.uint64(8 * (7 - byte_index))
+        blocks[:, 8 + byte_index] = (counters >> shift).astype(np.uint8)
+
+
 def _counter_blocks(nonce: bytes, start: int, count: int) -> np.ndarray:
     """Build ``count`` CTR input blocks: nonce(8) || big-endian counter(8)."""
     if len(nonce) != 8:
         raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
-    counters = np.arange(start, start + count, dtype=np.uint64)
     blocks = np.zeros((count, 16), dtype=np.uint8)
     blocks[:, :8] = np.frombuffer(nonce, dtype=np.uint8)
-    # Big-endian split of the 64-bit counter into 8 bytes.
-    for byte_index in range(8):
-        shift = np.uint64(8 * (7 - byte_index))
-        blocks[:, 8 + byte_index] = (counters >> shift).astype(np.uint8)
+    _write_counters(blocks, np.arange(start, start + count, dtype=np.uint64))
     return blocks
 
 
@@ -118,3 +126,47 @@ def ctr_xor(key: bytes, nonce: bytes, data: bytes, start_block: int = 0) -> byte
     stream = ctr_keystream(key, nonce, len(data), start_block)
     arr = np.frombuffer(data, dtype=np.uint8) ^ np.frombuffer(stream, dtype=np.uint8)
     return arr.tobytes()
+
+
+def ctr_xor_many(
+    key: bytes,
+    nonces: list[bytes],
+    datas: list[bytes],
+    start_block: int = 0,
+) -> list[bytes]:
+    """CTR-transform many equal-length messages in one vectorised pass.
+
+    Each ``datas[i]`` gets an independent keystream from ``nonces[i]``, but
+    the key schedule is built once and every AES block of the whole batch
+    goes through a single :meth:`VectorAES.encrypt_blocks` call, so the
+    per-call numpy overhead is amortised across the batch instead of being
+    paid once per message.  This is the engine under
+    :func:`repro.core.blockio.seal_many` / ``unseal_many``.
+
+    All messages must share one length (sealed payloads do); byte-for-byte
+    the result equals ``[ctr_xor(key, n, d, start_block) for n, d in ...]``.
+    """
+    if len(nonces) != len(datas):
+        raise ValueError(f"got {len(nonces)} nonces for {len(datas)} messages")
+    n_items = len(datas)
+    if n_items == 0:
+        return []
+    length = len(datas[0])
+    if any(len(d) != length for d in datas):
+        raise ValueError("ctr_xor_many requires equal-length messages")
+    if any(len(n) != 8 for n in nonces):
+        raise ValueError("CTR nonces must be 8 bytes")
+    if length == 0:
+        return [b""] * n_items
+    per = (length + 15) // 16
+    cipher = _cached_cipher(bytes(key))
+    blocks = np.zeros((n_items * per, 16), dtype=np.uint8)
+    nonce_mat = np.frombuffer(b"".join(nonces), dtype=np.uint8).reshape(n_items, 8)
+    blocks[:, :8] = np.repeat(nonce_mat, per, axis=0)
+    _write_counters(
+        blocks, np.tile(np.arange(start_block, start_block + per, dtype=np.uint64), n_items)
+    )
+    stream = cipher.encrypt_blocks(blocks).reshape(n_items, per * 16)[:, :length]
+    data_mat = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(n_items, length)
+    raw = (data_mat ^ stream).tobytes()
+    return [raw[i * length : (i + 1) * length] for i in range(n_items)]

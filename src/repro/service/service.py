@@ -307,10 +307,23 @@ class StegFSService:
             return self._steg.steg_read(objname, uak)
 
     @_counted
+    def steg_read_extent(self, objname: str, uak: bytes, offset: int, length: int) -> bytes:
+        """Read one extent of a hidden file (batched block run)."""
+        with self._shared(self._hidden_key(objname, uak)):
+            return self._steg.steg_read_extent(objname, uak, offset, length)
+
+    @_counted
     def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
         """Replace a hidden file's contents."""
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_write(objname, uak, data)
+
+    @_counted
+    def steg_write_extent(self, objname: str, uak: bytes, offset: int, data: bytes) -> None:
+        """Write one extent of a hidden file in place (batched run;
+        grows the file when the extent reaches past the end)."""
+        with self._exclusive(self._hidden_key(objname, uak)):
+            self._steg.steg_write_extent(objname, uak, offset, data)
 
     @_counted
     def steg_update(

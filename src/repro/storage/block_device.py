@@ -8,6 +8,16 @@ that is precisely what :mod:`repro.analysis` hands to the attacker.
 Two implementations: :class:`RamDevice` (bytearray-backed, used by tests and
 benchmarks) and :class:`FileDevice` (a real file on the host file system,
 used by the examples so a reproduction run leaves an inspectable image).
+
+Scatter-gather I/O: :meth:`BlockDevice.read_blocks` and
+:meth:`BlockDevice.write_blocks` move a whole batch of blocks per call.
+The base class provides loop fallbacks, so every device supports the
+batched API; :class:`RamDevice` and :class:`FileDevice` override them to
+coalesce *contiguous runs* (see :func:`iter_runs`) into single slice
+copies / single seek+``read``/``write`` syscalls, and to pay their
+internal lock once per batch instead of once per block.  Batched writes
+never fsync per block — durability stays where it always was, in
+:meth:`flush`.
 """
 
 from __future__ import annotations
@@ -16,11 +26,33 @@ import os
 import random
 import threading
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.errors import DeviceClosedError, OutOfRangeError
 
-__all__ = ["BlockDevice", "RamDevice", "FileDevice", "SparseDevice"]
+__all__ = ["BlockDevice", "RamDevice", "FileDevice", "SparseDevice", "iter_runs"]
+
+
+def iter_runs(indices: list[int]) -> Iterator[tuple[int, int]]:
+    """Split an index sequence into maximal contiguous ascending runs.
+
+    Yields ``(start, count)`` pairs in input order: ``[4, 5, 6, 9, 2, 3]``
+    → ``(4, 3), (9, 1), (2, 2)``.  Batched device implementations turn
+    each run into one slice copy or one syscall.
+    """
+    if not indices:
+        return
+    start = prev = indices[0]
+    count = 1
+    for index in indices[1:]:
+        if index == prev + 1:
+            prev = index
+            count += 1
+        else:
+            yield start, count
+            start = prev = index
+            count = 1
+    yield start, count
 
 
 class BlockDevice(ABC):
@@ -63,6 +95,28 @@ class BlockDevice(ABC):
                 f"block {index} out of range [0, {self._total_blocks})"
             )
 
+    def _check_batch_read(self, indices: Iterable[int]) -> list[int]:
+        """Materialise and range-check a whole read batch up front."""
+        indices = list(indices)
+        for index in indices:
+            self._check(index)
+        return indices
+
+    def _check_batch_write(
+        self, items: Iterable[tuple[int, bytes]]
+    ) -> list[tuple[int, bytes]]:
+        """Materialise and validate (range + size) a whole write batch
+        before any block lands, so a bad batch has no partial effect."""
+        items = list(items)
+        for index, data in items:
+            self._check(index)
+            if len(data) != self._block_size:
+                raise ValueError(
+                    f"write of {len(data)} bytes to device with "
+                    f"{self._block_size}-byte blocks"
+                )
+        return items
+
     @abstractmethod
     def read_block(self, index: int) -> bytes:
         """Return the ``block_size`` bytes stored at ``index``."""
@@ -72,8 +126,26 @@ class BlockDevice(ABC):
         """Store exactly ``block_size`` bytes at ``index``."""
 
     def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
-        """Read several blocks in order."""
-        return [self.read_block(i) for i in indices]
+        """Read several blocks in order (generic loop fallback).
+
+        Subclasses with cheaper bulk paths (contiguous-run slicing, one
+        syscall per run, one lock hold per batch) override this; results
+        always align positionally with ``indices``.  The whole batch is
+        range-checked before any device access, whichever path serves it.
+        """
+        return [self.read_block(i) for i in self._check_batch_read(indices)]
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Write several ``(index, data)`` blocks (generic loop fallback).
+
+        Later items win when a batch names the same index twice, matching
+        the sequential-loop semantics — but the whole batch is validated
+        (range and block size) before any block lands, so a bad batch has
+        no partial effect.  Like :meth:`write_block`, batched writes do
+        not imply durability — call :meth:`flush` for that.
+        """
+        for index, data in self._check_batch_write(items):
+            self.write_block(index, data)
 
     def fill_random(self, rng: random.Random) -> None:
         """Overwrite the whole device with pseudorandom bytes.
@@ -135,6 +207,25 @@ class RamDevice(BlockDevice):
             )
         start = index * self._block_size
         self._data[start : start + self._block_size] = data
+
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        indices = self._check_batch_read(indices)
+        bs = self._block_size
+        out: list[bytes] = []
+        for start, count in iter_runs(indices):
+            run = bytes(self._data[start * bs : (start + count) * bs])
+            out.extend(run[i * bs : (i + 1) * bs] for i in range(count))
+        return out
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        items = self._check_batch_write(items)
+        bs = self._block_size
+        pos = 0
+        for start, count in iter_runs([index for index, _ in items]):
+            self._data[start * bs : (start + count) * bs] = b"".join(
+                data for _, data in items[pos : pos + count]
+            )
+            pos += count
 
     def image(self) -> bytes:
         if self._closed:
@@ -238,6 +329,33 @@ class FileDevice(BlockDevice):
         with self._io_lock:
             self._file.seek(index * self._block_size)
             self._file.write(data)
+
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        """Batched read: one seek + one ``read`` syscall per contiguous run,
+        with the position lock held once across the whole batch."""
+        indices = self._check_batch_read(indices)
+        bs = self._block_size
+        out: list[bytes] = []
+        with self._io_lock:
+            for start, count in iter_runs(indices):
+                self._file.seek(start * bs)
+                run = self._file.read(count * bs)
+                out.extend(run[i * bs : (i + 1) * bs] for i in range(count))
+        return out
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Batched write: one seek + one ``write`` syscall per contiguous
+        run.  Deliberately no per-block (or even per-batch) fsync — the
+        batch stays buffered until :meth:`flush`, which fsyncs exactly once
+        however many blocks the batch carried."""
+        items = self._check_batch_write(items)
+        bs = self._block_size
+        pos = 0
+        with self._io_lock:
+            for start, count in iter_runs([index for index, _ in items]):
+                self._file.seek(start * bs)
+                self._file.write(b"".join(data for _, data in items[pos : pos + count]))
+                pos += count
 
     def flush(self) -> None:
         """Flush buffered writes and ``fsync`` so the on-disk image is

@@ -13,6 +13,14 @@ accesses to the same blocks:
   order (best case for a seek-priced disk) and then flushes the backing
   device itself.
 
+The cache is batch-aware: :meth:`read_blocks` satisfies hits from the LRU
+map and issues **one** backing ``read_blocks`` call for all the misses;
+:meth:`write_blocks` inserts the whole batch under one lock hold and
+write-backs any dirty eviction victims in one backing call; :meth:`flush`
+pushes the entire dirty set through a single backing ``write_blocks``
+(ascending) followed by a single backing ``flush`` — so a FileDevice
+underneath fsyncs once per flush, not once per block.
+
 The cache is thread-safe: one internal lock guards the LRU structures, so
 concurrent clients of a :class:`~repro.service.StegFSService` can share one
 instance.  Miss fetches run outside the lock (hits never wait on a slow
@@ -28,6 +36,7 @@ import random
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.storage.block_device import BlockDevice
 
@@ -146,7 +155,13 @@ class CachedDevice(BlockDevice):
         with self._lock:
             self._insert(index, bytes(data), dirty=True)
 
-    def _insert(self, index: int, data: bytes, dirty: bool) -> None:
+    def _insert(
+        self,
+        index: int,
+        data: bytes,
+        dirty: bool,
+        evicted: list[tuple[int, bytes]] | None = None,
+    ) -> None:
         if index in self._cache:
             self._cache[index] = data
             self._cache.move_to_end(index)
@@ -158,17 +173,73 @@ class CachedDevice(BlockDevice):
                 if victim in self._dirty:
                     self._dirty.discard(victim)
                     self._writebacks += 1
-                    self._inner.write_block(victim, victim_data)
+                    if evicted is None:
+                        self._inner.write_block(victim, victim_data)
+                    else:
+                        # Batched caller: defer so the whole batch's
+                        # victims go to the device in one call (still
+                        # under the lock, before any reader can race).
+                        evicted.append((victim, victim_data))
         if dirty:
             self._dirty.add(index)
 
-    def flush(self) -> None:
-        """Write back every dirty block (ascending), then flush the inner
-        device so the data is durable wherever the stack bottoms out."""
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        """Batched read: hits from the cache, one backing call for misses.
+
+        Results align positionally with ``indices``.  The miss fetch runs
+        outside the lock like the single-block path, and a block another
+        thread cached (or dirtied) in the meantime wins over our fetch.
+        """
+        indices = self._check_batch_read(indices)
+        out: list[bytes | None] = [None] * len(indices)
+        miss_positions: list[int] = []
         with self._lock:
-            for index in sorted(self._dirty):
-                self._writebacks += 1
-                self._inner.write_block(index, self._cache[index])
+            for position, index in enumerate(indices):
+                data = self._cache.get(index)
+                if data is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(index)
+                    out[position] = data
+                else:
+                    self._misses += 1
+                    miss_positions.append(position)
+        if miss_positions:
+            fetched = self._inner.read_blocks([indices[p] for p in miss_positions])
+            with self._lock:
+                evicted: list[tuple[int, bytes]] = []
+                for position, data in zip(miss_positions, fetched):
+                    index = indices[position]
+                    raced = self._cache.get(index)
+                    if raced is not None:
+                        self._cache.move_to_end(index)
+                        out[position] = raced
+                    else:
+                        self._insert(index, data, dirty=False, evicted=evicted)
+                        out[position] = data
+                if evicted:
+                    self._inner.write_blocks(evicted)
+        return out  # type: ignore[return-value]
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Batched write: the whole batch lands in the cache under one lock
+        hold; dirty eviction victims reach the backing device in one call."""
+        items = self._check_batch_write(items)
+        with self._lock:
+            evicted: list[tuple[int, bytes]] = []
+            for index, data in items:
+                self._insert(index, bytes(data), dirty=True, evicted=evicted)
+            if evicted:
+                self._inner.write_blocks(evicted)
+
+    def flush(self) -> None:
+        """Write back the whole dirty set in one backing ``write_blocks``
+        (ascending index order), then flush the inner device once so the
+        data is durable wherever the stack bottoms out."""
+        with self._lock:
+            dirty = sorted(self._dirty)
+            if dirty:
+                self._writebacks += len(dirty)
+                self._inner.write_blocks([(index, self._cache[index]) for index in dirty])
             self._dirty.clear()
             self._inner.flush()
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from typing import Iterable
 
 from repro.storage.block_device import BlockDevice
 from repro.storage.disk_model import DiskModel
@@ -81,6 +82,23 @@ class LatencyDevice(BlockDevice):
                 cost_ms = self._model.service(op, index)
             self._sleep(cost_ms)
 
+    def _charge_many(self, op: str, indices: list[int]) -> None:
+        """Price every block of a batch, sleep the summed cost once.
+
+        The model still sees each access in order (seek distances between
+        batch members are charged exactly as a sequential loop would), but
+        the wall-clock sleep is aggregated — the real win of issuing one
+        scatter-gather request instead of N.
+        """
+        if self._exclusive:
+            with self._lock:
+                cost_ms = sum(self._model.service(op, index) for index in indices)
+                self._sleep(cost_ms)
+        else:
+            with self._lock:
+                cost_ms = sum(self._model.service(op, index) for index in indices)
+            self._sleep(cost_ms)
+
     def _sleep(self, cost_ms: float) -> None:
         if self._time_scale > 0:
             time.sleep(cost_ms * self._time_scale / 1000.0)
@@ -94,6 +112,16 @@ class LatencyDevice(BlockDevice):
         self._check(index)
         self._charge("w", index)
         self._inner.write_block(index, data)
+
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        indices = self._check_batch_read(indices)
+        self._charge_many("r", indices)
+        return self._inner.read_blocks(indices)
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        items = self._check_batch_write(items)
+        self._charge_many("w", [index for index, _ in items])
+        self._inner.write_blocks(items)
 
     def fill_random(self, rng: random.Random) -> None:
         """mkfs-time fill is setup, not workload: bypass the pricing."""

@@ -12,6 +12,7 @@ are ground truth about behaviour, the model only prices them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.storage.block_device import BlockDevice
 
@@ -104,6 +105,22 @@ class TraceRecordingDevice(BlockDevice):
     def write_block(self, index: int, data: bytes) -> None:
         self._inner.write_block(index, data)
         self._record("w", index)
+
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        # Forward the batch (keeping the inner device's scatter-gather
+        # path) but record per block: the replay model prices individual
+        # accesses, and a batch is exactly this ordered access sequence.
+        indices = list(indices)
+        data = self._inner.read_blocks(indices)
+        for index in indices:
+            self._record("r", index)
+        return data
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        items = list(items)
+        self._inner.write_blocks(items)
+        for index, _ in items:
+            self._record("w", index)
 
     def image(self) -> bytes:
         # Image dumps are an analysis operation, not workload I/O: bypass

@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.analysis.attacker import census_unaccounted, detection_report
 from repro.analysis.entropy import bit_balance_z, byte_chi2, looks_uniform, scan_volume

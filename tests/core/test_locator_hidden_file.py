@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import blockio, locator
+from repro.core import locator
 from repro.core.header import OBJ_DIRECTORY
 from repro.core.hidden_file import HiddenFile
 from repro.core.keys import ObjectKeys

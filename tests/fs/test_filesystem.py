@@ -19,7 +19,6 @@ from repro.errors import (
     NotADirectoryError_,
 )
 from repro.fs.filesystem import FileSystem
-from repro.fs.inode import FileType
 from repro.storage.block_device import RamDevice
 
 

@@ -1,0 +1,102 @@
+"""Extent operations through the concurrent service layer."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.errors import HiddenObjectNotFoundError
+
+
+class TestServiceExtents:
+    def test_roundtrip(self, service, uak):
+        service.steg_create("doc", uak, data=b"hello world")
+        service.steg_write_extent("doc", uak, 6, b"earth")
+        assert service.steg_read("doc", uak) == b"hello earth"
+        assert service.steg_read_extent("doc", uak, 0, 5) == b"hello"
+
+    def test_extent_counts_in_stats(self, service, uak):
+        service.steg_create("s", uak, data=b"abc")
+        service.steg_write_extent("s", uak, 3, b"def")
+        service.steg_read_extent("s", uak, 0, 6)
+        snapshot = service.stats.snapshot()
+        assert snapshot["steg_write_extent"].count == 1
+        assert snapshot["steg_read_extent"].count == 1
+
+    def test_missing_object_raises(self, service, uak):
+        try:
+            service.steg_read_extent("ghost", uak, 0, 4)
+        except HiddenObjectNotFoundError:
+            pass
+        else:  # pragma: no cover - failure path
+            raise AssertionError("expected HiddenObjectNotFoundError")
+        assert service.stats.snapshot()["steg_read_extent"].errors == 1
+
+    def test_concurrent_extent_writers_disjoint_files(self, service, uak):
+        names = [f"c{i}" for i in range(4)]
+        size = 2000
+        for name in names:
+            service.steg_create(name, uak, data=bytes(size))
+        errors: list[Exception] = []
+
+        def worker(name: str, seed: int):
+            rng = random.Random(seed)
+            try:
+                for _ in range(10):
+                    offset = rng.randrange(0, size - 50)
+                    service.steg_write_extent(name, uak, offset, bytes([seed]) * 50)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name, i + 1))
+            for i, name in enumerate(names)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i, name in enumerate(names):
+            content = service.steg_read(name, uak)
+            assert len(content) == size
+            assert set(content) <= {0, i + 1}  # only that writer's byte + fill
+
+    def test_concurrent_disjoint_extents_same_file(self, service, uak):
+        """Exclusive striping serializes same-object extent writes; all
+        regions must land (no lost updates)."""
+        size = 4000
+        service.steg_create("shared", uak, data=bytes(size))
+        lanes = 8
+        lane_bytes = size // lanes
+        errors: list[Exception] = []
+
+        def worker(lane: int):
+            try:
+                service.steg_write_extent(
+                    "shared", uak, lane * lane_bytes, bytes([lane + 1]) * lane_bytes
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(lane,)) for lane in range(lanes)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        content = service.steg_read("shared", uak)
+        for lane in range(lanes):
+            assert content[lane * lane_bytes : (lane + 1) * lane_bytes] == bytes(
+                [lane + 1]
+            ) * lane_bytes
+
+    def test_submit_extent_ops_through_pool(self, service, uak):
+        service.steg_create("async", uak, data=b"0" * 100)
+        futures = [
+            service.submit("steg_write_extent", "async", uak, i * 10, b"X" * 10)
+            for i in range(10)
+        ]
+        for future in futures:
+            future.result(timeout=30)
+        assert service.steg_read("async", uak) == b"X" * 100

@@ -1,0 +1,55 @@
+"""Remote network throughput — multi-process clients over real sockets.
+
+Drives a live :class:`~repro.net.server.StegFSServer` on localhost with
+1→N client *processes* (each a blocking
+:class:`~repro.net.client.StegFSClient` over its own TCP connection and
+authenticated session), and asserts the subsystem's acceptance claims:
+
+* aggregate ops/sec with several connections scales **above** a single
+  connection (the server overlaps per-request disk waits across its
+  worker pool);
+* no remote operation errors at any concurrency level;
+* the server records latency percentiles for the hammered op.
+
+Run standalone (CI smoke) with ``python benchmarks/
+bench_net_throughput.py --smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import net_throughput
+
+
+@pytest.fixture(scope="module")
+def result():
+    return net_throughput.run()
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: net_throughput.render(result))
+    print("\n" + text)
+
+
+class TestRemoteThroughputClaims:
+    def test_multi_connection_throughput_scales_above_single(self, result):
+        assert result.scaling > 1.3, (
+            result.single_connection_ops,
+            result.best_multi_ops,
+        )
+
+    def test_no_remote_operation_errors(self, result):
+        assert result.total_errors == 0, result.errors
+
+    def test_server_records_read_percentiles(self, result):
+        stats = result.server_steg_read
+        assert stats is not None and stats.count > 0
+        assert 0 < stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+
+
+if __name__ == "__main__":
+    raise SystemExit(net_throughput.main(sys.argv[1:]))

@@ -10,7 +10,9 @@ that scenario for real:
    worker threads hammering reads through the service's futures API;
 3. increment a shared hidden counter from many threads at once — the
    striped-lock read–modify–write loses nothing;
-4. show the cache statistics and the per-operation service counters.
+4. show the cache statistics and the per-operation service counters,
+   walking the shared op registry (`StegFSService.OPS`) instead of a
+   hardcoded op list — the same table the network server routes by.
 
 Run:  python examples/concurrent_service.py
 """
@@ -68,7 +70,10 @@ def main() -> None:
           f"{stats.hit_rate:.0%} ({stats.hits} hits / {stats.misses} misses)")
 
     # -- 3. lost-update-free shared counter -------------------------------
-    service.steg_create("counter", alice_uak, data=b"0")
+    # dispatch() routes by name through the shared op registry, exactly
+    # like the network server does — no getattr guessing, typed error on
+    # a misspelled op.
+    service.dispatch("steg_create", "counter", alice_uak, data=b"0")
     increments = [
         service.submit(
             "steg_update", "counter", alice_uak,
@@ -87,9 +92,12 @@ def main() -> None:
     print(f"After flush: {cache.stats.dirty_blocks} dirty blocks, "
           f"{cache.stats.writebacks} write-backs total")
     snapshot = service.stats.snapshot()
-    for op in ("steg_read", "steg_update", "steg_create"):
-        print(f"  {op:12s} count={snapshot[op].count:3d} "
-              f"mean={snapshot[op].mean_ms:6.2f} ms errors={snapshot[op].errors}")
+    for op, spec in sorted(StegFSService.OPS.items()):
+        if spec.kind != "hidden" or op not in snapshot:
+            continue
+        stats = snapshot[op]
+        print(f"  {op:12s} count={stats.count:3d} mean={stats.mean_ms:6.2f} ms "
+              f"p95={stats.p95_ms:6.2f} ms errors={stats.errors}")
 
     service.close()
     print("Service closed: sessions logged out, cache flushed.")

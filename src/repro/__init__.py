@@ -47,6 +47,7 @@ from repro.core import (
 from repro.crypto import derive_key, generate_keypair, level_keys
 from repro.db import HiddenKVStore
 from repro.fs import FileSystem
+from repro.net import AsyncStegFSClient, StegFSClient, StegFSServer
 from repro.service import SessionManager, StegFSService
 from repro.storage import (
     Bitmap,
@@ -66,6 +67,7 @@ from repro.workload import WorkloadSpec, generate_jobs, replay_interleaved
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncStegFSClient",
     "Bitmap",
     "CacheStats",
     "CachedDevice",
@@ -86,7 +88,9 @@ __all__ = [
     "SparseDevice",
     "StegCoverStore",
     "StegFS",
+    "StegFSClient",
     "StegFSParams",
+    "StegFSServer",
     "StegFSService",
     "StegFSStore",
     "StegRandStore",

@@ -10,6 +10,7 @@ from repro.bench import (
     fig7,
     fig8,
     fig9,
+    net_throughput,
     service_throughput,
     space,
     tables,
@@ -24,6 +25,7 @@ _EXPERIMENTS = {
     "space": lambda: space.render(space.run()),
     "ablation": lambda: ablation.render(ablation.run()),
     "service": lambda: service_throughput.render(service_throughput.run()),
+    "net": lambda: net_throughput.render(net_throughput.run()),
 }
 
 

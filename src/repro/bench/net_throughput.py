@@ -1,0 +1,309 @@
+"""Remote throughput: multi-process clients vs ops/sec over real sockets.
+
+The live-concurrency benches so far drove the service from threads *inside*
+the server process; this experiment measures the full network path the
+:mod:`repro.net` subsystem adds: frame codec, asyncio event loop, HMAC
+session handshake, worker-pool dispatch, and back.
+
+A :class:`~repro.net.server.StegFSServer` runs on localhost over a
+latency-priced volume (disk-model service times charged as real sleeps, as
+in the service-throughput bench).  Each client connection is a separate
+**OS process** (``multiprocessing`` spawn context) running the shared
+workload loop from :mod:`repro.workload.live` through a blocking
+:class:`~repro.net.client.StegFSClient` — so client-side work cannot share
+the server's GIL and the concurrency curve reflects genuine cross-process
+traffic.  All workers connect and authenticate first, meet the parent on a
+barrier, then hammer; the measured window contains only operations.
+
+Reported per connection count: aggregate ops/sec, p50 and p99 operation
+latency.  The headline claim (asserted by the CI smoke run): aggregate
+throughput with several connections **scales above** a single connection,
+because the server overlaps per-request disk waits across its worker pool.
+
+Run from the command line (``--smoke`` for the CI-sized configuration)::
+
+    python -m repro.bench.net_throughput [--smoke]
+
+or via ``benchmarks/bench_net_throughput.py``, which asserts the claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.common import format_table, write_result
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import OpStats, StegFSService
+from repro.storage.block_device import RamDevice
+from repro.storage.latency import LatencyDevice
+from repro.workload.live import OpMix, RemoteTarget, populate_hidden_files, run_client_loop
+
+__all__ = ["NetThroughputConfig", "NetThroughputResult", "run", "render", "main"]
+
+_USER = "bench"
+_UAK = b"N" * 32
+
+
+@dataclass(frozen=True)
+class NetThroughputConfig:
+    """Knobs for one experiment run."""
+
+    connections: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    ops_per_client: int = 24
+    n_files: int = 8
+    file_size: int = 4096
+    payload_size: int = 2048
+    block_size: int = 512
+    total_blocks: int = 8192
+    time_scale: float = 1.0
+    max_workers: int = 32
+    seed: int = 2003
+    worker_timeout_s: float = 180.0
+
+    @classmethod
+    def smoke(cls) -> "NetThroughputConfig":
+        """CI-sized configuration: a handful of processes, seconds total."""
+        return cls(
+            connections=(1, 2, 4),
+            ops_per_client=10,
+            n_files=4,
+            file_size=2048,
+            payload_size=1024,
+            total_blocks=4096,
+            time_scale=0.25,
+            max_workers=8,
+        )
+
+
+@dataclass
+class NetThroughputResult:
+    """Everything the render and the claim assertions need."""
+
+    config: NetThroughputConfig
+    connections: list[int]
+    ops_per_sec: list[float] = field(default_factory=list)
+    p50_ms: list[float] = field(default_factory=list)
+    p99_ms: list[float] = field(default_factory=list)
+    errors: list[int] = field(default_factory=list)
+    server_steg_read: OpStats | None = None
+
+    @property
+    def single_connection_ops(self) -> float:
+        """Aggregate ops/sec with exactly one client connection."""
+        return self.ops_per_sec[self.connections.index(1)]
+
+    @property
+    def best_multi_ops(self) -> float:
+        """Best aggregate ops/sec among multi-connection points."""
+        return max(
+            ops
+            for n, ops in zip(self.connections, self.ops_per_sec)
+            if n > 1
+        )
+
+    @property
+    def scaling(self) -> float:
+        """Best multi-connection throughput relative to one connection."""
+        single = self.single_connection_ops
+        return self.best_multi_ops / single if single > 0 else 0.0
+
+    @property
+    def total_errors(self) -> int:
+        """Operations that raised, across every point of the sweep."""
+        return sum(self.errors)
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    names: list[str],
+    ops_per_client: int,
+    payload_size: int,
+    seed: int,
+    index: int,
+    barrier,
+    results,
+) -> None:
+    """One client process: connect, authenticate, barrier, hammer, report.
+
+    Module-level (not a closure) so the spawn start method can import it;
+    results travel home as ``(index, ops, errors, latencies_ms)``.
+    """
+    from repro.net.client import StegFSClient
+
+    try:
+        client = StegFSClient(host, port)
+        client.login(_USER, _UAK)
+    except Exception:
+        barrier.wait()
+        results.put((index, 0, 1, []))
+        return
+    with client:
+        target = RemoteTarget(client)
+        barrier.wait()
+        outcome = run_client_loop(
+            target,
+            names,
+            ops_per_client,
+            OpMix.read_heavy(),
+            payload_size,
+            seed,
+            index,
+        )
+        # Report before logging out: the parent's measured window closes
+        # on the last queue item, and the logout round-trip is teardown,
+        # not workload.
+        results.put((index, outcome.ops, outcome.errors, outcome.latencies_ms))
+        try:
+            client.logout()
+        except Exception:
+            pass
+
+
+def _measure_point(
+    config: NetThroughputConfig, host: str, port: int, names: list[str], n_clients: int
+) -> tuple[float, float, float, int]:
+    """One sweep point: ``n_clients`` processes; returns (ops/s, p50, p99, errors)."""
+    ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(n_clients + 1)
+    results = ctx.Queue()
+    processes = [
+        ctx.Process(
+            target=_client_worker,
+            args=(
+                host,
+                port,
+                names,
+                config.ops_per_client,
+                config.payload_size,
+                config.seed + n_clients,
+                index,
+                barrier,
+                results,
+            ),
+            daemon=True,
+        )
+        for index in range(n_clients)
+    ]
+    for process in processes:
+        process.start()
+    # Workers connect + login before the barrier: interpreter startup and
+    # the handshake are excluded from the measured window.
+    barrier.wait(timeout=config.worker_timeout_s)
+    started = time.perf_counter()
+    collected = [results.get(timeout=config.worker_timeout_s) for _ in processes]
+    elapsed = time.perf_counter() - started
+    for process in processes:
+        process.join(timeout=config.worker_timeout_s)
+    total_ops = sum(item[1] for item in collected)
+    total_errors = sum(item[2] for item in collected)
+    latencies = sorted(value for item in collected for value in item[3])
+
+    def percentile(p: float) -> float:
+        if not latencies:
+            return 0.0
+        rank = min(len(latencies) - 1, int(round(p / 100.0 * (len(latencies) - 1))))
+        return latencies[rank]
+
+    ops_per_sec = total_ops / elapsed if elapsed > 0 else 0.0
+    return ops_per_sec, percentile(50), percentile(99), total_errors
+
+
+def run(smoke: bool = False, config: NetThroughputConfig | None = None) -> NetThroughputResult:
+    """Serve a latency-priced volume, sweep client-process counts."""
+    from repro.net.server import start_in_thread
+
+    config = config or (NetThroughputConfig.smoke() if smoke else NetThroughputConfig())
+    result = NetThroughputResult(config=config, connections=list(config.connections))
+
+    device = LatencyDevice(
+        RamDevice(config.block_size, config.total_blocks), time_scale=config.time_scale
+    )
+    steg = StegFS.mkfs(
+        device,
+        params=StegFSParams.for_tests(),
+        inode_count=max(64, config.n_files * 4),
+        rng=random.Random(config.seed),
+        auto_flush=False,
+    )
+    service = StegFSService(steg, max_workers=config.max_workers)
+    names = populate_hidden_files(
+        service, _UAK, config.n_files, config.file_size, prefix="net", seed=config.seed
+    )
+    handle = start_in_thread(service, credentials={_USER: _UAK})
+    try:
+        host, port = handle.address
+        for n_clients in config.connections:
+            ops_per_sec, p50, p99, errors = _measure_point(
+                config, host, port, names, n_clients
+            )
+            result.ops_per_sec.append(ops_per_sec)
+            result.p50_ms.append(p50)
+            result.p99_ms.append(p99)
+            result.errors.append(errors)
+        result.server_steg_read = service.stats.snapshot().get("steg_read")
+    finally:
+        handle.stop()
+        service.close()
+    return result
+
+
+def render(result: NetThroughputResult) -> str:
+    """Paper-style table + scaling summary; persisted to results/."""
+    headers = ["connections"] + [str(n) for n in result.connections]
+    rows = [
+        ["ops/s"] + [f"{v:.1f}" for v in result.ops_per_sec],
+        ["p50 ms"] + [f"{v:.1f}" for v in result.p50_ms],
+        ["p99 ms"] + [f"{v:.1f}" for v in result.p99_ms],
+        ["errors"] + [str(v) for v in result.errors],
+    ]
+    text = format_table(
+        "Remote throughput vs client connections "
+        "(multi-process clients, read-heavy mix)",
+        headers,
+        rows,
+    )
+    text += (
+        f"\nScaling: best multi-connection {result.best_multi_ops:.1f} ops/s"
+        f" = {result.scaling:.1f}x one connection"
+        f" ({result.single_connection_ops:.1f} ops/s)"
+    )
+    stats = result.server_steg_read
+    if stats is not None:
+        text += (
+            f"\nServer-side steg_read over {stats.count} calls:"
+            f" p50 {stats.p50_ms:.1f} / p95 {stats.p95_ms:.1f}"
+            f" / p99 {stats.p99_ms:.1f} ms"
+        )
+    text += "\n"
+    write_result("net_throughput", text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``--smoke`` for the CI configuration)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized configuration")
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    print(render(result))
+    if result.total_errors:
+        print(f"FAIL: {result.total_errors} remote operation(s) raised")
+        return 1
+    if result.scaling <= 1.3:
+        print(
+            f"FAIL: multi-connection throughput ({result.best_multi_ops:.1f} ops/s) "
+            f"did not scale above one connection "
+            f"({result.single_connection_ops:.1f} ops/s)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

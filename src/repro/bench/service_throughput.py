@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from repro.bench.common import format_table, write_result
 from repro.core.params import StegFSParams
 from repro.core.stegfs import StegFS
-from repro.service.service import StegFSService
+from repro.service.service import OpStats, StegFSService
 from repro.storage.block_device import BlockDevice, FileDevice, RamDevice
 from repro.storage.cache import CachedDevice, CacheStats
 from repro.storage.latency import LatencyDevice
@@ -91,6 +91,9 @@ class ServiceThroughputResult:
     reread_uncached_ms: float = 0.0
     reread_cached_ms: float = 0.0
     reread_cache_stats: CacheStats | None = None
+    #: Service-side steg_read counters (with latency percentiles) from the
+    #: cached re-read run.
+    reread_op_stats: OpStats | None = None
 
     @property
     def cache_speedup(self) -> float:
@@ -187,7 +190,9 @@ def _reread_experiment(result: ServiceThroughputResult) -> None:
         )
         setup.close()
 
-        def mean_reread_ms(cached: bool) -> tuple[float, CacheStats | None]:
+        def mean_reread_ms(
+            cached: bool,
+        ) -> tuple[float, CacheStats | None, OpStats | None]:
             service, cache = _mounted_service(device, config, cached)
             for name in names:  # warm-up pass: not measured either way
                 service.steg_read(name, uak)
@@ -199,11 +204,16 @@ def _reread_experiment(result: ServiceThroughputResult) -> None:
                     count += 1
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             stats = cache.stats if cache is not None else None
+            op_stats = service.stats.snapshot().get("steg_read")
             service.close()
-            return elapsed_ms / count, stats
+            return elapsed_ms / count, stats, op_stats
 
-        result.reread_uncached_ms, _ = mean_reread_ms(cached=False)
-        result.reread_cached_ms, result.reread_cache_stats = mean_reread_ms(cached=True)
+        result.reread_uncached_ms, _, _ = mean_reread_ms(cached=False)
+        (
+            result.reread_cached_ms,
+            result.reread_cache_stats,
+            result.reread_op_stats,
+        ) = mean_reread_ms(cached=True)
         device.close()
 
 
@@ -248,6 +258,13 @@ def render(result: ServiceThroughputResult) -> str:
         text += (
             f"\n  cache    {stats.hits} hits / {stats.misses} misses"
             f" (hit rate {stats.hit_rate:.0%}), {stats.evictions} evictions"
+        )
+    if result.reread_op_stats is not None:
+        op_stats = result.reread_op_stats
+        text += (
+            f"\n  service  steg_read x{op_stats.count}:"
+            f" p50 {op_stats.p50_ms:.2f} / p95 {op_stats.p95_ms:.2f}"
+            f" / p99 {op_stats.p99_ms:.2f} ms"
         )
     text += "\n"
     write_result("service_throughput", text)

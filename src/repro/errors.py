@@ -154,6 +154,40 @@ class ServiceClosedError(ServiceError):
     """An operation was submitted to a service that has been shut down."""
 
 
+class UnknownOperationError(ServiceError):
+    """A dispatch named an operation the service registry does not list."""
+
+
+# ---------------------------------------------------------------------------
+# network layer
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for wire-protocol / remote-access failures."""
+
+
+class ProtocolError(NetworkError):
+    """A frame or value on the wire was malformed."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame exceeded the negotiated maximum size."""
+
+
+class ConnectionClosedError(NetworkError):
+    """The peer closed the connection while a reply was outstanding."""
+
+
+class HandshakeError(NetworkError):
+    """The authentication handshake was violated (out-of-order or missing)."""
+
+
+class RemoteError(NetworkError):
+    """The server raised an exception outside the typed ``repro.errors``
+    hierarchy; the original class name and message are in the text."""
+
+
 # ---------------------------------------------------------------------------
 # baselines
 # ---------------------------------------------------------------------------

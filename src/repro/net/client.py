@@ -1,0 +1,633 @@
+"""Remote StegFS clients: blocking with a connection pool, and asyncio.
+
+Both clients speak the :mod:`repro.net.protocol` codec and mirror the
+service surface one-to-one, with one deliberate difference: hidden and
+session operations take **no key argument**.  The client proves knowledge
+of the UAK once, during :meth:`login`'s HMAC challenge–response, receives
+an opaque session token, and sends only that token afterwards — the raw
+key is used locally as MAC-key material and never stored on the client
+object, let alone written to a socket.
+
+* :class:`StegFSClient` — synchronous, safe for many threads: a small
+  LIFO connection pool hands each in-flight call a private socket, so
+  callers never interleave frames.  ``pool_size`` bounds both sockets and
+  concurrency.
+* :class:`AsyncStegFSClient` — one connection, fully pipelined: requests
+  carry correlation ids, a background reader task resolves each pending
+  future as its response arrives, so ``asyncio.gather`` over many calls
+  keeps the link saturated.
+
+Typed errors raised inside the server arrive as the *same*
+:mod:`repro.errors` class with the same message (see
+:func:`~repro.net.protocol.error_to_exception`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import socket
+import threading
+from typing import Any, Iterator
+
+from contextlib import contextmanager
+
+from repro.errors import ConnectionClosedError, HandshakeError, ProtocolError
+from repro.fs.filesystem import FileStat
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME,
+    ErrorFrame,
+    Request,
+    Response,
+    auth_proof,
+    encode_frame,
+    error_to_exception,
+    read_frame,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["AsyncStegFSClient", "StegFSClient", "fetch_hidden"]
+
+
+def _check_response(frame: Any, request_id: int) -> Any:
+    if isinstance(frame, ErrorFrame):
+        raise error_to_exception(frame)
+    if not isinstance(frame, Response):
+        raise ProtocolError(f"expected a RESPONSE frame, got {type(frame).__name__}")
+    if frame.request_id != request_id:
+        raise ProtocolError(
+            f"response correlation mismatch: sent {request_id}, got {frame.request_id}"
+        )
+    return frame.value
+
+
+class _PooledConnection:
+    """One socket plus its monotonically increasing request-id counter."""
+
+    def __init__(self, host: str, port: int, timeout: float | None) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.next_id = 1
+
+    def call(self, op: str, args: tuple[Any, ...], max_frame: int) -> Any:
+        request_id = self.next_id
+        self.next_id += 1
+        send_frame(self.sock, Request(request_id=request_id, op=op, args=args), max_frame)
+        return _check_response(recv_frame(self.sock, max_frame), request_id)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class StegFSClient:
+    """Blocking remote client with a connection pool for threaded callers.
+
+    Each call checks a connection out of the pool, performs one
+    request/response exchange on it, and returns it — so ``pool_size``
+    threads can issue operations concurrently without sharing a socket.
+    The session token obtained by :meth:`login` is shared by every pooled
+    connection (tokens are server-global).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 1,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        timeout: float | None = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._max_frame = max_frame
+        self._timeout = timeout
+        self._idle: queue.LifoQueue[_PooledConnection] = queue.LifoQueue()
+        self._created = 0
+        self._pool_lock = threading.Lock()
+        self._token: bytes | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _connection(self) -> Iterator[_PooledConnection]:
+        if self._closed:
+            raise ConnectionClosedError("client has been closed")
+        conn: _PooledConnection | None = None
+        try:
+            conn = self._idle.get_nowait()
+        except queue.Empty:
+            create = False
+            with self._pool_lock:
+                if self._created < self._pool_size:
+                    self._created += 1
+                    create = True
+            if create:
+                try:
+                    conn = _PooledConnection(self._host, self._port, self._timeout)
+                except BaseException:
+                    with self._pool_lock:
+                        self._created -= 1
+                    raise
+            else:
+                # Block *outside* the pool lock: a connection becomes free
+                # when another thread returns or drops one, and that drop
+                # path needs the lock itself.
+                conn = self._idle.get()
+        try:
+            yield conn
+        except (ProtocolError, ConnectionClosedError, OSError):
+            # The stream is desynchronized (or gone): drop the socket
+            # rather than return it to the pool.
+            conn.close()
+            with self._pool_lock:
+                self._created -= 1
+            raise
+        except BaseException:
+            # Typed remote errors arrive as a complete, well-framed
+            # exchange — the connection is still healthy, keep it.
+            self._idle.put(conn)
+            raise
+        else:
+            self._idle.put(conn)
+
+    def _call(self, op: str, *args: Any) -> Any:
+        with self._connection() as conn:
+            return conn.call(op, args, self._max_frame)
+
+    def _require_token(self) -> bytes:
+        if self._token is None:
+            raise HandshakeError("not authenticated: call login() first")
+        return self._token
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return self._call("ping")
+
+    def login(self, user_id: str, uak: bytes) -> None:
+        """HMAC challenge–response handshake; stores only the token.
+
+        Both legs run on one pooled connection (challenges are scoped to
+        the connection that issued them).
+        """
+        with self._connection() as conn:
+            nonce = conn.call("hello", (user_id,), self._max_frame)
+            proof = auth_proof(uak, nonce, user_id)
+            token = conn.call("authenticate", (user_id, proof), self._max_frame)
+        self._token = token
+
+    def logout(self) -> None:
+        """Close the remote session and forget the token."""
+        token = self._require_token()
+        self._token = None
+        self._call("close_session", token)
+
+    def close(self) -> None:
+        """Close every pooled socket (the remote session is left to idle
+        eviction unless :meth:`logout` ran first)."""
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                break
+
+    def __enter__(self) -> "StegFSClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # plain namespace
+    # ------------------------------------------------------------------
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a plain file."""
+        self._call("create", path, data)
+
+    def read(self, path: str) -> bytes:
+        """Read a plain file."""
+        return self._call("read", path)
+
+    def write(self, path: str, data: bytes) -> None:
+        """Replace a plain file's contents."""
+        self._call("write", path, data)
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append to a plain file."""
+        self._call("append", path, data)
+
+    def unlink(self, path: str) -> None:
+        """Delete a plain file."""
+        self._call("unlink", path)
+
+    def mkdir(self, path: str) -> None:
+        """Create a plain directory."""
+        self._call("mkdir", path)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty plain directory."""
+        self._call("rmdir", path)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """List a plain directory."""
+        return self._call("listdir", path)
+
+    def exists(self, path: str) -> bool:
+        """Whether a plain path exists."""
+        return self._call("exists", path)
+
+    def stat(self, path: str) -> FileStat:
+        """Plain file metadata."""
+        return self._call("stat", path)
+
+    def flush(self) -> None:
+        """Persist dirty metadata and flush the server's device stack."""
+        self._call("flush")
+
+    def dummy_tick(self) -> int | None:
+        """One round of server-side dummy-file churn."""
+        return self._call("dummy_tick")
+
+    # ------------------------------------------------------------------
+    # hidden namespace (token-authenticated; the UAK stays server-side)
+    # ------------------------------------------------------------------
+
+    def steg_create(
+        self,
+        objname: str,
+        data: bytes = b"",
+        objtype: str = "f",
+        owner: str | None = None,
+    ) -> None:
+        """Create a hidden file or directory under the session's key."""
+        self._call(
+            "steg_create", self._require_token(), objname, objtype, data, owner
+        )
+
+    def steg_read(self, objname: str) -> bytes:
+        """Read a hidden file."""
+        return self._call("steg_read", self._require_token(), objname)
+
+    def steg_read_extent(self, objname: str, offset: int, length: int) -> bytes:
+        """Read one extent of a hidden file."""
+        return self._call(
+            "steg_read_extent", self._require_token(), objname, offset, length
+        )
+
+    def steg_write(self, objname: str, data: bytes) -> None:
+        """Replace a hidden file's contents."""
+        self._call("steg_write", self._require_token(), objname, data)
+
+    def steg_write_extent(self, objname: str, offset: int, data: bytes) -> None:
+        """Write one extent of a hidden file in place."""
+        self._call(
+            "steg_write_extent", self._require_token(), objname, offset, data
+        )
+
+    def steg_delete(self, objname: str) -> None:
+        """Delete a hidden object."""
+        self._call("steg_delete", self._require_token(), objname)
+
+    def steg_list(self, objname: str | None = None) -> list[str]:
+        """List a hidden directory (the key's root by default)."""
+        return self._call("steg_list", self._require_token(), objname)
+
+    def steg_hide(self, pathname: str, objname: str) -> None:
+        """Convert a plain object into a hidden one."""
+        self._call("steg_hide", self._require_token(), pathname, objname)
+
+    def steg_unhide(self, pathname: str, objname: str) -> None:
+        """Convert a hidden object back into a plain one."""
+        self._call("steg_unhide", self._require_token(), pathname, objname)
+
+    def steg_revoke(self, objname: str) -> None:
+        """Re-key a hidden object, invalidating outstanding shares."""
+        self._call("steg_revoke", self._require_token(), objname)
+
+    # ------------------------------------------------------------------
+    # session namespace (steg_connect lifecycle, §4)
+    # ------------------------------------------------------------------
+
+    def connect(self, objname: str) -> None:
+        """``steg_connect``: reveal a hidden object in the session."""
+        self._call("connect", self._require_token(), objname)
+
+    def disconnect(self, objname: str) -> None:
+        """``steg_disconnect``: hide a connected object again."""
+        self._call("disconnect", self._require_token(), objname)
+
+    def connected_names(self) -> list[str]:
+        """Names currently visible in the session."""
+        return self._call("connected_names", self._require_token())
+
+    def session_read(self, objname: str) -> bytes:
+        """Read a connected object through the session."""
+        return self._call("session_read", self._require_token(), objname)
+
+    def session_write(self, objname: str, data: bytes) -> None:
+        """Write a connected object through the session."""
+        self._call("session_write", self._require_token(), objname, data)
+
+
+class AsyncStegFSClient:
+    """Asyncio remote client: one connection, pipelined request ids.
+
+    Usage::
+
+        client = AsyncStegFSClient(host, port)
+        await client.open()
+        await client.login("alice", uak)
+        data = await client.steg_read("secret")
+        await client.close()
+
+    Many coroutines may call concurrently; responses are matched to
+    callers by correlation id, so slow operations never head-of-line
+    block fast ones beyond what the server's own scheduling imposes.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, max_frame: int = DEFAULT_MAX_FRAME
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._write_lock = asyncio.Lock()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._token: bytes | None = None
+        self._dead_error: Exception | None = None
+
+    async def open(self) -> "AsyncStegFSClient":
+        """Connect and start the response-dispatch task."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def __aenter__(self) -> "AsyncStegFSClient":
+        return await self.open()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        error: Exception = ConnectionClosedError("server closed the connection")
+        try:
+            while True:
+                frame = await read_frame(self._reader, self._max_frame)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.request_id, None)
+                if future is None or future.done():
+                    continue
+                if isinstance(frame, ErrorFrame):
+                    future.set_exception(error_to_exception(frame))
+                elif isinstance(frame, Response):
+                    future.set_result(frame.value)
+                else:
+                    future.set_exception(
+                        ProtocolError(
+                            f"expected a RESPONSE frame, got {type(frame).__name__}"
+                        )
+                    )
+        except asyncio.CancelledError:
+            error = ConnectionClosedError("client closed the connection")
+        except Exception as exc:
+            error = exc
+        # Record the cause *before* failing the pending futures, so a
+        # _call racing this shutdown either finds its future failed here
+        # or sees _dead_error and fails fast instead of awaiting forever.
+        self._dead_error = error
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def _call(self, op: str, *args: Any) -> Any:
+        if self._writer is None:
+            raise ConnectionClosedError("client is not connected: call open() first")
+        if self._dead_error is not None:
+            # The reader task already exited: nothing will ever resolve a
+            # newly registered future, so fail now with the original cause.
+            raise type(self._dead_error)(str(self._dead_error))
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        data = encode_frame(
+            Request(request_id=request_id, op=op, args=args), self._max_frame
+        )
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+        return await future
+
+    def _require_token(self) -> bytes:
+        if self._token is None:
+            raise HandshakeError("not authenticated: call login() first")
+        return self._token
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return await self._call("ping")
+
+    async def login(self, user_id: str, uak: bytes) -> None:
+        """HMAC challenge–response handshake; stores only the token."""
+        nonce = await self._call("hello", user_id)
+        proof = auth_proof(uak, nonce, user_id)
+        self._token = await self._call("authenticate", user_id, proof)
+
+    async def logout(self) -> None:
+        """Close the remote session and forget the token."""
+        token = self._require_token()
+        self._token = None
+        await self._call("close_session", token)
+
+    async def close(self) -> None:
+        """Tear the connection down; pending calls fail with a typed error."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    # ------------------------------------------------------------------
+    # plain namespace
+    # ------------------------------------------------------------------
+
+    async def create(self, path: str, data: bytes = b"") -> None:
+        """Create a plain file."""
+        await self._call("create", path, data)
+
+    async def read(self, path: str) -> bytes:
+        """Read a plain file."""
+        return await self._call("read", path)
+
+    async def write(self, path: str, data: bytes) -> None:
+        """Replace a plain file's contents."""
+        await self._call("write", path, data)
+
+    async def append(self, path: str, data: bytes) -> None:
+        """Append to a plain file."""
+        await self._call("append", path, data)
+
+    async def unlink(self, path: str) -> None:
+        """Delete a plain file."""
+        await self._call("unlink", path)
+
+    async def mkdir(self, path: str) -> None:
+        """Create a plain directory."""
+        await self._call("mkdir", path)
+
+    async def rmdir(self, path: str) -> None:
+        """Remove an empty plain directory."""
+        await self._call("rmdir", path)
+
+    async def listdir(self, path: str = "/") -> list[str]:
+        """List a plain directory."""
+        return await self._call("listdir", path)
+
+    async def exists(self, path: str) -> bool:
+        """Whether a plain path exists."""
+        return await self._call("exists", path)
+
+    async def stat(self, path: str) -> FileStat:
+        """Plain file metadata."""
+        return await self._call("stat", path)
+
+    async def flush(self) -> None:
+        """Persist dirty metadata and flush the server's device stack."""
+        await self._call("flush")
+
+    async def dummy_tick(self) -> int | None:
+        """One round of server-side dummy-file churn."""
+        return await self._call("dummy_tick")
+
+    # ------------------------------------------------------------------
+    # hidden namespace
+    # ------------------------------------------------------------------
+
+    async def steg_create(
+        self,
+        objname: str,
+        data: bytes = b"",
+        objtype: str = "f",
+        owner: str | None = None,
+    ) -> None:
+        """Create a hidden file or directory under the session's key."""
+        await self._call(
+            "steg_create", self._require_token(), objname, objtype, data, owner
+        )
+
+    async def steg_read(self, objname: str) -> bytes:
+        """Read a hidden file."""
+        return await self._call("steg_read", self._require_token(), objname)
+
+    async def steg_read_extent(self, objname: str, offset: int, length: int) -> bytes:
+        """Read one extent of a hidden file."""
+        return await self._call(
+            "steg_read_extent", self._require_token(), objname, offset, length
+        )
+
+    async def steg_write(self, objname: str, data: bytes) -> None:
+        """Replace a hidden file's contents."""
+        await self._call("steg_write", self._require_token(), objname, data)
+
+    async def steg_write_extent(self, objname: str, offset: int, data: bytes) -> None:
+        """Write one extent of a hidden file in place."""
+        await self._call(
+            "steg_write_extent", self._require_token(), objname, offset, data
+        )
+
+    async def steg_delete(self, objname: str) -> None:
+        """Delete a hidden object."""
+        await self._call("steg_delete", self._require_token(), objname)
+
+    async def steg_list(self, objname: str | None = None) -> list[str]:
+        """List a hidden directory (the key's root by default)."""
+        return await self._call("steg_list", self._require_token(), objname)
+
+    async def steg_hide(self, pathname: str, objname: str) -> None:
+        """Convert a plain object into a hidden one."""
+        await self._call("steg_hide", self._require_token(), pathname, objname)
+
+    async def steg_unhide(self, pathname: str, objname: str) -> None:
+        """Convert a hidden object back into a plain one."""
+        await self._call("steg_unhide", self._require_token(), pathname, objname)
+
+    async def steg_revoke(self, objname: str) -> None:
+        """Re-key a hidden object, invalidating outstanding shares."""
+        await self._call("steg_revoke", self._require_token(), objname)
+
+    # ------------------------------------------------------------------
+    # session namespace
+    # ------------------------------------------------------------------
+
+    async def connect(self, objname: str) -> None:
+        """``steg_connect``: reveal a hidden object in the session."""
+        await self._call("connect", self._require_token(), objname)
+
+    async def disconnect(self, objname: str) -> None:
+        """``steg_disconnect``: hide a connected object again."""
+        await self._call("disconnect", self._require_token(), objname)
+
+    async def connected_names(self) -> list[str]:
+        """Names currently visible in the session."""
+        return await self._call("connected_names", self._require_token())
+
+    async def session_read(self, objname: str) -> bytes:
+        """Read a connected object through the session."""
+        return await self._call("session_read", self._require_token(), objname)
+
+    async def session_write(self, objname: str, data: bytes) -> None:
+        """Write a connected object through the session."""
+        await self._call("session_write", self._require_token(), objname, data)
+
+
+def fetch_hidden(host: str, port: int, user_id: str, uak: bytes, objname: str) -> bytes:
+    """One-shot convenience: login, read one hidden file, logout.
+
+    Importable entry point for subprocess-based readers (benchmark
+    workers, cross-process tests).
+    """
+    with StegFSClient(host, port) as client:
+        client.login(user_id, uak)
+        try:
+            return client.steg_read(objname)
+        finally:
+            client.logout()

@@ -1,0 +1,427 @@
+"""Length-prefixed binary wire protocol for remote StegFS access.
+
+Every message on the wire is one **frame**::
+
+    u32 body_len | body
+    body := u8 kind | u32 request_id | payload
+
+with all integers little-endian and unsigned (matching the on-disk codec
+in :mod:`repro.util.serialization`).  Three frame kinds:
+
+* ``REQUEST``  — ``str op | value-list args``; one service operation.
+* ``RESPONSE`` — ``value result``; the operation's return value.
+* ``ERROR``    — ``str error_class | str message``; a typed failure.
+
+``request_id`` correlates responses with requests, so a client may
+pipeline many requests on one connection and a server may complete them
+out of order.
+
+**Values** are a small tagged union covering everything the service API
+speaks: ``None``, booleans, signed 64-bit integers, floats, bytes, UTF-8
+strings, homogeneous-or-not lists, and :class:`~repro.fs.filesystem.
+FileStat` records.  The codec is transport-neutral; the asyncio server,
+the async client and the blocking socket client all share it.
+
+**Typed errors** round-trip the :mod:`repro.errors` hierarchy: an
+``ERROR`` frame carries the exception's class name and message, and
+:func:`error_to_exception` reconstructs the same class on the far side
+(exceptions outside the registry surface as
+:class:`~repro.errors.RemoteError`, never silently).
+
+**Limits** — both sides enforce ``max_frame`` on encode *and* decode, so
+neither a hostile peer nor an oversized payload can balloon memory; a
+body length of zero or beyond the limit is a protocol error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+import repro.errors as errors_mod
+from repro.crypto.hmac import hmac_sha256
+from repro.errors import (
+    ConnectionClosedError,
+    FrameTooLargeError,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+)
+from repro.fs.filesystem import FileStat
+from repro.fs.inode import FileType
+from repro.util.serialization import CodecError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "ERROR_REGISTRY",
+    "AUTH_CONTEXT",
+    "ErrorFrame",
+    "Request",
+    "Response",
+    "auth_proof",
+    "decode_frame",
+    "encode_frame",
+    "error_to_exception",
+    "exception_to_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Default per-frame ceiling (8 MiB): comfortably fits whole-file payloads
+#: at bench scale while bounding a connection's buffering; larger objects
+#: travel through the extent API in several frames.
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+#: Domain-separation prefix for the HMAC challenge–response handshake
+#: (see :mod:`repro.net.server`): proof = HMAC-SHA256(uak, context ||
+#: nonce || user_id).  Versioned so a future handshake can coexist.
+AUTH_CONTEXT = b"repro.net.hmac-auth.v1"
+
+_LEN = struct.Struct("<I")
+
+
+def auth_proof(uak: bytes, nonce: bytes, user_id: str) -> bytes:
+    """The handshake proof for ``nonce``: HMAC over the challenge, never
+    the key itself — this is the only place the UAK touches the protocol,
+    and it does so only as MAC-key material."""
+    return hmac_sha256(uak, AUTH_CONTEXT + nonce + user_id.encode("utf-8"))
+
+# frame kinds
+_REQUEST = 1
+_RESPONSE = 2
+_ERROR = 3
+
+# value tags
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_BYTES = 5
+_T_STR = 6
+_T_LIST = 7
+_T_STAT = 8
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def _error_registry() -> dict[str, type[Exception]]:
+    registry: dict[str, type[Exception]] = {}
+    for name in dir(errors_mod):
+        obj = getattr(errors_mod, name)
+        if isinstance(obj, type) and issubclass(obj, ReproError):
+            registry[obj.__name__] = obj
+    # The serialization codec's error lives outside repro.errors but is
+    # part of the public failure surface (garbage frames raise it).
+    registry[CodecError.__name__] = CodecError
+    return registry
+
+
+#: Class-name → exception-class table used to round-trip typed errors.
+ERROR_REGISTRY = _error_registry()
+
+
+# ---------------------------------------------------------------------------
+# frames
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """One operation call: ``op(*args)`` under correlation id ``request_id``."""
+
+    request_id: int
+    op: str
+    args: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Response:
+    """A successful completion carrying the operation's return value."""
+
+    request_id: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """A failed completion carrying the typed error's class and message."""
+
+    request_id: int
+    error_class: str
+    message: str
+
+
+Frame = Request | Response | ErrorFrame
+
+
+# ---------------------------------------------------------------------------
+# value codec
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialize one API value to its tagged wire form."""
+    if value is None:
+        return bytes([_T_NONE])
+    if value is True:
+        return bytes([_T_TRUE])
+    if value is False:
+        return bytes([_T_FALSE])
+    if isinstance(value, int):
+        return bytes([_T_INT]) + _I64.pack(value)
+    if isinstance(value, float):
+        return bytes([_T_FLOAT]) + _F64.pack(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return bytes([_T_BYTES]) + _LEN.pack(len(raw)) + raw
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_T_STR]) + _LEN.pack(len(raw)) + raw
+    if isinstance(value, (list, tuple)):
+        parts = [bytes([_T_LIST]), _LEN.pack(len(value))]
+        parts.extend(encode_value(item) for item in value)
+        return b"".join(parts)
+    if isinstance(value, FileStat):
+        return (
+            bytes([_T_STAT])
+            + _I64.pack(value.inode)
+            + bytes([int(value.type)])
+            + _I64.pack(value.size)
+            + _I64.pack(value.n_blocks)
+        )
+    raise ProtocolError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _need(buf: bytes, offset: int, width: int, what: str) -> None:
+    if offset + width > len(buf):
+        raise ProtocolError(
+            f"truncated frame: need {width} byte(s) for {what} at offset "
+            f"{offset}, have {len(buf) - offset}"
+        )
+
+
+def decode_value(buf: bytes, offset: int) -> tuple[Any, int]:
+    """Parse one tagged value; returns ``(value, next_offset)``."""
+    _need(buf, offset, 1, "value tag")
+    tag = buf[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        _need(buf, offset, 8, "int")
+        return _I64.unpack_from(buf, offset)[0], offset + 8
+    if tag == _T_FLOAT:
+        _need(buf, offset, 8, "float")
+        return _F64.unpack_from(buf, offset)[0], offset + 8
+    if tag in (_T_BYTES, _T_STR):
+        _need(buf, offset, 4, "length")
+        length = _LEN.unpack_from(buf, offset)[0]
+        offset += 4
+        _need(buf, offset, length, "bytes/str body")
+        raw = buf[offset : offset + length]
+        offset += length
+        if tag == _T_BYTES:
+            return bytes(raw), offset
+        try:
+            return raw.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 in string value: {exc}") from None
+    if tag == _T_LIST:
+        _need(buf, offset, 4, "list count")
+        count = _LEN.unpack_from(buf, offset)[0]
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = decode_value(buf, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_STAT:
+        _need(buf, offset, 8 + 1 + 8 + 8, "stat record")
+        inode = _I64.unpack_from(buf, offset)[0]
+        type_raw = buf[offset + 8]
+        size = _I64.unpack_from(buf, offset + 9)[0]
+        n_blocks = _I64.unpack_from(buf, offset + 17)[0]
+        try:
+            file_type = FileType(type_raw)
+        except ValueError:
+            raise ProtocolError(f"unknown file type tag {type_raw}") from None
+        return FileStat(inode=inode, type=file_type, size=size, n_blocks=n_blocks), offset + 25
+    raise ProtocolError(f"unknown value tag {tag}")
+
+
+def _encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return _LEN.pack(len(raw)) + raw
+
+
+def _decode_str(buf: bytes, offset: int) -> tuple[str, int]:
+    _need(buf, offset, 4, "string length")
+    length = _LEN.unpack_from(buf, offset)[0]
+    offset += 4
+    _need(buf, offset, length, "string body")
+    try:
+        return buf[offset : offset + length].decode("utf-8"), offset + length
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"invalid UTF-8 in frame string: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# frame codec
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(frame: Frame, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize a frame, length prefix included; enforces ``max_frame``."""
+    if isinstance(frame, Request):
+        body = bytes([_REQUEST]) + _LEN.pack(frame.request_id) + _encode_str(frame.op)
+        body += _LEN.pack(len(frame.args))
+        body += b"".join(encode_value(arg) for arg in frame.args)
+    elif isinstance(frame, Response):
+        body = bytes([_RESPONSE]) + _LEN.pack(frame.request_id) + encode_value(frame.value)
+    elif isinstance(frame, ErrorFrame):
+        body = (
+            bytes([_ERROR])
+            + _LEN.pack(frame.request_id)
+            + _encode_str(frame.error_class)
+            + _encode_str(frame.message)
+        )
+    else:
+        raise ProtocolError(f"cannot encode frame of type {type(frame).__name__}")
+    if len(body) > max_frame:
+        raise FrameTooLargeError(
+            f"frame body of {len(body)} bytes exceeds the {max_frame}-byte limit; "
+            f"split large payloads across steg_read_extent/steg_write_extent calls"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Frame:
+    """Parse one frame body (the length prefix already stripped)."""
+    _need(body, 0, 5, "frame header")
+    kind = body[0]
+    request_id = _LEN.unpack_from(body, 1)[0]
+    offset = 5
+    if kind == _REQUEST:
+        op, offset = _decode_str(body, offset)
+        _need(body, offset, 4, "argument count")
+        argc = _LEN.unpack_from(body, offset)[0]
+        offset += 4
+        args = []
+        for _ in range(argc):
+            arg, offset = decode_value(body, offset)
+            args.append(arg)
+        frame: Frame = Request(request_id=request_id, op=op, args=tuple(args))
+    elif kind == _RESPONSE:
+        value, offset = decode_value(body, offset)
+        frame = Response(request_id=request_id, value=value)
+    elif kind == _ERROR:
+        error_class, offset = _decode_str(body, offset)
+        message, offset = _decode_str(body, offset)
+        frame = ErrorFrame(request_id=request_id, error_class=error_class, message=message)
+    else:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if offset != len(body):
+        raise ProtocolError(
+            f"frame has {len(body) - offset} trailing byte(s) after its payload"
+        )
+    return frame
+
+
+# ---------------------------------------------------------------------------
+# typed errors
+# ---------------------------------------------------------------------------
+
+
+def exception_to_frame(request_id: int, exc: BaseException) -> ErrorFrame:
+    """The wire form of an exception raised while serving a request."""
+    return ErrorFrame(
+        request_id=request_id,
+        error_class=type(exc).__name__,
+        message=str(exc),
+    )
+
+
+def error_to_exception(frame: ErrorFrame) -> Exception:
+    """Reconstruct the typed exception an ``ERROR`` frame describes."""
+    cls = ERROR_REGISTRY.get(frame.error_class)
+    if cls is not None:
+        return cls(frame.message)
+    return RemoteError(f"{frame.error_class}: {frame.message}")
+
+
+# ---------------------------------------------------------------------------
+# transport helpers (shared by the asyncio server/client and the blocking
+# socket client — one codec, three fronts)
+# ---------------------------------------------------------------------------
+
+
+def _check_length(length: int, max_frame: int) -> None:
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame:
+        raise FrameTooLargeError(
+            f"peer announced a {length}-byte frame, over the {max_frame}-byte limit"
+        )
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> Frame | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection dropped mid-length-prefix") from None
+    length = _LEN.unpack(header)[0]
+    _check_length(length, max_frame)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection dropped mid-frame") from None
+    return decode_frame(body)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError("connection dropped mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME) -> Frame:
+    """Read one frame from a blocking socket; typed error on EOF."""
+    header = _recv_exactly(sock, 4)
+    if header is None:
+        raise ConnectionClosedError("server closed the connection")
+    length = _LEN.unpack(header)[0]
+    _check_length(length, max_frame)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection dropped mid-frame")
+    return decode_frame(body)
+
+
+def send_frame(
+    sock: socket.socket, frame: Frame, max_frame: int = DEFAULT_MAX_FRAME
+) -> None:
+    """Serialize and send one frame on a blocking socket."""
+    sock.sendall(encode_frame(frame, max_frame))

@@ -3,8 +3,9 @@
 The paper evaluates StegFS under 1–32 concurrent users (§5.3) and designs
 for many agents with independent access keys (§4); this package is the
 piece that serves them.  It follows the protocol-agnostic
-service-over-storage shape: everything here is transport-neutral — a TCP,
-FUSE or HTTP front end would translate its wire format into these calls.
+service-over-storage shape: everything here is transport-neutral, and the
+:mod:`repro.net` TCP front end routes its wire format into these calls
+through the shared op registry (:mod:`repro.service.registry`).
 
 * :class:`StegFSService` — the thread-safe operation surface: striped
   reader–writer locks per object, a global volume reader–writer lock for
@@ -23,15 +24,19 @@ measurement harness.
 """
 
 from repro.service.locks import LockStripes, RWLock
+from repro.service.registry import OpSpec, build_registry, service_op
 from repro.service.service import OpStats, ServiceStats, StegFSService
 from repro.service.sessions import ServiceSession, SessionManager
 
 __all__ = [
     "LockStripes",
+    "OpSpec",
     "OpStats",
     "RWLock",
     "ServiceSession",
     "ServiceStats",
     "SessionManager",
     "StegFSService",
+    "build_registry",
+    "service_op",
 ]

@@ -1,0 +1,124 @@
+"""Declarative operation registry for the service layer.
+
+:class:`~repro.service.StegFSService` exposes ~25 operations; three
+different front ends need to route calls to them *by name*: the worker
+pool's :meth:`submit`, the asyncio TCP server in :mod:`repro.net.server`,
+and example/driver code.  Instead of each growing its own if/else ladder,
+every service method declares itself with the :func:`service_op` decorator
+and :func:`build_registry` collects the declarations into a single table
+of :class:`OpSpec` entries keyed by operation name.
+
+Each spec records what a remote front end must know to dispatch safely:
+
+* ``kind`` — which namespace the op lives in (``plain`` paths, ``hidden``
+  UAK-addressed objects, authenticated ``session`` calls, volume-level
+  ``admin`` maintenance).
+* ``mutates`` — whether the op changes volume state (read-only fronts can
+  refuse mutations wholesale).
+* ``injects`` — the credential parameter a front end fills in on the
+  caller's behalf (``"uak"`` or ``"session_id"``).  The network server
+  never accepts these from the wire: it substitutes the value bound to
+  the connection's authenticated session, which is what keeps raw access
+  keys off the network.
+* ``params`` — the remaining (wire-visible) parameter names, in call
+  order, so positional wire arguments can be bound by keyword and the
+  injected credential can never be shadowed.
+* ``remote`` — whether the op may be called over the wire at all
+  (``steg_update`` takes a callable and ``open_session`` takes a raw UAK,
+  so both are local-only).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import UnknownOperationError
+
+__all__ = ["OpSpec", "build_registry", "lookup", "service_op"]
+
+_ATTR = "__service_op__"
+
+KINDS = ("plain", "hidden", "session", "admin")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One dispatchable service operation."""
+
+    name: str
+    kind: str
+    mutates: bool
+    injects: str | None
+    params: tuple[str, ...]
+    remote: bool
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether a front end must inject a credential to call this op."""
+        return self.injects is not None
+
+
+def service_op(
+    kind: str,
+    *,
+    mutates: bool,
+    injects: str | None = None,
+    remote: bool = True,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Declare a service method as a registered operation.
+
+    Apply *outermost* (above ``@_counted``) so the marker lands on the
+    method object the class actually exposes; the wire-visible parameter
+    list is recovered from the wrapped function's signature.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown op kind {kind!r} (expected one of {KINDS})")
+
+    def decorate(method: Callable[..., Any]) -> Callable[..., Any]:
+        setattr(method, _ATTR, (kind, mutates, injects, remote))
+        return method
+
+    return decorate
+
+
+def build_registry(cls: type) -> dict[str, OpSpec]:
+    """Collect every :func:`service_op`-decorated method of ``cls``."""
+    registry: dict[str, OpSpec] = {}
+    for name, member in vars(cls).items():
+        marker = getattr(member, _ATTR, None)
+        if marker is None:
+            continue
+        kind, mutates, injects, remote = marker
+        # functools.wraps sets __wrapped__, so this sees the real signature
+        # even through the stats-counting wrapper.
+        signature = inspect.signature(member)
+        params = [p for p in signature.parameters if p != "self"]
+        if injects is not None:
+            if injects not in params:
+                raise ValueError(
+                    f"{cls.__name__}.{name} declares injects={injects!r} "
+                    f"but has no such parameter (has {params})"
+                )
+            params.remove(injects)
+        registry[name] = OpSpec(
+            name=name,
+            kind=kind,
+            mutates=mutates,
+            injects=injects,
+            params=tuple(params),
+            remote=remote,
+        )
+    return registry
+
+
+def lookup(registry: Mapping[str, OpSpec], name: str) -> OpSpec:
+    """The spec for ``name``, or a typed error naming the known ops."""
+    spec = registry.get(name)
+    if spec is None:
+        raise UnknownOperationError(
+            f"unknown service operation {name!r} "
+            f"(known: {', '.join(sorted(registry))})"
+        )
+    return spec

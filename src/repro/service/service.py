@@ -41,20 +41,27 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import random
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.core.stegfs import StegFS
 from repro.errors import ServiceClosedError
 from repro.fs.filesystem import FileStat
 from repro.service.locks import LockStripes, RWLock
+from repro.service.registry import build_registry, lookup, service_op
 from repro.service.sessions import ServiceSession, SessionManager
 
 __all__ = ["OpStats", "ServiceStats", "StegFSService"]
+
+#: Latency samples kept per operation for percentile estimation.  A
+#: bounded reservoir (Vitter's algorithm R) keeps memory O(1) per op while
+#: remaining an unbiased sample of the whole run.
+RESERVOIR_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -64,29 +71,71 @@ class OpStats:
     count: int
     errors: int
     total_s: float
+    #: Sorted latency reservoir in milliseconds (at most RESERVOIR_SIZE
+    #: samples, an unbiased subset of all calls).
+    samples_ms: tuple[float, ...] = field(default=())
 
     @property
     def mean_ms(self) -> float:
         """Mean wall-clock per call in milliseconds."""
         return self.total_s / self.count * 1000.0 if self.count else 0.0
 
+    def percentile_ms(self, percentile: float) -> float:
+        """Nearest-rank latency percentile over the reservoir (ms)."""
+        if not self.samples_ms:
+            return 0.0
+        rank = min(
+            len(self.samples_ms) - 1,
+            int(round(percentile / 100.0 * (len(self.samples_ms) - 1))),
+        )
+        return self.samples_ms[rank]
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency (ms)."""
+        return self.percentile_ms(50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile latency (ms)."""
+        return self.percentile_ms(95.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile latency (ms)."""
+        return self.percentile_ms(99.0)
+
 
 class ServiceStats:
-    """Thread-safe per-operation counters."""
+    """Thread-safe per-operation counters with latency percentiles."""
 
-    def __init__(self) -> None:
+    def __init__(self, reservoir_size: int = RESERVOIR_SIZE) -> None:
         self._lock = threading.Lock()
         self._counts: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._times: dict[str, float] = {}
+        self._samples: dict[str, list[float]] = {}
+        self._reservoir_size = reservoir_size
+        # Deterministic reservoir replacement: percentiles are repeatable
+        # for a given call sequence, which the benches rely on.
+        self._rng = random.Random(0x5E5)
 
     def record(self, op: str, elapsed_s: float, failed: bool) -> None:
         """Account one completed (or failed) call."""
+        elapsed_ms = elapsed_s * 1000.0
         with self._lock:
-            self._counts[op] = self._counts.get(op, 0) + 1
+            seen = self._counts.get(op, 0)
+            self._counts[op] = seen + 1
             self._times[op] = self._times.get(op, 0.0) + elapsed_s
             if failed:
                 self._errors[op] = self._errors.get(op, 0) + 1
+            reservoir = self._samples.setdefault(op, [])
+            if len(reservoir) < self._reservoir_size:
+                reservoir.append(elapsed_ms)
+            else:
+                slot = self._rng.randrange(seen + 1)
+                if slot < self._reservoir_size:
+                    reservoir[slot] = elapsed_ms
 
     def snapshot(self) -> dict[str, OpStats]:
         """Point-in-time copy of every operation's counters."""
@@ -96,6 +145,7 @@ class ServiceStats:
                     count=self._counts[op],
                     errors=self._errors.get(op, 0),
                     total_s=self._times[op],
+                    samples_ms=tuple(sorted(self._samples.get(op, ()))),
                 )
                 for op in self._counts
             }
@@ -179,6 +229,11 @@ class StegFSService:
         """Whether :meth:`close` has run."""
         return self._closed
 
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The worker pool (front ends dispatch blocking calls onto it)."""
+        return self._executor
+
     # ------------------------------------------------------------------
     # locking helpers
     # ------------------------------------------------------------------
@@ -223,60 +278,70 @@ class StegFSService:
     # plain namespace
     # ------------------------------------------------------------------
 
+    @service_op("plain", mutates=True)
     @_counted
     def create(self, path: str, data: bytes = b"") -> None:
         """Create a plain file."""
         with self._exclusive(self._plain_key(path)):
             self._steg.create(path, data)
 
+    @service_op("plain", mutates=False)
     @_counted
     def read(self, path: str) -> bytes:
         """Read a plain file."""
         with self._shared(self._plain_key(path)):
             return self._steg.read(path)
 
+    @service_op("plain", mutates=True)
     @_counted
     def write(self, path: str, data: bytes) -> None:
         """Replace a plain file's contents."""
         with self._exclusive(self._plain_key(path)):
             self._steg.write(path, data)
 
+    @service_op("plain", mutates=True)
     @_counted
     def append(self, path: str, data: bytes) -> None:
         """Append to a plain file (read–modify–write, stripe-serialized)."""
         with self._exclusive(self._plain_key(path)):
             self._steg.append(path, data)
 
+    @service_op("plain", mutates=True)
     @_counted
     def unlink(self, path: str) -> None:
         """Delete a plain file."""
         with self._exclusive(self._plain_key(path)):
             self._steg.unlink(path)
 
+    @service_op("plain", mutates=True)
     @_counted
     def mkdir(self, path: str) -> None:
         """Create a plain directory."""
         with self._exclusive(self._plain_key(path)):
             self._steg.mkdir(path)
 
+    @service_op("plain", mutates=True)
     @_counted
     def rmdir(self, path: str) -> None:
         """Remove an empty plain directory."""
         with self._exclusive(self._plain_key(path)):
             self._steg.rmdir(path)
 
+    @service_op("plain", mutates=False)
     @_counted
     def listdir(self, path: str = "/") -> list[str]:
         """List a plain directory."""
         with self._shared(self._plain_key(path)):
             return self._steg.listdir(path)
 
+    @service_op("plain", mutates=False)
     @_counted
     def exists(self, path: str) -> bool:
         """Whether a plain path exists."""
         with self._shared(self._plain_key(path)):
             return self._steg.exists(path)
 
+    @service_op("plain", mutates=False)
     @_counted
     def stat(self, path: str) -> FileStat:
         """Plain file metadata."""
@@ -287,6 +352,7 @@ class StegFSService:
     # hidden namespace (direct, UAK-addressed)
     # ------------------------------------------------------------------
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_create(
         self,
@@ -300,24 +366,28 @@ class StegFSService:
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_create(objname, uak, objtype=objtype, data=data, owner=owner)
 
+    @service_op("hidden", mutates=False, injects="uak")
     @_counted
     def steg_read(self, objname: str, uak: bytes) -> bytes:
         """Read a hidden file."""
         with self._shared(self._hidden_key(objname, uak)):
             return self._steg.steg_read(objname, uak)
 
+    @service_op("hidden", mutates=False, injects="uak")
     @_counted
     def steg_read_extent(self, objname: str, uak: bytes, offset: int, length: int) -> bytes:
         """Read one extent of a hidden file (batched block run)."""
         with self._shared(self._hidden_key(objname, uak)):
             return self._steg.steg_read_extent(objname, uak, offset, length)
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
         """Replace a hidden file's contents."""
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_write(objname, uak, data)
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_write_extent(self, objname: str, uak: bytes, offset: int, data: bytes) -> None:
         """Write one extent of a hidden file in place (batched run;
@@ -325,6 +395,7 @@ class StegFSService:
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_write_extent(objname, uak, offset, data)
 
+    @service_op("hidden", mutates=True, injects="uak", remote=False)
     @_counted
     def steg_update(
         self, objname: str, uak: bytes, fn: Callable[[bytes], bytes | None]
@@ -352,12 +423,14 @@ class StegFSService:
                 self._steg.steg_write(objname, uak, new)
             return new
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_delete(self, objname: str, uak: bytes) -> None:
         """Delete a hidden object."""
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_delete(objname, uak)
 
+    @service_op("hidden", mutates=False, injects="uak")
     @_counted
     def steg_list(self, uak: bytes, objname: str | None = None) -> list[str]:
         """List a hidden directory (the UAK root by default)."""
@@ -365,6 +438,7 @@ class StegFSService:
         with self._shared(key):
             return self._steg.steg_list(uak, objname)
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_hide(self, pathname: str, objname: str, uak: bytes) -> None:
         """Convert a plain object into a hidden one (both stripes held)."""
@@ -373,6 +447,7 @@ class StegFSService:
         ):
             self._steg.steg_hide(pathname, objname, uak)
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_unhide(self, pathname: str, objname: str, uak: bytes) -> None:
         """Convert a hidden object back into a plain one."""
@@ -381,6 +456,7 @@ class StegFSService:
         ):
             self._steg.steg_unhide(pathname, objname, uak)
 
+    @service_op("hidden", mutates=True, injects="uak")
     @_counted
     def steg_revoke(self, objname: str, uak: bytes) -> None:
         """Re-key a hidden object, invalidating outstanding shares."""
@@ -391,55 +467,62 @@ class StegFSService:
     # authenticated sessions
     # ------------------------------------------------------------------
 
+    @service_op("session", mutates=False, remote=False)
     @_counted
     def open_session(self, user_id: str, uak: bytes) -> str:
         """Authenticate ``user_id`` and open a session; returns its id."""
         return self._sessions.open_session(user_id, uak).session_id
 
+    @service_op("session", mutates=False, injects="session_id", remote=False)
     @_counted
     def close_session(self, session_id: str) -> None:
         """Logout: all connected objects become invisible again."""
         self._sessions.close_session(session_id)
 
+    @service_op("session", mutates=False, injects="session_id")
     @_counted
     def connect(self, session_id: str, objname: str) -> None:
         """``steg_connect``: reveal a hidden object in the session."""
-        record = self._sessions.get(session_id)
-        with record.lock, self._shared(self._session_key(record, objname)):
-            self._steg.steg_connect(objname, record.uak, session=record.session)
+        with self._sessions.use(session_id) as record:
+            with record.lock, self._shared(self._session_key(record, objname)):
+                self._steg.steg_connect(objname, record.uak, session=record.session)
 
+    @service_op("session", mutates=False, injects="session_id")
     @_counted
     def disconnect(self, session_id: str, objname: str) -> None:
         """``steg_disconnect``: hide a connected object again."""
-        record = self._sessions.get(session_id)
-        with record.lock:
-            self._steg.steg_disconnect(objname, session=record.session)
+        with self._sessions.use(session_id) as record:
+            with record.lock:
+                self._steg.steg_disconnect(objname, session=record.session)
 
+    @service_op("session", mutates=False, injects="session_id")
     @_counted
     def connected_names(self, session_id: str) -> list[str]:
         """Names currently visible in the session."""
-        record = self._sessions.get(session_id)
-        with record.lock:
-            return record.session.connected_names()
+        with self._sessions.use(session_id) as record:
+            with record.lock:
+                return record.session.connected_names()
 
+    @service_op("session", mutates=False, injects="session_id")
     @_counted
     def session_read(self, session_id: str, objname: str) -> bytes:
         """Read a connected object through the session."""
-        record = self._sessions.get(session_id)
-        with record.lock, self._shared(self._session_key(record, objname)):
-            return record.session.read(objname)
+        with self._sessions.use(session_id) as record:
+            with record.lock, self._shared(self._session_key(record, objname)):
+                return record.session.read(objname)
 
+    @service_op("session", mutates=True, injects="session_id")
     @_counted
     def session_write(self, session_id: str, objname: str, data: bytes) -> None:
         """Write a connected object through the session."""
-        record = self._sessions.get(session_id)
-        with record.lock, self._exclusive(self._session_key(record, objname)):
-            record.session.write(objname, data)
-            # Session writes bypass the facade, so account the bitmap
-            # mutation here, honouring the volume's auto_flush policy.
-            self._steg.fs.mark_bitmap_dirty()
-            if self._steg.auto_flush:
-                self._steg.fs.flush()
+        with self._sessions.use(session_id) as record:
+            with record.lock, self._exclusive(self._session_key(record, objname)):
+                record.session.write(objname, data)
+                # Session writes bypass the facade, so account the bitmap
+                # mutation here, honouring the volume's auto_flush policy.
+                self._steg.fs.mark_bitmap_dirty()
+                if self._steg.auto_flush:
+                    self._steg.fs.flush()
 
     def _session_key(self, record: ServiceSession, objname: str) -> str:
         return self._hidden_key(objname, record.uak)
@@ -448,6 +531,7 @@ class StegFSService:
     # maintenance
     # ------------------------------------------------------------------
 
+    @service_op("admin", mutates=True)
     @_counted
     def flush(self) -> None:
         """Persist dirty metadata and flush the device stack (cache
@@ -456,6 +540,7 @@ class StegFSService:
             self._steg.flush()
             self._steg.device.flush()
 
+    @service_op("admin", mutates=True)
     @_counted
     def dummy_tick(self) -> int | None:
         """One round of dummy-file churn, serialized like any mutation."""
@@ -466,16 +551,31 @@ class StegFSService:
     # worker pool
     # ------------------------------------------------------------------
 
+    def dispatch(self, op: str, /, *args: Any, **kwargs: Any) -> Any:
+        """Call a registered operation by name (synchronously).
+
+        Routing goes through the shared op registry (:data:`OPS`), so a
+        misspelled name raises :class:`~repro.errors.UnknownOperationError`
+        instead of an ``AttributeError`` deep in ``getattr``.
+        """
+        lookup(self.OPS, op)
+        return getattr(self, op)(*args, **kwargs)
+
     def submit(
         self, op: str | Callable[..., Any], /, *args: Any, **kwargs: Any
     ) -> Future:
         """Dispatch an operation to the worker pool; returns its future.
 
-        ``op`` is a service method name (``"steg_read"``) or any callable.
+        ``op`` is a registered operation name (``"steg_read"``) or any
+        callable.
         """
         if self._closed:
             raise ServiceClosedError("service has been shut down")
-        target = getattr(self, op) if isinstance(op, str) else op
+        if isinstance(op, str):
+            lookup(self.OPS, op)
+            target = getattr(self, op)
+        else:
+            target = op
         return self._executor.submit(target, *args, **kwargs)
 
     def close(self) -> None:
@@ -494,3 +594,9 @@ class StegFSService:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+#: Registry of every dispatchable operation, collected from the
+#: ``@service_op`` declarations above.  Front ends (the worker pool, the
+#: TCP server, example drivers) route by name through this table.
+StegFSService.OPS = build_registry(StegFSService)

@@ -18,6 +18,13 @@ that lifecycle safe under concurrency:
   reaped (their connected objects become invisible again, the logout
   semantics of §4).  Eviction runs opportunistically on every manager
   call and on demand via :meth:`evict_idle`.
+* **Pinned use** — :meth:`SessionManager.use` re-validates the session id
+  under the manager lock and *pins* the record for the duration of the
+  caller's operation, so an idle-eviction sweep on another thread can
+  never disconnect a session between token validation and use; a stale id
+  raises the typed :class:`~repro.errors.SessionNotFoundError` rather
+  than surfacing as a ``KeyError`` (or worse, operating on a logged-out
+  session).
 
 One session = one authenticated client connection; the
 :class:`~repro.service.StegFSService` executes operations on behalf of
@@ -31,7 +38,8 @@ import hmac
 import secrets
 import threading
 import time
-from typing import Callable
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 from repro.core.session import Session
 from repro.core.stegfs import StegFS
@@ -58,6 +66,9 @@ class ServiceSession:
         self.created_at = now
         self.last_used = now
         self.lock = threading.RLock()
+        # In-flight operations currently holding this record via
+        # SessionManager.use(); guarded by the *manager* lock.
+        self.pins = 0
 
     def touch(self, now: float) -> None:
         """Record activity (resets the idle clock)."""
@@ -147,7 +158,12 @@ class SessionManager:
             return record
 
     def get(self, session_id: str) -> ServiceSession:
-        """The live session for ``session_id``; touches its idle clock."""
+        """The live session for ``session_id``; touches its idle clock.
+
+        The returned record is *not* protected against concurrent idle
+        eviction — callers that go on to operate on the session should
+        prefer :meth:`use`, which pins it for the operation's duration.
+        """
         self.evict_idle()
         now = self._clock()
         with self._lock:
@@ -158,6 +174,35 @@ class SessionManager:
                 )
             record.touch(now)
             return record
+
+    @contextmanager
+    def use(self, session_id: str) -> Iterator[ServiceSession]:
+        """Validate ``session_id`` and pin the record while in use.
+
+        Validation and pinning happen atomically under the manager lock,
+        closing the race where an idle sweep on another thread evicts the
+        session *between* token validation and the operation that uses it:
+        :meth:`evict_idle` skips pinned records, so a session observed
+        live here stays live (and connected) until the ``with`` block
+        exits.  A dead id raises the typed
+        :class:`~repro.errors.SessionNotFoundError`.
+        """
+        self.evict_idle()
+        now = self._clock()
+        with self._lock:
+            record = self._sessions.get(session_id)
+            if record is None:
+                raise SessionNotFoundError(
+                    f"no live session {session_id!r} (closed, evicted, or never opened)"
+                )
+            record.touch(now)
+            record.pins += 1
+        try:
+            yield record
+        finally:
+            with self._lock:
+                record.pins -= 1
+                record.touch(self._clock())
 
     def close_session(self, session_id: str) -> None:
         """Explicit logout: disconnect everything and forget the session."""
@@ -183,6 +228,9 @@ class SessionManager:
         Victims are removed from the registry under the manager lock (so
         no new operation can reach them), then disconnected under their
         own session lock (so any in-flight operation drains first).
+        Records pinned by :meth:`use` are never victims: an operation that
+        validated its token is guaranteed its session survives until it
+        finishes.
         """
         if self._idle_timeout is None:
             return []
@@ -191,7 +239,7 @@ class SessionManager:
             victims = [
                 record
                 for record in self._sessions.values()
-                if record.idle_for(now) > self._idle_timeout
+                if record.pins == 0 and record.idle_for(now) > self._idle_timeout
             ]
             for record in victims:
                 del self._sessions[record.session_id]

@@ -5,8 +5,12 @@ from repro.workload.live import (
     ClientResult,
     LiveRunResult,
     OpMix,
+    RemoteTarget,
+    ServiceTarget,
     populate_hidden_files,
+    run_client_loop,
     run_live_clients,
+    run_remote_clients,
 )
 from repro.workload.metrics import Summary, space_utilization, summarize
 from repro.workload.runner import (
@@ -22,14 +26,18 @@ __all__ = [
     "FileJob",
     "LiveRunResult",
     "OpMix",
+    "RemoteTarget",
     "RunResult",
+    "ServiceTarget",
     "Summary",
     "WorkloadSpec",
     "generate_jobs",
     "populate_hidden_files",
     "replay_interleaved",
     "replay_serial",
+    "run_client_loop",
     "run_live_clients",
+    "run_remote_clients",
     "space_utilization",
     "summarize",
 ]

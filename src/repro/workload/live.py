@@ -1,17 +1,26 @@
-"""Live multi-threaded workload driver for the service layer.
+"""Live multi-client workload drivers: in-process threads and remote sockets.
 
 Where :mod:`repro.workload.runner` *replays recorded traces* through the
-disk model (the Figure 7–9 methodology), this module drives a
-:class:`~repro.service.StegFSService` with **real client threads** issuing
-real operations — lock contention, GIL scheduling and device latency all
-happen for real.  It is the measurement engine of
-``benchmarks/bench_service_throughput.py`` and the concurrency stress
-tests.
+disk model (the Figure 7–9 methodology), this module drives a StegFS
+service with **real clients** issuing real operations — lock contention,
+GIL scheduling and device latency all happen for real.  It is the
+measurement engine of ``benchmarks/bench_service_throughput.py``,
+``benchmarks/bench_net_throughput.py`` and the concurrency stress tests.
 
-Each client thread owns a deterministic RNG and loops over an
-:class:`OpMix` (read/write/create/delete weights) against a set of hidden
-objects; all clients start together on a barrier, and the run reports
-aggregate throughput plus per-op latency percentiles.
+Two transports share one loop:
+
+* :func:`run_live_clients` — threads calling a
+  :class:`~repro.service.StegFSService` directly (PR 1's driver).
+* :func:`run_remote_clients` — threads each owning a blocking
+  :class:`~repro.net.client.StegFSClient` over a real TCP connection.
+
+Each client owns a deterministic RNG and loops over an :class:`OpMix`
+(read/write/create/delete weights) against a set of hidden objects.  The
+per-op dispatch is a **table built from small op closures**
+(:func:`build_client_ops`) rather than an if/else ladder, so local and
+remote targets plug into the identical loop; all clients start together
+on a barrier, and the run reports aggregate throughput plus per-op
+latency percentiles.
 """
 
 from __future__ import annotations
@@ -20,15 +29,22 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Protocol
 
 from repro.service.service import StegFSService
 
 __all__ = [
     "ClientResult",
+    "ClientTarget",
     "LiveRunResult",
     "OpMix",
+    "RemoteTarget",
+    "ServiceTarget",
+    "build_client_ops",
     "populate_hidden_files",
+    "run_client_loop",
     "run_live_clients",
+    "run_remote_clients",
 ]
 
 
@@ -64,13 +80,13 @@ class OpMix:
 
     @classmethod
     def read_heavy(cls) -> "OpMix":
-        """The §5.3-style mix the throughput bench defaults to."""
+        """The §5.3-style mix the throughput benches default to."""
         return cls(read=0.9, write=0.1)
 
 
 @dataclass
 class ClientResult:
-    """One client thread's outcome."""
+    """One client's outcome."""
 
     client: int
     ops: int = 0
@@ -112,6 +128,149 @@ class LiveRunResult:
         return samples[rank]
 
 
+# ---------------------------------------------------------------------------
+# targets: the four primitive operations each transport must provide
+# ---------------------------------------------------------------------------
+
+
+class ClientTarget(Protocol):
+    """What one workload client needs from its transport."""
+
+    def read(self, name: str) -> bytes:  # pragma: no cover - protocol
+        ...
+
+    def write(self, name: str, data: bytes) -> None:  # pragma: no cover
+        ...
+
+    def create(self, name: str, data: bytes) -> None:  # pragma: no cover
+        ...
+
+    def delete(self, name: str) -> None:  # pragma: no cover
+        ...
+
+
+class ServiceTarget:
+    """In-process transport: direct :class:`StegFSService` calls."""
+
+    def __init__(self, service: StegFSService, uak: bytes) -> None:
+        self._service = service
+        self._uak = uak
+
+    def read(self, name: str) -> bytes:
+        """Read a hidden file through the service."""
+        return self._service.steg_read(name, self._uak)
+
+    def write(self, name: str, data: bytes) -> None:
+        """Replace a hidden file through the service."""
+        self._service.steg_write(name, self._uak, data)
+
+    def create(self, name: str, data: bytes) -> None:
+        """Create a hidden file through the service."""
+        self._service.steg_create(name, self._uak, data=data)
+
+    def delete(self, name: str) -> None:
+        """Delete a hidden file through the service."""
+        self._service.steg_delete(name, self._uak)
+
+
+class RemoteTarget:
+    """Network transport: a logged-in blocking remote client.
+
+    The client holds a session token, so none of these calls carry a key.
+    """
+
+    def __init__(self, client: "object") -> None:
+        # Typed loosely to keep repro.net an optional import for trace-
+        # replay users; any object with the steg_* quartet works.
+        self._client = client
+
+    def read(self, name: str) -> bytes:
+        """Read a hidden file over the wire."""
+        return self._client.steg_read(name)
+
+    def write(self, name: str, data: bytes) -> None:
+        """Replace a hidden file over the wire."""
+        self._client.steg_write(name, data)
+
+    def create(self, name: str, data: bytes) -> None:
+        """Create a hidden file over the wire."""
+        self._client.steg_create(name, data=data)
+
+    def delete(self, name: str) -> None:
+        """Delete a hidden file over the wire."""
+        self._client.steg_delete(name)
+
+
+def build_client_ops(
+    target: ClientTarget,
+    names: list[str],
+    rng: random.Random,
+    payload_size: int,
+    index: int,
+) -> dict[str, Callable[[], None]]:
+    """The per-client dispatch table: op name → zero-arg closure.
+
+    Reads and writes target the shared ``names``; creates and deletes use
+    per-client private names so clients never race on namespace
+    existence.  Delete falls back to create when nothing private is live.
+    """
+    private_live: list[str] = []
+    serial = iter(range(1 << 30))
+
+    def do_read() -> None:
+        target.read(rng.choice(names))
+
+    def do_write() -> None:
+        target.write(rng.choice(names), rng.randbytes(payload_size))
+
+    def do_create() -> None:
+        name = f"client{index}-{next(serial):04d}"
+        target.create(name, rng.randbytes(payload_size))
+        private_live.append(name)
+
+    def do_delete() -> None:
+        if private_live:
+            target.delete(private_live.pop())
+        else:
+            do_create()
+
+    return {"read": do_read, "write": do_write, "create": do_create, "delete": do_delete}
+
+
+def run_client_loop(
+    target: ClientTarget,
+    names: list[str],
+    ops_per_client: int,
+    mix: OpMix,
+    payload_size: int,
+    seed: int,
+    index: int,
+) -> ClientResult:
+    """Run one client's deterministic op loop; returns its counters.
+
+    Transport-neutral: the same loop drives in-process services, remote
+    sockets, and (via multiprocessing) the net-throughput bench workers.
+    """
+    rng = random.Random((seed << 16) ^ index)
+    ops = build_client_ops(target, names, rng, payload_size, index)
+    result = ClientResult(client=index)
+    for _ in range(ops_per_client):
+        op = mix.choose(rng)
+        start = time.perf_counter()
+        try:
+            ops[op]()
+            result.ops += 1
+        except Exception:
+            result.errors += 1
+        result.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+
+
 def populate_hidden_files(
     service: StegFSService,
     uak: bytes,
@@ -131,6 +290,33 @@ def populate_hidden_files(
     return names
 
 
+def _run_threads(
+    n_clients: int,
+    make_worker: Callable[[int, "threading.Barrier"], Callable[[], ClientResult]],
+) -> LiveRunResult:
+    """Start ``n_clients`` threads on a barrier; collect their results."""
+    barrier = threading.Barrier(n_clients + 1)
+    results: list[ClientResult | None] = [None] * n_clients
+
+    def thread_main(index: int) -> None:
+        worker = make_worker(index, barrier)
+        results[index] = worker()
+
+    threads = [
+        threading.Thread(target=thread_main, args=(i,), name=f"client-{i}")
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    collected = [r if r is not None else ClientResult(client=i) for i, r in enumerate(results)]
+    return LiveRunResult(n_clients=n_clients, elapsed_s=elapsed, clients=collected)
+
+
 def run_live_clients(
     service: StegFSService,
     uak: bytes,
@@ -141,10 +327,8 @@ def run_live_clients(
     payload_size: int = 2048,
     seed: int = 0,
 ) -> LiveRunResult:
-    """Hammer ``service`` with ``n_clients`` real threads.
+    """Hammer ``service`` with ``n_clients`` real threads, in-process.
 
-    Reads and writes target the shared ``names``; creates and deletes use
-    per-client private names so clients never race on namespace existence.
     Every client is deterministic given ``seed``; wall-clock spans the
     barrier release to the last thread's exit.
     """
@@ -152,53 +336,70 @@ def run_live_clients(
         raise ValueError(f"n_clients must be >= 1, got {n_clients}")
     if not names:
         raise ValueError("names must not be empty")
-    mix = mix or OpMix.read_heavy()
-    barrier = threading.Barrier(n_clients + 1)
-    results = [ClientResult(client=i) for i in range(n_clients)]
+    chosen_mix = mix or OpMix.read_heavy()
 
-    def client_loop(index: int) -> None:
-        rng = random.Random((seed << 16) ^ index)
-        result = results[index]
-        private_serial = 0
-        private_live: list[str] = []
-        barrier.wait()
-        for _ in range(ops_per_client):
-            op = mix.choose(rng)
-            start = time.perf_counter()
+    def make_worker(index: int, barrier: threading.Barrier) -> Callable[[], ClientResult]:
+        target = ServiceTarget(service, uak)
+
+        def worker() -> ClientResult:
+            barrier.wait()
+            return run_client_loop(
+                target, names, ops_per_client, chosen_mix, payload_size, seed, index
+            )
+
+        return worker
+
+    return _run_threads(n_clients, make_worker)
+
+
+def run_remote_clients(
+    host: str,
+    port: int,
+    user_id: str,
+    uak: bytes,
+    names: list[str],
+    n_clients: int,
+    ops_per_client: int,
+    mix: OpMix | None = None,
+    payload_size: int = 2048,
+    seed: int = 0,
+) -> LiveRunResult:
+    """Hammer a network server with ``n_clients`` threads, each owning its
+    own TCP connection and authenticated session.
+
+    Connection setup and the HMAC login handshake happen *before* the
+    barrier, so the measured window contains only operations.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+    if not names:
+        raise ValueError("names must not be empty")
+    from repro.net.client import StegFSClient  # local import: optional dep direction
+
+    chosen_mix = mix or OpMix.read_heavy()
+
+    def make_worker(index: int, barrier: threading.Barrier) -> Callable[[], ClientResult]:
+        def worker() -> ClientResult:
             try:
-                if op == "read":
-                    service.steg_read(rng.choice(names), uak)
-                elif op == "write":
-                    service.steg_write(
-                        rng.choice(names), uak, rng.randbytes(payload_size)
-                    )
-                elif op == "create":
-                    name = f"client{index}-{private_serial:04d}"
-                    private_serial += 1
-                    service.steg_create(name, uak, data=rng.randbytes(payload_size))
-                    private_live.append(name)
-                else:  # delete — fall back to create if nothing to delete
-                    if private_live:
-                        service.steg_delete(private_live.pop(), uak)
-                    else:
-                        name = f"client{index}-{private_serial:04d}"
-                        private_serial += 1
-                        service.steg_create(name, uak, data=rng.randbytes(payload_size))
-                        private_live.append(name)
-                result.ops += 1
+                client = StegFSClient(host, port)
+                client.login(user_id, uak)
             except Exception:
-                result.errors += 1
-            result.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+                # A client that cannot even connect must still pass the
+                # barrier, or it would deadlock every healthy client.
+                barrier.wait()
+                return ClientResult(client=index, errors=1)
+            with client:
+                target = RemoteTarget(client)
+                barrier.wait()
+                result = run_client_loop(
+                    target, names, ops_per_client, chosen_mix, payload_size, seed, index
+                )
+                try:
+                    client.logout()
+                except Exception:
+                    result.errors += 1
+                return result
 
-    threads = [
-        threading.Thread(target=client_loop, args=(i,), name=f"client-{i}")
-        for i in range(n_clients)
-    ]
-    for thread in threads:
-        thread.start()
-    barrier.wait()
-    started = time.perf_counter()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - started
-    return LiveRunResult(n_clients=n_clients, elapsed_s=elapsed, clients=results)
+        return worker
+
+    return _run_threads(n_clients, make_worker)

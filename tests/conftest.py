@@ -7,6 +7,15 @@ import random
 import pytest
 
 
+def pytest_configure(config):
+    """Register suite-local markers (no pytest.ini in this repo)."""
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-process / network-heavy tests "
+        "(skip locally with -m 'not slow'; CI runs them)",
+    )
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """Deterministic RNG for tests that need randomness."""

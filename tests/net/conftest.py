@@ -1,0 +1,43 @@
+"""Fixtures for the network subsystem tests: a live localhost server."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.net.server import start_in_thread
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+
+USER = "alice"
+UAK = b"A" * 32
+
+
+@pytest.fixture
+def service():
+    steg = StegFS.mkfs(
+        RamDevice(block_size=512, total_blocks=8192),
+        params=StegFSParams.for_tests(),
+        inode_count=128,
+        rng=random.Random(23),
+        auto_flush=False,
+    )
+    svc = StegFSService(steg, max_workers=4)
+    yield svc
+    if not svc.closed:
+        svc.close()
+
+
+@pytest.fixture
+def server(service):
+    handle = start_in_thread(service, credentials={USER: UAK})
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def address(server):
+    return server.address

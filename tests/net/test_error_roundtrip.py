@@ -1,0 +1,63 @@
+"""Every public ``repro.errors`` exception survives the wire intact.
+
+The satellite requirement: an exception raised *inside the service* must
+decode to the same class, with the same message, on the remote client.
+Each class is injected by stubbing the service's ``read`` op on the live
+server and observed through a real socket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors
+from repro.errors import ReproError
+from repro.net.client import StegFSClient
+
+
+def _public_error_classes() -> list[type]:
+    classes = []
+    for name in dir(repro.errors):
+        obj = getattr(repro.errors, name)
+        if isinstance(obj, type) and issubclass(obj, ReproError):
+            classes.append(obj)
+    return sorted(classes, key=lambda cls: cls.__name__)
+
+
+@pytest.mark.parametrize(
+    "exc_class", _public_error_classes(), ids=lambda cls: cls.__name__
+)
+def test_error_raised_in_service_decodes_to_same_class(
+    service, address, exc_class
+):
+    message = f"wire test for {exc_class.__name__}"
+
+    def raising_read(path: str) -> bytes:
+        raise exc_class(message)
+
+    # Instance attribute shadows the bound method: the server's registry
+    # still routes "read", but the executor call hits the stub.
+    service.read = raising_read
+    try:
+        with StegFSClient(*address) as client:
+            with pytest.raises(exc_class) as caught:
+                client.read("/whatever")
+        assert type(caught.value) is exc_class
+        assert str(caught.value) == message
+    finally:
+        del service.read
+
+
+def test_non_repro_exception_surfaces_as_remote_error(service, address):
+    def buggy_read(path: str) -> bytes:
+        raise ZeroDivisionError("server bug")
+
+    service.read = buggy_read
+    try:
+        with StegFSClient(*address) as client:
+            with pytest.raises(repro.errors.RemoteError) as caught:
+                client.read("/whatever")
+        assert "ZeroDivisionError" in str(caught.value)
+        assert "server bug" in str(caught.value)
+    finally:
+        del service.read

@@ -1,0 +1,174 @@
+"""Wire-protocol codec: frames, values, typed errors, limits."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors
+from repro.errors import FrameTooLargeError, ProtocolError, RemoteError, ReproError
+from repro.fs.filesystem import FileStat
+from repro.fs.inode import FileType
+from repro.net.protocol import (
+    ERROR_REGISTRY,
+    ErrorFrame,
+    Request,
+    Response,
+    auth_proof,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+    error_to_exception,
+    exception_to_frame,
+)
+from repro.util.serialization import CodecError
+
+
+def _public_error_classes() -> list[type]:
+    classes = []
+    for name in dir(repro.errors):
+        obj = getattr(repro.errors, name)
+        if isinstance(obj, type) and issubclass(obj, ReproError):
+            classes.append(obj)
+    return sorted(classes, key=lambda cls: cls.__name__)
+
+
+def roundtrip(frame):
+    wire = encode_frame(frame)
+    body = wire[4:]
+    assert len(body) == int.from_bytes(wire[:4], "little")
+    return decode_frame(body)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            -(2**62),
+            3.25,
+            b"",
+            b"\x00\xff" * 100,
+            "",
+            "hidden/объект/名前",
+            [],
+            ["a", "b"],
+            [1, b"x", None, ["nested", True]],
+        ],
+    )
+    def test_roundtrip(self, value):
+        encoded = encode_value(value)
+        decoded, offset = decode_value(encoded, 0)
+        assert offset == len(encoded)
+        assert decoded == value
+
+    def test_filestat_roundtrip(self):
+        stat = FileStat(inode=7, type=FileType.DIRECTORY, size=4096, n_blocks=4)
+        decoded, _ = decode_value(encode_value(stat), 0)
+        assert decoded == stat
+        assert decoded.is_dir
+
+    def test_tuple_decodes_as_list(self):
+        decoded, _ = decode_value(encode_value((1, 2)), 0)
+        assert decoded == [1, 2]
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ProtocolError):
+            encode_value(object())
+
+    def test_truncated_value_raises(self):
+        encoded = encode_value(b"payload")
+        with pytest.raises(ProtocolError):
+            decode_value(encoded[:-2], 0)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_value(b"\xfe", 0)
+
+
+class TestFrameCodec:
+    def test_request_roundtrip(self):
+        frame = Request(request_id=42, op="steg_read", args=(b"token", "name"))
+        assert roundtrip(frame) == frame
+
+    def test_response_roundtrip(self):
+        frame = Response(request_id=7, value=b"data")
+        assert roundtrip(frame) == frame
+
+    def test_error_roundtrip(self):
+        frame = ErrorFrame(request_id=9, error_class="StegFSError", message="boom")
+        assert roundtrip(frame) == frame
+
+    def test_empty_args(self):
+        frame = Request(request_id=1, op="flush", args=())
+        assert roundtrip(frame) == frame
+
+    def test_trailing_garbage_rejected(self):
+        wire = encode_frame(Response(request_id=1, value=None))
+        with pytest.raises(ProtocolError):
+            decode_frame(wire[4:] + b"\x00")
+
+    def test_unknown_frame_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x09" + (0).to_bytes(4, "little"))
+
+    def test_encode_enforces_max_frame(self):
+        frame = Request(request_id=1, op="write", args=("/f", b"x" * 1024))
+        with pytest.raises(FrameTooLargeError):
+            encode_frame(frame, max_frame=256)
+
+    def test_large_payload_within_limit(self):
+        payload = bytes(range(256)) * 512
+        frame = Response(request_id=3, value=payload)
+        assert roundtrip(frame).value == payload
+
+
+class TestTypedErrors:
+    def test_registry_covers_every_public_error(self):
+        for name in dir(repro.errors):
+            obj = getattr(repro.errors, name)
+            if isinstance(obj, type) and issubclass(obj, ReproError):
+                assert ERROR_REGISTRY.get(obj.__name__) is obj
+
+    def test_codec_error_registered(self):
+        assert ERROR_REGISTRY["CodecError"] is CodecError
+
+    @pytest.mark.parametrize(
+        "exc_class", _public_error_classes(), ids=lambda cls: cls.__name__
+    )
+    def test_every_error_class_roundtrips(self, exc_class):
+        original = exc_class("the message")
+        frame = roundtrip(exception_to_frame(17, original))
+        rebuilt = error_to_exception(frame)
+        assert type(rebuilt) is exc_class
+        assert str(rebuilt) == "the message"
+
+    def test_unknown_class_becomes_remote_error(self):
+        frame = ErrorFrame(request_id=1, error_class="ValueError", message="nope")
+        rebuilt = error_to_exception(frame)
+        assert type(rebuilt) is RemoteError
+        assert "ValueError" in str(rebuilt) and "nope" in str(rebuilt)
+
+
+class TestAuthProof:
+    def test_deterministic_and_key_sensitive(self):
+        nonce = b"n" * 32
+        assert auth_proof(b"k1" * 16, nonce, "alice") == auth_proof(
+            b"k1" * 16, nonce, "alice"
+        )
+        assert auth_proof(b"k1" * 16, nonce, "alice") != auth_proof(
+            b"k2" * 16, nonce, "alice"
+        )
+        assert auth_proof(b"k1" * 16, nonce, "alice") != auth_proof(
+            b"k1" * 16, nonce, "bob"
+        )
+
+    def test_proof_does_not_contain_key(self):
+        uak = b"\x42" * 32
+        proof = auth_proof(uak, b"x" * 32, "alice")
+        assert uak not in proof

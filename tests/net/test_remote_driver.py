@@ -1,0 +1,82 @@
+"""The shared workload loop driving a live server over real sockets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.live import (
+    OpMix,
+    populate_hidden_files,
+    run_live_clients,
+    run_remote_clients,
+)
+
+USER = "alice"
+UAK = b"A" * 32
+
+
+@pytest.fixture
+def names(service):
+    return populate_hidden_files(service, UAK, n_files=4, file_size=1024, seed=5)
+
+
+class TestRemoteDriver:
+    def test_read_only_mix_no_errors(self, address, names):
+        result = run_remote_clients(
+            *address,
+            user_id=USER,
+            uak=UAK,
+            names=names,
+            n_clients=4,
+            ops_per_client=6,
+            mix=OpMix(read=1.0),
+            seed=5,
+        )
+        assert result.total_ops == 24
+        assert result.total_errors == 0
+        assert result.ops_per_sec > 0
+        assert result.latency_ms(50) > 0
+
+    def test_mixed_ops_create_delete_private_names(self, address, names):
+        result = run_remote_clients(
+            *address,
+            user_id=USER,
+            uak=UAK,
+            names=names,
+            n_clients=3,
+            ops_per_client=8,
+            mix=OpMix(read=0.4, write=0.3, create=0.2, delete=0.1),
+            payload_size=512,
+            seed=7,
+        )
+        assert result.total_errors == 0
+        assert result.total_ops == 24
+
+    def test_remote_and_local_drivers_share_one_loop(self, service, address, names):
+        # Same seed, same mix: both transports execute the identical
+        # deterministic op sequence (the dispatch table is shared).
+        local = run_live_clients(
+            service, UAK, names, n_clients=2, ops_per_client=5,
+            mix=OpMix(read=0.8, write=0.2), seed=11,
+        )
+        remote = run_remote_clients(
+            *address, user_id=USER, uak=UAK, names=names,
+            n_clients=2, ops_per_client=5,
+            mix=OpMix(read=0.8, write=0.2), seed=11,
+        )
+        assert local.total_errors == remote.total_errors == 0
+        assert local.total_ops == remote.total_ops == 10
+
+    def test_unreachable_server_reports_errors_not_deadlock(self, names):
+        result = run_remote_clients(
+            "127.0.0.1",
+            1,  # nothing listens on port 1
+            user_id=USER,
+            uak=UAK,
+            names=names,
+            n_clients=2,
+            ops_per_client=3,
+            seed=3,
+        )
+        assert result.total_ops == 0
+        assert result.total_errors == 2

@@ -113,3 +113,76 @@ class TestIdleEviction:
         clock.advance(1e9)
         assert manager.evict_idle() == []
         assert manager.active_count() == 1
+
+
+class TestPinnedUse:
+    """The use() context manager closes the validate-then-evict race."""
+
+    def test_use_yields_live_record_and_touches(self, manager, clock, uak):
+        record = manager.open_session("alice", uak)
+        clock.advance(59.0)
+        with manager.use(record.session_id) as pinned:
+            assert pinned is record
+        clock.advance(59.0)
+        assert manager.evict_idle() == []                # touched on exit too
+
+    def test_use_unknown_session_raises_typed_error(self, manager):
+        with pytest.raises(SessionNotFoundError):
+            with manager.use("nope"):
+                pass
+
+    def test_pinned_session_survives_idle_sweep(self, manager, clock, uak):
+        record = manager.open_session("alice", uak)
+        with manager.use(record.session_id):
+            clock.advance(61.0)
+            # A concurrent sweep (another client's opportunistic reap)
+            # must skip the in-use session instead of logging it out
+            # under the operation's feet.
+            assert manager.evict_idle() == []
+            assert manager.get(record.session_id) is record
+        assert record.pins == 0
+
+    def test_unpinned_session_evicted_after_use(self, manager, clock, uak):
+        record = manager.open_session("alice", uak)
+        with manager.use(record.session_id):
+            pass
+        clock.advance(61.0)
+        assert manager.evict_idle() == [record.session_id]
+
+    def test_use_after_eviction_raises_typed_error(self, manager, clock, uak):
+        record = manager.open_session("alice", uak)
+        clock.advance(61.0)
+        manager.evict_idle()
+        with pytest.raises(SessionNotFoundError):
+            with manager.use(record.session_id):
+                pass
+
+    def test_concurrent_use_and_sweep_never_disconnects_in_flight(
+        self, manager, clock, uak, service
+    ):
+        import threading
+
+        service.steg_create("pinned-doc", uak, data=b"alive")
+        record = manager.open_session("alice", uak)
+        service.steg.steg_connect("pinned-doc", uak, session=record.session)
+        stop = threading.Event()
+
+        def sweep_loop() -> None:
+            while not stop.is_set():
+                manager.evict_idle()
+
+        sweeper = threading.Thread(target=sweep_loop)
+        sweeper.start()
+        try:
+            for _ in range(200):
+                with manager.use(record.session_id) as pinned:
+                    # Expire the idle clock *while pinned*: the sweeper
+                    # hammering on another thread must skip this session,
+                    # so it stays connected under the operation's feet.
+                    clock.advance(61.0)
+                    assert pinned.session.connected_names() == ["pinned-doc"]
+                # use() re-touches on exit, so the record is fresh again
+                # before the next iteration can race the sweeper.
+        finally:
+            stop.set()
+            sweeper.join()

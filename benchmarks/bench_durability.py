@@ -1,0 +1,58 @@
+"""Group-commit durable throughput — claim assertions.
+
+Times the journal tentpole's performance claim and asserts it: with every
+acknowledged write made durable through the write-ahead journal, group
+commit (append under the volume lock, shared fsync outside it) must scale
+with client count, while naive per-operation fsync stays flat — so at the
+highest client count the group configuration beats both its own 1-client
+rate and the naive configuration.
+
+Run standalone (CI smoke) with ``python benchmarks/bench_durability.py
+--smoke`` — the CLI exits non-zero if the scaling claim fails, so the
+smoke job is a real gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import durability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return durability.run()
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: durability.render(result))
+    print("\n" + text)
+
+
+class TestDurabilityClaims:
+    def test_group_commit_scales_with_clients(self, result):
+        """The tentpole claim: durable throughput rises with client count."""
+        assert result.group_scaling >= 1.2, result.ops_per_sec
+
+    def test_group_beats_naive_fsync_at_max_clients(self, result):
+        assert result.group_vs_naive >= 1.2, result.ops_per_sec
+
+    def test_fsyncs_are_shared(self, result):
+        """Group commit must actually amortise: fewer fsyncs than commits."""
+        journal = result.group_journal
+        assert journal is not None
+        assert journal.fsyncs < journal.commits, (journal.fsyncs, journal.commits)
+        assert journal.max_batch >= 2, journal.max_batch
+
+    def test_no_ack_left_unjournaled(self, result):
+        """Every durable ack rode a journal record (no silent bypasses)."""
+        journal = result.group_journal
+        assert journal is not None
+        assert journal.bypass_commits == 0, journal.bypass_commits
+
+
+if __name__ == "__main__":
+    raise SystemExit(durability.main(sys.argv[1:]))

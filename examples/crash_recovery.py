@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Power cut mid-write → remount → journal replay → nothing lost.
+
+Every StegFS mutation commits through the write-ahead journal: the block
+images land in a checksummed, sequence-numbered record and are fsynced
+*before* they are written in place.  This script pulls the plug at the
+worst possible moments — including a torn half-block write — and shows the
+volume come back byte-perfect:
+
+1. build a journaled volume with plain and hidden data (all acknowledged
+   writes durable);
+2. cut power in the middle of a hidden-file rewrite, losing a random
+   subset of the un-fsynced writes;
+3. remount: the journal redo-replays every intact record, discards the
+   torn tail, and the file reads back as exactly the old or the new
+   content — never a mixture.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import StegFS, StegFSParams
+from repro.crypto import derive_key
+from repro.errors import PowerCutError
+from repro.storage.crash import CrashInjectionDevice
+
+
+def main() -> None:
+    params = StegFSParams(dummy_count=4, dummy_avg_size=8 * 1024)
+    device = CrashInjectionDevice(block_size=1024, total_blocks=8192, seed=42)
+    steg = StegFS.mkfs(device, params=params, inode_count=128, rng=random.Random(7))
+    uak = derive_key("owner passphrase")
+
+    old = b"LEDGER v1 " * 2000
+    new = b"ledger-v2 " * 2600
+    steg.create("/README", b"nothing to see here")
+    steg.steg_create("vault", uak, data=old)
+    print(f"Volume up: /README plain, 'vault' hidden ({len(old):,} bytes).")
+    print(f"Journal: {steg.fs.journal.capacity_blocks} record blocks reserved; "
+          f"auto_flush=True -> every ack is fsynced.\n")
+
+    # -- Pull the plug mid-rewrite ---------------------------------------
+    device.arm(cut_after_writes=9)  # die on the 9th block write of the op
+    try:
+        steg.steg_write("vault", uak, new)
+        raise SystemExit("the power cut never fired?")
+    except PowerCutError as exc:
+        print(f"CRASH during steg_write: {exc}")
+        print(f"  (un-fsynced writes now survive only at random; the final "
+              f"write is torn in half)\n")
+
+    # -- What the disk actually holds ------------------------------------
+    disk = device.reincarnate()  # durable bytes + a random subset of pending
+    recovered = StegFS.mount(disk, params=params, rng=random.Random(8))
+    report = recovered.last_recovery
+    print("Remounted. Journal recovery:")
+    print(f"  records replayed : {report.records_replayed}")
+    print(f"  blocks rewritten : {report.blocks_replayed}")
+    print(f"  torn tail found  : {report.torn_tail}\n")
+
+    content = recovered.steg_read("vault", uak)
+    assert content in (old, new), "torn hidden file!"
+    state = "NEW (commit completed before the cut)" if content == new else "OLD"
+    print(f"vault reads back {len(content):,} bytes — the {state} version, intact.")
+    assert recovered.read("/README") == b"nothing to see here"
+    print("Plain namespace intact too. No torn blocks, no orphaned chains.")
+
+
+if __name__ == "__main__":
+    main()

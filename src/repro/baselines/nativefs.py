@@ -65,6 +65,7 @@ def clean_disk(
         inode_count=inode_count,
         alloc_policy="contiguous",
         auto_flush=auto_flush,
+        journal_blocks=0,  # paper baseline: no journal in the traced I/O
     )
     return NativeStore(fs, "CleanDisk")
 
@@ -84,5 +85,6 @@ def frag_disk(
         fragment_blocks=fragment_blocks,
         rng=rng or random.Random(0),
         auto_flush=auto_flush,
+        journal_blocks=0,  # paper baseline: no journal in the traced I/O
     )
     return NativeStore(fs, "FragDisk")

@@ -48,6 +48,9 @@ class StegFSStore(FileStore):
             inode_count=inode_count,
             rng=rng or random.Random(0),
             auto_flush=False,
+            # The paper's kernel StegFS has no journal; the fig6-9 trace
+            # experiments are calibrated to that I/O profile.
+            journal_blocks=0,
         )
         self._uak = uak
         self._handles: dict[str, HiddenFile] = {}

@@ -6,6 +6,7 @@ import sys
 
 from repro.bench import (
     ablation,
+    durability,
     fig6,
     fig7,
     fig8,
@@ -26,6 +27,7 @@ _EXPERIMENTS = {
     "ablation": lambda: ablation.render(ablation.run()),
     "service": lambda: service_throughput.render(service_throughput.run()),
     "net": lambda: net_throughput.render(net_throughput.run()),
+    "durability": lambda: durability.render(durability.run()),
 }
 
 

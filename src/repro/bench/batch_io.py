@@ -171,6 +171,10 @@ def _measure_files(result: BatchIOResult, path: str) -> None:
         name = f"batch-{size}"
         content = random.Random(config.seed ^ size).randbytes(size)
         steg.steg_create(name, uak, data=content)
+        # The per-block baseline below reads the *raw* device; push any
+        # journaled-but-unapplied images in place first so both paths see
+        # identical bytes regardless of commit mode.
+        steg.fs.device.flush()
         entry = steg._resolve_entry(name, uak)
         hidden = HiddenFile.open(steg.volume, entry.keys())
         key = hidden._keys.encryption_key

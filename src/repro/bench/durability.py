@@ -1,0 +1,235 @@
+"""Durable throughput: group commit vs naive per-operation fsync.
+
+The journal refactor's performance claim: making every acknowledged write
+**durable** (journal record flushed to disk before the ack) used to cost
+one fsync per operation, issued while still holding the exclusive volume
+lock.  With group commit the mutation only *appends* its journal record
+under the lock; the fsync happens outside it, and the first waiter's flush
+acknowledges every record already in the log.  Durable throughput should
+therefore *scale with client count* — concurrent clients share fsyncs —
+while the naive configuration stays flat at the serial fsync rate.
+
+Measurement: real client threads issuing plain-file writes (the cheapest
+mutation, so the commit protocol — not hidden-layer crypto — dominates)
+against one FileDevice-backed volume wrapped in a
+:class:`~repro.storage.latency.LatencyDevice` that prices each durability
+barrier at ``flush_ms`` wall-clock milliseconds, the way a drive cache
+flush does.  Two service configurations:
+
+* ``naive`` — ``StegFSService(steg, durable=False)`` over an auto-flush
+  volume: every commit fsyncs inline, inside the exclusive volume lock.
+* ``group`` — ``StegFSService(steg, durable=True)``: append under the
+  lock, group fsync outside it.
+
+Run from the command line (``--smoke`` for the CI-sized configuration)::
+
+    python -m repro.bench.durability [--smoke]
+
+or through pytest via ``benchmarks/bench_durability.py``, which asserts
+the scaling claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.common import format_table, write_result
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import StegFSService
+from repro.storage.block_device import FileDevice
+from repro.storage.latency import LatencyDevice
+from repro.storage.txn import JournalMetrics
+
+__all__ = ["DurabilityConfig", "DurabilityResult", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Knobs for one durable-throughput comparison run."""
+
+    threads: tuple[int, ...] = (1, 2, 4, 8)
+    ops_per_client: int = 40
+    files_per_client: int = 4
+    payload_size: int = 1024
+    block_size: int = 512
+    total_blocks: int = 8192
+    #: Wall-clock cost of one durability barrier (drive cache flush).
+    flush_ms: float = 4.0
+    seed: int = 2003
+
+    @classmethod
+    def smoke(cls) -> "DurabilityConfig":
+        """CI-sized configuration: seconds, not minutes."""
+        return cls(threads=(1, 4), ops_per_client=20, total_blocks=4096)
+
+
+@dataclass
+class DurabilityResult:
+    """Everything the render and the claim assertions need."""
+
+    config: DurabilityConfig
+    threads: list[int]
+    ops_per_sec: dict[str, list[float]] = field(default_factory=dict)
+    p50_ms: dict[str, list[float]] = field(default_factory=dict)
+    #: Journal counters from the group run at the highest client count.
+    group_journal: JournalMetrics | None = None
+
+    @property
+    def group_scaling(self) -> float:
+        """Group-commit ops/sec at max clients over its 1-client rate."""
+        series = self.ops_per_sec.get("group", [])
+        if not series or series[0] <= 0:
+            return 0.0
+        return series[-1] / series[0]
+
+    @property
+    def group_vs_naive(self) -> float:
+        """Group-commit ops/sec at max clients over naive at max clients."""
+        group = self.ops_per_sec.get("group", [])
+        naive = self.ops_per_sec.get("naive", [])
+        if not group or not naive or naive[-1] <= 0:
+            return 0.0
+        return group[-1] / naive[-1]
+
+
+def _run_clients(
+    service: StegFSService, config: DurabilityConfig, n_clients: int
+) -> tuple[float, float]:
+    """Hammer the service with durable plain writes; (ops/sec, p50 ms)."""
+    barrier = threading.Barrier(n_clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+
+    def client(client_id: int) -> None:
+        rng = random.Random(config.seed * 977 + client_id)
+        paths = [
+            f"/c{client_id}-f{slot}" for slot in range(config.files_per_client)
+        ]
+        barrier.wait()
+        for op in range(config.ops_per_client):
+            payload = rng.randbytes(config.payload_size)
+            started = time.perf_counter()
+            service.write(paths[op % len(paths)], payload)
+            latencies[client_id].append((time.perf_counter() - started) * 1000.0)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    total_ops = n_clients * config.ops_per_client
+    samples = sorted(value for series in latencies for value in series)
+    p50 = samples[len(samples) // 2] if samples else 0.0
+    return (total_ops / elapsed if elapsed > 0 else 0.0), p50
+
+
+def _fresh_service(
+    path: str, config: DurabilityConfig, durable_group: bool, n_clients: int
+) -> tuple[StegFSService, FileDevice]:
+    """One pre-created auto-flush volume + service in the requested mode."""
+    device = FileDevice(path, config.block_size, config.total_blocks)
+    stack = LatencyDevice(device, time_scale=0.0, flush_ms=config.flush_ms)
+    steg = StegFS.mkfs(
+        stack,
+        params=StegFSParams.for_tests(),
+        inode_count=max(64, n_clients * config.files_per_client * 2),
+        rng=random.Random(config.seed),
+        auto_flush=True,  # durable acks: every op commits through the journal
+    )
+    service = StegFSService(steg, durable=durable_group)
+    for client_id in range(n_clients):
+        for slot in range(config.files_per_client):
+            service.create(f"/c{client_id}-f{slot}", b"")
+    return service, device
+
+
+def run(smoke: bool = False, config: DurabilityConfig | None = None) -> DurabilityResult:
+    """Run the naive and group series and return the collected result."""
+    config = config or (DurabilityConfig.smoke() if smoke else DurabilityConfig())
+    result = DurabilityResult(config=config, threads=list(config.threads))
+    for label, durable_group in (("naive", False), ("group", True)):
+        series_ops, series_p50 = [], []
+        for n_clients in config.threads:
+            with tempfile.TemporaryDirectory(prefix="stegfs-dur-") as tmp:
+                service, device = _fresh_service(
+                    os.path.join(tmp, "volume.img"), config, durable_group, n_clients
+                )
+                ops_per_sec, p50 = _run_clients(service, config, n_clients)
+                series_ops.append(ops_per_sec)
+                series_p50.append(p50)
+                if durable_group and n_clients == config.threads[-1]:
+                    result.group_journal = service.stats.snapshot().journal
+                service.close()
+                device.close()
+        result.ops_per_sec[label] = series_ops
+        result.p50_ms[label] = series_p50
+    return result
+
+
+def render(result: DurabilityResult) -> str:
+    """Paper-style table + journal counters; persisted to results/."""
+    config = result.config
+    headers = ["clients"] + [str(n) for n in result.threads]
+    rows = []
+    for label in ("naive", "group"):
+        rows.append(
+            [f"{label} ops/s"] + [f"{v:.1f}" for v in result.ops_per_sec.get(label, [])]
+        )
+        rows.append(
+            [f"{label} p50 ms"] + [f"{v:.1f}" for v in result.p50_ms.get(label, [])]
+        )
+    text = format_table(
+        f"Durable plain-write ops/sec vs concurrent clients "
+        f"(every ack journal-fsynced; barrier priced at {config.flush_ms:.0f} ms)",
+        headers,
+        rows,
+    )
+    text += (
+        f"\nGroup-commit scaling {result.group_scaling:.2f}x "
+        f"({result.threads[0]} -> {result.threads[-1]} clients); "
+        f"group vs naive at {result.threads[-1]} clients: "
+        f"{result.group_vs_naive:.2f}x\n"
+    )
+    journal = result.group_journal
+    if journal is not None:
+        text += (
+            f"journal: {journal.commits} commits / {journal.fsyncs} fsyncs "
+            f"({journal.commits_per_fsync:.2f} commits per fsync), "
+            f"batch p50 {journal.batch_p50:.0f} / p95 {journal.batch_p95:.0f} "
+            f"(max {journal.max_batch}), {journal.checkpoints} checkpoints, "
+            f"{journal.bypass_commits} bypasses\n"
+        )
+    write_result("durability", text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``--smoke`` for the CI configuration)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized configuration")
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    print(render(result))
+    if result.group_scaling < 1.2:
+        print("FAIL: group-commit durable throughput did not scale with clients")
+        return 1
+    if result.group_vs_naive < 1.2:
+        print("FAIL: group commit did not beat naive per-op fsync at max clients")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

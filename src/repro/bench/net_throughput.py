@@ -41,6 +41,7 @@ from repro.core.stegfs import StegFS
 from repro.service.service import OpStats, StegFSService
 from repro.storage.block_device import RamDevice
 from repro.storage.latency import LatencyDevice
+from repro.storage.txn import JournalMetrics
 from repro.workload.live import OpMix, RemoteTarget, populate_hidden_files, run_client_loop
 
 __all__ = ["NetThroughputConfig", "NetThroughputResult", "run", "render", "main"]
@@ -91,6 +92,8 @@ class NetThroughputResult:
     p99_ms: list[float] = field(default_factory=list)
     errors: list[int] = field(default_factory=list)
     server_steg_read: OpStats | None = None
+    #: Journal/commit counters from the serving volume (None: no journal).
+    journal: JournalMetrics | None = None
 
     @property
     def single_connection_ops(self) -> float:
@@ -246,7 +249,9 @@ def run(smoke: bool = False, config: NetThroughputConfig | None = None) -> NetTh
             result.p50_ms.append(p50)
             result.p99_ms.append(p99)
             result.errors.append(errors)
-        result.server_steg_read = service.stats.snapshot().get("steg_read")
+        server_stats = service.stats.snapshot()
+        result.server_steg_read = server_stats.get("steg_read")
+        result.journal = server_stats.journal
     finally:
         handle.stop()
         service.close()
@@ -279,6 +284,14 @@ def render(result: NetThroughputResult) -> str:
             f"\nServer-side steg_read over {stats.count} calls:"
             f" p50 {stats.p50_ms:.1f} / p95 {stats.p95_ms:.1f}"
             f" / p99 {stats.p99_ms:.1f} ms"
+        )
+    journal = result.journal
+    if journal is not None:
+        text += (
+            f"\nJournal: {journal.commits} commits / {journal.fsyncs} fsyncs"
+            f" (batch p50 {journal.batch_p50:.0f} / p95 {journal.batch_p95:.0f}),"
+            f" {journal.checkpoints} checkpoints,"
+            f" {journal.records_replayed} records replayed at mount"
         )
     text += "\n"
     write_result("net_throughput", text)

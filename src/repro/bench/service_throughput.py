@@ -43,6 +43,7 @@ from repro.service.service import OpStats, StegFSService
 from repro.storage.block_device import BlockDevice, FileDevice, RamDevice
 from repro.storage.cache import CachedDevice, CacheStats
 from repro.storage.latency import LatencyDevice
+from repro.storage.txn import JournalMetrics
 from repro.workload.live import OpMix, populate_hidden_files, run_live_clients
 
 __all__ = ["ServiceThroughputConfig", "ServiceThroughputResult", "run", "render", "main"]
@@ -94,6 +95,9 @@ class ServiceThroughputResult:
     #: Service-side steg_read counters (with latency percentiles) from the
     #: cached re-read run.
     reread_op_stats: OpStats | None = None
+    #: Journal/commit counters from the last (highest-concurrency) sweep
+    #: run (None: journal-less volume).
+    journal: JournalMetrics | None = None
 
     @property
     def cache_speedup(self) -> float:
@@ -164,6 +168,7 @@ def _throughput_sweep(
             series_ops.append(run_result.ops_per_sec)
             series_p50.append(run_result.latency_ms(50))
             series_err.append(run_result.total_errors)
+            result.journal = service.stats.snapshot().journal
             service.close()
         result.ops_per_sec[label] = series_ops
         result.p50_ms[label] = series_p50
@@ -265,6 +270,14 @@ def render(result: ServiceThroughputResult) -> str:
             f"\n  service  steg_read x{op_stats.count}:"
             f" p50 {op_stats.p50_ms:.2f} / p95 {op_stats.p95_ms:.2f}"
             f" / p99 {op_stats.p99_ms:.2f} ms"
+        )
+    if result.journal is not None:
+        journal = result.journal
+        text += (
+            f"\n  journal  {journal.commits} commits / {journal.fsyncs} fsyncs"
+            f" (batch p50 {journal.batch_p50:.0f} / p95 {journal.batch_p95:.0f}),"
+            f" {journal.checkpoints} checkpoints,"
+            f" {journal.blocks_journaled} blocks journaled"
         )
     text += "\n"
     write_result("service_throughput", text)

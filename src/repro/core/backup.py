@@ -27,7 +27,7 @@ from repro.storage.block_device import BlockDevice
 
 __all__ = ["create_backup", "restore_backup"]
 
-_MAGIC = b"STEGBAK1"
+_MAGIC = b"STEGBAK2"  # v2: carries the journal size
 
 
 def create_backup(fs: FileSystem) -> bytes:
@@ -40,6 +40,7 @@ def create_backup(fs: FileSystem) -> bytes:
     body += pack_u32(superblock.inode_count)
     body += pack_u16(superblock.alloc_policy)
     body += pack_u16(superblock.fragment_blocks)
+    body += pack_u32(superblock.journal_blocks)
     body += superblock.system_seed
 
     unaccounted = sorted(fs.unaccounted_blocks())
@@ -83,6 +84,7 @@ def restore_backup(
         inode_count = reader.u32()
         alloc_policy = reader.u16()
         fragment_blocks = reader.u16()
+        journal_blocks = reader.u32()
         system_seed = reader.take(32)
 
         if device.block_size != block_size or device.total_blocks != total_blocks:
@@ -109,6 +111,9 @@ def restore_backup(
         raise BackupFormatError(f"malformed backup image: {exc}") from exc
 
     policy_name = {0: "contiguous", 1: "fragmented", 2: "random"}[alloc_policy]
+    # The restored volume must reproduce the source layout exactly: hidden
+    # block images go back to their original addresses, so the journal
+    # region (which shifts the data region) has to match the source's.
     fs = FileSystem.mkfs(
         device,
         inode_count=inode_count,
@@ -116,6 +121,7 @@ def restore_backup(
         fragment_blocks=fragment_blocks,
         rng=rng,
         fill_random=True,
+        journal_blocks=journal_blocks,
     )
     _install_system_seed(fs, system_seed)
 
@@ -171,6 +177,7 @@ def _install_system_seed(fs: FileSystem, system_seed: bytes) -> None:
         alloc_policy=superblock.alloc_policy,
         fragment_blocks=superblock.fragment_blocks,
         system_seed=system_seed,
+        journal_blocks=superblock.journal_blocks,
     )
     fs.device.write_block(0, restored.to_bytes(fs.block_size))
     fs._superblock = restored

@@ -83,7 +83,11 @@ class DummyManager:
         index = alive[self._volume.rng.randrange(len(alive))]
         dummy = self.open(index)
         try:
-            dummy.write(self._volume.rng.randbytes(self._draw_size()))
+            # One atomic commit: a crash mid-churn must not tear the dummy
+            # (a torn decoy would be the one block pattern a snapshot
+            # attacker could single out).
+            with self._volume.transaction():
+                dummy.write(self._volume.rng.randbytes(self._draw_size()))
         except NoSpaceError:
             # A full volume simply skips churn; deniability degrades
             # gracefully rather than erroring user writes.

@@ -71,7 +71,11 @@ class HiddenFile:
         if check_exists:
             try:
                 locator.find_header(
-                    volume.device, volume.bitmap, keys, volume.params.locator_scan_limit
+                    volume.device,
+                    volume.bitmap,
+                    keys,
+                    volume.params.locator_scan_limit,
+                    min_block=volume.data_start,
                 )
             except HiddenObjectNotFoundError:
                 pass
@@ -79,31 +83,39 @@ class HiddenFile:
                 raise HiddenObjectExistsError(
                     "a hidden object for this (name, key) pair already exists"
                 )
-        header_block = locator.choose_header_block(
-            volume.bitmap, keys, volume.params.locator_scan_limit
-        )
-        volume.bitmap.allocate(header_block)
-        # §3.1: "When a hidden file is created, StegFS straightaway
-        # allocates several blocks to the file" — the initial pool.
-        pool = volume.take_free_blocks_best_effort(volume.params.pool_max)
-        header = HiddenHeader(
-            signature=keys.signature,
-            object_type=object_type,
-            size=0,
-            inode_root=NULL_BLOCK,
-            pool=pool,
-        )
-        hidden = cls(volume, keys, header_block, header)
-        hidden._store_header()
-        if data:
-            hidden.write(data)
-        return hidden
+        with volume.transaction():
+            header_block = locator.choose_header_block(
+                volume.bitmap,
+                keys,
+                volume.params.locator_scan_limit,
+                min_block=volume.data_start,
+            )
+            volume.bitmap.allocate(header_block)
+            # §3.1: "When a hidden file is created, StegFS straightaway
+            # allocates several blocks to the file" — the initial pool.
+            pool = volume.take_free_blocks_best_effort(volume.params.pool_max)
+            header = HiddenHeader(
+                signature=keys.signature,
+                object_type=object_type,
+                size=0,
+                inode_root=NULL_BLOCK,
+                pool=pool,
+            )
+            hidden = cls(volume, keys, header_block, header)
+            hidden._store_header()
+            if data:
+                hidden.write(data)
+            return hidden
 
     @classmethod
     def open(cls, volume: HiddenVolume, keys: ObjectKeys) -> "HiddenFile":
         """Open an existing hidden object; raises if absent or wrong key."""
         block, header = locator.find_header(
-            volume.device, volume.bitmap, keys, volume.params.locator_scan_limit
+            volume.device,
+            volume.bitmap,
+            keys,
+            volume.params.locator_scan_limit,
+            min_block=volume.data_start,
         )
         return cls(volume, keys, block, header)
 
@@ -114,14 +126,15 @@ class HiddenFile:
         them is unnecessary (they are indistinguishable from free-space
         fill) and would time-stamp the deletion for a snapshot attacker.
         """
-        data_blocks, chain_blocks = self._mapped_blocks()
-        self._volume.release_blocks(data_blocks)
-        self._volume.release_blocks(chain_blocks)
-        self._volume.release_blocks(self._header.pool)
-        self._volume.release_blocks([self._header_block])
-        self._header.pool = []
-        self._header.size = 0
-        self._header.inode_root = NULL_BLOCK
+        with self._volume.transaction():
+            data_blocks, chain_blocks = self._mapped_blocks()
+            self._volume.release_blocks(data_blocks)
+            self._volume.release_blocks(chain_blocks)
+            self._volume.release_blocks(self._header.pool)
+            self._volume.release_blocks([self._header_block])
+            self._header.pool = []
+            self._header.size = 0
+            self._header.inode_root = NULL_BLOCK
 
     # ------------------------------------------------------------------
     # accessors
@@ -213,24 +226,27 @@ class HiddenFile:
         one scatter-gather write.
         """
         volume = self._volume
-        room = blockio.capacity(volume.block_size)
-        n_data = -(-len(data) // room) if data else 0
-        old_data, old_chain = self._mapped_blocks()
-        n_chain = hidden_inode.chain_blocks_needed(n_data, volume.block_size)
+        with volume.transaction():
+            room = blockio.capacity(volume.block_size)
+            n_data = -(-len(data) // room) if data else 0
+            old_data, old_chain = self._mapped_blocks()
+            n_chain = hidden_inode.chain_blocks_needed(n_data, volume.block_size)
 
-        self._ensure_space(n_data, n_chain, len(old_data), len(old_chain))
+            self._ensure_space(n_data, n_chain, len(old_data), len(old_chain))
 
-        data_blocks = self._resize(old_data, n_data)
-        chain_blocks = self._resize(old_chain, n_chain)
+            data_blocks = self._resize(old_data, n_data)
+            chain_blocks = self._resize(old_chain, n_chain)
 
-        chunks = [data[index * room : (index + 1) * room] for index in range(n_data)]
-        sealed = blockio.seal_many(self._keys.encryption_key, chunks, volume.block_size, volume.rng)
-        volume.device.write_blocks(list(zip(data_blocks, sealed)))
-        self._header.inode_root = hidden_inode.write_chain(
-            volume.device, self._keys.encryption_key, chain_blocks, data_blocks, volume.rng
-        )
-        self._header.size = len(data)
-        self._store_header()
+            chunks = [data[index * room : (index + 1) * room] for index in range(n_data)]
+            sealed = blockio.seal_many(
+                self._keys.encryption_key, chunks, volume.block_size, volume.rng
+            )
+            volume.device.write_blocks(list(zip(data_blocks, sealed)))
+            self._header.inode_root = hidden_inode.write_chain(
+                volume.device, self._keys.encryption_key, chain_blocks, data_blocks, volume.rng
+            )
+            self._header.size = len(data)
+            self._store_header()
 
     def write_extent(self, offset: int, data: bytes) -> None:
         """Write ``data`` at byte ``offset``, growing the object if needed.
@@ -246,6 +262,11 @@ class HiddenFile:
             raise ValueError(f"negative write offset {offset}")
         if not data:
             return
+        volume = self._volume
+        with volume.transaction():
+            self._write_extent(offset, data)
+
+    def _write_extent(self, offset: int, data: bytes) -> None:
         volume = self._volume
         room = blockio.capacity(volume.block_size)
         old_size = self._header.size

@@ -29,17 +29,21 @@ from repro.storage.block_device import BlockDevice
 __all__ = ["choose_header_block", "find_header"]
 
 
-def choose_header_block(bitmap: Bitmap, keys: ObjectKeys, scan_limit: int) -> int:
+def choose_header_block(
+    bitmap: Bitmap, keys: ObjectKeys, scan_limit: int, min_block: int = 0
+) -> int:
     """First free candidate on the (name, key) stream — the header's home.
 
-    Does not allocate; the caller claims the block.  Raises
-    :class:`NoSpaceError` if no free candidate appears within
-    ``scan_limit`` draws (pathologically full volume).
+    Does not allocate; the caller claims the block.  Candidates below
+    ``min_block`` (the volume's metadata region: superblock, bitmap, inode
+    table, journal) are never eligible.  Raises :class:`NoSpaceError` if no
+    free candidate appears within ``scan_limit`` draws (pathologically full
+    volume).
     """
     generator = BlockNumberGenerator(keys.locator_seed, bitmap.total_blocks)
     for _ in range(scan_limit):
         candidate = next(generator)
-        if not bitmap.is_allocated(candidate):
+        if candidate >= min_block and not bitmap.is_allocated(candidate):
             return candidate
     raise NoSpaceError(
         f"no free header block within {scan_limit} candidates; volume too full"
@@ -47,7 +51,11 @@ def choose_header_block(bitmap: Bitmap, keys: ObjectKeys, scan_limit: int) -> in
 
 
 def find_header(
-    device: BlockDevice, bitmap: Bitmap, keys: ObjectKeys, scan_limit: int
+    device: BlockDevice,
+    bitmap: Bitmap,
+    keys: ObjectKeys,
+    scan_limit: int,
+    min_block: int = 0,
 ) -> tuple[int, HiddenHeader]:
     """Locate and parse the header for ``keys``.
 
@@ -55,12 +63,20 @@ def find_header(
     :class:`HiddenObjectNotFoundError` after ``scan_limit`` candidates —
     deliberately the same outcome for "wrong key" and "no such object",
     since distinguishing them would break deniability.
+
+    ``min_block`` excludes the metadata region.  That is not just an
+    optimisation: the write-ahead journal (which lives below ``min_block``
+    and is always marked allocated) holds verbatim ciphertext images of
+    recently written blocks, including headers of since-deleted or
+    re-keyed objects.  Probing it could "resurrect" a revoked header copy
+    — a header is only ever *placed* in the data region, so only the data
+    region may satisfy a lookup.
     """
     generator = BlockNumberGenerator(keys.locator_seed, bitmap.total_blocks)
     signature_len = len(keys.signature)
     for _ in range(scan_limit):
         candidate = next(generator)
-        if not bitmap.is_allocated(candidate):
+        if candidate < min_block or not bitmap.is_allocated(candidate):
             continue
         image = device.read_block(candidate)
         probe = blockio.unseal_prefix(keys.encryption_key, image, signature_len)

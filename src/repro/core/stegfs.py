@@ -18,6 +18,7 @@ files keep working — the paper's compatibility requirement.
 from __future__ import annotations
 
 import random
+from typing import ContextManager
 
 from repro.core.backup import create_backup, restore_backup
 from repro.core.dummy import DummyManager
@@ -64,7 +65,11 @@ class StegFS:
         self._auto_flush = auto_flush
         self._default_user = default_user
         self._volume = HiddenVolume(
-            device=fs.device, bitmap=fs.bitmap, params=self._params, rng=self._rng
+            device=fs.device,
+            bitmap=fs.bitmap,
+            params=self._params,
+            rng=self._rng,
+            data_start=fs.layout.data_start,
         )
         self._dummies = DummyManager(self._volume, fs.superblock.system_seed)
         self._session = Session(self._volume, default_user)
@@ -84,6 +89,7 @@ class StegFS:
         rng: random.Random | None = None,
         default_user: str = "user",
         auto_flush: bool = True,
+        journal_blocks: int | None = None,
     ) -> "StegFS":
         """Create a StegFS volume: random fill, abandoned blocks, dummies.
 
@@ -104,6 +110,7 @@ class StegFS:
             fill_random=True,
             auto_flush=auto_flush,
             system_seed=rng.randbytes(32),
+            journal_blocks=journal_blocks,
         )
         steg = cls(
             fs,
@@ -177,6 +184,25 @@ class StegFS:
     def auto_flush(self) -> bool:
         """Whether every mutation flushes dirty metadata immediately."""
         return self._auto_flush
+
+    @property
+    def txn(self):
+        """The volume's transaction manager (None on journal-less volumes)."""
+        return self._fs.txn
+
+    @property
+    def last_recovery(self):
+        """Mount-time journal replay report (None on fresh volumes)."""
+        return self._fs.last_recovery
+
+    def transaction(self) -> ContextManager[None]:
+        """Scope several operations as one atomic journal commit.
+
+        Delegates to :meth:`FileSystem.atomic`; every ``steg_*`` mutation
+        already opens one internally, so explicit use is only needed to
+        fuse *multiple* operations into a single all-or-nothing unit.
+        """
+        return self._fs.atomic()
 
     @property
     def session(self) -> Session:
@@ -276,26 +302,27 @@ class StegFS:
         """Create a hidden file (``objtype='f'``) or directory (``'d'``)."""
         if objtype not in _TYPE_CODES:
             raise StegFSError(f"objtype must be 'f' or 'd', got {objtype!r}")
-        directory, name = self._resolve_parent(objname, uak)
-        if directory.get(name) is not None:
-            raise HiddenObjectExistsError(f"hidden object {objname!r} already exists")
-        fak = generate_fak(self._rng)
-        pname = physical_name(owner or self._default_user, objname)
-        entry = HiddenDirEntry(
-            name=name,
-            physical_name=pname,
-            fak=fak,
-            object_type=_TYPE_CODES[objtype],
-        )
-        HiddenFile.create(
-            self._volume,
-            entry.keys(),
-            _TYPE_CODES[objtype],
-            data=data,
-            check_exists=False,  # the FAK is fresh randomness; no collision
-        )
-        directory.add(entry)
-        self._after_hidden_op()
+        with self.transaction():
+            directory, name = self._resolve_parent(objname, uak)
+            if directory.get(name) is not None:
+                raise HiddenObjectExistsError(f"hidden object {objname!r} already exists")
+            fak = generate_fak(self._rng)
+            pname = physical_name(owner or self._default_user, objname)
+            entry = HiddenDirEntry(
+                name=name,
+                physical_name=pname,
+                fak=fak,
+                object_type=_TYPE_CODES[objtype],
+            )
+            HiddenFile.create(
+                self._volume,
+                entry.keys(),
+                _TYPE_CODES[objtype],
+                data=data,
+                check_exists=False,  # the FAK is fresh randomness; no collision
+            )
+            directory.add(entry)
+            self._after_hidden_op()
 
     def steg_read(self, objname: str, uak: bytes) -> bytes:
         """Read a hidden file directly by (name, UAK).
@@ -317,12 +344,13 @@ class StegFS:
 
     def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
         """Replace a hidden file's contents (one batched seal + write)."""
-        entry = self._resolve_entry(objname, uak)
-        hidden = HiddenFile.open(self._volume, entry.keys())
-        if hidden.is_directory:
-            raise StegFSError(f"{objname!r} is a hidden directory")
-        hidden.write(data)
-        self._after_hidden_op()
+        with self.transaction():
+            entry = self._resolve_entry(objname, uak)
+            hidden = HiddenFile.open(self._volume, entry.keys())
+            if hidden.is_directory:
+                raise StegFSError(f"{objname!r} is a hidden directory")
+            hidden.write(data)
+            self._after_hidden_op()
 
     def steg_write_extent(self, objname: str, uak: bytes, offset: int, data: bytes) -> None:
         """Write ``data`` at byte ``offset`` of a hidden file.
@@ -331,25 +359,27 @@ class StegFS:
         rewritten; writing past the end grows the file, zero-filling any
         gap (see :meth:`HiddenFile.write_extent`).
         """
-        entry = self._resolve_entry(objname, uak)
-        hidden = HiddenFile.open(self._volume, entry.keys())
-        if hidden.is_directory:
-            raise StegFSError(f"{objname!r} is a hidden directory")
-        hidden.write_extent(offset, data)
-        self._after_hidden_op()
+        with self.transaction():
+            entry = self._resolve_entry(objname, uak)
+            hidden = HiddenFile.open(self._volume, entry.keys())
+            if hidden.is_directory:
+                raise StegFSError(f"{objname!r} is a hidden directory")
+            hidden.write_extent(offset, data)
+            self._after_hidden_op()
 
     def steg_delete(self, objname: str, uak: bytes) -> None:
         """Delete a hidden object (directories must be empty)."""
-        directory, name = self._resolve_parent(objname, uak)
-        entry = directory.get(name)
-        if entry is None:
-            raise HiddenObjectNotFoundError(f"no hidden object {objname!r}")
-        hidden = HiddenFile.open(self._volume, entry.keys())
-        if hidden.is_directory and parse_entries(hidden.read()):
-            raise StegFSError(f"hidden directory {objname!r} is not empty")
-        hidden.delete()
-        directory.remove(name)
-        self._after_hidden_op()
+        with self.transaction():
+            directory, name = self._resolve_parent(objname, uak)
+            entry = directory.get(name)
+            if entry is None:
+                raise HiddenObjectNotFoundError(f"no hidden object {objname!r}")
+            hidden = HiddenFile.open(self._volume, entry.keys())
+            if hidden.is_directory and parse_entries(hidden.read()):
+                raise StegFSError(f"hidden directory {objname!r} is not empty")
+            hidden.delete()
+            directory.remove(name)
+            self._after_hidden_op()
 
     def steg_list(self, uak: bytes, objname: str | None = None) -> list[str]:
         """Names in the UAK directory, or in a nested hidden directory."""
@@ -365,36 +395,38 @@ class StegFS:
 
         The plain source is deleted upon completion, as the paper specifies.
         """
-        stat = self._fs.stat(pathname)
-        if stat.is_dir:
-            self.steg_create(objname, uak, objtype="d")
-            for child in self._fs.listdir(pathname):
-                self.steg_hide(f"{pathname.rstrip('/')}/{child}", f"{objname}/{child}", uak)
-            self._fs.rmdir(pathname)
-        else:
-            content = self._fs.read(pathname)
-            self.steg_create(objname, uak, objtype="f", data=content)
-            self._fs.unlink(pathname)
-        self._after_hidden_op()
+        with self.transaction():
+            stat = self._fs.stat(pathname)
+            if stat.is_dir:
+                self.steg_create(objname, uak, objtype="d")
+                for child in self._fs.listdir(pathname):
+                    self.steg_hide(f"{pathname.rstrip('/')}/{child}", f"{objname}/{child}", uak)
+                self._fs.rmdir(pathname)
+            else:
+                content = self._fs.read(pathname)
+                self.steg_create(objname, uak, objtype="f", data=content)
+                self._fs.unlink(pathname)
+            self._after_hidden_op()
 
     def steg_unhide(self, pathname: str, objname: str, uak: bytes) -> None:
         """Convert a hidden object back into a plain file/directory (§4 API 3).
 
         The hidden source is deleted upon completion.
         """
-        entry = self._resolve_entry(objname, uak)
-        hidden = HiddenFile.open(self._volume, entry.keys())
-        if hidden.is_directory:
-            self._fs.mkdir(pathname)
-            for child_name in sorted(parse_entries(hidden.read())):
-                self.steg_unhide(
-                    f"{pathname.rstrip('/')}/{child_name}", f"{objname}/{child_name}", uak
-                )
-            self.steg_delete(objname, uak)
-        else:
-            self._fs.create(pathname, hidden.read())
-            self.steg_delete(objname, uak)
-        self._after_hidden_op()
+        with self.transaction():
+            entry = self._resolve_entry(objname, uak)
+            hidden = HiddenFile.open(self._volume, entry.keys())
+            if hidden.is_directory:
+                self._fs.mkdir(pathname)
+                for child_name in sorted(parse_entries(hidden.read())):
+                    self.steg_unhide(
+                        f"{pathname.rstrip('/')}/{child_name}", f"{objname}/{child_name}", uak
+                    )
+                self.steg_delete(objname, uak)
+            else:
+                self._fs.create(pathname, hidden.read())
+                self.steg_delete(objname, uak)
+            self._after_hidden_op()
 
     def steg_connect(self, objname: str, uak: bytes, session: Session | None = None) -> None:
         """Reveal a hidden object in a session (§4 API 4)."""
@@ -427,6 +459,16 @@ class StegFS:
 
         Returns the name under which the object was registered.
         """
+        with self.transaction():
+            return self._steg_addentry(entry_blob, uak, recipient_private, new_name)
+
+    def _steg_addentry(
+        self,
+        entry_blob: bytes,
+        uak: bytes,
+        recipient_private: RSAPrivateKey,
+        new_name: str | None,
+    ) -> str:
         entry = import_entry(entry_blob, recipient_private)
         if new_name is not None:
             entry = HiddenDirEntry(
@@ -453,6 +495,10 @@ class StegFS:
         different file name, then removes the original file to invalidate
         the old FAK."
         """
+        with self.transaction():
+            self._steg_revoke(objname, uak)
+
+    def _steg_revoke(self, objname: str, uak: bytes) -> None:
         directory, name = self._resolve_parent(objname, uak)
         entry = directory.get(name)
         if entry is None:
@@ -482,18 +528,19 @@ class StegFS:
         other users the next time they log in with their UAKs."  Returns
         the names removed.
         """
-        directory = HiddenDirectory.for_uak(self._volume, uak)
-        stale = []
-        for name, entry in directory.entries.items():
-            try:
-                HiddenFile.open(self._volume, entry.keys())
-            except HiddenObjectNotFoundError:
-                stale.append(name)
-        for name in stale:
-            directory.remove(name)
-        if stale:
-            self._after_hidden_op()
-        return stale
+        with self.transaction():
+            directory = HiddenDirectory.for_uak(self._volume, uak)
+            stale = []
+            for name, entry in directory.entries.items():
+                try:
+                    HiddenFile.open(self._volume, entry.keys())
+                except HiddenObjectNotFoundError:
+                    stale.append(name)
+            for name in stale:
+                directory.remove(name)
+            if stale:
+                self._after_hidden_op()
+            return stale
 
     def steg_backup(self) -> bytes:
         """Snapshot the volume per §3.3 (§4 API 8)."""
@@ -519,9 +566,10 @@ class StegFS:
 
     def dummy_tick(self) -> int | None:
         """Run one round of dummy-file churn (§3.1 "updates periodically")."""
-        updated = self._dummies.tick()
-        self._after_hidden_op()
-        return updated
+        with self.transaction():
+            updated = self._dummies.tick()
+            self._after_hidden_op()
+            return updated
 
     def hidden_footprint(self, objname: str, uak: bytes) -> dict[str, list[int]]:
         """Ground-truth block ownership of one hidden object (analysis)."""

@@ -10,7 +10,9 @@ whole point: one allocation namespace, many indistinguishable owners.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import ContextManager
 
 from repro.core.params import StegFSParams
 from repro.storage.allocator import RandomAllocator
@@ -28,6 +30,10 @@ class HiddenVolume:
     bitmap: Bitmap
     params: StegFSParams
     rng: random.Random
+    #: First data-region block; header placement and lookup never consider
+    #: blocks below it (superblock, bitmap, inode table, journal).  Bare
+    #: volumes built without a plain file system keep the default 0.
+    data_start: int = 0
     allocator: RandomAllocator = field(init=False)
 
     def __post_init__(self) -> None:
@@ -51,3 +57,18 @@ class HiddenVolume:
         """Return blocks to the shared free space."""
         for block in blocks:
             self.bitmap.free(block)
+
+    def transaction(self) -> ContextManager[None]:
+        """Scope a multi-block hidden-layer update as one atomic commit.
+
+        When the device is the journal adapter of a journaled volume, this
+        opens (or joins) a transaction on its manager, so a header + inode
+        chain + data update is all-or-nothing even when a hidden object is
+        driven outside the :class:`~repro.core.stegfs.StegFS` facade (the
+        service layer's session writes, the benchmark adapters).  On a bare
+        device it is a no-op scope.
+        """
+        manager = getattr(self.device, "manager", None)
+        if manager is None:
+            return nullcontext()
+        return manager.transaction()

@@ -50,6 +50,14 @@ class DeviceClosedError(StorageError):
     """An operation was attempted on a closed device."""
 
 
+class JournalError(StorageError):
+    """The write-ahead journal is malformed or cannot accept a record."""
+
+
+class PowerCutError(StorageError):
+    """A simulated power cut interrupted device I/O (crash injection)."""
+
+
 class NoSpaceError(StorageError):
     """The device or file system has no free blocks left."""
 

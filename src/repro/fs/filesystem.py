@@ -14,7 +14,9 @@ interleaving is applied at the disk model, not with locks.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
+from typing import ContextManager, Iterator
 
 from repro.errors import (
     BadSuperblockError,
@@ -28,7 +30,7 @@ from repro.errors import (
 )
 from repro.fs.directory import DirectoryData, split_path
 from repro.fs.inode import BlockMapper, FileType, Inode
-from repro.fs.layout import INODE_SIZE, Layout
+from repro.fs.layout import INODE_SIZE, Layout, default_journal_blocks
 from repro.fs.superblock import (
     POLICY_CONTIGUOUS,
     POLICY_FRAGMENTED,
@@ -42,6 +44,8 @@ from repro.storage.allocator import (
 )
 from repro.storage.bitmap import Bitmap
 from repro.storage.block_device import BlockDevice
+from repro.storage.journal import Journal, RecoveryReport
+from repro.storage.txn import JournaledDevice, TransactionManager
 
 __all__ = ["FileSystem", "FileStat"]
 
@@ -78,15 +82,39 @@ class FileSystem:
         rng: random.Random | None = None,
         auto_flush: bool = True,
     ) -> None:
-        self._device = device
+        self._raw_device = device
         self._superblock = superblock
         self._layout = superblock.layout()
         self._bitmap = bitmap
         self._rng = rng or random.Random(0)
         self._auto_flush = auto_flush
+        self._last_recovery: RecoveryReport | None = None
+        # Journaled volumes route every mutation through a transaction
+        # committed via the write-ahead log; journal-less volumes (the
+        # trace-calibrated paper baselines) keep the bare device path.
+        if superblock.journal_blocks:
+            self._journal = Journal(
+                device,
+                self._layout.journal_start,
+                superblock.journal_blocks,
+                superblock.block_size,
+            )
+            self._journal.load()
+            self._txn: TransactionManager | None = TransactionManager(
+                device, self._journal, sync_on_commit=auto_flush
+            )
+            self._device: BlockDevice = JournaledDevice(device, self._txn)
+        else:
+            self._journal = None
+            self._txn = None
+            self._device = device
         self._inode_cache: dict[int, Inode] = {}
         self._dirty_inodes: set[int] = set()
         self._bitmap_dirty = False
+        # Byte image of the bitmap as last flushed; journaled flushes diff
+        # against it so a one-bit change journals one block, not the whole
+        # region.  None → the next flush writes every bitmap block.
+        self._bitmap_shadow: bytes | None = None
         policy = superblock.alloc_policy
         if policy == POLICY_CONTIGUOUS:
             self._data_allocator = ContiguousAllocator(bitmap)
@@ -112,6 +140,7 @@ class FileSystem:
         fill_random: bool = False,
         auto_flush: bool = True,
         system_seed: bytes | None = None,
+        journal_blocks: int | None = None,
     ) -> "FileSystem":
         """Create a fresh file system on ``device`` and return it mounted.
 
@@ -119,7 +148,9 @@ class FileSystem:
         :class:`~repro.storage.block_device.SparseDevice` provides this
         lazily for free).  ``alloc_policy`` is one of ``"contiguous"``,
         ``"fragmented"``, ``"random"``.  ``system_seed`` is stored for the
-        steganographic layer's dummy-file keys.
+        steganographic layer's dummy-file keys.  ``journal_blocks`` sizes
+        the write-ahead journal (``None`` → :func:`default_journal_blocks`,
+        ``0`` → no journal: the pre-journal on-disk behaviour).
         """
         if alloc_policy not in _POLICY_NAMES:
             raise ValueError(
@@ -128,7 +159,14 @@ class FileSystem:
         rng = rng or random.Random(0)
         if fill_random:
             device.fill_random(rng)
-        layout = Layout.compute(device.block_size, device.total_blocks, inode_count)
+        if journal_blocks is None:
+            journal_blocks = default_journal_blocks(device.total_blocks)
+        layout = Layout.compute(
+            device.block_size,
+            device.total_blocks,
+            inode_count,
+            journal_blocks=journal_blocks,
+        )
         superblock = Superblock(
             block_size=device.block_size,
             total_blocks=device.total_blocks,
@@ -137,10 +175,15 @@ class FileSystem:
             alloc_policy=_POLICY_NAMES[alloc_policy],
             fragment_blocks=fragment_blocks,
             system_seed=system_seed if system_seed is not None else b"\x00" * 32,
+            journal_blocks=journal_blocks,
         )
         bitmap = Bitmap(device.total_blocks)
         for block in layout.metadata_blocks():
             bitmap.allocate(block)
+        if journal_blocks:
+            Journal(
+                device, layout.journal_start, journal_blocks, device.block_size
+            ).format()
 
         fs = cls(device, superblock, bitmap, rng=rng, auto_flush=auto_flush)
         fs._initialise_inode_table()
@@ -159,7 +202,13 @@ class FileSystem:
         rng: random.Random | None = None,
         auto_flush: bool = True,
     ) -> "FileSystem":
-        """Mount an existing file system from ``device``."""
+        """Mount an existing file system from ``device``.
+
+        Journaled volumes run crash recovery first: every intact journal
+        record is redo-replayed and a torn tail is discarded, *then* the
+        (possibly repaired) superblock and bitmap are read.  The replay
+        report is kept on :attr:`last_recovery`.
+        """
         superblock = Superblock.from_bytes(device.read_block(0))
         if superblock.block_size != device.block_size:
             raise BadSuperblockError(
@@ -169,12 +218,27 @@ class FileSystem:
         if superblock.total_blocks != device.total_blocks:
             raise BadSuperblockError("superblock geometry does not match device")
         layout = superblock.layout()
+        report: RecoveryReport | None = None
+        if superblock.journal_blocks:
+            report = Journal(
+                device,
+                layout.journal_start,
+                superblock.journal_blocks,
+                superblock.block_size,
+            ).recover()
+            # Replay may have rewritten any block, block 0 included.
+            superblock = Superblock.from_bytes(device.read_block(0))
+            layout = superblock.layout()
         raw_bitmap = b"".join(
             device.read_block(b)
             for b in range(layout.bitmap_start, layout.inode_table_start)
         )
         bitmap = Bitmap.from_bytes(raw_bitmap, superblock.total_blocks)
-        return cls(device, superblock, bitmap, rng=rng, auto_flush=auto_flush)
+        fs = cls(device, superblock, bitmap, rng=rng, auto_flush=auto_flush)
+        fs._last_recovery = report
+        if report is not None and fs._txn is not None:
+            fs._txn.stats.note_recovery(report)
+        return fs
 
     # ------------------------------------------------------------------
     # accessors
@@ -182,8 +246,84 @@ class FileSystem:
 
     @property
     def device(self) -> BlockDevice:
-        """The underlying block device."""
+        """The device the file system does I/O through (journaled when the
+        volume carries a journal)."""
         return self._device
+
+    @property
+    def raw_device(self) -> BlockDevice:
+        """The device beneath the journal adapter (what mkfs was given)."""
+        return self._raw_device
+
+    @property
+    def txn(self) -> TransactionManager | None:
+        """The transaction manager (None on journal-less volumes)."""
+        return self._txn
+
+    @property
+    def journal(self) -> Journal | None:
+        """The volume's write-ahead journal (None when absent)."""
+        return self._journal
+
+    @property
+    def last_recovery(self) -> RecoveryReport | None:
+        """What mount-time journal recovery replayed (None: fresh mkfs)."""
+        return self._last_recovery
+
+    def atomic(self) -> ContextManager[None]:
+        """Scope one logical mutation as a single all-or-nothing commit.
+
+        Inside the scope every block write is staged; on clean exit the
+        whole set commits through the journal as one record (nested scopes
+        join the outermost).  On an exception the staged writes are
+        discarded and the in-memory metadata caches are invalidated so
+        they re-load from the (untouched) on-disk state.  Journal-less
+        volumes get a no-op scope — the historical bare-write behaviour.
+        """
+        if self._txn is None:
+            return nullcontext()
+        return self._atomic_scope()
+
+    @contextmanager
+    def _atomic_scope(self) -> Iterator[None]:
+        assert self._txn is not None
+        # Only the outermost scope snapshots: nested scopes joining the
+        # same transaction must not restore halfway.
+        checkpoint = None if self._txn.in_transaction else self._memory_checkpoint()
+        try:
+            with self._txn.transaction():
+                yield
+        except BaseException:
+            # The transaction aborted: no staged write reached the device.
+            # Roll the in-memory metadata back to the pre-transaction
+            # state so it agrees with the (untouched) on-disk truth —
+            # including un-flushed dirty inodes and bitmap bits that
+            # predate this transaction, which are still valid.
+            if checkpoint is not None and not self._txn.in_transaction:
+                self._restore_memory(checkpoint)
+            raise
+
+    def _memory_checkpoint(
+        self,
+    ) -> tuple["Bitmap", dict[int, Inode], bool]:
+        dirty_copies = {
+            number: Inode.from_bytes(number, self._inode_cache[number].to_bytes())
+            for number in self._dirty_inodes
+        }
+        return self._bitmap.snapshot(), dirty_copies, self._bitmap_dirty
+
+    def _restore_memory(
+        self, checkpoint: tuple["Bitmap", dict[int, Inode], bool]
+    ) -> None:
+        bitmap_snapshot, dirty_copies, bitmap_dirty = checkpoint
+        self._bitmap.restore(bitmap_snapshot)
+        self._inode_cache = dict(dirty_copies)
+        self._dirty_inodes = set(dirty_copies)
+        self._bitmap_dirty = bitmap_dirty
+        # A flush inside the aborted transaction may have updated the
+        # shadow while its writes were discarded: drop it so the next
+        # flush rewrites the bitmap from truth.
+        self._bitmap_shadow = None
 
     @property
     def block_size(self) -> int:
@@ -211,6 +351,10 @@ class FileSystem:
 
     def create(self, path: str, data: bytes = b"") -> None:
         """Create a regular file at ``path`` holding ``data``."""
+        with self.atomic():
+            self._create(path, data)
+
+    def _create(self, path: str, data: bytes) -> None:
         parent, name = self._resolve_parent(path)
         listing = self._read_directory(parent)
         if name in listing:
@@ -229,9 +373,10 @@ class FileSystem:
 
     def write(self, path: str, data: bytes) -> None:
         """Replace the contents of an existing regular file."""
-        inode = self._lookup_file(path)
-        self._write_inode_data(inode, data)
-        self._maybe_flush()
+        with self.atomic():
+            inode = self._lookup_file(path)
+            self._write_inode_data(inode, data)
+            self._maybe_flush()
 
     def read(self, path: str) -> bytes:
         """Read an entire regular file."""
@@ -257,6 +402,10 @@ class FileSystem:
         """Write ``data`` at ``offset``, extending the file if needed."""
         if offset < 0:
             raise ValueError("offset must be non-negative")
+        with self.atomic():
+            self._write_range(path, offset, data)
+
+    def _write_range(self, path: str, offset: int, data: bytes) -> None:
         inode = self._lookup_file(path)
         if not data:
             return
@@ -301,12 +450,16 @@ class FileSystem:
         """Shrink or zero-extend a regular file to exactly ``size`` bytes."""
         if size < 0:
             raise ValueError("size must be non-negative")
+        with self.atomic():
+            self._truncate(path, size)
+
+    def _truncate(self, path: str, size: int) -> None:
         inode = self._lookup_file(path)
         if size == inode.size:
             return
         if size > inode.size:
             pad = size - inode.size
-            self.write_range(path, inode.size, b"\x00" * pad)
+            self._write_range(path, inode.size, b"\x00" * pad)
             return
         bs = self.block_size
         mapper = BlockMapper(self, inode)
@@ -322,6 +475,10 @@ class FileSystem:
 
     def unlink(self, path: str) -> None:
         """Delete a regular file."""
+        with self.atomic():
+            self._unlink(path)
+
+    def _unlink(self, path: str) -> None:
         parent, name = self._resolve_parent(path)
         listing = self._read_directory(parent)
         number = listing.get(name)
@@ -337,6 +494,10 @@ class FileSystem:
 
     def mkdir(self, path: str) -> None:
         """Create a directory."""
+        with self.atomic():
+            self._mkdir(path)
+
+    def _mkdir(self, path: str) -> None:
         parent, name = self._resolve_parent(path)
         listing = self._read_directory(parent)
         if name in listing:
@@ -349,6 +510,10 @@ class FileSystem:
 
     def rmdir(self, path: str) -> None:
         """Remove an empty directory."""
+        with self.atomic():
+            self._rmdir(path)
+
+    def _rmdir(self, path: str) -> None:
         components = split_path(path)
         if not components:
             raise InvalidPathError("cannot remove the root directory")
@@ -442,19 +607,52 @@ class FileSystem:
         self._bitmap_dirty = True
 
     def flush(self) -> None:
-        """Write dirty metadata (bitmap, inodes) back to the device."""
-        if self._bitmap_dirty:
-            raw = self._bitmap.to_bytes()
-            bs = self.block_size
-            for i, block in enumerate(
-                range(self._layout.bitmap_start, self._layout.inode_table_start)
-            ):
-                chunk = raw[i * bs : (i + 1) * bs].ljust(bs, b"\x00")
-                self._device.write_block(block, chunk)
-            self._bitmap_dirty = False
-        for number in sorted(self._dirty_inodes):
-            self._store_inode(self._inode_cache[number])
-        self._dirty_inodes.clear()
+        """Write dirty metadata (bitmap, inodes) back to the device.
+
+        On a journaled volume this is itself a transaction: the bitmap and
+        every dirty inode block commit as one all-or-nothing record.  The
+        bitmap goes out as a single contiguous :meth:`write_blocks` run,
+        and dirty inodes are grouped per table block (one read-modify-write
+        each) instead of one device call per inode.
+        """
+        with self.atomic():
+            if self._bitmap_dirty:
+                raw = self._bitmap.to_bytes()
+                bs = self.block_size
+                diffable = self._txn is not None and self._bitmap_shadow is not None
+                items = []
+                for i, block in enumerate(
+                    range(self._layout.bitmap_start, self._layout.inode_table_start)
+                ):
+                    chunk = raw[i * bs : (i + 1) * bs].ljust(bs, b"\x00")
+                    if diffable:
+                        old = self._bitmap_shadow[i * bs : (i + 1) * bs].ljust(
+                            bs, b"\x00"
+                        )
+                        if old == chunk:
+                            continue  # unchanged since the last flush
+                    items.append((block, chunk))
+                if items:
+                    self._device.write_blocks(items)
+                # Journal-less volumes keep the historical full-rewrite I/O
+                # pattern (the trace-calibrated baselines are priced on it).
+                self._bitmap_shadow = raw if self._txn is not None else None
+                self._bitmap_dirty = False
+            if self._dirty_inodes:
+                by_block: dict[int, list[Inode]] = {}
+                for number in sorted(self._dirty_inodes):
+                    block, _ = self._layout.inode_location(number)
+                    by_block.setdefault(block, []).append(self._inode_cache[number])
+                images = self._device.read_blocks(sorted(by_block))
+                items = []
+                for block, raw_image in zip(sorted(by_block), images):
+                    patched = bytearray(raw_image)
+                    for inode in by_block[block]:
+                        _, offset = self._layout.inode_location(inode.number)
+                        patched[offset : offset + INODE_SIZE] = inode.to_bytes()
+                    items.append((block, bytes(patched)))
+                self._device.write_blocks(items)
+                self._dirty_inodes.clear()
 
     # ------------------------------------------------------------------
     # internals: inode table
@@ -464,7 +662,7 @@ class FileSystem:
         empty = Inode(number=0).to_bytes()
         per_block = self._layout.inodes_per_block
         block_image = (empty * per_block).ljust(self.block_size, b"\x00")
-        for block in range(self._layout.inode_table_start, self._layout.data_start):
+        for block in range(self._layout.inode_table_start, self._layout.journal_start):
             self._device.write_block(block, block_image)
 
     def _load_inode(self, number: int) -> Inode:

@@ -1,18 +1,21 @@
 """On-disk layout of the plain file system.
 
-The volume is divided into four regions, mirroring ext2's shape (the paper
-implements StegFS "alongside other file system drivers like Ext2fs"):
+The volume is divided into five regions, mirroring ext2's shape (the paper
+implements StegFS "alongside other file system drivers like Ext2fs") plus
+a journal, like ext3:
 
     block 0        superblock
     blocks 1..b    allocation bitmap (1 bit per block, Figure 1)
     blocks b..i    inode table (the "central directory")
-    blocks i..N    data region — plain files, hidden files, dummies and
+    blocks i..j    write-ahead journal (may be empty; see
+                   :mod:`repro.storage.journal`)
+    blocks j..N    data region — plain files, hidden files, dummies and
                    abandoned blocks all live here, distinguishable only to
                    key holders
 
-Metadata blocks are marked allocated in the bitmap at mkfs time, so every
-allocator — including the hidden layer's random placement — naturally avoids
-them.
+Metadata blocks — journal included — are marked allocated in the bitmap at
+mkfs time, so every allocator (including the hidden layer's random
+placement) naturally avoids them.
 """
 
 from __future__ import annotations
@@ -21,9 +24,20 @@ from dataclasses import dataclass
 
 from repro.errors import BadSuperblockError
 
-__all__ = ["Layout", "INODE_SIZE"]
+__all__ = ["Layout", "INODE_SIZE", "default_journal_blocks"]
 
 INODE_SIZE = 128
+
+
+def default_journal_blocks(total_blocks: int) -> int:
+    """Journal size heuristic: ~1.5 % of the volume, floored and capped.
+
+    The floor keeps tiny test volumes above the journal's structural
+    minimum; the cap stops paper-scale volumes from reserving megabytes a
+    single transaction will never fill (oversized transactions take the
+    bypass path anyway).
+    """
+    return max(16, min(total_blocks // 64, 4096))
 
 
 @dataclass(frozen=True)
@@ -35,19 +49,32 @@ class Layout:
     inode_count: int
     bitmap_start: int
     inode_table_start: int
+    journal_start: int
     data_start: int
 
     @classmethod
-    def compute(cls, block_size: int, total_blocks: int, inode_count: int | None = None) -> "Layout":
+    def compute(
+        cls,
+        block_size: int,
+        total_blocks: int,
+        inode_count: int | None = None,
+        journal_blocks: int = 0,
+    ) -> "Layout":
         """Derive a layout for a device of ``total_blocks`` blocks.
 
         ``inode_count`` defaults to one inode per 8 data-region blocks
         (ext2's bytes-per-inode heuristic scaled to small volumes), with a
         floor of 64 so tiny test volumes still hold a useful file count.
+        ``journal_blocks=0`` means the volume carries no journal (the
+        pre-journal format; trace-calibrated baselines still use it).
         """
         if block_size < INODE_SIZE:
             raise BadSuperblockError(
                 f"block size {block_size} is smaller than one inode ({INODE_SIZE} bytes)"
+            )
+        if journal_blocks < 0:
+            raise BadSuperblockError(
+                f"journal_blocks must be non-negative, got {journal_blocks}"
             )
         bitmap_blocks = _ceil_div(_ceil_div(total_blocks, 8), block_size)
         if inode_count is None:
@@ -56,7 +83,8 @@ class Layout:
         inode_blocks = _ceil_div(inode_count, inodes_per_block)
         bitmap_start = 1
         inode_table_start = bitmap_start + bitmap_blocks
-        data_start = inode_table_start + inode_blocks
+        journal_start = inode_table_start + inode_blocks
+        data_start = journal_start + journal_blocks
         if data_start >= total_blocks:
             raise BadSuperblockError(
                 f"volume of {total_blocks} blocks too small: metadata alone "
@@ -68,6 +96,7 @@ class Layout:
             inode_count=inode_count,
             bitmap_start=bitmap_start,
             inode_table_start=inode_table_start,
+            journal_start=journal_start,
             data_start=data_start,
         )
 
@@ -79,7 +108,12 @@ class Layout:
     @property
     def inode_blocks(self) -> int:
         """Number of blocks holding the inode table."""
-        return self.data_start - self.inode_table_start
+        return self.journal_start - self.inode_table_start
+
+    @property
+    def journal_blocks(self) -> int:
+        """Number of blocks reserved for the write-ahead journal."""
+        return self.data_start - self.journal_start
 
     @property
     def inodes_per_block(self) -> int:

@@ -11,7 +11,8 @@ from repro.util.serialization import Reader, pack_u16, pack_u32, pack_u64
 __all__ = ["Superblock", "MAGIC"]
 
 MAGIC = b"REPROFS1"
-_VERSION = 1
+# Version 2 added the write-ahead journal region (``journal_blocks``).
+_VERSION = 2
 
 # Allocation policy codes persisted in the superblock so a remount keeps the
 # volume's layout behaviour (CleanDisk vs FragDisk experiments).
@@ -39,6 +40,8 @@ class Superblock:
     alloc_policy: int
     fragment_blocks: int
     system_seed: bytes = b"\x00" * 32
+    #: Blocks reserved for the write-ahead journal (0 = no journal).
+    journal_blocks: int = 0
 
     def __post_init__(self) -> None:
         if self.alloc_policy not in _POLICIES:
@@ -47,10 +50,19 @@ class Superblock:
             raise BadSuperblockError(
                 f"system seed must be 32 bytes, got {len(self.system_seed)}"
             )
+        if self.journal_blocks < 0:
+            raise BadSuperblockError(
+                f"journal_blocks must be non-negative, got {self.journal_blocks}"
+            )
 
     def layout(self) -> Layout:
         """Region layout implied by this superblock."""
-        return Layout.compute(self.block_size, self.total_blocks, self.inode_count)
+        return Layout.compute(
+            self.block_size,
+            self.total_blocks,
+            self.inode_count,
+            journal_blocks=self.journal_blocks,
+        )
 
     def to_bytes(self, block_size: int) -> bytes:
         """Serialise into one padded block image."""
@@ -63,6 +75,7 @@ class Superblock:
             + pack_u32(self.root_inode)
             + pack_u16(self.alloc_policy)
             + pack_u16(self.fragment_blocks)
+            + pack_u32(self.journal_blocks)
             + self.system_seed
         )
         if len(body) > block_size:
@@ -84,6 +97,7 @@ class Superblock:
         root_inode = reader.u32()
         alloc_policy = reader.u16()
         fragment_blocks = reader.u16()
+        journal_blocks = reader.u32()
         system_seed = reader.take(32)
         if block_size <= 0 or total_blocks <= 0 or len(raw) != block_size:
             raise BadSuperblockError("inconsistent superblock geometry")
@@ -95,4 +109,5 @@ class Superblock:
             alloc_policy=alloc_policy,
             fragment_blocks=fragment_blocks,
             system_seed=system_seed,
+            journal_blocks=journal_blocks,
         )

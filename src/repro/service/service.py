@@ -55,8 +55,9 @@ from repro.fs.filesystem import FileStat
 from repro.service.locks import LockStripes, RWLock
 from repro.service.registry import build_registry, lookup, service_op
 from repro.service.sessions import ServiceSession, SessionManager
+from repro.storage.txn import JournalMetrics
 
-__all__ = ["OpStats", "ServiceStats", "StegFSService"]
+__all__ = ["OpStats", "ServiceStats", "StatsSnapshot", "StegFSService"]
 
 #: Latency samples kept per operation for percentile estimation.  A
 #: bounded reservoir (Vitter's algorithm R) keeps memory O(1) per op while
@@ -106,10 +107,21 @@ class OpStats:
         return self.percentile_ms(99.0)
 
 
+class StatsSnapshot(dict):
+    """``snapshot()`` result: an ``op → OpStats`` mapping that also carries
+    the volume's journal/commit counters (``.journal``, None when the
+    volume has no write-ahead journal)."""
+
+    journal: JournalMetrics | None = None
+
+
 class ServiceStats:
     """Thread-safe per-operation counters with latency percentiles."""
 
     def __init__(self, reservoir_size: int = RESERVOIR_SIZE) -> None:
+        #: Callable returning the journal metrics to embed in snapshots
+        #: (wired by the owning service; None → no journal).
+        self.journal_source: Callable[[], JournalMetrics | None] | None = None
         self._lock = threading.Lock()
         self._counts: dict[str, int] = {}
         self._errors: dict[str, int] = {}
@@ -137,18 +149,28 @@ class ServiceStats:
                 if slot < self._reservoir_size:
                     reservoir[slot] = elapsed_ms
 
-    def snapshot(self) -> dict[str, OpStats]:
-        """Point-in-time copy of every operation's counters."""
+    def snapshot(self) -> StatsSnapshot:
+        """Point-in-time copy of every operation's counters.
+
+        The returned mapping behaves exactly like the historical
+        ``dict[str, OpStats]`` and additionally exposes ``.journal`` —
+        commits, fsyncs, group-commit batch percentiles, checkpoints and
+        replayed records — when the volume is journaled.
+        """
         with self._lock:
-            return {
-                op: OpStats(
-                    count=self._counts[op],
-                    errors=self._errors.get(op, 0),
-                    total_s=self._times[op],
-                    samples_ms=tuple(sorted(self._samples.get(op, ()))),
-                )
-                for op in self._counts
-            }
+            snap = StatsSnapshot(
+                {
+                    op: OpStats(
+                        count=self._counts[op],
+                        errors=self._errors.get(op, 0),
+                        total_s=self._times[op],
+                        samples_ms=tuple(sorted(self._samples.get(op, ()))),
+                    )
+                    for op in self._counts
+                }
+            )
+        snap.journal = self.journal_source() if self.journal_source else None
+        return snap
 
     @property
     def total_ops(self) -> int:
@@ -177,6 +199,42 @@ def _counted(method: Callable[..., Any]) -> Callable[..., Any]:
     return wrapper
 
 
+class _CommitWindow:
+    """Captures the journal sequence one locked mutation produced.
+
+    ``open()``/``close()`` bracket the mutation *while the volume lock is
+    held* (mutations serialize on it, so the delta is exactly this op's
+    commit); ``wait()`` runs after every lock is released, which is what
+    lets concurrent clients share one fsync.  A window built with
+    ``txn=None`` (non-durable service) is a no-op.
+    """
+
+    __slots__ = ("_txn", "_before", "seq")
+
+    def __init__(self, txn: Any | None) -> None:
+        self._txn = txn
+        self._before = 0
+        self.seq = 0
+
+    def open(self) -> None:
+        """Record the pre-mutation commit sequence (call under the lock)."""
+        if self._txn is not None:
+            self._before = self._txn.last_commit_seq
+
+    def close(self) -> None:
+        """Record the post-mutation sequence (still under the lock); ops
+        that committed nothing produce no wait."""
+        if self._txn is not None:
+            after = self._txn.last_commit_seq
+            if after != self._before:
+                self.seq = after
+
+    def wait(self) -> None:
+        """Block until this op's record is durable (group commit)."""
+        if self._txn is not None and self.seq:
+            self._txn.wait_durable(self.seq)
+
+
 class StegFSService:
     """Concurrent facade over one mounted :class:`StegFS` volume.
 
@@ -193,6 +251,7 @@ class StegFSService:
         max_workers: int = 8,
         idle_timeout: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        durable: bool | None = None,
     ) -> None:
         self._steg = steg
         self._stripes = LockStripes(n_stripes)
@@ -203,6 +262,24 @@ class StegFSService:
         )
         self._stats = ServiceStats()
         self._closed = False
+        # Group commit: on a journaled auto-flush volume the commit itself
+        # only *appends*; the durable ack happens here, outside the volume
+        # lock, so one fsync can cover every client whose record is already
+        # in the log.  ``durable=False`` keeps per-commit behaviour as the
+        # volume was configured (the naive per-op-fsync baseline when
+        # auto_flush is on; deferred durability when it is off).
+        self._txn = steg.txn
+        if durable is None:
+            durable = self._txn is not None and steg.auto_flush
+        if durable and self._txn is None:
+            raise ValueError("durable service acks need a journaled volume")
+        self._durable = durable
+        self._restore_sync: bool | None = None
+        if durable:
+            self._restore_sync = self._txn.sync_on_commit
+            self._txn.sync_on_commit = False
+        if self._txn is not None:
+            self._stats.journal_source = self._txn.stats.snapshot
 
     # ------------------------------------------------------------------
     # accessors
@@ -267,12 +344,31 @@ class StegFSService:
 
     @contextmanager
     def _exclusive(self, *keys: str) -> Iterator[None]:
-        """Exclusive stripes + exclusive volume lock (mutations)."""
-        with ExitStack() as stack:
-            for stripe in self._stripes.stripes_for(*keys):
-                stack.enter_context(stripe.write_locked())
-            stack.enter_context(self._volume_lock.write_locked())
-            yield
+        """Exclusive stripes + exclusive volume lock (mutations).
+
+        On a durable service the commit sequence the mutation produced is
+        captured while the lock is still held (see :class:`_CommitWindow`),
+        and the durability wait — the group-commit fsync — happens *after*
+        every lock is released.
+        """
+        with self._durable_window() as window:
+            with ExitStack() as stack:
+                for stripe in self._stripes.stripes_for(*keys):
+                    stack.enter_context(stripe.write_locked())
+                stack.enter_context(self._volume_lock.write_locked())
+                window.open()
+                yield
+                window.close()
+
+    @contextmanager
+    def _durable_window(self) -> Iterator[_CommitWindow]:
+        """The group-commit ack protocol in one place (used by every
+        mutation path): yields a window the caller opens/closes under the
+        volume lock; the wait runs here, outside all locks.  An exception
+        skips the wait — a failed op acknowledges nothing."""
+        window = _CommitWindow(self._txn if self._durable else None)
+        yield window
+        window.wait()
 
     # ------------------------------------------------------------------
     # plain namespace
@@ -411,16 +507,19 @@ class StegFSService:
         """
         key = self._hidden_key(objname, uak)
         stripes = self._stripes.stripes_for(key)
-        with ExitStack() as stack:
-            for stripe in stripes:
-                stack.enter_context(stripe.write_locked())
-            with self._volume_lock.read_locked():
-                current = self._steg.steg_read(objname, uak)
-            new = fn(current)
-            if new is None:
-                return None
-            with self._volume_lock.write_locked():
-                self._steg.steg_write(objname, uak, new)
+        with self._durable_window() as window:
+            with ExitStack() as stack:
+                for stripe in stripes:
+                    stack.enter_context(stripe.write_locked())
+                with self._volume_lock.read_locked():
+                    current = self._steg.steg_read(objname, uak)
+                new = fn(current)
+                if new is None:
+                    return None
+                with self._volume_lock.write_locked():
+                    window.open()
+                    self._steg.steg_write(objname, uak, new)
+                    window.close()
             return new
 
     @service_op("hidden", mutates=True, injects="uak")
@@ -517,12 +616,15 @@ class StegFSService:
         """Write a connected object through the session."""
         with self._sessions.use(session_id) as record:
             with record.lock, self._exclusive(self._session_key(record, objname)):
-                record.session.write(objname, data)
-                # Session writes bypass the facade, so account the bitmap
-                # mutation here, honouring the volume's auto_flush policy.
-                self._steg.fs.mark_bitmap_dirty()
-                if self._steg.auto_flush:
-                    self._steg.fs.flush()
+                # Session writes bypass the facade, so open the fused
+                # transaction ourselves: object blocks and the bitmap
+                # commit as ONE journal record — a crash between them
+                # could otherwise leave allocated data blocks marked free.
+                with self._steg.transaction():
+                    record.session.write(objname, data)
+                    self._steg.fs.mark_bitmap_dirty()
+                    if self._steg.auto_flush:
+                        self._steg.fs.flush()
 
     def _session_key(self, record: ServiceSession, objname: str) -> str:
         return self._hidden_key(objname, record.uak)
@@ -544,8 +646,12 @@ class StegFSService:
     @_counted
     def dummy_tick(self) -> int | None:
         """One round of dummy-file churn, serialized like any mutation."""
-        with self._volume_lock.write_locked():
-            return self._steg.dummy_tick()
+        with self._durable_window() as window:
+            with self._volume_lock.write_locked():
+                window.open()
+                updated = self._steg.dummy_tick()
+                window.close()
+            return updated
 
     # ------------------------------------------------------------------
     # worker pool
@@ -587,6 +693,11 @@ class StegFSService:
         with self._volume_lock.write_locked():
             self._steg.flush()
             self._steg.device.flush()
+        if self._restore_sync is not None:
+            # Hand the volume back with its own durability policy: direct
+            # StegFS use after the service must not silently lose the
+            # per-mutation fsync auto_flush promised.
+            self._txn.sync_on_commit = self._restore_sync
         self._closed = True
 
     def __enter__(self) -> "StegFSService":

@@ -14,9 +14,12 @@ from repro.storage.allocator import (
 from repro.storage.bitmap import Bitmap
 from repro.storage.block_device import BlockDevice, FileDevice, RamDevice, SparseDevice
 from repro.storage.cache import CachedDevice, CacheStats
+from repro.storage.crash import CrashInjectionDevice
 from repro.storage.disk_model import DiskModel, DiskParameters
+from repro.storage.journal import Journal, RecoveryReport
 from repro.storage.latency import LatencyDevice
 from repro.storage.trace import BlockOp, Trace, TraceRecordingDevice
+from repro.storage.txn import JournaledDevice, JournalMetrics, Transaction, TransactionManager
 
 __all__ = [
     "Bitmap",
@@ -25,14 +28,21 @@ __all__ = [
     "CacheStats",
     "CachedDevice",
     "ContiguousAllocator",
+    "CrashInjectionDevice",
     "DiskModel",
     "DiskParameters",
     "FileDevice",
     "FragmentingAllocator",
+    "Journal",
+    "JournaledDevice",
+    "JournalMetrics",
     "LatencyDevice",
     "RamDevice",
     "RandomAllocator",
+    "RecoveryReport",
     "SparseDevice",
     "Trace",
     "TraceRecordingDevice",
+    "Transaction",
+    "TransactionManager",
 ]

@@ -53,14 +53,42 @@ class RandomAllocator:
         return choice
 
     def allocate_many(self, count: int) -> list[int]:
-        """Claim ``count`` random free blocks (all-or-nothing)."""
+        """Claim ``count`` random free blocks (all-or-nothing).
+
+        Rejection sampling serves each block in expected O(1) while the
+        volume has free space to spare.  The moment one draw exhausts its
+        probe budget (a near-full volume), the remainder is sampled from a
+        **single** :meth:`~repro.storage.bitmap.Bitmap.free_indices`
+        snapshot — previously every such block rebuilt the free list,
+        turning large requests quadratic in the volume size.  Sampling
+        without replacement from the snapshot is exactly the distribution
+        sequential uniform draws produce, so placement stays unbiased.
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         if self._bitmap.free_count < count:
             raise NoSpaceError(
                 f"need {count} free blocks, only {self._bitmap.free_count} remain"
             )
-        return [self.allocate_one() for _ in range(count)]
+        blocks: list[int] = []
+        total = self._bitmap.total_blocks
+        for _ in range(count):
+            for _ in range(self._REJECTION_LIMIT):
+                candidate = self._rng.randrange(total)
+                if not self._bitmap.is_allocated(candidate):
+                    self._bitmap.allocate(candidate)
+                    blocks.append(candidate)
+                    break
+            else:
+                break  # too full for rejection sampling: snapshot the rest
+        remaining = count - len(blocks)
+        if remaining:
+            free = self._bitmap.free_indices()
+            for slot in self._rng.sample(range(free.size), remaining):
+                choice = int(free[slot])
+                self._bitmap.allocate(choice)
+                blocks.append(choice)
+        return blocks
 
 
 class ContiguousAllocator:

@@ -103,6 +103,16 @@ class Bitmap:
         twin._bits = self._bits.copy()
         return twin
 
+    def restore(self, snapshot: "Bitmap") -> None:
+        """Overwrite this bitmap's state *in place* from ``snapshot``.
+
+        Transaction rollback uses this: every holder of a reference (the
+        allocators, the hidden volume) keeps seeing the one shared object.
+        """
+        if snapshot.total_blocks != self._total:
+            raise StorageError("cannot restore from a bitmap of different size")
+        self._bits[:] = snapshot._bits
+
     def diff(self, later: "Bitmap") -> tuple[np.ndarray, np.ndarray]:
         """Blocks newly allocated / newly freed between self and ``later``.
 

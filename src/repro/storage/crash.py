@@ -1,0 +1,230 @@
+"""Crash injection: a block device that dies mid-write, for recovery tests.
+
+:class:`CrashInjectionDevice` models the two failure behaviours a journal
+must survive:
+
+* **Volatile write-back** — every write lands in a *pending* buffer; only
+  :meth:`flush` (the fsync barrier) moves pending images into the durable
+  store.  A "crash" therefore exposes exactly the reordering freedom a
+  real disk has: each un-fsynced block independently may or may not have
+  reached the platter.
+* **Power cuts** — after :meth:`arm`, every block write counts down a
+  budget; the write that exhausts it raises
+  :class:`~repro.errors.PowerCutError` and freezes the device.  With
+  ``torn_writes`` enabled the fatal write lands *half old / half new*
+  bytes — the torn-sector case mount-time recovery must detect and
+  discard.
+
+After a crash (or at any quiescent point), :meth:`crash_image` computes
+one possible post-crash disk state — durable bytes plus a seeded-random
+subset of the pending writes — and :meth:`reincarnate` wraps it in a fresh
+:class:`~repro.storage.block_device.RamDevice` for remounting.  Because
+the subset draw is deterministic in the seed, every recovery scenario a
+test explores is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Iterable
+
+from repro.errors import DeviceClosedError, PowerCutError
+from repro.storage.block_device import BlockDevice, RamDevice
+
+__all__ = ["CrashInjectionDevice"]
+
+
+class CrashInjectionDevice(BlockDevice):
+    """RAM-backed device with an fsync boundary and injectable power cuts."""
+
+    def __init__(
+        self,
+        block_size: int,
+        total_blocks: int,
+        torn_writes: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(block_size, total_blocks)
+        self._durable = bytearray(block_size * total_blocks)
+        self._pending: dict[int, bytes] = {}
+        self._lock = threading.Lock()
+        self._torn_writes = torn_writes
+        self._rng = random.Random(seed)
+        self._armed = False
+        self._writes_until_cut: int | None = None
+        self._write_count = 0
+        self._crashed = False
+
+    @classmethod
+    def from_image(
+        cls,
+        image: bytes,
+        block_size: int,
+        torn_writes: bool = True,
+        seed: int = 0,
+    ) -> "CrashInjectionDevice":
+        """A device whose *durable* state starts as ``image``.
+
+        Cut-point sweeps build one volume, snapshot it, and replay the
+        same workload from identical durable state for every cut.
+        """
+        if len(image) % block_size:
+            raise ValueError(
+                f"image of {len(image)} bytes is not a whole number of "
+                f"{block_size}-byte blocks"
+            )
+        device = cls(
+            block_size, len(image) // block_size, torn_writes=torn_writes, seed=seed
+        )
+        device._durable[:] = image
+        return device
+
+    # ------------------------------------------------------------------
+    # crash control
+    # ------------------------------------------------------------------
+
+    @property
+    def write_count(self) -> int:
+        """Block writes observed since :meth:`arm` (for cut-point sweeps)."""
+        return self._write_count
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the injected power cut has fired."""
+        return self._crashed
+
+    def arm(self, cut_after_writes: int | None = None) -> None:
+        """Start counting writes; cut power on write ``cut_after_writes``.
+
+        ``None`` counts without ever cutting (used to size a sweep).  The
+        budget is 1-based: ``cut_after_writes=1`` kills the very first
+        armed write.
+        """
+        if cut_after_writes is not None and cut_after_writes < 1:
+            raise ValueError(f"cut_after_writes must be >= 1, got {cut_after_writes}")
+        with self._lock:
+            self._armed = True
+            self._write_count = 0
+            self._writes_until_cut = cut_after_writes
+
+    def _note_write(self, index: int, data: bytes) -> None:
+        """Count one write under the lock; fire the cut when due."""
+        if self._crashed:
+            raise PowerCutError("device lost power")
+        if not self._armed:
+            self._pending[index] = bytes(data)
+            return
+        self._write_count += 1
+        if (
+            self._writes_until_cut is not None
+            and self._write_count >= self._writes_until_cut
+        ):
+            self._crashed = True
+            if self._torn_writes:
+                old = self._current_image(index)
+                half = self._block_size // 2
+                self._pending[index] = bytes(data[:half]) + old[half:]
+            raise PowerCutError(
+                f"power cut on write {self._write_count} (block {index})"
+            )
+        self._pending[index] = bytes(data)
+
+    def _current_image(self, index: int) -> bytes:
+        pending = self._pending.get(index)
+        if pending is not None:
+            return pending
+        start = index * self._block_size
+        return bytes(self._durable[start : start + self._block_size])
+
+    # ------------------------------------------------------------------
+    # BlockDevice interface
+    # ------------------------------------------------------------------
+
+    def _alive(self) -> None:
+        if self._closed:
+            raise DeviceClosedError("device is closed")
+        if self._crashed:
+            raise PowerCutError("device lost power")
+
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        with self._lock:
+            self._alive()
+            return self._current_image(index)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) != self._block_size:
+            raise ValueError(
+                f"write of {len(data)} bytes to device with "
+                f"{self._block_size}-byte blocks"
+            )
+        with self._lock:
+            self._alive()
+            self._note_write(index, data)
+
+    def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
+        indices = self._check_batch_read(indices)
+        with self._lock:
+            self._alive()
+            return [self._current_image(index) for index in indices]
+
+    def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
+        # Deliberately per-block so a cut can land mid-batch, exactly like
+        # a multi-sector write interrupted halfway.
+        items = self._check_batch_write(items)
+        with self._lock:
+            self._alive()
+            for index, data in items:
+                self._note_write(index, data)
+
+    def flush(self) -> None:
+        """The fsync barrier: promote every pending write to durable."""
+        with self._lock:
+            self._alive()
+            for index, data in self._pending.items():
+                start = index * self._block_size
+                self._durable[start : start + self._block_size] = data
+            self._pending.clear()
+
+    def image(self) -> bytes:
+        """The logical (pre-crash) view: durable overlaid with pending."""
+        with self._lock:
+            raw = bytearray(self._durable)
+            for index, data in self._pending.items():
+                start = index * self._block_size
+                raw[start : start + self._block_size] = data
+            return bytes(raw)
+
+    # ------------------------------------------------------------------
+    # post-crash state
+    # ------------------------------------------------------------------
+
+    def durable_image(self) -> bytes:
+        """Only what fsync barriers have made durable (worst-case disk)."""
+        with self._lock:
+            return bytes(self._durable)
+
+    def crash_image(self, subset_seed: int | None = None) -> bytes:
+        """One possible on-disk state after the crash.
+
+        Durable bytes, plus each pending (un-fsynced) write independently
+        surviving with probability ½ — drawn from ``subset_seed`` so a
+        scenario can be replayed.  ``subset_seed=None`` reuses the device
+        RNG (still deterministic for a fixed construction seed).
+        """
+        with self._lock:
+            rng = self._rng if subset_seed is None else random.Random(subset_seed)
+            raw = bytearray(self._durable)
+            for index in sorted(self._pending):
+                if rng.random() < 0.5:
+                    start = index * self._block_size
+                    raw[start : start + self._block_size] = self._pending[index]
+            return bytes(raw)
+
+    def reincarnate(self, subset_seed: int | None = None) -> RamDevice:
+        """A fresh RamDevice holding :meth:`crash_image` (for remounting)."""
+        twin = RamDevice(self._block_size, self._total_blocks)
+        twin._data[:] = self.crash_image(subset_seed)
+        return twin

@@ -45,16 +45,20 @@ class LatencyDevice(BlockDevice):
         model: DiskModel | None = None,
         time_scale: float = 1.0,
         exclusive: bool = False,
+        flush_ms: float = 0.0,
     ) -> None:
         super().__init__(inner.block_size, inner.total_blocks)
         if time_scale < 0:
             raise ValueError(f"time_scale must be >= 0, got {time_scale}")
+        if flush_ms < 0:
+            raise ValueError(f"flush_ms must be >= 0, got {flush_ms}")
         self._inner = inner
         self._model = model or DiskModel.ultra_ata_100(
             inner.block_size, inner.total_blocks
         )
         self._time_scale = time_scale
         self._exclusive = exclusive
+        self._flush_ms = flush_ms
         self._lock = threading.Lock()
 
     @property
@@ -132,6 +136,17 @@ class LatencyDevice(BlockDevice):
         return self._inner.image()
 
     def flush(self) -> None:
+        """Durability barrier, priced at ``flush_ms`` modeled milliseconds.
+
+        A write barrier (drive cache flush / FUA) costs real time on
+        spinning and flash media alike; pricing it makes fsync-amortising
+        strategies (group commit) measurable on machines whose test
+        directory is backed by RAM.  Unlike per-block pricing, ``flush_ms``
+        is wall-clock and independent of ``time_scale``, so a bench can
+        disable block sleeps while keeping a realistic barrier cost.
+        """
+        if self._flush_ms > 0:
+            time.sleep(self._flush_ms / 1000.0)
         self._inner.flush()
 
     def close(self) -> None:

@@ -1,0 +1,61 @@
+"""Group-commit ack protocol details at the service layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+
+UAK = b"S" * 32
+
+
+@pytest.fixture
+def service():
+    steg = StegFS.mkfs(
+        RamDevice(512, 8192),
+        params=StegFSParams.for_tests(),
+        inode_count=128,
+        rng=random.Random(31),
+        auto_flush=True,
+    )
+    svc = StegFSService(steg, max_workers=2)
+    yield svc
+    if not svc.closed:
+        svc.close()
+
+
+class TestFusedCommits:
+    def test_session_write_is_one_journal_record(self, service):
+        """The object blocks AND the bitmap must ride one record — a crash
+        between two records could leave allocated data marked free."""
+        service.steg_create("doc", UAK, data=b"v1" * 300)
+        session_id = service.open_session("u", UAK)
+        service.connect(session_id, "doc")
+        before = service.steg.txn.stats.snapshot().commits
+        service.session_write(session_id, "doc", b"v2" * 500)
+        assert service.steg.txn.stats.snapshot().commits == before + 1
+
+    def test_facade_mutation_is_one_journal_record(self, service):
+        service.steg_create("doc2", UAK, data=b"x" * 400)
+        before = service.steg.txn.stats.snapshot().commits
+        service.steg_write("doc2", UAK, b"y" * 900)
+        assert service.steg.txn.stats.snapshot().commits == before + 1
+
+
+class TestNoSpuriousWaits:
+    def test_noop_mutation_triggers_no_fsync(self, service):
+        """An op that commits nothing must not become fsync leader for a
+        neighbour's record."""
+        service.steg_create("pad", UAK, data=b"p" * 300)
+        stats = service.steg.txn.stats
+        fsyncs_before = stats.snapshot().fsyncs
+        # dummy_tick on a for_tests volume with dummies present commits; a
+        # read-modify-write whose fn declines writes does not.
+        result = service.steg_update("pad", UAK, lambda current: None)
+        assert result is None
+        assert stats.snapshot().fsyncs == fsyncs_before

@@ -139,3 +139,83 @@ class TestFragmentingAllocator:
         blocks = alloc.allocate_run(3)
         assert len(blocks) == 3
         assert all(b % 2 == 1 for b in blocks)
+
+
+class TestAllocateManyVectorized:
+    """The snapshot-sampling fast path on near-full volumes (PR 4)."""
+
+    def test_near_full_volume_served_from_one_snapshot(self):
+        """With rejection sampling hopeless (>97 % full), the whole request
+        must still succeed — and claim exactly the free blocks."""
+        total = 4096
+        bitmap = Bitmap(total)
+        free = set(random.Random(3).sample(range(total), 40))
+        for index in range(total):
+            if index not in free:
+                bitmap.allocate(index)
+        alloc = RandomAllocator(bitmap, random.Random(5))
+        blocks = alloc.allocate_many(40)
+        assert sorted(blocks) == sorted(free)
+        assert bitmap.free_count == 0
+
+    def test_all_or_nothing_unchanged(self):
+        bitmap = Bitmap(64)
+        for index in range(60):
+            bitmap.allocate(index)
+        alloc = RandomAllocator(bitmap, random.Random(1))
+        with pytest.raises(NoSpaceError):
+            alloc.allocate_many(5)
+        assert bitmap.free_count == 4
+
+    def test_no_duplicates_across_paths(self):
+        """Blocks claimed by rejection sampling must never be re-issued by
+        the snapshot fallback within one request."""
+        total = 512
+        bitmap = Bitmap(total)
+        for index in range(total - 96):
+            bitmap.allocate(index)
+        alloc = RandomAllocator(bitmap, random.Random(7))
+        blocks = alloc.allocate_many(96)
+        assert len(blocks) == len(set(blocks)) == 96
+
+    def test_seeded_distribution_is_uniform(self):
+        """Chi-square-style check: over many trials, every free block is
+        drawn with roughly equal frequency (placement bias would hand the
+        §1 adversary a statistical fingerprint)."""
+        total = 256
+        trials = 400
+        draw = 16
+        counts = [0] * total
+        occupied = set(random.Random(11).sample(range(total), total - 64))
+        for trial in range(trials):
+            bitmap = Bitmap(total)
+            for index in occupied:
+                bitmap.allocate(index)
+            alloc = RandomAllocator(bitmap, random.Random(1000 + trial))
+            for block in alloc.allocate_many(draw):
+                counts[block] += 1
+        for index in range(total):
+            if index in occupied:
+                assert counts[index] == 0
+            else:
+                # Expected draws per free block: trials * draw / 64 = 100.
+                assert 50 <= counts[index] <= 160, (index, counts[index])
+
+    def test_snapshot_fallback_matches_distribution(self):
+        """Force the snapshot path (tiny rejection budget via a crowded
+        volume) and check it is as uniform as sequential draws."""
+        total = 256
+        free = list(range(0, total, 8))  # 32 free blocks, 87.5% full
+        trials = 320
+        counts = dict.fromkeys(free, 0)
+        for trial in range(trials):
+            bitmap = Bitmap(total)
+            for index in range(total):
+                if index not in counts:
+                    bitmap.allocate(index)
+            alloc = RandomAllocator(bitmap, random.Random(5000 + trial))
+            for block in alloc.allocate_many(8):
+                counts[block] += 1
+        # Expected: trials * 8 / 32 = 80 draws per free block.
+        for index, count in counts.items():
+            assert 40 <= count <= 130, (index, count)

@@ -1,0 +1,50 @@
+"""Cluster-tier throughput — claim assertions.
+
+The tentpole claim of the sharded-cluster PR: ops/sec scales with shard
+count (>= 1.5x from 1 to 4 shards) on one-spindle-per-shard
+latency-priced volumes, with zero client-visible errors and constant
+redundancy geometry across the sweep.
+
+Run standalone (CI smoke) with ``python benchmarks/bench_cluster_throughput.py
+--smoke`` — the CLI exits non-zero if the scaling claim fails, so the
+smoke job is a real gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import cluster_throughput
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cluster_throughput.run()
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: cluster_throughput.render(result))
+    print("\n" + text)
+
+
+class TestClusterClaims:
+    def test_throughput_scales_1_to_4_shards(self, result):
+        """The tentpole claim: >= 1.5x aggregate ops/sec at 4 shards."""
+        assert result.scaling_1_to_4 >= 1.5, result.ops_per_sec
+
+    def test_peak_scaling_exceeds_double(self, result):
+        assert result.peak_scaling >= 2.0, result.ops_per_sec
+
+    def test_no_client_visible_errors(self, result):
+        assert not any(result.errors), result.errors
+
+    def test_latency_improves_with_shards(self, result):
+        """More spindles → shorter queues: p50 at max shards beats 1."""
+        assert result.p50_ms[-1] < result.p50_ms[0], result.p50_ms
+
+
+if __name__ == "__main__":
+    raise SystemExit(cluster_throughput.main(sys.argv[1:]))

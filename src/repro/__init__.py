@@ -35,6 +35,7 @@ from repro.baselines import (
     clean_disk,
     frag_disk,
 )
+from repro.cluster import ClusterClient, RemoteShard, ServiceShard
 from repro.core import (
     HiddenDirEntry,
     HiddenDirectory,
@@ -71,6 +72,7 @@ __all__ = [
     "Bitmap",
     "CacheStats",
     "CachedDevice",
+    "ClusterClient",
     "DiskModel",
     "DiskParameters",
     "FileDevice",
@@ -82,6 +84,8 @@ __all__ = [
     "LatencyDevice",
     "ObjectKeys",
     "RamDevice",
+    "RemoteShard",
+    "ServiceShard",
     "Session",
     "SessionManager",
     "SnapshotMonitor",

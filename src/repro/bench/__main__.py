@@ -6,6 +6,7 @@ import sys
 
 from repro.bench import (
     ablation,
+    cluster_throughput,
     durability,
     fig6,
     fig7,
@@ -28,6 +29,7 @@ _EXPERIMENTS = {
     "service": lambda: service_throughput.render(service_throughput.run()),
     "net": lambda: net_throughput.render(net_throughput.run()),
     "durability": lambda: durability.render(durability.run()),
+    "cluster": lambda: cluster_throughput.render(cluster_throughput.run()),
 }
 
 

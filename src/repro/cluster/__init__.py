@@ -1,0 +1,41 @@
+"""Sharded multi-volume cluster: routing, redundancy, failover, rebalance.
+
+The fourth access tier.  Where :mod:`repro.core` mounts one volume,
+:mod:`repro.service` makes it concurrent and :mod:`repro.net` makes it
+remote, this package assembles **many** independent StegFS volumes into
+one namespace:
+
+* :mod:`repro.cluster.ring` — consistent-hash placement with virtual
+  nodes: every object maps to a deterministic ordered list of shards,
+  and adding/removing a shard moves only the keys whose arc changed.
+* :mod:`repro.cluster.backend` — the shard-side protocol: in-process
+  :class:`~repro.service.StegFSService` volumes and remote
+  :class:`~repro.net.client.StegFSClient` connections behind one
+  interface, so a cluster can span real ``StegFSServer`` processes.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterClient`, the
+  client-facing facade: quorum-replicated or IDA-dispersed hidden
+  files, versioned fragments, read-repair, failover.
+* :mod:`repro.cluster.health` — failure detection and recovery probing.
+* :mod:`repro.cluster.rebalance` — add/remove/replace shards, migrating
+  only ring-affected objects with byte-identical verification.
+"""
+
+from repro.cluster.backend import SHARD_FAILURES, RemoteShard, ServiceShard, ShardBackend
+from repro.cluster.coordinator import ClusterClient, ClusterStats
+from repro.cluster.health import HealthMonitor, ShardState
+from repro.cluster.rebalance import RebalanceReport, add_shard, remove_shard, repair
+
+__all__ = [
+    "SHARD_FAILURES",
+    "ClusterClient",
+    "ClusterStats",
+    "HealthMonitor",
+    "RebalanceReport",
+    "RemoteShard",
+    "ServiceShard",
+    "ShardBackend",
+    "ShardState",
+    "add_shard",
+    "remove_shard",
+    "repair",
+]

@@ -1,0 +1,1068 @@
+""":class:`ClusterClient`: one namespace over many StegFS volumes.
+
+The coordinator is a *client-side* fourth tier — it holds no data of its
+own.  Every operation hashes the object's name onto the ring
+(:mod:`repro.cluster.ring`), takes the first ``width`` distinct shards as
+the object's **placement**, and fans the call out to the placement's
+alive members on a worker pool.  Two redundancy modes:
+
+* ``mode="replicate"`` — every placement shard stores a full copy inside
+  a versioned :mod:`~repro.cluster.fragment` envelope.  Writes succeed
+  once ``write_quorum`` shards acknowledge (W-of-N); reads consult
+  ``read_fanout`` replicas, return the highest intact version, and
+  **read-repair** any replica that was missing, stale, or corrupt.
+* ``mode="ida"`` — hidden files are dispersed with
+  :func:`repro.crypto.ida.disperse` into one share per placement shard:
+  any ``ida_m`` shares reconstruct the file, while an adversary holding
+  fewer than ``m`` shards learns nothing beyond the share length —
+  SocialStegDisc's survivability argument over real StegFS volumes.
+  Plain files are always replicated (dispersing a *public* file buys no
+  secrecy and costs every read a reconstruction).
+
+Failover is implicit: dead shards (see
+:class:`~repro.cluster.health.HealthMonitor`) are skipped by both reads
+and writes, so a single shard loss under the default ``replication=3,
+write_quorum=2`` or ``ida_m=2, ida_n=4`` geometry neither loses acked
+writes nor blocks new ones.
+
+Deletions are quorum deletes plus an **in-memory tombstone** (the
+version floor below which fragments are ignored), which keeps a revived
+stale replica from resurrecting a deleted object within a coordinator's
+lifetime; persisting tombstones cluster-wide is an open roadmap item.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.cluster.backend import SHARD_FAILURES, ShardBackend
+from repro.cluster.fragment import (
+    HEADER_LEN,
+    MODE_IDA,
+    MODE_REPLICATE,
+    Fragment,
+    decode_fragment,
+    decode_header,
+    digest_of,
+    encode_fragment,
+)
+from repro.cluster.health import HealthMonitor
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.crypto.ida import Share, disperse, reconstruct
+from repro.errors import (
+    ClusterError,
+    ClusterQuorumError,
+    CryptoError,
+    FileExistsError_,
+    FileNotFoundError_,
+    FragmentFormatError,
+    HiddenObjectExistsError,
+    HiddenObjectNotFoundError,
+    ReproError,
+    ShardUnavailableError,
+)
+
+__all__ = ["ClusterClient", "ClusterStats", "hidden_key", "plain_key"]
+
+
+def _canonical(name: str) -> str:
+    return "/".join(part for part in name.split("/") if part)
+
+
+def plain_key(path: str) -> str:
+    """Ring key for a plain path (spelling variants collapse)."""
+    return "p:" + _canonical(path)
+
+
+def hidden_key(objname: str, uak: bytes) -> str:
+    """Ring key for a hidden object — a hash tag, never the raw UAK."""
+    tag = hashlib.sha256(uak).hexdigest()[:16]
+    return f"h:{tag}:{_canonical(objname)}"
+
+
+class ClusterStats:
+    """Thread-safe cluster-level counters (reads, repairs, failovers)."""
+
+    _NAMES = (
+        "reads",
+        "writes",
+        "deletes",
+        "read_repairs",
+        "reconstructions",
+        "degraded_writes",
+        "failovers",
+        "version_probes",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self._NAMES}
+
+    def increment(self, name: str, by: int = 1) -> None:
+        """Bump one counter (unknown names are created on first use)."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + by
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __getitem__(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+
+@dataclass
+class _Outcome:
+    """Result of one per-shard call inside a fan-out."""
+
+    value: Any = None
+    error: ReproError | None = None
+    down: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.down
+
+
+@dataclass
+class _ReadVerdict:
+    """What a redundancy-mode read resolved to."""
+
+    data: bytes
+    version: int
+    #: Alive placement shards that must be rewritten to regain full
+    #: redundancy (missing / stale / corrupt fragment).
+    stale: list[str] = field(default_factory=list)
+
+
+class ClusterClient:
+    """Route file and hidden-file operations across N StegFS shards."""
+
+    def __init__(
+        self,
+        shards: Mapping[str, ShardBackend] | Iterable[tuple[str, ShardBackend]],
+        *,
+        mode: str = MODE_REPLICATE,
+        replication: int = 3,
+        write_quorum: int = 2,
+        ida_m: int = 2,
+        ida_n: int = 4,
+        ida_write_quorum: int | None = None,
+        read_fanout: int | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        health: HealthMonitor | None = None,
+        max_workers: int | None = None,
+        owns_backends: bool = False,
+    ) -> None:
+        if mode not in (MODE_REPLICATE, MODE_IDA):
+            raise ClusterError(f"unknown cluster mode {mode!r}")
+        if not 1 <= write_quorum <= replication:
+            raise ClusterError(
+                f"need 1 <= write_quorum <= replication, "
+                f"got W={write_quorum}, N={replication}"
+            )
+        if not 1 <= ida_m <= ida_n:
+            raise ClusterError(f"need 1 <= m <= n, got m={ida_m}, n={ida_n}")
+        if ida_write_quorum is None:
+            # m shares are *sufficient*, but acking at m would make the
+            # very next shard loss fatal; m+1 keeps one spare per ack.
+            ida_write_quorum = min(ida_n, ida_m + 1)
+        if not ida_m <= ida_write_quorum <= ida_n:
+            raise ClusterError(
+                f"need m <= ida_write_quorum <= n, got {ida_write_quorum}"
+            )
+        self._mode = mode
+        self._replication = replication
+        self._write_quorum = write_quorum
+        self._ida_m = ida_m
+        self._ida_n = ida_n
+        self._ida_write_quorum = ida_write_quorum
+        self._read_fanout = read_fanout
+        self._shards: dict[str, ShardBackend] = dict(
+            shards.items() if isinstance(shards, Mapping) else shards
+        )
+        if not self._shards:
+            raise ClusterError("a cluster needs at least one shard")
+        self._ring_lock = threading.RLock()
+        self._ring = HashRing(sorted(self._shards), vnodes=vnodes)
+        self._health = health or HealthMonitor()
+        for shard_id in self._shards:
+            self._health.register(shard_id)
+        width = self._ida_n if mode == MODE_IDA else self._replication
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers or max(4, width * 2),
+            thread_name_prefix="stegfs-cluster",
+        )
+        self._stats = ClusterStats()
+        self._owns_backends = owns_backends
+        # version, exists — the coordinator's write clock and tombstones.
+        self._versions: dict[str, tuple[int, bool]] = {}
+        self._version_lock = threading.Lock()
+        # Striped per-key mutation locks: a write and a read-repair of the
+        # SAME object must not interleave their shard puts, or a delayed
+        # repair could overwrite a newer version everywhere (the classic
+        # read-repair/write race).  Serializing per key inside one
+        # coordinator closes it for the deployments we ship; cross-
+        # coordinator safety needs shard-side conditional puts (ROADMAP).
+        self._key_locks = tuple(threading.Lock() for _ in range(64))
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """Redundancy mode for hidden files (``replicate`` or ``ida``)."""
+        return self._mode
+
+    @property
+    def shards(self) -> dict[str, ShardBackend]:
+        """Shard id → backend (a copy; membership changes go through
+        :meth:`attach_shard` / :meth:`detach_shard`)."""
+        with self._ring_lock:
+            return dict(self._shards)
+
+    @property
+    def health(self) -> HealthMonitor:
+        """The failure detector the coordinator routes by."""
+        return self._health
+
+    @property
+    def stats(self) -> ClusterStats:
+        """Cluster-level counters."""
+        return self._stats
+
+    @property
+    def width(self) -> int:
+        """Placement width: replicas or IDA shares per object."""
+        return self._ida_n if self._mode == MODE_IDA else self._replication
+
+    def ring_copy(self) -> HashRing:
+        """Snapshot of the current ring (the rebalancer diffs against it)."""
+        with self._ring_lock:
+            return self._ring.copy()
+
+    # ------------------------------------------------------------------
+    # membership (data migration lives in repro.cluster.rebalance)
+    # ------------------------------------------------------------------
+
+    def attach_shard(self, shard_id: str, backend: ShardBackend) -> None:
+        """Add a shard to the ring — placement changes immediately; use
+        :func:`repro.cluster.rebalance.add_shard` to also migrate data."""
+        with self._ring_lock:
+            if shard_id in self._shards:
+                raise ClusterError(f"shard {shard_id!r} already attached")
+            self._ring.add_node(shard_id)
+            self._shards[shard_id] = backend
+        self._health.register(shard_id)
+
+    def detach_shard(self, shard_id: str) -> ShardBackend:
+        """Remove a shard from the ring; returns its backend (not closed)."""
+        with self._ring_lock:
+            if shard_id not in self._shards:
+                raise ClusterError(f"shard {shard_id!r} is not attached")
+            if len(self._shards) == 1:
+                raise ClusterError("cannot detach the last shard")
+            self._ring.remove_node(shard_id)
+            backend = self._shards.pop(shard_id)
+        self._health.forget(shard_id)
+        return backend
+
+    def placement(self, key: str) -> tuple[str, ...]:
+        """The ordered shard placement for a ring key."""
+        with self._ring_lock:
+            return self._ring.nodes_for(key, self.width)
+
+    # ------------------------------------------------------------------
+    # fan-out plumbing
+    # ------------------------------------------------------------------
+
+    def _guarded(
+        self, shard_id: str, call: Callable[[str, ShardBackend], Any]
+    ) -> _Outcome:
+        with self._ring_lock:
+            backend = self._shards.get(shard_id)
+        if backend is None:
+            return _Outcome(down=True, error=ClusterError(f"shard {shard_id!r} detached"))
+        try:
+            value = call(shard_id, backend)
+        except SHARD_FAILURES as exc:
+            self._health.record_failure(shard_id)
+            self._stats.increment("failovers")
+            return _Outcome(down=True, error=exc)
+        except ReproError as exc:
+            self._health.record_success(shard_id)
+            return _Outcome(error=exc)
+        self._health.record_success(shard_id)
+        return _Outcome(value=value)
+
+    def _fanout(
+        self,
+        shard_ids: Iterable[str],
+        call: Callable[[str, ShardBackend], Any],
+    ) -> dict[str, _Outcome]:
+        """Run ``call`` on every named shard concurrently."""
+        ids = list(shard_ids)
+        if self._closed:
+            raise ClusterError("cluster client has been closed")
+        if len(ids) <= 1:
+            return {sid: self._guarded(sid, call) for sid in ids}
+        futures = {
+            sid: self._executor.submit(self._guarded, sid, call) for sid in ids
+        }
+        return {sid: future.result() for sid, future in futures.items()}
+
+    def _alive(self, placement: tuple[str, ...]) -> list[str]:
+        alive = self._health.alive_of(placement)
+        if not alive:
+            raise ShardUnavailableError(
+                f"no alive shard in placement {placement!r}"
+            )
+        return alive
+
+    # ------------------------------------------------------------------
+    # version clock and tombstones
+    # ------------------------------------------------------------------
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        """The mutation stripe for one ring key (64-way, process-local)."""
+        digest = int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big")
+        return self._key_locks[digest % len(self._key_locks)]
+
+    def _cached_version(self, key: str) -> tuple[int, bool] | None:
+        with self._version_lock:
+            return self._versions.get(key)
+
+    def _observe_version(self, key: str, version: int, exists: bool = True) -> None:
+        with self._version_lock:
+            current = self._versions.get(key)
+            if current is None or version > current[0]:
+                self._versions[key] = (version, exists)
+
+    def _next_version(self, key: str, floor: int) -> int:
+        """The version the next write of ``key`` should carry.
+
+        Deliberately does NOT touch the cache: a write commits its
+        version via :meth:`_observe_version` only after its store
+        reached quorum, so a refused write cannot poison the cache
+        (e.g. a failed create marking the object as existing).
+        """
+        with self._version_lock:
+            current = self._versions.get(key, (0, False))[0]
+            return max(current, floor) + 1
+
+    def _tombstone(self, key: str) -> None:
+        with self._version_lock:
+            current = self._versions.get(key, (0, False))[0]
+            self._versions[key] = (current, False)
+
+    def _version_floor(self, key: str) -> int:
+        """Versions at or below this are deleted (0 = nothing deleted)."""
+        with self._version_lock:
+            version, exists = self._versions.get(key, (0, True))
+            return 0 if exists else version
+
+    def _probe_versions(
+        self,
+        key: str,
+        alive: list[str],
+        probe: Callable[[str, ShardBackend], bytes],
+    ) -> int | None:
+        """Highest stored version among ``alive`` (None: nothing stored)."""
+        self._stats.increment("version_probes")
+        outcomes = self._fanout(alive, probe)
+        best: int | None = None
+        for outcome in outcomes.values():
+            if not outcome.ok:
+                continue
+            try:
+                header = decode_header(outcome.value)
+            except FragmentFormatError:
+                continue
+            if best is None or header.version > best:
+                best = header.version
+        return best
+
+    def _resolve_write_version(
+        self,
+        key: str,
+        alive: list[str],
+        probe: Callable[[str, ShardBackend], bytes],
+    ) -> tuple[int, bool]:
+        """(next version to write, whether the object currently exists)."""
+        cached = self._cached_version(key)
+        if cached is not None:
+            version, exists = cached
+            return self._next_version(key, version), exists
+        observed = self._probe_versions(key, alive, probe)
+        if observed is None:
+            return self._next_version(key, 0), False
+        return self._next_version(key, observed), True
+
+    def _commit_version(self, key: str, version: int) -> None:
+        """Record a quorum-acked write (called after the store succeeds)."""
+        self._observe_version(key, version, exists=True)
+
+    # ------------------------------------------------------------------
+    # fragment store/fetch primitives (shared by ops and the rebalancer)
+    # ------------------------------------------------------------------
+
+    def _store_replicated(
+        self,
+        placement: tuple[str, ...],
+        version: int,
+        data: bytes,
+        put: Callable[[str, ShardBackend, bytes], None],
+    ) -> int:
+        alive = self._alive(placement)
+        envelope = encode_fragment(
+            Fragment(
+                mode=MODE_REPLICATE,
+                version=version,
+                index=0,
+                m=1,
+                n=len(placement),
+                digest=digest_of(data),
+                payload=data,
+            )
+        )
+        outcomes = self._fanout(alive, lambda sid, b: put(sid, b, envelope))
+        acks = sum(1 for outcome in outcomes.values() if outcome.ok)
+        quorum = min(self._write_quorum, len(placement))
+        if acks < quorum:
+            raise ClusterQuorumError(
+                f"write reached {acks} of {len(placement)} replicas "
+                f"(quorum {quorum})"
+            )
+        if acks < len(placement):
+            self._stats.increment("degraded_writes")
+        return acks
+
+    def _store_dispersed(
+        self,
+        placement: tuple[str, ...],
+        version: int,
+        data: bytes,
+        put: Callable[[str, ShardBackend, bytes], None],
+    ) -> int:
+        n_eff = len(placement)
+        if n_eff < self._ida_m:
+            raise ClusterError(
+                f"cannot disperse across {n_eff} shards with m={self._ida_m}"
+            )
+        alive = set(self._alive(placement))
+        digest = digest_of(data)
+        shares = disperse(data, self._ida_m, n_eff)
+        envelopes = {
+            shard_id: encode_fragment(
+                Fragment(
+                    mode=MODE_IDA,
+                    version=version,
+                    index=shares[position].index,
+                    m=self._ida_m,
+                    n=n_eff,
+                    digest=digest,
+                    payload=shares[position].payload,
+                )
+            )
+            for position, shard_id in enumerate(placement)
+            if shard_id in alive
+        }
+        outcomes = self._fanout(
+            envelopes, lambda sid, b: put(sid, b, envelopes[sid])
+        )
+        acks = sum(1 for outcome in outcomes.values() if outcome.ok)
+        quorum = max(self._ida_m, min(self._ida_write_quorum, n_eff))
+        if acks < quorum:
+            raise ClusterQuorumError(
+                f"dispersal reached {acks} of {n_eff} shards (quorum {quorum})"
+            )
+        if acks < n_eff:
+            self._stats.increment("degraded_writes")
+        return acks
+
+    def _classify_empty_read(
+        self,
+        outcomes: dict[str, _Outcome],
+        missing_error: type[ReproError],
+        what: str,
+    ) -> ReproError:
+        downs = [sid for sid, outcome in outcomes.items() if outcome.down]
+        corrupt = [
+            sid
+            for sid, outcome in outcomes.items()
+            if outcome.ok is False and not outcome.down
+            and isinstance(outcome.error, FragmentFormatError)
+        ]
+        if downs:
+            return ShardUnavailableError(
+                f"{what}: no intact copy reachable "
+                f"({len(downs)} placement shard(s) down)"
+            )
+        if corrupt:
+            return FragmentFormatError(f"{what}: every reachable copy corrupt")
+        return missing_error(what)
+
+    def _collect_replicas(
+        self,
+        outcomes: dict[str, _Outcome],
+        candidates: dict[str, Fragment],
+        floor: int,
+    ) -> None:
+        """Decode + verify every successful outcome into ``candidates``."""
+        for shard_id, outcome in outcomes.items():
+            if not outcome.ok or shard_id in candidates:
+                continue
+            try:
+                fragment = decode_fragment(outcome.value)
+            except FragmentFormatError as exc:
+                outcomes[shard_id] = _Outcome(error=exc)
+                continue
+            if fragment.version <= floor:
+                continue
+            if digest_of(fragment.payload) != fragment.digest:
+                outcomes[shard_id] = _Outcome(
+                    error=FragmentFormatError("replica digest mismatch")
+                )
+                continue
+            candidates[shard_id] = fragment
+
+    def _read_replicated(
+        self,
+        placement: tuple[str, ...],
+        floor: int,
+        fetch: Callable[[str, ShardBackend], bytes],
+        missing_error: type[ReproError],
+        what: str,
+        min_version: int = 0,
+    ) -> _ReadVerdict:
+        """Fetch replicas, return the newest intact one.
+
+        ``read_fanout`` bounds how many replicas the first round consults;
+        the read widens to the whole alive placement when the narrow round
+        finds nothing, or finds only versions older than ``min_version``
+        (the coordinator's write clock — a narrow read must never travel
+        back in time past a version this coordinator itself acked).
+        """
+        alive = self._alive(placement)
+        fanout = len(alive) if self._read_fanout is None else self._read_fanout
+        targets = alive[: max(1, fanout)]
+        outcomes = self._fanout(targets, fetch)
+        candidates: dict[str, Fragment] = {}
+        self._collect_replicas(outcomes, candidates, floor)
+        best_seen = max((f.version for f in candidates.values()), default=0)
+        if len(targets) < len(alive) and (not candidates or best_seen < min_version):
+            rest = [sid for sid in alive if sid not in outcomes]
+            more = self._fanout(rest, fetch)
+            outcomes.update(more)
+            self._collect_replicas(outcomes, candidates, floor)
+        if not candidates:
+            raise self._classify_empty_read(outcomes, missing_error, what)
+        winner = max(candidates.values(), key=lambda f: f.version)
+        stale = [
+            shard_id
+            for shard_id in outcomes
+            if candidates.get(shard_id) is None
+            or candidates[shard_id].version < winner.version
+        ]
+        return _ReadVerdict(data=winner.payload, version=winner.version, stale=stale)
+
+    def _read_dispersed(
+        self,
+        placement: tuple[str, ...],
+        floor: int,
+        fetch: Callable[[str, ShardBackend], bytes],
+        missing_error: type[ReproError],
+        what: str,
+    ) -> _ReadVerdict:
+        alive = self._alive(placement)
+        outcomes = self._fanout(alive, fetch)
+        by_version: dict[int, dict[int, Fragment]] = {}
+        holders: dict[str, Fragment] = {}
+        for shard_id, outcome in outcomes.items():
+            if not outcome.ok:
+                continue
+            try:
+                fragment = decode_fragment(outcome.value)
+            except FragmentFormatError as exc:
+                outcomes[shard_id] = _Outcome(error=exc)
+                continue
+            if fragment.version <= floor:
+                continue
+            holders[shard_id] = fragment
+            by_version.setdefault(fragment.version, {})[fragment.index] = fragment
+        for version in sorted(by_version, reverse=True):
+            group = by_version[version]
+            if len(group) < min(f.m for f in group.values()):
+                continue
+            sample = next(iter(group.values()))
+            shares = [Share(f.index, f.payload) for f in group.values()]
+            try:
+                data = reconstruct(shares, sample.m)
+            except CryptoError:
+                continue
+            if digest_of(data) != sample.digest:
+                continue
+            self._stats.increment("reconstructions")
+            stale = [
+                shard_id
+                for shard_id in outcomes
+                if holders.get(shard_id) is None
+                or holders[shard_id].version < version
+            ]
+            return _ReadVerdict(data=data, version=version, stale=stale)
+        if holders:
+            # Shares exist but not enough for any version: distinguish
+            # "shards down" (retryable) from genuine share loss.
+            downs = [sid for sid, outcome in outcomes.items() if outcome.down]
+            if downs:
+                raise ShardUnavailableError(
+                    f"{what}: only {len(holders)} share(s) reachable, "
+                    f"{len(downs)} placement shard(s) down"
+                )
+            raise ClusterError(
+                f"{what}: {len(holders)} share(s) survive, "
+                f"need {min(f.m for f in holders.values())} to reconstruct"
+            )
+        raise self._classify_empty_read(outcomes, missing_error, what)
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+
+    def _repair_replicated(
+        self,
+        placement: tuple[str, ...],
+        verdict: _ReadVerdict,
+        put: Callable[[str, ShardBackend, bytes], None],
+    ) -> None:
+        if not verdict.stale:
+            return
+        envelope = encode_fragment(
+            Fragment(
+                mode=MODE_REPLICATE,
+                version=verdict.version,
+                index=0,
+                m=1,
+                n=len(placement),
+                digest=digest_of(verdict.data),
+                payload=verdict.data,
+            )
+        )
+        outcomes = self._fanout(
+            verdict.stale, lambda sid, b: put(sid, b, envelope)
+        )
+        repaired = sum(1 for outcome in outcomes.values() if outcome.ok)
+        if repaired:
+            self._stats.increment("read_repairs", repaired)
+
+    def _repair_dispersed(
+        self,
+        placement: tuple[str, ...],
+        verdict: _ReadVerdict,
+        put: Callable[[str, ShardBackend, bytes], None],
+    ) -> None:
+        if not verdict.stale:
+            return
+        digest = digest_of(verdict.data)
+        # disperse() is deterministic (fixed Vandermonde rows), so shares
+        # regenerated here are byte-identical to the surviving ones.
+        shares = disperse(verdict.data, self._ida_m, len(placement))
+        position_of = {shard_id: i for i, shard_id in enumerate(placement)}
+        envelopes = {
+            shard_id: encode_fragment(
+                Fragment(
+                    mode=MODE_IDA,
+                    version=verdict.version,
+                    index=shares[position_of[shard_id]].index,
+                    m=self._ida_m,
+                    n=len(placement),
+                    digest=digest,
+                    payload=shares[position_of[shard_id]].payload,
+                )
+            )
+            for shard_id in verdict.stale
+            if shard_id in position_of
+        }
+        outcomes = self._fanout(
+            envelopes, lambda sid, b: put(sid, b, envelopes[sid])
+        )
+        repaired = sum(1 for outcome in outcomes.values() if outcome.ok)
+        if repaired:
+            self._stats.increment("read_repairs", repaired)
+
+    # ------------------------------------------------------------------
+    # plain namespace (always replicated)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _plain_put(path: str) -> Callable[[str, ShardBackend, bytes], None]:
+        return lambda sid, backend, envelope: backend.put(path, envelope)
+
+    def _plain_probe(self, path: str) -> Callable[[str, ShardBackend], bytes]:
+        # Plain files have no extent read; probing fetches the envelope.
+        return lambda sid, backend: backend.read(path)
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a plain file across its placement (W-of-N quorum)."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        with self._key_lock(key):
+            version, exists = self._resolve_write_version(
+                key, alive, self._plain_probe(path)
+            )
+            if exists:
+                raise FileExistsError_(path)
+            self._store_replicated(placement, version, data, self._plain_put(path))
+            self._commit_version(key, version)
+        self._stats.increment("writes")
+
+    def write(self, path: str, data: bytes) -> None:
+        """Replace a plain file's contents (must exist somewhere)."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        with self._key_lock(key):
+            version, exists = self._resolve_write_version(
+                key, alive, self._plain_probe(path)
+            )
+            if not exists:
+                raise FileNotFoundError_(path)
+            self._store_replicated(placement, version, data, self._plain_put(path))
+            self._commit_version(key, version)
+        self._stats.increment("writes")
+
+    def _acked_version(self, key: str) -> int:
+        """The newest version this coordinator acked (0 when unknown)."""
+        cached = self._cached_version(key)
+        return cached[0] if cached and cached[1] else 0
+
+    def read(self, path: str) -> bytes:
+        """Read a plain file: newest intact replica wins, rest repaired."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        verdict = self._read_replicated(
+            placement,
+            self._version_floor(key),
+            lambda sid, backend: backend.read(path),
+            FileNotFoundError_,
+            path,
+            min_version=self._acked_version(key),
+        )
+        self._observe_version(key, verdict.version)
+        if verdict.stale:
+            with self._key_lock(key):
+                if verdict.version >= self._acked_version(key):
+                    self._repair_replicated(placement, verdict, self._plain_put(path))
+        self._stats.increment("reads")
+        return verdict.data
+
+    def unlink(self, path: str) -> None:
+        """Delete a plain file from every reachable replica."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        self._key_lock(key).acquire()
+        try:
+            outcomes = self._fanout(
+                alive, lambda sid, backend: backend.unlink(path)
+            )
+            removed = sum(1 for outcome in outcomes.values() if outcome.ok)
+            missing = sum(
+                1
+                for outcome in outcomes.values()
+                if isinstance(outcome.error, FileNotFoundError_)
+            )
+            if removed == 0 and missing == len(outcomes):
+                raise FileNotFoundError_(path)
+            if removed == 0 and missing == 0:
+                raise self._classify_empty_read(outcomes, FileNotFoundError_, path)
+            self._tombstone(key)
+        finally:
+            self._key_lock(key).release()
+        self._stats.increment("deletes")
+
+    def exists(self, path: str) -> bool:
+        """Whether any reachable replica holds a live version of ``path``."""
+        try:
+            self.read(path)
+        except (FileNotFoundError_, FragmentFormatError):
+            return False
+        return True
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Union of the path's listing across every alive shard."""
+        alive = self._health.alive_of(tuple(self.shards))
+        if not alive:
+            raise ShardUnavailableError("no alive shard to list")
+        outcomes = self._fanout(
+            alive, lambda sid, backend: backend.listdir(path)
+        )
+        names: set[str] = set()
+        for outcome in outcomes.values():
+            if outcome.ok:
+                names.update(outcome.value)
+        # Tombstoned names stay hidden even while stale shards hold them.
+        return sorted(
+            name
+            for name in names
+            if self._version_floor(plain_key(f"{path}/{name}")) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # hidden namespace (mode-dependent redundancy)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hidden_put(
+        objname: str, uak: bytes
+    ) -> Callable[[str, ShardBackend, bytes], None]:
+        return lambda sid, backend, envelope: backend.steg_put(
+            objname, uak, envelope
+        )
+
+    @staticmethod
+    def _hidden_probe(
+        objname: str, uak: bytes
+    ) -> Callable[[str, ShardBackend], bytes]:
+        return lambda sid, backend: backend.steg_read_extent(
+            objname, uak, 0, HEADER_LEN
+        )
+
+    def _store_hidden(
+        self,
+        objname: str,
+        uak: bytes,
+        placement: tuple[str, ...],
+        version: int,
+        data: bytes,
+    ) -> None:
+        put = self._hidden_put(objname, uak)
+        if self._mode == MODE_IDA:
+            self._store_dispersed(placement, version, data, put)
+        else:
+            self._store_replicated(placement, version, data, put)
+
+    def steg_create(
+        self, objname: str, uak: bytes, data: bytes = b"", objtype: str = "f"
+    ) -> None:
+        """Create a hidden file, replicated or dispersed per the mode."""
+        if objtype != "f":
+            raise ClusterError(
+                "the cluster namespace is flat: hidden directories are "
+                "a per-shard concept"
+            )
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        with self._key_lock(key):
+            version, exists = self._resolve_write_version(
+                key, alive, self._hidden_probe(objname, uak)
+            )
+            if exists:
+                raise HiddenObjectExistsError(objname)
+            self._store_hidden(objname, uak, placement, version, data)
+            self._commit_version(key, version)
+        self._stats.increment("writes")
+
+    def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
+        """Replace a hidden file's contents."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        with self._key_lock(key):
+            version, exists = self._resolve_write_version(
+                key, alive, self._hidden_probe(objname, uak)
+            )
+            if not exists:
+                raise HiddenObjectNotFoundError(objname)
+            self._store_hidden(objname, uak, placement, version, data)
+            self._commit_version(key, version)
+        self._stats.increment("writes")
+
+    def steg_read(self, objname: str, uak: bytes) -> bytes:
+        """Read a hidden file: quorum replicas or any-m-of-n shares."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        floor = self._version_floor(key)
+        fetch = lambda sid, backend: backend.steg_read(objname, uak)  # noqa: E731
+        put = self._hidden_put(objname, uak)
+        if self._mode == MODE_IDA:
+            verdict = self._read_dispersed(
+                placement, floor, fetch, HiddenObjectNotFoundError, objname
+            )
+        else:
+            verdict = self._read_replicated(
+                placement,
+                floor,
+                fetch,
+                HiddenObjectNotFoundError,
+                objname,
+                min_version=self._acked_version(key),
+            )
+        if verdict.stale:
+            with self._key_lock(key):
+                # Re-check under the lock: a writer may have advanced the
+                # object past this read's winner, making the repair stale.
+                if verdict.version >= self._acked_version(key):
+                    if self._mode == MODE_IDA:
+                        self._repair_dispersed(placement, verdict, put)
+                    else:
+                        self._repair_replicated(placement, verdict, put)
+        self._observe_version(key, verdict.version)
+        self._stats.increment("reads")
+        return verdict.data
+
+    def steg_delete(self, objname: str, uak: bytes) -> None:
+        """Delete a hidden object from every reachable placement shard."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        with self._key_lock(key):
+            outcomes = self._fanout(
+                alive, lambda sid, backend: backend.steg_delete(objname, uak)
+            )
+            removed = sum(1 for outcome in outcomes.values() if outcome.ok)
+            missing = sum(
+                1
+                for outcome in outcomes.values()
+                if isinstance(outcome.error, HiddenObjectNotFoundError)
+            )
+            if removed == 0 and missing == len(outcomes):
+                raise HiddenObjectNotFoundError(objname)
+            if removed == 0 and missing == 0:
+                raise self._classify_empty_read(
+                    outcomes, HiddenObjectNotFoundError, objname
+                )
+            self._tombstone(key)
+        self._stats.increment("deletes")
+
+    def steg_list(self, uak: bytes) -> list[str]:
+        """Union of hidden names for ``uak`` across every alive shard."""
+        alive = self._health.alive_of(tuple(self.shards))
+        if not alive:
+            raise ShardUnavailableError("no alive shard to list")
+        outcomes = self._fanout(
+            alive, lambda sid, backend: backend.steg_list(uak)
+        )
+        names: set[str] = set()
+        for outcome in outcomes.values():
+            if outcome.ok:
+                names.update(outcome.value)
+        # Tombstoned names stay hidden even while stale shards hold them.
+        return sorted(
+            name for name in names if self._version_floor(hidden_key(name, uak)) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # rebalancer primitives (placement-explicit store/fetch/purge)
+    # ------------------------------------------------------------------
+
+    def fetch_plain(self, path: str) -> tuple[bytes, int]:
+        """(data, version) of a plain file — no repair, current ring."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        verdict = self._read_replicated(
+            placement,
+            self._version_floor(key),
+            lambda sid, backend: backend.read(path),
+            FileNotFoundError_,
+            path,
+        )
+        return verdict.data, verdict.version
+
+    def fetch_hidden(self, objname: str, uak: bytes) -> tuple[bytes, int]:
+        """(data, version) of a hidden file — no repair, current ring."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        floor = self._version_floor(key)
+        fetch = lambda sid, backend: backend.steg_read(objname, uak)  # noqa: E731
+        if self._mode == MODE_IDA:
+            verdict = self._read_dispersed(
+                placement, floor, fetch, HiddenObjectNotFoundError, objname
+            )
+        else:
+            verdict = self._read_replicated(
+                placement, floor, fetch, HiddenObjectNotFoundError, objname
+            )
+        return verdict.data, verdict.version
+
+    def store_plain_at(
+        self, path: str, data: bytes, placement: tuple[str, ...], version: int
+    ) -> None:
+        """Write a plain file's fragments at an explicit placement."""
+        with self._key_lock(plain_key(path)):
+            self._store_replicated(placement, version, data, self._plain_put(path))
+            self._observe_version(plain_key(path), version)
+
+    def store_hidden_at(
+        self,
+        objname: str,
+        uak: bytes,
+        data: bytes,
+        placement: tuple[str, ...],
+        version: int,
+    ) -> None:
+        """Write a hidden file's fragments at an explicit placement."""
+        with self._key_lock(hidden_key(objname, uak)):
+            self._store_hidden(objname, uak, placement, version, data)
+            self._observe_version(hidden_key(objname, uak), version)
+
+    def purge_plain(self, path: str, shard_ids: Iterable[str]) -> int:
+        """Best-effort fragment removal from shards leaving a placement."""
+        outcomes = self._fanout(
+            self._health.alive_of(list(shard_ids)),
+            lambda sid, backend: backend.unlink(path),
+        )
+        return sum(1 for outcome in outcomes.values() if outcome.ok)
+
+    def purge_hidden(
+        self, objname: str, uak: bytes, shard_ids: Iterable[str]
+    ) -> int:
+        """Best-effort hidden-fragment removal from departing shards."""
+        outcomes = self._fanout(
+            self._health.alive_of(list(shard_ids)),
+            lambda sid, backend: backend.steg_delete(objname, uak),
+        )
+        return sum(1 for outcome in outcomes.values() if outcome.ok)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def probe_dead_shards(self) -> dict[str, bool]:
+        """Ping every dead shard once; revived ones rejoin routing."""
+        return self._health.probe_all(self.shards)
+
+    def flush(self) -> None:
+        """Flush every alive shard volume."""
+        alive = self._health.alive_of(tuple(self.shards))
+        self._fanout(alive, lambda sid, backend: backend.flush())
+
+    def close(self) -> None:
+        """Stop probing, drain the fan-out pool, optionally close backends."""
+        if self._closed:
+            return
+        self._closed = True
+        self._health.stop()
+        self._executor.shutdown(wait=True)
+        if self._owns_backends:
+            for backend in self.shards.values():
+                try:
+                    backend.close()
+                except Exception:
+                    pass
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,274 @@
+"""Shard membership changes: migrate only ring-affected objects, verified.
+
+Consistent hashing promises that adding or removing one shard reassigns
+roughly ``objects / n_shards`` keys.  This module cashes that promise in:
+
+1. enumerate the namespace and compute every object's placement on the
+   **old** ring and on the **candidate** ring (old ± the shard);
+2. for the affected keys only, read the object while the old ring is
+   still live — through the survivors when the departing shard is dead
+   (quorum or IDA reconstruction is also how a dead shard is drained);
+3. apply the membership change
+   (:meth:`~repro.cluster.coordinator.ClusterClient.attach_shard` /
+   ``detach_shard``) and rewrite each affected object at its new
+   placement at a fresh version, purging fragments from shards that left
+   its placement;
+4. read every migrated object back through the new ring and verify it
+   byte-identical — a mismatch raises
+   :class:`~repro.errors.RebalanceError` naming the object.
+
+Hidden objects cannot be enumerated without their keys (that is the
+point of a steganographic store), so callers pass the UAKs whose
+namespaces should move; plain files are discovered from the union
+directory listing.
+
+:func:`replace_shard` composes the pieces for the failure story: detach
+a dead shard, attach its replacement, then :func:`repair` every object
+so full redundancy is restored for the *next* failure too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.backend import ShardBackend
+from repro.cluster.coordinator import ClusterClient, hidden_key, plain_key
+from repro.cluster.ring import HashRing
+from repro.errors import RebalanceError, ReproError
+
+__all__ = [
+    "RebalanceReport",
+    "add_shard",
+    "enumerate_objects",
+    "remove_shard",
+    "repair",
+    "replace_shard",
+]
+
+
+@dataclass
+class RebalanceReport:
+    """What one membership change or repair actually did."""
+
+    examined: int = 0
+    moved: int = 0
+    purged_fragments: int = 0
+    bytes_moved: int = 0
+    verified: int = 0
+    #: Objects that could not be read from the old placement (e.g. lost
+    #: beyond redundancy); they are reported, not silently dropped.
+    failed: list[str] = field(default_factory=list)
+
+    def merge(self, other: "RebalanceReport") -> "RebalanceReport":
+        """Fold another report into this one (returns self)."""
+        self.examined += other.examined
+        self.moved += other.moved
+        self.purged_fragments += other.purged_fragments
+        self.bytes_moved += other.bytes_moved
+        self.verified += other.verified
+        self.failed.extend(other.failed)
+        return self
+
+
+def enumerate_objects(
+    cluster: ClusterClient, uaks: tuple[bytes, ...] = ()
+) -> tuple[list[str], list[tuple[str, bytes]]]:
+    """Every (plain path, hidden (name, uak)) object the cluster can see.
+
+    Plain paths come from the union listing; hidden names require the
+    callers' UAKs — fragments under keys not supplied simply stay where
+    they are (they are invisible, exactly as the paper intends).
+    """
+    plain = [f"/{name}" for name in cluster.listdir("/")]
+    hidden: list[tuple[str, bytes]] = []
+    for uak in uaks:
+        for name in cluster.steg_list(uak):
+            hidden.append((name, uak))
+    return plain, hidden
+
+
+@dataclass
+class _Move:
+    """One object staged for migration: its bytes and both placements."""
+
+    kind: str  # "plain" | "hidden"
+    name: str
+    uak: bytes | None
+    data: bytes
+    version: int
+    old_placement: tuple[str, ...]
+    new_placement: tuple[str, ...]
+
+
+def _plan(
+    cluster: ClusterClient,
+    new_ring: HashRing,
+    uaks: tuple[bytes, ...],
+    report: RebalanceReport,
+) -> list[_Move]:
+    """Diff placements and pre-read every affected object (old ring live)."""
+    old_ring = cluster.ring_copy()
+    width = cluster.width
+    plain, hidden = enumerate_objects(cluster, uaks)
+    moves: list[_Move] = []
+    for path in plain:
+        report.examined += 1
+        key = plain_key(path)
+        old_placement = old_ring.nodes_for(key, width)
+        new_placement = new_ring.nodes_for(key, width)
+        if old_placement == new_placement:
+            continue
+        try:
+            data, version = cluster.fetch_plain(path)
+        except ReproError as exc:
+            report.failed.append(f"{path}: {exc}")
+            continue
+        moves.append(
+            _Move("plain", path, None, data, version, old_placement, new_placement)
+        )
+    for objname, uak in hidden:
+        report.examined += 1
+        key = hidden_key(objname, uak)
+        old_placement = old_ring.nodes_for(key, width)
+        new_placement = new_ring.nodes_for(key, width)
+        if old_placement == new_placement:
+            continue
+        try:
+            data, version = cluster.fetch_hidden(objname, uak)
+        except ReproError as exc:
+            report.failed.append(f"{objname}: {exc}")
+            continue
+        moves.append(
+            _Move("hidden", objname, uak, data, version, old_placement, new_placement)
+        )
+    return moves
+
+
+def _apply(cluster: ClusterClient, moves: list[_Move], report: RebalanceReport) -> None:
+    """Rewrite staged objects at their new placements; purge; verify."""
+    for move in moves:
+        leavers = [s for s in move.old_placement if s not in move.new_placement]
+        if move.kind == "plain":
+            cluster.store_plain_at(
+                move.name, move.data, move.new_placement, move.version + 1
+            )
+            report.purged_fragments += cluster.purge_plain(move.name, leavers)
+            reread = cluster.read(move.name)
+        else:
+            cluster.store_hidden_at(
+                move.name, move.uak, move.data, move.new_placement, move.version + 1
+            )
+            report.purged_fragments += cluster.purge_hidden(
+                move.name, move.uak, leavers
+            )
+            reread = cluster.steg_read(move.name, move.uak)
+        report.moved += 1
+        report.bytes_moved += len(move.data)
+        if reread != move.data:
+            raise RebalanceError(
+                f"post-migration mismatch for {move.kind} object {move.name!r}"
+            )
+        report.verified += 1
+
+
+def add_shard(
+    cluster: ClusterClient,
+    shard_id: str,
+    backend: ShardBackend,
+    uaks: tuple[bytes, ...] = (),
+) -> RebalanceReport:
+    """Attach a shard and migrate the ring-affected objects onto it."""
+    report = RebalanceReport()
+    candidate = cluster.ring_copy()
+    candidate.add_node(shard_id)
+    moves = _plan(cluster, candidate, uaks, report)
+    cluster.attach_shard(shard_id, backend)
+    _apply(cluster, moves, report)
+    return report
+
+
+def remove_shard(
+    cluster: ClusterClient, shard_id: str, uaks: tuple[bytes, ...] = ()
+) -> tuple[RebalanceReport, ShardBackend]:
+    """Drain a shard (alive *or* dead) and detach it.
+
+    Affected objects are read **before** the ring changes — routing
+    around the departing shard if it is dead (failover), preferring
+    surviving replicas otherwise — then rewritten at their new
+    placements.  Returns the report and the detached backend (the caller
+    owns closing it).
+    """
+    report = RebalanceReport()
+    candidate = cluster.ring_copy()
+    candidate.remove_node(shard_id)
+    moves = _plan(cluster, candidate, uaks, report)
+    backend = cluster.detach_shard(shard_id)
+    _apply(cluster, moves, report)
+    return report, backend
+
+
+def repair(cluster: ClusterClient, uaks: tuple[bytes, ...] = ()) -> RebalanceReport:
+    """Rewrite every object at its current placement at full redundancy.
+
+    The read side tolerates missing fragments (quorum / m-of-n); the
+    rewrite restores every replica and share — exactly what a replacement
+    shard needs after :func:`replace_shard`, and what a revived shard
+    needs after an outage longer than read-repair traffic would heal.
+    """
+    report = RebalanceReport()
+    plain, hidden = enumerate_objects(cluster, uaks)
+    for path in plain:
+        report.examined += 1
+        try:
+            data, version = cluster.fetch_plain(path)
+        except ReproError as exc:
+            report.failed.append(f"{path}: {exc}")
+            continue
+        cluster.store_plain_at(
+            path, data, cluster.placement(plain_key(path)), version + 1
+        )
+        report.moved += 1
+        report.bytes_moved += len(data)
+        if cluster.read(path) != data:
+            raise RebalanceError(f"post-repair mismatch for plain {path!r}")
+        report.verified += 1
+    for objname, uak in hidden:
+        report.examined += 1
+        try:
+            data, version = cluster.fetch_hidden(objname, uak)
+        except ReproError as exc:
+            report.failed.append(f"{objname}: {exc}")
+            continue
+        cluster.store_hidden_at(
+            objname, uak, data, cluster.placement(hidden_key(objname, uak)), version + 1
+        )
+        report.moved += 1
+        report.bytes_moved += len(data)
+        if cluster.steg_read(objname, uak) != data:
+            raise RebalanceError(f"post-repair mismatch for hidden {objname!r}")
+        report.verified += 1
+    return report
+
+
+def replace_shard(
+    cluster: ClusterClient,
+    dead_id: str,
+    new_id: str,
+    backend: ShardBackend,
+    uaks: tuple[bytes, ...] = (),
+) -> RebalanceReport:
+    """Swap a failed shard for a fresh one and restore full redundancy.
+
+    The failure story end-to-end: the dead shard leaves the ring (its
+    fragments are unreachable anyway), the replacement joins, ring-affected
+    objects migrate, and a full :func:`repair` pass rebuilds every replica
+    and share so the cluster tolerates the *next* failure too.
+    """
+    report, dead_backend = remove_shard(cluster, dead_id, uaks)
+    try:
+        dead_backend.close()
+    except Exception:
+        pass  # it is dead; closing is best-effort
+    report.merge(add_shard(cluster, new_id, backend, uaks))
+    report.merge(repair(cluster, uaks))
+    return report

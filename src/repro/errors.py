@@ -197,6 +197,31 @@ class RemoteError(NetworkError):
 
 
 # ---------------------------------------------------------------------------
+# cluster layer
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Base class for multi-volume cluster-coordination failures."""
+
+
+class ShardUnavailableError(ClusterError):
+    """No shard in an object's placement could serve the request."""
+
+
+class ClusterQuorumError(ClusterError):
+    """A mutation reached fewer shards than its write quorum requires."""
+
+
+class FragmentFormatError(ClusterError):
+    """A stored fragment envelope was malformed or failed its digest."""
+
+
+class RebalanceError(ClusterError):
+    """A shard add/remove/replace migration failed verification."""
+
+
+# ---------------------------------------------------------------------------
 # baselines
 # ---------------------------------------------------------------------------
 

@@ -28,7 +28,7 @@ import asyncio
 import queue
 import socket
 import threading
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from contextlib import contextmanager
 
@@ -69,12 +69,19 @@ class _PooledConnection:
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.next_id = 1
+        #: Successful exchanges completed on this socket.  A connection
+        #: with ``completed > 0`` that suddenly errors most likely died
+        #: while idle in the pool (server restart, idle timeout) — the
+        #: staleness signal the client's retry-once policy keys on.
+        self.completed = 0
 
     def call(self, op: str, args: tuple[Any, ...], max_frame: int) -> Any:
         request_id = self.next_id
         self.next_id += 1
         send_frame(self.sock, Request(request_id=request_id, op=op, args=args), max_frame)
-        return _check_response(recv_frame(self.sock, max_frame), request_id)
+        value = _check_response(recv_frame(self.sock, max_frame), request_id)
+        self.completed += 1
+        return value
 
     def close(self) -> None:
         try:
@@ -161,9 +168,39 @@ class StegFSClient:
         else:
             self._idle.put(conn)
 
+    def _exchange(self, fn: "Callable[[_PooledConnection], Any]") -> Any:
+        """Run ``fn`` on a pooled connection, retrying once on staleness.
+
+        A socket that dies while idle in the LIFO pool (server restart,
+        NAT timeout) only reveals itself on the next use.  When a
+        *previously successful* connection raises a transport error, the
+        broken socket has already been evicted by :meth:`_connection`, so
+        one retry lands on a fresh connection.  A brand-new connection's
+        failure is not retried — the server really is unreachable — and
+        :class:`~repro.errors.ProtocolError` is never retried (a
+        desynchronized stream is a bug, not staleness).
+
+        The retry makes delivery at-least-once: if the old socket died
+        *after* the server processed the request but before the reply
+        arrived, the operation runs twice.  Reads, full-state writes and
+        deletes are idempotent; a duplicated ``create`` surfaces as the
+        same typed Exists error a real conflict would raise — callers
+        that must upsert (the cluster's shard backends) catch it and
+        fall back to a write.
+        """
+        for attempt in (0, 1):
+            reused = False
+            try:
+                with self._connection() as conn:
+                    reused = conn.completed > 0
+                    return fn(conn)
+            except (ConnectionClosedError, OSError):
+                if attempt == 0 and reused and not self._closed:
+                    continue
+                raise
+
     def _call(self, op: str, *args: Any) -> Any:
-        with self._connection() as conn:
-            return conn.call(op, args, self._max_frame)
+        return self._exchange(lambda conn: conn.call(op, args, self._max_frame))
 
     def _require_token(self) -> bytes:
         if self._token is None:
@@ -182,13 +219,16 @@ class StegFSClient:
         """HMAC challenge–response handshake; stores only the token.
 
         Both legs run on one pooled connection (challenges are scoped to
-        the connection that issued them).
+        the connection that issued them); a stale pooled socket is
+        retried once on a fresh connection like any other exchange.
         """
-        with self._connection() as conn:
+
+        def handshake(conn: _PooledConnection) -> bytes:
             nonce = conn.call("hello", (user_id,), self._max_frame)
             proof = auth_proof(uak, nonce, user_id)
-            token = conn.call("authenticate", (user_id, proof), self._max_frame)
-        self._token = token
+            return conn.call("authenticate", (user_id, proof), self._max_frame)
+
+        self._token = self._exchange(handshake)
 
     def logout(self) -> None:
         """Close the remote session and forget the token."""

@@ -233,6 +233,12 @@ class StegFSServer:
             await self._send(conn, exception_to_frame(0, exc))
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Abrupt shutdown with this connection mid-read: exit cleanly
+            # so asyncio's stream callback finds a result instead of
+            # logging a spurious unretrieved-exception traceback — server
+            # kills with live clients are routine under cluster failover.
+            pass
         finally:
             if conn.tasks:
                 await asyncio.gather(*conn.tasks, return_exceptions=True)

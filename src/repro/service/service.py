@@ -116,7 +116,21 @@ class StatsSnapshot(dict):
 
 
 class ServiceStats:
-    """Thread-safe per-operation counters with latency percentiles."""
+    """Thread-safe per-operation counters with latency percentiles.
+
+    **Locking invariant** — every piece of mutable state (the four
+    counter dicts, each per-op reservoir list, and the shared
+    replacement RNG) is touched *only* while holding ``self._lock``;
+    :meth:`record` performs its read-slot-then-replace sequence inside
+    one critical section, so the Vitter algorithm-R bookkeeping
+    (``seen``/slot draw/replacement) can never interleave between
+    threads.  This matters beyond the service's own worker pool: the
+    cluster coordinator fans one logical operation out to many shard
+    services from *its* thread pool, so ``record`` races are the common
+    case, not the exception (see ``tests/service/test_stats_concurrency``
+    for the stress proof).  Keep any future fast-path sampling inside
+    the lock, or give each op its own lock — never sample lock-free.
+    """
 
     def __init__(self, reservoir_size: int = RESERVOIR_SIZE) -> None:
         #: Callable returning the journal metrics to embed in snapshots
@@ -129,7 +143,9 @@ class ServiceStats:
         self._samples: dict[str, list[float]] = {}
         self._reservoir_size = reservoir_size
         # Deterministic reservoir replacement: percentiles are repeatable
-        # for a given call sequence, which the benches rely on.
+        # for a given call sequence, which the benches rely on.  Shared
+        # across ops, so draws happen under the lock (random.Random is
+        # not itself thread-safe for reproducibility purposes).
         self._rng = random.Random(0x5E5)
 
     def record(self, op: str, elapsed_s: float, failed: bool) -> None:

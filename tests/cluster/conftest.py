@@ -1,0 +1,108 @@
+"""Fixtures for the cluster tier: in-process shard farms, killable shards."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.backend import ServiceShard
+from repro.cluster.coordinator import ClusterClient
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+
+UAK = b"C" * 32
+
+
+def make_shard_service(seed: int, total_blocks: int = 4096) -> StegFSService:
+    """One independent StegFS volume wrapped in a service."""
+    steg = StegFS.mkfs(
+        RamDevice(block_size=512, total_blocks=total_blocks),
+        params=StegFSParams.for_tests(),
+        inode_count=128,
+        rng=random.Random(seed),
+        auto_flush=False,
+    )
+    return StegFSService(steg, max_workers=4)
+
+
+class KillableShard:
+    """A ServiceShard proxy whose transport can be cut (and restored).
+
+    ``kill()`` makes every call raise ``ConnectionError`` — the volume's
+    data stays intact, exactly like a crashed-but-recoverable server —
+    and ``revive()`` reconnects it.  ``fail_puts`` instead makes only the
+    upsert paths raise ``NoSpaceError`` while the shard stays alive and
+    readable (a full disk, not a dead machine).
+    """
+
+    def __init__(self, inner: ServiceShard) -> None:
+        self._inner = inner
+        self.killed = False
+        self.fail_puts = False
+
+    def kill(self) -> None:
+        self.killed = True
+
+    def revive(self) -> None:
+        self.killed = False
+
+    @property
+    def service(self):
+        return self._inner.service
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __getattr__(self, name: str):
+        method = getattr(self._inner, name)
+
+        def guarded(*args, **kwargs):
+            if self.killed:
+                raise ConnectionError("shard transport cut by test")
+            if self.fail_puts and name in ("put", "steg_put"):
+                from repro.errors import NoSpaceError
+
+                raise NoSpaceError("shard volume full (injected)")
+            return method(*args, **kwargs)
+
+        return guarded
+
+
+@pytest.fixture
+def shard_farm():
+    """Factory: build n killable in-process shards; closed on teardown."""
+    services: list[StegFSService] = []
+
+    def build(n: int, seed: int = 7) -> dict[str, KillableShard]:
+        shards: dict[str, KillableShard] = {}
+        for i in range(n):
+            service = make_shard_service(seed + i)
+            services.append(service)
+            shards[f"shard-{i}"] = KillableShard(
+                ServiceShard(service, owns_service=True)
+            )
+        return shards
+
+    yield build
+    for service in services:
+        if not service.closed:
+            service.close()
+
+
+@pytest.fixture
+def make_cluster(shard_farm):
+    """Factory: a ClusterClient over n fresh killable shards."""
+    clusters: list[ClusterClient] = []
+
+    def build(n: int = 4, **kwargs) -> ClusterClient:
+        shards = shard_farm(n, seed=kwargs.pop("seed", 7))
+        cluster = ClusterClient(shards, **kwargs)
+        clusters.append(cluster)
+        return cluster
+
+    yield build
+    for cluster in clusters:
+        cluster.close()

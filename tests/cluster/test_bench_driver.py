@@ -1,0 +1,39 @@
+"""The cluster bench driver runs end-to-end at miniature scale."""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import cluster_throughput
+from repro.bench.cluster_throughput import ClusterThroughputConfig
+
+
+def _mini_config() -> ClusterThroughputConfig:
+    return ClusterThroughputConfig(
+        shard_counts=(1, 2),
+        n_clients=2,
+        ops_per_client=3,
+        n_files=4,
+        file_size=512,
+        payload_size=512,
+        blocks_per_shard=1024,
+        time_scale=0.0,  # price nothing: this test checks plumbing, not claims
+    )
+
+
+def test_driver_miniature(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+    result = cluster_throughput.run(config=_mini_config())
+    assert result.shard_counts == [1, 2]
+    assert len(result.ops_per_sec) == 2
+    assert all(v > 0 for v in result.ops_per_sec)
+    assert not any(result.errors), result.errors
+    text = cluster_throughput.render(result)
+    assert "Cluster throughput" in text
+    assert os.path.exists(tmp_path / "cluster_throughput.txt")
+
+
+def test_smoke_config_covers_the_acceptance_sweep():
+    smoke = ClusterThroughputConfig.smoke()
+    assert 1 in smoke.shard_counts and 4 in smoke.shard_counts
+    assert smoke.replication == 2

@@ -1,0 +1,209 @@
+"""Rebalance: add/remove/replace shards, minimal migration, verified bytes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import rebalance
+from repro.cluster.coordinator import hidden_key
+from repro.cluster.fragment import decode_fragment
+from repro.errors import ClusterError
+
+from repro.crypto.ida import Share, reconstruct
+
+UAK = b"C" * 32
+
+
+def _populate(cluster, n_plain: int = 6, n_hidden: int = 8) -> dict:
+    contents = {}
+    for i in range(n_plain):
+        path = f"/plain-{i}"
+        data = f"plain contents {i}".encode() * 10
+        cluster.create(path, data)
+        contents[("plain", path)] = data
+    for i in range(n_hidden):
+        name = f"hidden-{i}"
+        data = f"hidden contents {i}".encode() * 10
+        cluster.steg_create(name, UAK, data=data)
+        contents[("hidden", name)] = data
+    return contents
+
+
+def _fresh_shard(shard_farm):
+    return next(iter(shard_farm(1, seed=1009).values()))
+
+
+class TestAddShard:
+    def test_add_migrates_only_affected_objects(self, make_cluster, shard_farm):
+        cluster = make_cluster(3, replication=2)
+        contents = _populate(cluster)
+        backend = _fresh_shard(shard_farm)
+        report = rebalance.add_shard(cluster, "shard-new", backend, uaks=(UAK,))
+        assert report.examined == len(contents)
+        assert 0 < report.moved < report.examined, report
+        assert report.verified == report.moved
+        assert not report.failed
+        # The new shard holds fragments for exactly the objects whose new
+        # placement includes it — nothing else was copied onto it.
+        for (kind, name), _ in contents.items():
+            key = (
+                hidden_key(name, UAK)
+                if kind == "hidden"
+                else f"p:{name.lstrip('/')}"
+            )
+            on_new = "shard-new" in cluster.placement(key)
+            if kind == "plain":
+                assert backend.exists(name) == on_new, name
+            else:
+                assert (name in backend.steg_list(UAK)) == on_new, name
+
+    def test_contents_byte_identical_after_add(self, make_cluster, shard_farm):
+        cluster = make_cluster(3, replication=2)
+        contents = _populate(cluster)
+        rebalance.add_shard(cluster, "shard-new", _fresh_shard(shard_farm), uaks=(UAK,))
+        for (kind, name), expected in contents.items():
+            if kind == "plain":
+                assert cluster.read(name) == expected
+            else:
+                assert cluster.steg_read(name, UAK) == expected
+
+    def test_new_shard_actually_holds_fragments(self, make_cluster, shard_farm):
+        cluster = make_cluster(3, replication=2)
+        _populate(cluster)
+        backend = _fresh_shard(shard_farm)
+        report = rebalance.add_shard(cluster, "shard-new", backend, uaks=(UAK,))
+        assert report.moved > 0
+        migrated_hidden = backend.steg_list(UAK)
+        migrated_plain = backend.listdir("/")
+        assert migrated_hidden or migrated_plain
+
+    def test_departed_placements_are_purged(self, make_cluster, shard_farm):
+        cluster = make_cluster(3, replication=2)
+        _populate(cluster)
+        report = rebalance.add_shard(
+            cluster, "shard-new", _fresh_shard(shard_farm), uaks=(UAK,)
+        )
+        assert report.purged_fragments > 0
+
+
+class TestRemoveShard:
+    def test_remove_live_shard_drains_it(self, make_cluster):
+        cluster = make_cluster(4, replication=2)
+        contents = _populate(cluster)
+        report, backend = rebalance.remove_shard(cluster, "shard-3", uaks=(UAK,))
+        assert "shard-3" not in cluster.shards
+        assert report.verified == report.moved
+        assert not report.failed
+        for (kind, name), expected in contents.items():
+            if kind == "plain":
+                assert cluster.read(name) == expected
+            else:
+                assert cluster.steg_read(name, UAK) == expected
+        backend.close()
+
+    def test_cannot_remove_last_shard(self, make_cluster):
+        cluster = make_cluster(1, replication=1, write_quorum=1)
+        with pytest.raises(ClusterError):
+            cluster.detach_shard("shard-0")
+
+
+class TestReplaceDeadShard:
+    def test_replace_restores_full_redundancy_replicated(
+        self, make_cluster, shard_farm
+    ):
+        """The acceptance path: kill → rebalance onto a replacement →
+        every object back at full replication, byte-identical."""
+        cluster = make_cluster(4, replication=3, write_quorum=2)
+        contents = _populate(cluster)
+        cluster.shards["shard-2"].kill()
+        # Mid-outage traffic still works.
+        cluster.steg_write("hidden-0", UAK, b"updated mid-outage")
+        contents[("hidden", "hidden-0")] = b"updated mid-outage"
+
+        replacement = _fresh_shard(shard_farm)
+        report = rebalance.replace_shard(
+            cluster, "shard-2", "shard-R", replacement, uaks=(UAK,)
+        )
+        assert not report.failed
+        assert report.verified == report.moved
+        # Byte-identical through the new ring.
+        for (kind, name), expected in contents.items():
+            if kind == "plain":
+                assert cluster.read(name) == expected
+            else:
+                assert cluster.steg_read(name, UAK) == expected
+        # Full redundancy: every placement shard holds an intact current
+        # fragment (no shard in any placement is missing its replica).
+        for (kind, name), expected in contents.items():
+            if kind == "plain":
+                key = f"p:{name.lstrip('/')}"
+                for sid in cluster.placement(key):
+                    fragment = decode_fragment(cluster.shards[sid].read(name))
+                    assert fragment.payload == expected
+            else:
+                key = hidden_key(name, UAK)
+                for sid in cluster.placement(key):
+                    fragment = decode_fragment(
+                        cluster.shards[sid].steg_read(name, UAK)
+                    )
+                    assert fragment.payload == expected
+
+    def test_replace_restores_full_redundancy_ida(self, make_cluster, shard_farm):
+        cluster = make_cluster(4, mode="ida", ida_m=2, ida_n=4)
+        payloads = {}
+        for i in range(6):
+            name = f"shared-{i}"
+            data = f"dispersed {i}".encode() * 20
+            cluster.steg_create(name, UAK, data=data)
+            payloads[name] = data
+        cluster.shards["shard-1"].kill()
+        replacement = _fresh_shard(shard_farm)
+        report = rebalance.replace_shard(
+            cluster, "shard-1", "shard-R", replacement, uaks=(UAK,)
+        )
+        assert not report.failed
+        for name, expected in payloads.items():
+            assert cluster.steg_read(name, UAK) == expected
+            # Every placement shard holds a share, and ANY m of them
+            # reconstruct: redundancy is fully restored.
+            placement = cluster.placement(hidden_key(name, UAK))
+            fragments = [
+                decode_fragment(cluster.shards[sid].steg_read(name, UAK))
+                for sid in placement
+            ]
+            assert len(fragments) == 4
+            version = max(f.version for f in fragments)
+            current = [f for f in fragments if f.version == version]
+            assert len(current) == 4
+            for a in range(len(current)):
+                for b in range(a + 1, len(current)):
+                    shares = [
+                        Share(current[a].index, current[a].payload),
+                        Share(current[b].index, current[b].payload),
+                    ]
+                    assert reconstruct(shares, 2) == expected
+
+
+class TestRepair:
+    def test_repair_heals_a_revived_stale_shard(self, make_cluster):
+        cluster = make_cluster(4, replication=3, write_quorum=2)
+        contents = _populate(cluster, n_plain=2, n_hidden=4)
+        victim = cluster.shards["shard-0"]
+        victim.kill()
+        for i in range(4):
+            name = f"hidden-{i}"
+            data = f"outage edit {i}".encode() * 10
+            cluster.steg_write(name, UAK, data)
+            contents[("hidden", name)] = data
+        victim.revive()
+        cluster.probe_dead_shards()
+        report = rebalance.repair(cluster, uaks=(UAK,))
+        assert not report.failed
+        for (kind, name), expected in contents.items():
+            if kind == "hidden":
+                key = hidden_key(name, UAK)
+                for sid in cluster.placement(key):
+                    fragment = decode_fragment(
+                        cluster.shards[sid].steg_read(name, UAK)
+                    )
+                    assert fragment.payload == expected

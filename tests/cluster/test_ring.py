@@ -1,0 +1,115 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing
+from repro.errors import ClusterError
+
+NODES = ["shard-0", "shard-1", "shard-2", "shard-3"]
+
+
+class TestMembership:
+    def test_empty_ring_refuses_placement(self):
+        with pytest.raises(ClusterError):
+            HashRing().nodes_for("key", 1)
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ClusterError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ClusterError):
+            HashRing(["a"]).remove_node("b")
+
+    def test_remove_then_add_roundtrip(self):
+        ring = HashRing(NODES)
+        before = [ring.nodes_for(f"k{i}", 2) for i in range(50)]
+        ring.remove_node("shard-2")
+        ring.add_node("shard-2")
+        after = [ring.nodes_for(f"k{i}", 2) for i in range(50)]
+        assert before == after
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(NODES), HashRing(reversed(NODES))
+        for i in range(100):
+            assert a.nodes_for(f"key-{i}", 3) == b.nodes_for(f"key-{i}", 3)
+
+    def test_placement_is_distinct_shards(self):
+        ring = HashRing(NODES)
+        for i in range(100):
+            placement = ring.nodes_for(f"key-{i}", 3)
+            assert len(placement) == 3
+            assert len(set(placement)) == 3
+
+    def test_placement_caps_at_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert sorted(ring.nodes_for("x", 5)) == ["a", "b"]
+
+    def test_primary_is_first_of_placement(self):
+        ring = HashRing(NODES)
+        assert ring.primary("key") == ring.nodes_for("key", 3)[0]
+
+    def test_balance_across_primaries(self):
+        ring = HashRing(NODES)
+        counts = {node: 0 for node in NODES}
+        total = 2000
+        for i in range(total):
+            counts[ring.primary(f"object-{i}")] += 1
+        for node, count in counts.items():
+            share = count / total
+            assert 0.10 <= share <= 0.45, (node, counts)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ClusterError):
+            HashRing(NODES).nodes_for("k", 0)
+
+
+class TestMinimalMovement:
+    def test_adding_a_shard_moves_one_arc_of_primaries(self):
+        ring = HashRing(NODES)
+        grown = ring.copy()
+        grown.add_node("shard-4")
+        keys = [f"obj-{i}" for i in range(1000)]
+        moved = ring.moved_keys(grown, keys, 1)
+        # The new shard claims ~1/5 of primaries; nothing else moves.
+        assert 80 < len(moved) < 350, len(moved)
+        for key in moved:
+            assert grown.primary(key) == "shard-4"
+
+    def test_adding_a_shard_leaves_untouched_placements_identical(self):
+        ring = HashRing(NODES)
+        grown = ring.copy()
+        grown.add_node("shard-4")
+        keys = [f"obj-{i}" for i in range(1000)]
+        moved = set(ring.moved_keys(grown, keys, 3))
+        # A 3-way placement changes iff the new shard entered it (each of
+        # the 5 shards sits in ~3/5 of placements), never by reshuffling
+        # the surviving members among themselves.
+        assert 400 < len(moved) < 800, len(moved)
+        for key in keys:
+            if key in moved:
+                assert "shard-4" in grown.nodes_for(key, 3)
+            else:
+                assert ring.nodes_for(key, 3) == grown.nodes_for(key, 3)
+
+    def test_removing_a_shard_moves_only_its_keys(self):
+        ring = HashRing(NODES)
+        shrunk = ring.copy()
+        shrunk.remove_node("shard-3")
+        keys = [f"obj-{i}" for i in range(1000)]
+        moved = set(ring.moved_keys(shrunk, keys, 2))
+        for key in keys:
+            if key not in moved:
+                assert "shard-3" not in ring.nodes_for(key, 2)
+
+    def test_copy_is_independent(self):
+        ring = HashRing(NODES)
+        clone = ring.copy()
+        clone.remove_node("shard-0")
+        assert "shard-0" in ring.nodes
+        assert "shard-0" not in clone.nodes

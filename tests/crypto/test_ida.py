@@ -97,3 +97,123 @@ def test_roundtrip_property(data, m, extra, rnd):
     shares = disperse(data, m, n)
     chosen = rnd.sample(shares, m)
     assert reconstruct(chosen, m) == data
+
+
+# ---------------------------------------------------------------------------
+# Cluster-grade guarantees: the IDA dispersal mode of repro.cluster leans on
+# every property below (any-m-subset recovery, the m=1 / m=n edges, empty
+# and large payloads, and what corruption does to a reconstruction).
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.binary(max_size=200),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2),
+)
+def test_every_m_subset_property(data, m, extra):
+    """Not just *some* m shares: EVERY m-subset must reconstruct, in any
+    order — the coordinator picks whichever shards happen to be alive."""
+    n = m + extra
+    shares = disperse(data, m, n)
+    for subset in itertools.combinations(shares, m):
+        assert reconstruct(list(reversed(subset)), m) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=300), st.integers(min_value=1, max_value=8))
+def test_m_equals_n_edge_property(data, m):
+    """All-or-nothing dispersal (m=n) round-trips for any payload."""
+    shares = disperse(data, m, m)
+    assert reconstruct(shares, m) == data
+    if m > 1:
+        with pytest.raises(CryptoError):
+            reconstruct(shares[: m - 1], m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=300), st.integers(min_value=1, max_value=6))
+def test_m_equals_one_is_replication_property(data, n):
+    """m=1 degenerates to n-way replication: every single share suffices."""
+    shares = disperse(data, 1, n)
+    for share in shares:
+        assert reconstruct([share], 1) == data
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=3))
+def test_empty_payload_property(m, extra):
+    n = m + extra
+    shares = disperse(b"", m, n)
+    assert all(len(s.payload) == len(shares[0].payload) for s in shares)
+    assert reconstruct(shares[extra:], m) == b""
+
+
+def test_large_payload_roundtrip():
+    """Well past any block boundary (64 KiB) with uneven framing."""
+    data = bytes((i * 131) % 256 for i in range(65536 + 13))
+    shares = disperse(data, 3, 5)
+    assert reconstruct([shares[4], shares[1], shares[2]], 3) == data
+    # Space factor holds at scale too.
+    total = sum(len(s.payload) for s in shares)
+    assert total == pytest.approx(len(data) * 5 / 3, rel=0.01)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=8, max_size=240),
+    m=st.integers(min_value=2, max_value=4),
+    extra=st.integers(min_value=0, max_value=2),
+    victim=st.integers(min_value=0, max_value=10),
+    flip=st.integers(min_value=1, max_value=255),
+    position=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_corrupted_share_never_silently_passes(data, m, extra, victim, flip, position):
+    """Corruption in a share either raises CryptoError or changes the
+    output — it can never silently return the original bytes.
+
+    The byte flip is confined to columns whose m output bytes are ALL
+    length-prefix or real data (no trailing padding): each share byte
+    feeds a GF(256)-linear bijection of one m-byte output column, so a
+    flip there must perturb at least one real byte of the reconstruction.
+    (A flip in the final, padding-carrying column may legally perturb
+    only the padding.)  This is exactly why the cluster pairs IDA with an
+    end-to-end digest: the algorithm detects nothing by itself, the
+    envelope digest does.
+    """
+    n = m + extra
+    shares = disperse(data, m, n)
+    victim_index = victim % m  # corrupt a share we will reconstruct from
+    payload = bytearray(shares[victim_index].payload)
+    full_columns = (4 + len(data)) // m  # columns made entirely of real bytes
+    column = position % full_columns
+    payload[column] ^= flip
+    corrupted = list(shares[:m])
+    corrupted[victim_index] = Share(shares[victim_index].index, bytes(payload))
+    try:
+        result = reconstruct(corrupted, m)
+    except CryptoError:
+        return  # detected via the length-prefix consistency check
+    assert result != data
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data=st.binary(min_size=4, max_size=120),
+    m=st.integers(min_value=2, max_value=4),
+    rnd=st.randoms(use_true_random=False),
+)
+def test_forged_share_index_never_silently_passes(data, m, rnd):
+    """A share relabeled with another row index must not reconstruct the
+    original (the Vandermonde row no longer matches the payload)."""
+    shares = disperse(data, m, m + 2)
+    chosen = rnd.sample(shares, m)
+    other_indices = [s.index for s in shares if s.index not in {c.index for c in chosen}]
+    forged = Share(other_indices[0], chosen[0].payload)
+    tampered = [forged] + chosen[1:]
+    try:
+        result = reconstruct(tampered, m)
+    except CryptoError:
+        return
+    assert result != data

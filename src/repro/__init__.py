@@ -49,6 +49,7 @@ from repro.crypto import derive_key, generate_keypair, level_keys
 from repro.db import HiddenKVStore
 from repro.fs import FileSystem
 from repro.net import AsyncStegFSClient, StegFSClient, StegFSServer
+from repro.obs import MetricRegistry, SlowLog, Tracer, get_registry, get_tracer
 from repro.service import SessionManager, StegFSService
 from repro.storage import (
     Bitmap,
@@ -82,12 +83,14 @@ __all__ = [
     "HiddenFile",
     "HiddenKVStore",
     "LatencyDevice",
+    "MetricRegistry",
     "ObjectKeys",
     "RamDevice",
     "RemoteShard",
     "ServiceShard",
     "Session",
     "SessionManager",
+    "SlowLog",
     "SnapshotMonitor",
     "SparseDevice",
     "StegCoverStore",
@@ -99,6 +102,7 @@ __all__ = [
     "StegFSStore",
     "StegRandStore",
     "TraceRecordingDevice",
+    "Tracer",
     "VFS",
     "WorkloadSpec",
     "census_unaccounted",
@@ -109,6 +113,8 @@ __all__ = [
     "frag_disk",
     "generate_jobs",
     "generate_keypair",
+    "get_registry",
+    "get_tracer",
     "level_keys",
     "replay_interleaved",
     "scan_volume",

@@ -18,6 +18,7 @@ from repro.bench import (
     fig7,
     fig8,
     fig9,
+    obs_overhead,
     service_throughput,
     space,
     tables,
@@ -30,6 +31,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "obs_overhead",
     "service_throughput",
     "space",
     "tables",

@@ -13,6 +13,7 @@ from repro.bench import (
     fig8,
     fig9,
     net_throughput,
+    obs_overhead,
     service_throughput,
     space,
     tables,
@@ -30,6 +31,7 @@ _EXPERIMENTS = {
     "net": lambda: net_throughput.render(net_throughput.run()),
     "durability": lambda: durability.render(durability.run()),
     "cluster": lambda: cluster_throughput.render(cluster_throughput.run()),
+    "obs": lambda: obs_overhead.render(obs_overhead.run()),
 }
 
 

@@ -1,0 +1,227 @@
+"""Instrumentation overhead: the same workload with observability on/off.
+
+The observability subsystem promises to be cheap enough to leave on:
+counters are one lock-free dict hit plus one small-lock increment,
+``maybe_span`` outside a trace is one enabled-check and one contextvar
+read, and the slowlog *offer* is one lock acquisition.  This experiment
+prices that promise with interleaved A/B trials of a hidden-file
+read workload on a RAM-backed volume — the harshest possible ratio,
+since every op is microseconds of crypto with no disk time to hide
+the instrumentation under:
+
+* ``obs on`` — the deployment default: metrics, slowlog offers, spans
+  armed but dormant (no active trace, the hot-path fast exit);
+* ``obs off`` — the ``REPRO_OBS=off`` kill switch (every record call
+  returns at the enabled-check);
+* ``traced`` — informational: every op under a root span, the full
+  span-tree cost a client opting into tracing pays.
+
+Trials alternate on/off/traced in round-robin so drift (page cache,
+CPU frequency, GC) lands evenly on all arms; medians are compared.  The
+CI gate (``benchmarks/bench_obs_overhead.py``) asserts the on-vs-off
+overhead stays ≤ 5%.
+
+Run from the command line (``--smoke`` for the CI-sized configuration)::
+
+    python -m repro.bench.obs_overhead [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.common import format_table, write_result
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.obs import set_enabled
+from repro.obs.metrics import get_registry, median
+from repro.obs.trace import root_span
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+from repro.workload.live import populate_hidden_files
+
+__all__ = ["ObsOverheadConfig", "ObsOverheadResult", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class ObsOverheadConfig:
+    """Knobs for one A/B/traced overhead run."""
+
+    trials: int = 9
+    ops_per_trial: int = 400
+    n_files: int = 8
+    file_size: int = 2048
+    block_size: int = 512
+    total_blocks: int = 4096
+    seed: int = 2003
+
+    @classmethod
+    def smoke(cls) -> "ObsOverheadConfig":
+        """CI-sized configuration: seconds, not minutes."""
+        return cls(trials=7, ops_per_trial=150, n_files=4, file_size=1024)
+
+
+@dataclass
+class ObsOverheadResult:
+    """Per-arm microsecond-per-op samples and the derived overheads."""
+
+    config: ObsOverheadConfig
+    us_per_op: dict[str, list[float]] = field(default_factory=dict)
+
+    def median_us(self, arm: str) -> float:
+        return median(sorted(self.us_per_op.get(arm, [])))
+
+    def best_us(self, arm: str) -> float:
+        """Fastest trial — the classic noise-robust bench statistic."""
+        samples = self.us_per_op.get(arm, [])
+        return min(samples) if samples else 0.0
+
+    @property
+    def overhead_pct(self) -> float:
+        """Best-trial on-vs-off slowdown, percent (the gated number).
+
+        Minima rather than medians: scheduler and frequency noise only
+        ever *adds* time, so each arm's fastest trial is its closest
+        approach to the true cost, and their ratio isolates the
+        instrumentation from the environment.
+        """
+        off = self.best_us("off")
+        if off <= 0:
+            return 0.0
+        return (self.best_us("on") / off - 1.0) * 100.0
+
+    @property
+    def traced_overhead_pct(self) -> float:
+        """Best-trial traced-vs-off slowdown, percent (informational)."""
+        off = self.best_us("off")
+        if off <= 0:
+            return 0.0
+        return (self.best_us("traced") / off - 1.0) * 100.0
+
+
+def _build_service(config: ObsOverheadConfig) -> tuple[StegFSService, list[str], bytes]:
+    uak = b"O" * 32
+    steg = StegFS.mkfs(
+        RamDevice(config.block_size, config.total_blocks),
+        params=StegFSParams.for_tests(),
+        inode_count=max(64, config.n_files * 4),
+        rng=random.Random(config.seed),
+        auto_flush=False,
+    )
+    service = StegFSService(steg)
+    names = populate_hidden_files(
+        service, uak, config.n_files, config.file_size, seed=config.seed
+    )
+    return service, names, uak
+
+
+def _trial(
+    service: StegFSService, names: list[str], uak: bytes, ops: int, traced: bool
+) -> float:
+    """Mean microseconds per steg_read over one trial."""
+    started = time.perf_counter()
+    if traced:
+        for index in range(ops):
+            with root_span("bench.read"):
+                service.steg_read(names[index % len(names)], uak)
+    else:
+        for index in range(ops):
+            service.steg_read(names[index % len(names)], uak)
+    return (time.perf_counter() - started) * 1e6 / ops
+
+
+def run(smoke: bool = False, config: ObsOverheadConfig | None = None) -> ObsOverheadResult:
+    """Interleaved on/off/traced trials; observability is re-enabled after."""
+    config = config or (ObsOverheadConfig.smoke() if smoke else ObsOverheadConfig())
+    result = ObsOverheadResult(config=config)
+    service, names, uak = _build_service(config)
+    arms = ("on", "off", "traced")
+    try:
+        # Warm-up: fault in code paths and the FS's own caches un-timed.
+        _trial(service, names, uak, min(50, config.ops_per_trial), traced=False)
+        for _ in range(config.trials):
+            for arm in arms:
+                set_enabled(arm != "off")
+                sample = _trial(
+                    service, names, uak, config.ops_per_trial, traced=arm == "traced"
+                )
+                result.us_per_op.setdefault(arm, []).append(sample)
+    finally:
+        set_enabled(True)
+        service.close()
+    return result
+
+
+def render(result: ObsOverheadResult) -> str:
+    """Comparison table plus the registry's own view of the traffic."""
+    headers = ["arm", "best µs/op", "median", "max", "vs off (best)"]
+    rows = []
+    for arm in ("off", "on", "traced"):
+        samples = result.us_per_op.get(arm, [])
+        if not samples:
+            continue
+        off = result.best_us("off")
+        delta = (result.best_us(arm) / off - 1.0) * 100.0 if off > 0 else 0.0
+        rows.append(
+            [
+                arm,
+                f"{result.best_us(arm):.1f}",
+                f"{result.median_us(arm):.1f}",
+                f"{max(samples):.1f}",
+                f"{delta:+.2f}%",
+            ]
+        )
+    text = format_table(
+        f"Observability overhead ({result.config.trials} interleaved trials)",
+        headers,
+        rows,
+    )
+    text += (
+        f"\nGated: on-vs-off overhead {result.overhead_pct:+.2f}% (limit +5%)."
+        f"\nInformational: full tracing {result.traced_overhead_pct:+.2f}%.\n"
+    )
+    # The bench's own traffic, printed from the registry snapshot — the
+    # same surface ``obs_metrics`` serves.
+    snapshot = get_registry().snapshot()
+    interesting = [
+        name
+        for name in snapshot
+        if name.startswith(("storage.device.", "storage.cache."))
+        or name == "service.op.steg_read.latency_ms"
+    ]
+    if interesting:
+        text += "\nRegistry snapshot (this process):\n"
+        for name in interesting:
+            data = snapshot[name]
+            if data["type"] == "histogram":
+                text += (
+                    f"  {name}: count {data['count']}, mean {data['mean']:.3f} ms\n"
+                )
+            else:
+                text += f"  {name}: {data['value']}\n"
+    write_result("obs_overhead", text)
+    # Full registry dump as its own artifact — what a scraper would see.
+    write_result("metrics_dump", get_registry().render_text())
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``--smoke`` for the CI configuration)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized configuration"
+    )
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    print(render(result))
+    if result.overhead_pct > 5.0:
+        print(f"FAIL: overhead {result.overhead_pct:+.2f}% exceeds the +5% gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from repro.bench.common import format_table, write_result
 from repro.core.params import StegFSParams
 from repro.core.stegfs import StegFS
+from repro.obs.metrics import get_registry
 from repro.service.service import OpStats, StegFSService
 from repro.storage.block_device import BlockDevice, FileDevice, RamDevice
 from repro.storage.cache import CachedDevice, CacheStats
@@ -279,6 +280,17 @@ def render(result: ServiceThroughputResult) -> str:
             f" {journal.checkpoints} checkpoints,"
             f" {journal.blocks_journaled} blocks journaled"
         )
+    # Process-wide totals from the metric registry — the same surface the
+    # ``obs_metrics`` admin op serves, summed across every run above.
+    snapshot = get_registry().snapshot()
+    device_lines = [
+        f"  {name.removeprefix('storage.')}: {data['value']}"
+        for name, data in snapshot.items()
+        if name.startswith(("storage.device.", "storage.cache."))
+        and data["type"] == "counter"
+    ]
+    if device_lines:
+        text += "\nRegistry totals (whole process):\n" + "\n".join(device_lines)
     text += "\n"
     write_result("service_throughput", text)
     return text

@@ -33,6 +33,7 @@ lifetime; persisting tombstones cluster-wide is an open roadmap item.
 
 from __future__ import annotations
 
+import contextvars
 import hashlib
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -65,6 +66,8 @@ from repro.errors import (
     ReproError,
     ShardUnavailableError,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import maybe_span
 
 __all__ = ["ClusterClient", "ClusterStats", "hidden_key", "plain_key"]
 
@@ -85,7 +88,13 @@ def hidden_key(objname: str, uak: bytes) -> str:
 
 
 class ClusterStats:
-    """Thread-safe cluster-level counters (reads, repairs, failovers)."""
+    """Thread-safe cluster-level counters (reads, repairs, failovers).
+
+    Every increment is mirrored onto the process-wide
+    :class:`~repro.obs.metrics.MetricRegistry` as ``cluster.<name>``, so
+    ``obs_metrics`` shows cluster behaviour next to device, cache and
+    journal traffic.
+    """
 
     _NAMES = (
         "reads",
@@ -96,16 +105,25 @@ class ClusterStats:
         "degraded_writes",
         "failovers",
         "version_probes",
+        "quorum_widenings",
+        "rebalance_moves",
     )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts = {name: 0 for name in self._NAMES}
+        self._mirrors: dict[str, Any] = {}
 
     def increment(self, name: str, by: int = 1) -> None:
         """Bump one counter (unknown names are created on first use)."""
         with self._lock:
             self._counts[name] = self._counts.get(name, 0) + by
+            mirror = self._mirrors.get(name)
+            if mirror is None:
+                mirror = self._mirrors[name] = get_registry().counter(
+                    f"cluster.{name}"
+                )
+        mirror.inc(by)
 
     def snapshot(self) -> dict[str, int]:
         """Point-in-time copy of every counter."""
@@ -239,6 +257,30 @@ class ClusterClient:
         """Cluster-level counters."""
         return self._stats
 
+    def stats_snapshot(self) -> dict[str, Any]:
+        """One observable view of the cluster: counters plus shard states.
+
+        ``counters`` is the :class:`ClusterStats` snapshot; ``shards``
+        maps shard id → routing state (``"alive"`` / ``"dead"``) with the
+        success/failure tallies the failure detector has seen.  Shard ids
+        are operator-chosen labels — no keys or hidden names appear here.
+        """
+        health = {
+            shard_id: {
+                "state": record.state.value,
+                "successes": record.successes,
+                "failures": record.failures,
+                "consecutive_failures": record.consecutive_failures,
+            }
+            for shard_id, record in self._health.snapshot().items()
+        }
+        return {
+            "mode": self._mode,
+            "width": self.width,
+            "counters": self._stats.snapshot(),
+            "shards": health,
+        }
+
     @property
     def width(self) -> int:
         """Placement width: replicas or IDA shares per object."""
@@ -291,15 +333,16 @@ class ClusterClient:
             backend = self._shards.get(shard_id)
         if backend is None:
             return _Outcome(down=True, error=ClusterError(f"shard {shard_id!r} detached"))
-        try:
-            value = call(shard_id, backend)
-        except SHARD_FAILURES as exc:
-            self._health.record_failure(shard_id)
-            self._stats.increment("failovers")
-            return _Outcome(down=True, error=exc)
-        except ReproError as exc:
-            self._health.record_success(shard_id)
-            return _Outcome(error=exc)
+        with maybe_span("cluster.shard_call", shard=shard_id):
+            try:
+                value = call(shard_id, backend)
+            except SHARD_FAILURES as exc:
+                self._health.record_failure(shard_id)
+                self._stats.increment("failovers")
+                return _Outcome(down=True, error=exc)
+            except ReproError as exc:
+                self._health.record_success(shard_id)
+                return _Outcome(error=exc)
         self._health.record_success(shard_id)
         return _Outcome(value=value)
 
@@ -308,14 +351,22 @@ class ClusterClient:
         shard_ids: Iterable[str],
         call: Callable[[str, ShardBackend], Any],
     ) -> dict[str, _Outcome]:
-        """Run ``call`` on every named shard concurrently."""
+        """Run ``call`` on every named shard concurrently.
+
+        Each leg runs under a copy of the caller's context, so an active
+        trace span propagates into the pool threads and every per-shard
+        ``cluster.shard_call`` span parents under the caller's span.
+        """
         ids = list(shard_ids)
         if self._closed:
             raise ClusterError("cluster client has been closed")
         if len(ids) <= 1:
             return {sid: self._guarded(sid, call) for sid in ids}
         futures = {
-            sid: self._executor.submit(self._guarded, sid, call) for sid in ids
+            sid: self._executor.submit(
+                contextvars.copy_context().run, self._guarded, sid, call
+            )
+            for sid in ids
         }
         return {sid: future.result() for sid, future in futures.items()}
 
@@ -559,6 +610,7 @@ class ClusterClient:
         self._collect_replicas(outcomes, candidates, floor)
         best_seen = max((f.version for f in candidates.values()), default=0)
         if len(targets) < len(alive) and (not candidates or best_seen < min_version):
+            self._stats.increment("quorum_widenings")
             rest = [sid for sid in alive if sid not in outcomes]
             more = self._fanout(rest, fetch)
             outcomes.update(more)

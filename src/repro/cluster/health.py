@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.errors import ClusterError
+from repro.obs.slowlog import get_events
 
 __all__ = ["HealthMonitor", "ShardHealth", "ShardState"]
 
@@ -122,6 +123,7 @@ class HealthMonitor:
 
     def record_success(self, shard_id: str) -> None:
         """A call completed: reset failures, revive a dead shard."""
+        revived = False
         with self._lock:
             record = self._shards.setdefault(shard_id, ShardHealth())
             record.successes += 1
@@ -129,9 +131,15 @@ class HealthMonitor:
             if record.state is not ShardState.ALIVE:
                 record.state = ShardState.ALIVE
                 record.last_change = self._clock()
+                revived = True
+        if revived:
+            # Emit outside the lock: the event ring takes its own lock
+            # and a state change is rare enough to narrate.
+            get_events().emit("cluster.shard_state", shard=shard_id, state="alive")
 
     def record_failure(self, shard_id: str) -> None:
         """A transport error: mark DEAD once the threshold is crossed."""
+        died = False
         with self._lock:
             record = self._shards.setdefault(shard_id, ShardHealth())
             record.failures += 1
@@ -142,14 +150,23 @@ class HealthMonitor:
             ):
                 record.state = ShardState.DEAD
                 record.last_change = self._clock()
+                died = True
+        if died:
+            get_events().emit("cluster.shard_state", shard=shard_id, state="dead")
 
     def mark_dead(self, shard_id: str) -> None:
         """Operator override: stop routing to ``shard_id`` immediately."""
+        killed = False
         with self._lock:
             record = self._shards.setdefault(shard_id, ShardHealth())
             if record.state is not ShardState.DEAD:
                 record.state = ShardState.DEAD
                 record.last_change = self._clock()
+                killed = True
+        if killed:
+            get_events().emit(
+                "cluster.shard_state", shard=shard_id, state="dead", operator=True
+            )
 
     def mark_alive(self, shard_id: str) -> None:
         """Operator override: resume routing to ``shard_id``."""
@@ -182,6 +199,12 @@ class HealthMonitor:
         for shard_id, backend in backends.items():
             if not self.is_alive(shard_id):
                 results[shard_id] = self.probe(shard_id, backend)
+        if results:
+            get_events().emit(
+                "cluster.probe_sweep",
+                probed=len(results),
+                revived=sum(1 for alive in results.values() if alive),
+            )
         return results
 
     def start_probe_loop(

@@ -163,6 +163,7 @@ def _apply(cluster: ClusterClient, moves: list[_Move], report: RebalanceReport) 
             )
             reread = cluster.steg_read(move.name, move.uak)
         report.moved += 1
+        cluster.stats.increment("rebalance_moves")
         report.bytes_moved += len(move.data)
         if reread != move.data:
             raise RebalanceError(
@@ -228,6 +229,7 @@ def repair(cluster: ClusterClient, uaks: tuple[bytes, ...] = ()) -> RebalanceRep
             path, data, cluster.placement(plain_key(path)), version + 1
         )
         report.moved += 1
+        cluster.stats.increment("rebalance_moves")
         report.bytes_moved += len(data)
         if cluster.read(path) != data:
             raise RebalanceError(f"post-repair mismatch for plain {path!r}")
@@ -243,6 +245,7 @@ def repair(cluster: ClusterClient, uaks: tuple[bytes, ...] = ()) -> RebalanceRep
             objname, uak, data, cluster.placement(hidden_key(objname, uak)), version + 1
         )
         report.moved += 1
+        cluster.stats.increment("rebalance_moves")
         report.bytes_moved += len(data)
         if cluster.steg_read(objname, uak) != data:
             raise RebalanceError(f"post-repair mismatch for hidden {objname!r}")

@@ -46,6 +46,7 @@ from repro.net.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.obs.trace import current_context, maybe_span
 
 __all__ = ["AsyncStegFSClient", "StegFSClient", "fetch_hidden"]
 
@@ -78,8 +79,18 @@ class _PooledConnection:
     def call(self, op: str, args: tuple[Any, ...], max_frame: int) -> Any:
         request_id = self.next_id
         self.next_id += 1
-        send_frame(self.sock, Request(request_id=request_id, op=op, args=args), max_frame)
-        value = _check_response(recv_frame(self.sock, max_frame), request_id)
+        # Inside a trace, the round-trip gets its own span and its context
+        # rides the request's optional trace field, so the server's spans
+        # hang off this one; outside a trace both are free no-ops.
+        with maybe_span(f"net.client.{op}"):
+            request = Request(
+                request_id=request_id,
+                op=op,
+                args=args,
+                trace_ctx=current_context(),
+            )
+            send_frame(self.sock, request, max_frame)
+            value = _check_response(recv_frame(self.sock, max_frame), request_id)
         self.completed += 1
         return value
 
@@ -384,6 +395,26 @@ class StegFSClient:
         """Write a connected object through the session."""
         self._call("session_write", self._require_token(), objname, data)
 
+    # ------------------------------------------------------------------
+    # observability (read-only admin ops; no authentication required)
+    # ------------------------------------------------------------------
+
+    def obs_metrics(self) -> str:
+        """Text exposition of the server process's metric registry."""
+        return self._call("obs_metrics")
+
+    def obs_slowlog(self, limit: int = 64) -> list[str]:
+        """Newest-first server slow-op records as JSON strings."""
+        return self._call("obs_slowlog", limit)
+
+    def obs_trace(self, trace_id: str = "") -> str:
+        """JSON span document for one server-side trace (or the id list)."""
+        return self._call("obs_trace", trace_id)
+
+    def obs_events(self, limit: int = 64) -> list[str]:
+        """Newest-first server health/probe events as JSON strings."""
+        return self._call("obs_events", limit)
+
 
 class AsyncStegFSClient:
     """Asyncio remote client: one connection, pipelined request ids.
@@ -475,13 +506,20 @@ class AsyncStegFSClient:
         self._next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        data = encode_frame(
-            Request(request_id=request_id, op=op, args=args), self._max_frame
-        )
-        async with self._write_lock:
-            self._writer.write(data)
-            await self._writer.drain()
-        return await future
+        with maybe_span(f"net.client.{op}"):
+            data = encode_frame(
+                Request(
+                    request_id=request_id,
+                    op=op,
+                    args=args,
+                    trace_ctx=current_context(),
+                ),
+                self._max_frame,
+            )
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+            return await future
 
     def _require_token(self) -> bytes:
         if self._token is None:
@@ -657,6 +695,26 @@ class AsyncStegFSClient:
     async def session_write(self, objname: str, data: bytes) -> None:
         """Write a connected object through the session."""
         await self._call("session_write", self._require_token(), objname, data)
+
+    # ------------------------------------------------------------------
+    # observability (read-only admin ops; no authentication required)
+    # ------------------------------------------------------------------
+
+    async def obs_metrics(self) -> str:
+        """Text exposition of the server process's metric registry."""
+        return await self._call("obs_metrics")
+
+    async def obs_slowlog(self, limit: int = 64) -> list[str]:
+        """Newest-first server slow-op records as JSON strings."""
+        return await self._call("obs_slowlog", limit)
+
+    async def obs_trace(self, trace_id: str = "") -> str:
+        """JSON span document for one server-side trace (or the id list)."""
+        return await self._call("obs_trace", trace_id)
+
+    async def obs_events(self, limit: int = 64) -> list[str]:
+        """Newest-first server health/probe events as JSON strings."""
+        return await self._call("obs_events", limit)
 
 
 def fetch_hidden(host: str, port: int, user_id: str, uak: bytes, objname: str) -> bytes:

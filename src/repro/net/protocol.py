@@ -16,6 +16,16 @@ in :mod:`repro.util.serialization`).  Three frame kinds:
 pipeline many requests on one connection and a server may complete them
 out of order.
 
+A ``REQUEST`` body may end with one **optional trace-context field**:
+marker byte ``0x54`` (``'T'``) followed by two fixed 8-byte ids —
+``trace_id`` and the caller's ``span_id``.  It keys off the existing
+correlation machinery (one request, one remote parent span) so a traced
+client op and the server work it triggers form a single cross-process
+span tree.  The field carries only opaque random ids — never names,
+keys or levels — and decoders that predate it reject it loudly rather
+than misparse (it sits after the argument list, inside the length-
+checked body).  Requests without the field decode exactly as before.
+
 **Values** are a small tagged union covering everything the service API
 speaks: ``None``, booleans, signed 64-bit integers, floats, bytes, UTF-8
 strings, homogeneous-or-not lists, and :class:`~repro.fs.filesystem.
@@ -109,6 +119,33 @@ _T_STAT = 8
 _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
 
+# Optional trailing REQUEST field: marker + two fixed-width hex ids.
+_TRACE_MARKER = 0x54  # 'T'
+_TRACE_ID_BYTES = 8
+
+
+def _encode_trace_ctx(trace_ctx: tuple[str, str]) -> bytes:
+    trace_id, span_id = trace_ctx
+    try:
+        raw = bytes.fromhex(trace_id) + bytes.fromhex(span_id)
+    except ValueError:
+        raise ProtocolError("trace ids must be hex strings") from None
+    if len(raw) != 2 * _TRACE_ID_BYTES:
+        raise ProtocolError(
+            f"trace ids must be {2 * _TRACE_ID_BYTES} hex chars each"
+        )
+    return bytes([_TRACE_MARKER]) + raw
+
+
+def _decode_trace_ctx(body: bytes, offset: int) -> tuple[tuple[str, str] | None, int]:
+    if offset >= len(body) or body[offset] != _TRACE_MARKER:
+        return None, offset
+    offset += 1
+    _need(body, offset, 2 * _TRACE_ID_BYTES, "trace context")
+    trace_id = body[offset : offset + _TRACE_ID_BYTES].hex()
+    span_id = body[offset + _TRACE_ID_BYTES : offset + 2 * _TRACE_ID_BYTES].hex()
+    return (trace_id, span_id), offset + 2 * _TRACE_ID_BYTES
+
 
 def _error_registry() -> dict[str, type[Exception]]:
     registry: dict[str, type[Exception]] = {}
@@ -133,11 +170,17 @@ ERROR_REGISTRY = _error_registry()
 
 @dataclass(frozen=True)
 class Request:
-    """One operation call: ``op(*args)`` under correlation id ``request_id``."""
+    """One operation call: ``op(*args)`` under correlation id ``request_id``.
+
+    ``trace_ctx`` is the caller's ``(trace_id, span_id)`` pair (16 hex
+    chars each) when the call runs inside a trace, else None; it rides
+    the wire as the optional trace-context field.
+    """
 
     request_id: int
     op: str
     args: tuple[Any, ...]
+    trace_ctx: tuple[str, str] | None = None
 
 
 @dataclass(frozen=True)
@@ -286,6 +329,8 @@ def encode_frame(frame: Frame, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
         body = bytes([_REQUEST]) + _LEN.pack(frame.request_id) + _encode_str(frame.op)
         body += _LEN.pack(len(frame.args))
         body += b"".join(encode_value(arg) for arg in frame.args)
+        if frame.trace_ctx is not None:
+            body += _encode_trace_ctx(frame.trace_ctx)
     elif isinstance(frame, Response):
         body = bytes([_RESPONSE]) + _LEN.pack(frame.request_id) + encode_value(frame.value)
     elif isinstance(frame, ErrorFrame):
@@ -320,7 +365,10 @@ def decode_frame(body: bytes) -> Frame:
         for _ in range(argc):
             arg, offset = decode_value(body, offset)
             args.append(arg)
-        frame: Frame = Request(request_id=request_id, op=op, args=tuple(args))
+        trace_ctx, offset = _decode_trace_ctx(body, offset)
+        frame: Frame = Request(
+            request_id=request_id, op=op, args=tuple(args), trace_ctx=trace_ctx
+        )
     elif kind == _RESPONSE:
         value, offset = decode_value(body, offset)
         frame = Response(request_id=request_id, value=value)

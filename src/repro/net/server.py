@@ -70,6 +70,8 @@ from repro.net.protocol import (
     exception_to_frame,
     read_frame,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer, maybe_span
 from repro.service.registry import OpSpec
 from repro.service.service import StegFSService
 
@@ -86,7 +88,11 @@ MAX_PENDING_CHALLENGES = 16
 
 @dataclass
 class ServerStats:
-    """Event-loop-side counters (read them via :attr:`StegFSServer.stats`)."""
+    """Event-loop-side counters (read them via :attr:`StegFSServer.stats`).
+
+    Every increment also lands on the process metric registry as
+    ``net.server.*`` (``connections_open`` as a gauge — it goes down).
+    """
 
     connections_total: int = 0
     connections_open: int = 0
@@ -95,6 +101,29 @@ class ServerStats:
     errors_out: int = 0
     auth_failures: int = 0
     sessions_opened: int = 0
+
+    def bump(self, name: str, by: int = 1) -> None:
+        """Adjust one counter here and mirror it onto the registry."""
+        setattr(self, name, getattr(self, name) + by)
+        if name == "connections_open":
+            get_registry().gauge("net.server.connections_open").add(by)
+        else:
+            get_registry().counter(f"net.server.{name}").inc(by)
+
+
+def _run_traced(ctx: tuple[str, str], call: Any) -> Any:
+    """Run a dispatched op in the worker thread under a remote span.
+
+    ``run_in_executor`` does not propagate ``contextvars``, so the
+    server re-activates the request's trace context explicitly around
+    the blocking call.
+    """
+    tracer = get_tracer()
+    token = tracer.activate(ctx)
+    try:
+        return call()
+    finally:
+        tracer.deactivate(token)
 
 
 @dataclass
@@ -207,15 +236,15 @@ class StegFSServer:
     ) -> None:
         conn = _Connection(reader=reader, writer=writer)
         self._connections.add(conn)
-        self.stats.connections_total += 1
-        self.stats.connections_open += 1
+        self.stats.bump("connections_total")
+        self.stats.bump("connections_open")
         inflight = asyncio.Semaphore(self._max_inflight)
         try:
             while True:
                 frame = await read_frame(reader, self._max_frame)
                 if frame is None:
                     break
-                self.stats.frames_in += 1
+                self.stats.bump("frames_in")
                 if not isinstance(frame, Request):
                     raise ProtocolError(
                         f"expected a REQUEST frame, got {type(frame).__name__}"
@@ -243,7 +272,7 @@ class StegFSServer:
             if conn.tasks:
                 await asyncio.gather(*conn.tasks, return_exceptions=True)
             self._connections.discard(conn)
-            self.stats.connections_open -= 1
+            self.stats.bump("connections_open", -1)
             writer.close()
 
     async def _send(self, conn: _Connection, frame: Response | ErrorFrame) -> None:
@@ -255,12 +284,12 @@ class StegFSServer:
                 exception_to_frame(frame.request_id, exc), self._max_frame
             )
         if isinstance(frame, ErrorFrame):
-            self.stats.errors_out += 1
+            self.stats.bump("errors_out")
         async with conn.write_lock:
             try:
                 conn.writer.write(data)
                 await conn.writer.drain()
-                self.stats.frames_out += 1
+                self.stats.bump("frames_out")
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
@@ -299,9 +328,14 @@ class StegFSServer:
         kwargs = self._bind_args(spec, args)
         method = getattr(self._service, op)
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._service.executor, functools.partial(method, **kwargs)
-        )
+        call: Any = functools.partial(method, **kwargs)
+        # Continue the client's trace: the net.server span covers queueing
+        # plus execution, and its context is re-activated inside the worker
+        # thread (contextvars do not cross run_in_executor on their own).
+        with get_tracer().span(f"net.server.{op}", parent=request.trace_ctx) as span:
+            if span is not None:
+                call = functools.partial(_run_traced, span.context(), call)
+            return await loop.run_in_executor(self._service.executor, call)
 
     def _bind_args(self, spec: OpSpec, args: tuple[Any, ...]) -> dict[str, Any]:
         if spec.injects is not None:
@@ -388,7 +422,7 @@ class StegFSServer:
         # HiddenObjectNotFoundError).
         expected = auth_proof(uak, nonce, user_id) if uak is not None else None
         if expected is None or not constant_time_equal(proof, expected):
-            self.stats.auth_failures += 1
+            self.stats.bump("auth_failures")
             raise SessionAuthError(f"authentication failed for user {user_id!r}")
         self._prune_dead_tokens()
         loop = asyncio.get_running_loop()
@@ -403,7 +437,7 @@ class StegFSServer:
             uak=uak,
             service_session_id=session_id,
         )
-        self.stats.sessions_opened += 1
+        self.stats.bump("sessions_opened")
         return token
 
     async def _close_session(self, args: tuple[Any, ...]) -> None:

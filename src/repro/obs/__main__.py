@@ -1,0 +1,104 @@
+"""Observability CLI against a live StegFS server.
+
+Usage::
+
+    python -m repro.obs metrics  HOST PORT
+    python -m repro.obs slowlog  HOST PORT [--limit N]
+    python -m repro.obs trace    HOST PORT [TRACE_ID]
+    python -m repro.obs events   HOST PORT [--limit N]
+
+All four commands are read-only and unauthenticated (admin-kind ops
+carry no credentials), printing exactly what the server's in-RAM rings
+hold — scrubbed operation names, durations and counts, never content.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.net.client import StegFSClient
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Pull metrics, slow-op records, traces and events "
+        "from a running StegFS server.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def endpoint(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
+        p.add_argument("host", help="server host")
+        p.add_argument("port", type=int, help="server port")
+        return p
+
+    endpoint(sub.add_parser("metrics", help="text exposition of all metrics"))
+    slow = endpoint(sub.add_parser("slowlog", help="newest slow-op records"))
+    slow.add_argument("--limit", type=int, default=32, help="records to fetch")
+    trace = endpoint(sub.add_parser("trace", help="span tree for one trace"))
+    trace.add_argument(
+        "trace_id", nargs="?", default="", help="trace id (omit to list ids)"
+    )
+    events = endpoint(sub.add_parser("events", help="newest health/probe events"))
+    events.add_argument("--limit", type=int, default=32, help="events to fetch")
+    return parser
+
+
+def _render_trace(document: str) -> str:
+    data = json.loads(document)
+    if "trace_ids" in data:
+        ids = data["trace_ids"]
+        if not ids:
+            return "(no traces recorded)"
+        return "\n".join(ids)
+    spans = data["spans"]
+    if not spans:
+        return f"(no spans for trace {data['trace_id']})"
+    by_parent: dict[str | None, list[dict]] = {}
+    known = {span["span_id"] for span in spans}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent not in known:
+            parent = None  # re-root spans whose parent lives in another process
+        by_parent.setdefault(parent, []).append(span)
+    lines = [f"trace {data['trace_id']}"]
+
+    def walk(parent: str | None, depth: int) -> None:
+        for span in sorted(
+            by_parent.get(parent, ()), key=lambda s: s["start_unix"]
+        ):
+            attrs = span.get("attrs", {})
+            suffix = " " + json.dumps(attrs, sort_keys=True) if attrs else ""
+            error = f" ERROR={span['error']}" if "error" in span else ""
+            lines.append(
+                f"{'  ' * (depth + 1)}{span['name']} "
+                f"{span['duration_ms']:.3f}ms{error}{suffix}"
+            )
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    with StegFSClient(args.host, args.port) as client:
+        if args.command == "metrics":
+            sys.stdout.write(client.obs_metrics())
+        elif args.command == "slowlog":
+            for line in client.obs_slowlog(limit=args.limit):
+                print(line)
+        elif args.command == "trace":
+            print(_render_trace(client.obs_trace(args.trace_id)))
+        else:
+            for line in client.obs_events(limit=args.limit):
+                print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

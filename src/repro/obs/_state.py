@@ -1,0 +1,35 @@
+"""Process-wide observability switch (separate module: no import cycles).
+
+Instruments in hot paths (device batch I/O, service dispatch) check
+:func:`enabled` on every record; keeping the flag in this leaf module
+lets every layer import it without touching the rest of the package.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "set_enabled"]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether observability instruments record anything."""
+    return _ENABLED
+
+
+def set_enabled(value: bool) -> None:
+    """Flip the process-wide kill switch at runtime (benches, tests)."""
+    global _ENABLED
+    _ENABLED = bool(value)

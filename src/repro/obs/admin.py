@@ -1,0 +1,86 @@
+"""Read-only observability service ops: ``obs_metrics`` & friends.
+
+These are ordinary ``@service_op("admin", mutates=False)`` operations,
+defined here and grafted onto :class:`~repro.service.StegFSService` by
+:func:`install_obs_ops` (called in ``service.py`` *before* the class's
+``OPS`` registry is built, so front ends dispatch them like any other
+op).  Keeping the definitions in this package keeps the service module
+free of observability internals — the service only knows it hosts four
+extra admin ops.
+
+Return types bend to the wire value codec, which carries str/list but
+not dicts: ``obs_metrics`` returns the text exposition, and the
+slowlog/trace/event ops return JSON strings (one per record, or one
+document per trace).  All four are read-only and return only
+already-scrubbed records — the deniability tests cover their output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import get_registry
+from repro.obs.slowlog import get_events, get_slowlog
+from repro.obs.trace import get_tracer
+from repro.service.registry import service_op
+
+__all__ = [
+    "install_obs_ops",
+    "obs_events",
+    "obs_metrics",
+    "obs_slowlog",
+    "obs_trace",
+]
+
+
+@service_op("admin", mutates=False)
+def obs_metrics(self) -> str:
+    """Text exposition of every registered metric in this process."""
+    return get_registry().render_text()
+
+
+@service_op("admin", mutates=False)
+def obs_slowlog(self, limit: int = 64) -> list:
+    """Newest-first slow-op records as JSON strings."""
+    return [
+        json.dumps(record, sort_keys=True)
+        for record in get_slowlog().records(limit=limit)
+    ]
+
+
+@service_op("admin", mutates=False)
+def obs_trace(self, trace_id: str = "") -> str:
+    """Span records for one trace (or, with no id, the known trace ids).
+
+    Returns a JSON document: ``{"trace_id": ..., "spans": [...]}`` when a
+    trace id is given, ``{"trace_ids": [...]}`` otherwise.
+    """
+    tracer = get_tracer()
+    if trace_id:
+        return json.dumps(
+            {"trace_id": trace_id, "spans": tracer.spans(trace_id)},
+            sort_keys=True,
+        )
+    return json.dumps({"trace_ids": tracer.trace_ids()}, sort_keys=True)
+
+
+@service_op("admin", mutates=False)
+def obs_events(self, limit: int = 64) -> list:
+    """Newest-first health/probe/failover events as JSON strings."""
+    return [
+        json.dumps(event, sort_keys=True)
+        for event in get_events().events(limit=limit)
+    ]
+
+
+_OPS = (obs_metrics, obs_slowlog, obs_trace, obs_events)
+
+
+def install_obs_ops(cls: type) -> None:
+    """Attach the obs admin ops to a service class.
+
+    Must run before ``build_registry(cls)`` — the registry walks
+    ``vars(cls)``, so late additions would be invisible to front ends.
+    """
+    for fn in _OPS:
+        setattr(cls, fn.__name__, fn)

@@ -1,0 +1,509 @@
+"""Process-wide metric registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints, in order:
+
+* **O(1) record** — instruments are plain objects with one small lock;
+  hot paths hold a direct reference (no name lookup per event).  The
+  registry itself is **lock-striped**: metric *creation* hashes the name
+  onto one of N stripes, so two subsystems registering metrics never
+  contend, and recording never touches the registry at all.
+* **RAM-only** — nothing here imports a device, opens a file, or keeps a
+  reference to anything that could; snapshots and exposition are strings
+  and dicts built on demand.
+* **Mergeable snapshots** — :meth:`MetricRegistry.snapshot` returns plain
+  nested dicts; :func:`merge_snapshots` folds several processes' (or
+  runs') snapshots into one, which is how multi-process benches aggregate.
+* **Scrubbed names** — metric names identify subsystems and operations
+  (``service.ops.steg_read``), never objects: no hidden names, keys or
+  security levels may appear in a name or snapshot (enforced by
+  ``tests/obs/test_deniability.py``).
+
+The shared percentile machinery lives here too: :func:`percentile`
+(nearest-rank) and :class:`Reservoir` (Vitter's algorithm R with a
+deterministic, caller-locked RNG) are the single implementation that
+``ServiceStats`` and :mod:`repro.workload.metrics` both build on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Iterable, Sequence
+
+from repro.obs._state import enabled
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "Reservoir",
+    "get_registry",
+    "median",
+    "merge_snapshots",
+    "percentile",
+]
+
+#: Default histogram bucket upper bounds in milliseconds: sub-ms cache
+#: hits through multi-second cluster fan-outs, roughly ×2.5 per step.
+DEFAULT_LATENCY_BUCKETS_MS = (
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+)
+
+#: Registry stripes: metric creation contention is spread over this many
+#: locks (recording uses per-instrument locks, never these).
+_N_STRIPES = 16
+
+
+# ---------------------------------------------------------------------------
+# shared percentile / reservoir primitives
+# ---------------------------------------------------------------------------
+
+
+def percentile(ordered: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sequence.
+
+    The single implementation behind ``OpStats.percentile_ms``, the
+    journal's batch percentiles and the registry histograms' estimates;
+    empty input yields 0.0.
+    """
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+    return float(ordered[rank])
+
+
+def median(ordered: Sequence[float]) -> float:
+    """Midpoint median (averages the two central values for even n)."""
+    if not ordered:
+        return 0.0
+    n = len(ordered)
+    if n % 2:
+        return float(ordered[n // 2])
+    return (float(ordered[n // 2 - 1]) + float(ordered[n // 2])) / 2.0
+
+
+class Reservoir:
+    """Bounded unbiased sample of a stream (Vitter's algorithm R).
+
+    Replacement draws come from ``rng`` — pass a deterministically seeded
+    ``random.Random`` so percentiles are repeatable for a given call
+    sequence (the benches rely on this).  The reservoir itself is **not**
+    locked: the owner serialises :meth:`add` (``ServiceStats`` holds its
+    one lock around every reservoir *and* the shared RNG — see the
+    locking invariant documented there) or uses a private instance.
+    """
+
+    __slots__ = ("_size", "_rng", "_samples", "seen")
+
+    def __init__(self, size: int, rng: random.Random | None = None) -> None:
+        if size <= 0:
+            raise ValueError(f"reservoir size must be positive, got {size}")
+        self._size = size
+        self._rng = rng if rng is not None else random.Random(0x5E5)
+        self._samples: list[float] = []
+        #: Stream length observed so far (admissions + replacements).
+        self.seen = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def size(self) -> int:
+        """Capacity bound."""
+        return self._size
+
+    def add(self, value: float) -> None:
+        """Offer one observation (admitted or replacing, per algorithm R)."""
+        if len(self._samples) < self._size:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.seen + 1)
+            if slot < self._size:
+                self._samples[slot] = value
+        self.seen += 1
+
+    def values(self) -> tuple[float, ...]:
+        """Current samples, ascending (a copy)."""
+        return tuple(sorted(self._samples))
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the current samples."""
+        return percentile(self.values(), p)
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """Monotonically increasing count; O(1) thread-safe increments."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, by: int = 1) -> None:
+        """Add ``by`` (no-op while observability is disabled)."""
+        if not enabled():
+            return
+        with self._lock:
+            self._value += by
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down, or is computed on demand.
+
+    A callback gauge (``fn`` given) reads its function at snapshot time —
+    used for "current" quantities someone else already tracks (cached
+    blocks, open connections) without double bookkeeping.
+    """
+
+    __slots__ = ("name", "help", "_lock", "_value", "_fn")
+
+    def __init__(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        if not enabled():
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, by: float) -> None:
+        """Adjust the gauge by ``by`` (may be negative)."""
+        if not enabled():
+            return
+        with self._lock:
+            self._value += by
+
+    @property
+    def value(self) -> float:
+        """Current value (calls the callback for function-backed gauges)."""
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:
+                return 0.0
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution: O(buckets) memory, O(log b) record.
+
+    Buckets are cumulative-style upper bounds (``le``); everything above
+    the last bound lands in the implicit ``+Inf`` bucket.  ``count``,
+    ``sum``, ``min`` and ``max`` ride along, so snapshots can report both
+    bucket shapes and exact means.
+    """
+
+    __slots__ = ("name", "help", "_lock", "_bounds", "_counts", "count", "sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot: +Inf
+        self.count = 0
+        self.sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """Bucket upper bounds (ascending, +Inf implicit)."""
+        return self._bounds
+
+    def _bucket_of(self, value: float) -> int:
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self._bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe(self, value: float) -> None:
+        """Record one observation (no-op while disabled)."""
+        if not enabled():
+            return
+        slot = self._bucket_of(value)
+        with self._lock:
+            self._counts[slot] += 1
+            self.count += 1
+            self.sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def snapshot(self) -> dict:
+        """Bucket counts plus count/sum/min/max/mean as plain data."""
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self.count, self.sum
+            mn = self._min if count else 0.0
+            mx = self._max if count else 0.0
+        return {
+            "buckets": {le: c for le, c in zip(self._bounds, counts)},
+            "inf": counts[-1],
+            "count": count,
+            "sum": total,
+            "min": mn,
+            "max": mx,
+            "mean": total / count if count else 0.0,
+        }
+
+    def percentile(self, p: float) -> float:
+        """Bucket-resolution percentile estimate (upper bound of the
+        bucket holding the target rank; ``max`` for the +Inf bucket)."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+            mx = self._max
+        if not count:
+            return 0.0
+        target = max(1, int(round(p / 100.0 * count)))
+        running = 0
+        for le, c in zip(self._bounds, counts):
+            running += c
+            if running >= target:
+                return le
+        return mx
+
+
+Metric = Counter | Gauge | Histogram
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class MetricRegistry:
+    """Named instruments for one process, lock-striped by metric name.
+
+    ``counter()``/``gauge()``/``histogram()`` are get-or-create and
+    idempotent; asking for an existing name with a different instrument
+    type raises, so two subsystems cannot silently alias one metric.
+    """
+
+    def __init__(self) -> None:
+        self._stripes = tuple(threading.Lock() for _ in range(_N_STRIPES))
+        self._metrics: dict[str, Metric] = {}
+        # Registration mutates the dict under a stripe; iteration for
+        # snapshots takes a stable copy under this one.
+        self._catalog_lock = threading.Lock()
+
+    def _stripe(self, name: str) -> threading.Lock:
+        return self._stripes[hash(name) % _N_STRIPES]
+
+    def _get_or_create(self, name: str, factory: Callable[[], Metric], kind: type) -> Metric:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+        with self._stripe(name):
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                with self._catalog_lock:
+                    self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(
+        self, name: str, help: str = "", fn: Callable[[], float] | None = None
+    ) -> Gauge:
+        """Get or create a gauge (optionally function-backed)."""
+        return self._get_or_create(name, lambda: Gauge(name, help, fn), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        return self._get_or_create(name, lambda: Histogram(name, help, buckets), Histogram)
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._catalog_lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric | None:
+        """The instrument behind ``name``, if registered."""
+        with self._catalog_lock:
+            return self._metrics.get(name)
+
+    def unregister(self, name: str) -> None:
+        """Drop one metric (tests; production metrics live forever)."""
+        with self._catalog_lock:
+            self._metrics.pop(name, None)
+
+    def reset(self) -> None:
+        """Drop every metric (tests only — references held by
+        instrumented code keep counting into the orphaned objects)."""
+        with self._catalog_lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # snapshots and exposition
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Point-in-time copy of every metric as plain nested dicts.
+
+        Shape per metric: ``{"type": "counter"|"gauge"|"histogram",
+        "value"| histogram fields...}`` — mergeable with
+        :func:`merge_snapshots` and JSON-serialisable as-is.
+        """
+        with self._catalog_lock:
+            items = list(self._metrics.items())
+        out: dict[str, dict] = {}
+        for name, metric in sorted(items):
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            else:
+                data = metric.snapshot()
+                data["type"] = "histogram"
+                out[name] = data
+        return out
+
+    def render_text(self) -> str:
+        """Text exposition: one ``name value`` line per sample.
+
+        Counters/gauges are single lines; histograms expand into
+        cumulative ``{le=...}`` lines plus ``_count``/``_sum``, the shape
+        scrapers and the benches' result tables both consume.
+        """
+        lines: list[str] = []
+        for name, data in self.snapshot().items():
+            if data["type"] in ("counter", "gauge"):
+                value = data["value"]
+                rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(
+                    value, float
+                ) else str(value)
+                lines.append(f"{name} {rendered}")
+                continue
+            running = 0
+            for le, count in data["buckets"].items():
+                running += count
+                lines.append(f'{name}{{le="{le:g}"}} {running}')
+            running += data["inf"]
+            lines.append(f'{name}{{le="+Inf"}} {running}')
+            lines.append(f"{name}_count {data['count']}")
+            lines.append(f"{name}_sum {data['sum']:.6f}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, dict]]) -> dict[str, dict]:
+    """Fold several registry snapshots into one (sum counters and
+    histogram buckets, last-write-wins for gauges).
+
+    Lets multi-process benches aggregate per-worker registries, and a
+    coordinator fold per-shard server snapshots into a cluster view.
+    """
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, data in snap.items():
+            if name not in merged:
+                merged[name] = {
+                    **data,
+                    **(
+                        {"buckets": dict(data["buckets"])}
+                        if data["type"] == "histogram"
+                        else {}
+                    ),
+                }
+                continue
+            base = merged[name]
+            if base["type"] != data["type"]:
+                raise TypeError(
+                    f"cannot merge {name!r}: {base['type']} vs {data['type']}"
+                )
+            if data["type"] == "counter":
+                base["value"] += data["value"]
+            elif data["type"] == "gauge":
+                base["value"] = data["value"]
+            else:
+                for le, count in data["buckets"].items():
+                    base["buckets"][le] = base["buckets"].get(le, 0) + count
+                base["inf"] += data["inf"]
+                base["count"] += data["count"]
+                base["sum"] += data["sum"]
+                if data["count"]:
+                    base["min"] = min(base["min"], data["min"]) if base["count"] else data["min"]
+                    base["max"] = max(base["max"], data["max"])
+                base["mean"] = base["sum"] / base["count"] if base["count"] else 0.0
+    return merged
+
+
+#: The process-wide registry every subsystem records into by default.
+REGISTRY = MetricRegistry()
+
+
+def get_registry() -> MetricRegistry:
+    """The process-wide default registry."""
+    return REGISTRY

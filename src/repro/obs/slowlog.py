@@ -1,0 +1,189 @@
+"""Slow-operation log and event ring: bounded, structured, RAM-only.
+
+Two instruments share one ring implementation:
+
+* :class:`SlowLog` — every completed operation is *offered* with its
+  duration; only those over the threshold are kept, as structured records
+  with span attribution (trace/span ids when the op ran inside a trace),
+  so "what was slow in the last minute?" is answerable without replaying
+  a bench.  An optional deterministic sample of *sub-threshold* ops can
+  be kept too (``sample_rate``), giving the log context lines; the
+  sampling RNG is seeded and touched only under the ring lock (the
+  ``ServiceStats`` reservoir-RNG invariant), so tests are repeatable.
+* :class:`EventRing` — discrete happenings rather than durations: shard
+  DEAD/ALIVE transitions, probe sweeps, failovers.  Same bounded ring,
+  same scrub rules.
+
+Records are plain dicts of operation names, durations, counts and shard
+ids — never keys, security levels or hidden-object names.  Nothing here
+touches a device or file.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+
+from repro.obs._state import enabled
+
+__all__ = [
+    "DEFAULT_SLOW_THRESHOLD_MS",
+    "EventRing",
+    "SlowLog",
+    "get_events",
+    "get_slowlog",
+]
+
+#: Ops slower than this (milliseconds) are logged by default.
+DEFAULT_SLOW_THRESHOLD_MS = 100.0
+
+#: Records kept per ring before the oldest are evicted.
+DEFAULT_CAPACITY = 512
+
+
+class SlowLog:
+    """Bounded in-memory ring of operations that exceeded a threshold."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        threshold_ms: float = DEFAULT_SLOW_THRESHOLD_MS,
+        sample_rate: float = 0.0,
+        seed: int = 0x510,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"slowlog capacity must be positive, got {capacity}")
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self._threshold_ms = float(threshold_ms)
+        self._sample_rate = max(0.0, min(1.0, float(sample_rate)))
+        self._rng = random.Random(seed)
+        self._offered = 0
+        self._kept = 0
+
+    @property
+    def threshold_ms(self) -> float:
+        with self._lock:
+            return self._threshold_ms
+
+    def set_threshold_ms(self, threshold_ms: float) -> None:
+        """Change the slow cutoff at runtime (admin/CLI)."""
+        with self._lock:
+            self._threshold_ms = float(threshold_ms)
+
+    def note(
+        self,
+        op: str,
+        duration_ms: float,
+        *,
+        failed: bool = False,
+        trace: tuple[str, str] | None = None,
+        **attrs: object,
+    ) -> None:
+        """Offer one completed operation; kept only if slow (or sampled).
+
+        ``trace`` is the ``(trace_id, span_id)`` the op ran under, if
+        any — the link that lets ``obs_slowlog`` output point straight at
+        a span tree.  Extra ``attrs`` must obey the scrub rules (sizes,
+        counts, shard ids; no secrets).
+        """
+        if not enabled():
+            return
+        with self._lock:
+            self._offered += 1
+            if duration_ms < self._threshold_ms and not failed:
+                if not (
+                    self._sample_rate > 0.0
+                    and self._rng.random() < self._sample_rate
+                ):
+                    return
+            record: dict = {
+                "ts_unix": time.time(),
+                "op": op,
+                "duration_ms": duration_ms,
+                "slow": duration_ms >= self._threshold_ms,
+            }
+            if failed:
+                record["failed"] = True
+            if trace is not None:
+                record["trace_id"], record["span_id"] = trace
+            if attrs:
+                record["attrs"] = dict(attrs)
+            self._records.append(record)
+            self._kept += 1
+
+    def records(self, limit: int | None = None) -> list[dict]:
+        """Newest-first copies of the kept records."""
+        with self._lock:
+            out = list(self._records)
+        out.reverse()
+        if limit is not None:
+            out = out[: max(0, limit)]
+        return out
+
+    def stats(self) -> dict:
+        """Offered/kept counters and the active threshold."""
+        with self._lock:
+            return {
+                "offered": self._offered,
+                "kept": self._kept,
+                "threshold_ms": self._threshold_ms,
+            }
+
+    def clear(self) -> None:
+        """Drop all records (tests)."""
+        with self._lock:
+            self._records.clear()
+
+
+class EventRing:
+    """Bounded ring of discrete events (health flips, probes, failovers)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"event ring capacity must be positive, got {capacity}")
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, kind: str, **attrs: object) -> None:
+        """Record one event (scrub rules apply to ``attrs``)."""
+        if not enabled():
+            return
+        event: dict = {"ts_unix": time.time(), "kind": kind}
+        if attrs:
+            event.update(attrs)
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, kind: str | None = None, limit: int | None = None) -> list[dict]:
+        """Newest-first copies, optionally filtered by ``kind``."""
+        with self._lock:
+            out = list(self._events)
+        out.reverse()
+        if kind is not None:
+            out = [e for e in out if e["kind"] == kind]
+        if limit is not None:
+            out = out[: max(0, limit)]
+        return out
+
+    def clear(self) -> None:
+        """Drop all events (tests)."""
+        with self._lock:
+            self._events.clear()
+
+
+#: Process-wide instances every layer records into by default.
+SLOWLOG = SlowLog()
+EVENTS = EventRing()
+
+
+def get_slowlog() -> SlowLog:
+    """The process-wide default slow-op log."""
+    return SLOWLOG
+
+
+def get_events() -> EventRing:
+    """The process-wide default event ring."""
+    return EVENTS

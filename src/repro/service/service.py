@@ -52,6 +52,11 @@ from typing import Any, Callable, Iterator
 from repro.core.stegfs import StegFS
 from repro.errors import ServiceClosedError
 from repro.fs.filesystem import FileStat
+from repro.obs import _state as _obs_state
+from repro.obs.admin import install_obs_ops
+from repro.obs.metrics import Reservoir, get_registry, percentile
+from repro.obs.slowlog import get_slowlog
+from repro.obs.trace import current_context, maybe_span
 from repro.service.locks import LockStripes, RWLock
 from repro.service.registry import build_registry, lookup, service_op
 from repro.service.sessions import ServiceSession, SessionManager
@@ -81,15 +86,9 @@ class OpStats:
         """Mean wall-clock per call in milliseconds."""
         return self.total_s / self.count * 1000.0 if self.count else 0.0
 
-    def percentile_ms(self, percentile: float) -> float:
+    def percentile_ms(self, p: float) -> float:
         """Nearest-rank latency percentile over the reservoir (ms)."""
-        if not self.samples_ms:
-            return 0.0
-        rank = min(
-            len(self.samples_ms) - 1,
-            int(round(percentile / 100.0 * (len(self.samples_ms) - 1))),
-        )
-        return self.samples_ms[rank]
+        return percentile(self.samples_ms, p)
 
     @property
     def p50_ms(self) -> float:
@@ -140,7 +139,7 @@ class ServiceStats:
         self._counts: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._times: dict[str, float] = {}
-        self._samples: dict[str, list[float]] = {}
+        self._samples: dict[str, Reservoir] = {}
         self._reservoir_size = reservoir_size
         # Deterministic reservoir replacement: percentiles are repeatable
         # for a given call sequence, which the benches rely on.  Shared
@@ -152,18 +151,18 @@ class ServiceStats:
         """Account one completed (or failed) call."""
         elapsed_ms = elapsed_s * 1000.0
         with self._lock:
-            seen = self._counts.get(op, 0)
-            self._counts[op] = seen + 1
+            self._counts[op] = self._counts.get(op, 0) + 1
             self._times[op] = self._times.get(op, 0.0) + elapsed_s
             if failed:
                 self._errors[op] = self._errors.get(op, 0) + 1
-            reservoir = self._samples.setdefault(op, [])
-            if len(reservoir) < self._reservoir_size:
-                reservoir.append(elapsed_ms)
-            else:
-                slot = self._rng.randrange(seen + 1)
-                if slot < self._reservoir_size:
-                    reservoir[slot] = elapsed_ms
+            reservoir = self._samples.get(op)
+            if reservoir is None:
+                # Per-op reservoirs share the one seeded RNG; its draws
+                # happen inside this critical section (see class docstring).
+                reservoir = self._samples[op] = Reservoir(
+                    self._reservoir_size, rng=self._rng
+                )
+            reservoir.add(elapsed_ms)
 
     def snapshot(self) -> StatsSnapshot:
         """Point-in-time copy of every operation's counters.
@@ -180,7 +179,11 @@ class ServiceStats:
                         count=self._counts[op],
                         errors=self._errors.get(op, 0),
                         total_s=self._times[op],
-                        samples_ms=tuple(sorted(self._samples.get(op, ()))),
+                        samples_ms=(
+                            self._samples[op].values()
+                            if op in self._samples
+                            else ()
+                        ),
                     )
                     for op in self._counts
                 }
@@ -195,9 +198,29 @@ class ServiceStats:
             return sum(self._counts.values())
 
 
+def _observe_op(name: str, elapsed_ms: float, failed: bool) -> None:
+    """Mirror one completed service call onto the obs subsystem.
+
+    One shared latency histogram labels by op name; errors get a per-op
+    counter only once one occurs.  Every completion is *offered* to the
+    slow-op log (kept only over its threshold) with the active trace
+    context attached, so slowlog lines point at span trees.
+    """
+    registry = get_registry()
+    registry.histogram(
+        f"service.op.{name}.latency_ms", "service call latency"
+    ).observe(elapsed_ms)
+    if failed:
+        registry.counter(f"service.op.{name}.errors", "failed calls").inc()
+    get_slowlog().note(
+        name, elapsed_ms, failed=failed, trace=current_context()
+    )
+
+
 def _counted(method: Callable[..., Any]) -> Callable[..., Any]:
     """Record latency/err counters and reject calls after shutdown."""
     name = method.__name__
+    span_name = f"service.{name}"
 
     @functools.wraps(method)
     def wrapper(self: "StegFSService", *args: Any, **kwargs: Any) -> Any:
@@ -206,11 +229,15 @@ def _counted(method: Callable[..., Any]) -> Callable[..., Any]:
         start = time.perf_counter()
         failed = True
         try:
-            result = method(self, *args, **kwargs)
+            with maybe_span(span_name):
+                result = method(self, *args, **kwargs)
             failed = False
             return result
         finally:
-            self._stats.record(name, time.perf_counter() - start, failed)
+            elapsed_s = time.perf_counter() - start
+            self._stats.record(name, elapsed_s, failed)
+            if _obs_state.enabled():
+                _observe_op(name, elapsed_s * 1000.0, failed)
 
     return wrapper
 
@@ -724,6 +751,10 @@ class StegFSService:
 
 
 #: Registry of every dispatchable operation, collected from the
-#: ``@service_op`` declarations above.  Front ends (the worker pool, the
-#: TCP server, example drivers) route by name through this table.
+#: ``@service_op`` declarations above plus the read-only observability
+#: admin ops grafted on from :mod:`repro.obs.admin` (the install must
+#: precede ``build_registry``, which walks ``vars(cls)``).  Front ends
+#: (the worker pool, the TCP server, example drivers) route by name
+#: through this table.
+install_obs_ops(StegFSService)
 StegFSService.OPS = build_registry(StegFSService)

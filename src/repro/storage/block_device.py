@@ -29,8 +29,24 @@ from abc import ABC, abstractmethod
 from typing import Iterable, Iterator
 
 from repro.errors import DeviceClosedError, OutOfRangeError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import maybe_span
 
 __all__ = ["BlockDevice", "RamDevice", "FileDevice", "SparseDevice", "iter_runs"]
+
+# Leaf-device traffic counters, shared across instances: the interesting
+# number is "how many blocks actually hit storage in this process", which
+# wrappers (journal, cache) must not double-count — so only the concrete
+# leaf classes below increment these.  Module-level references keep the
+# hot path at one gated increment, no registry lookup.
+_REG = get_registry()
+_BLOCKS_READ = _REG.counter("storage.device.blocks_read", "blocks read at a leaf device")
+_BLOCKS_WRITTEN = _REG.counter(
+    "storage.device.blocks_written", "blocks written at a leaf device"
+)
+_DEVICE_FLUSHES = _REG.counter(
+    "storage.device.flushes", "durability barriers at a leaf device"
+)
 
 
 def iter_runs(indices: list[int]) -> Iterator[tuple[int, int]]:
@@ -196,6 +212,7 @@ class RamDevice(BlockDevice):
 
     def read_block(self, index: int) -> bytes:
         self._check(index)
+        _BLOCKS_READ.inc()
         start = index * self._block_size
         return bytes(self._data[start : start + self._block_size])
 
@@ -205,27 +222,32 @@ class RamDevice(BlockDevice):
             raise ValueError(
                 f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
             )
+        _BLOCKS_WRITTEN.inc()
         start = index * self._block_size
         self._data[start : start + self._block_size] = data
 
     def read_blocks(self, indices: Iterable[int]) -> list[bytes]:
         indices = self._check_batch_read(indices)
+        _BLOCKS_READ.inc(len(indices))
         bs = self._block_size
         out: list[bytes] = []
-        for start, count in iter_runs(indices):
-            run = bytes(self._data[start * bs : (start + count) * bs])
-            out.extend(run[i * bs : (i + 1) * bs] for i in range(count))
+        with maybe_span("device.read_blocks", blocks=len(indices)):
+            for start, count in iter_runs(indices):
+                run = bytes(self._data[start * bs : (start + count) * bs])
+                out.extend(run[i * bs : (i + 1) * bs] for i in range(count))
         return out
 
     def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
         items = self._check_batch_write(items)
+        _BLOCKS_WRITTEN.inc(len(items))
         bs = self._block_size
         pos = 0
-        for start, count in iter_runs([index for index, _ in items]):
-            self._data[start * bs : (start + count) * bs] = b"".join(
-                data for _, data in items[pos : pos + count]
-            )
-            pos += count
+        with maybe_span("device.write_blocks", blocks=len(items)):
+            for start, count in iter_runs([index for index, _ in items]):
+                self._data[start * bs : (start + count) * bs] = b"".join(
+                    data for _, data in items[pos : pos + count]
+                )
+                pos += count
 
     def image(self) -> bytes:
         if self._closed:
@@ -268,6 +290,7 @@ class SparseDevice(BlockDevice):
 
     def read_block(self, index: int) -> bytes:
         self._check(index)
+        _BLOCKS_READ.inc()
         data = self._written.get(index)
         if data is None:
             return self._fill_pattern(index)
@@ -279,6 +302,7 @@ class SparseDevice(BlockDevice):
             raise ValueError(
                 f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
             )
+        _BLOCKS_WRITTEN.inc()
         self._written[index] = bytes(data)
 
     def fill_random(self, rng: random.Random) -> None:
@@ -316,6 +340,7 @@ class FileDevice(BlockDevice):
 
     def read_block(self, index: int) -> bytes:
         self._check(index)
+        _BLOCKS_READ.inc()
         with self._io_lock:
             self._file.seek(index * self._block_size)
             return self._file.read(self._block_size)
@@ -326,6 +351,7 @@ class FileDevice(BlockDevice):
             raise ValueError(
                 f"write of {len(data)} bytes to device with {self._block_size}-byte blocks"
             )
+        _BLOCKS_WRITTEN.inc()
         with self._io_lock:
             self._file.seek(index * self._block_size)
             self._file.write(data)
@@ -334,13 +360,15 @@ class FileDevice(BlockDevice):
         """Batched read: one seek + one ``read`` syscall per contiguous run,
         with the position lock held once across the whole batch."""
         indices = self._check_batch_read(indices)
+        _BLOCKS_READ.inc(len(indices))
         bs = self._block_size
         out: list[bytes] = []
-        with self._io_lock:
-            for start, count in iter_runs(indices):
-                self._file.seek(start * bs)
-                run = self._file.read(count * bs)
-                out.extend(run[i * bs : (i + 1) * bs] for i in range(count))
+        with maybe_span("device.read_blocks", blocks=len(indices)):
+            with self._io_lock:
+                for start, count in iter_runs(indices):
+                    self._file.seek(start * bs)
+                    run = self._file.read(count * bs)
+                    out.extend(run[i * bs : (i + 1) * bs] for i in range(count))
         return out
 
     def write_blocks(self, items: Iterable[tuple[int, bytes]]) -> None:
@@ -349,21 +377,27 @@ class FileDevice(BlockDevice):
         batch stays buffered until :meth:`flush`, which fsyncs exactly once
         however many blocks the batch carried."""
         items = self._check_batch_write(items)
+        _BLOCKS_WRITTEN.inc(len(items))
         bs = self._block_size
         pos = 0
-        with self._io_lock:
-            for start, count in iter_runs([index for index, _ in items]):
-                self._file.seek(start * bs)
-                self._file.write(b"".join(data for _, data in items[pos : pos + count]))
-                pos += count
+        with maybe_span("device.write_blocks", blocks=len(items)):
+            with self._io_lock:
+                for start, count in iter_runs([index for index, _ in items]):
+                    self._file.seek(start * bs)
+                    self._file.write(
+                        b"".join(data for _, data in items[pos : pos + count])
+                    )
+                    pos += count
 
     def flush(self) -> None:
         """Flush buffered writes and ``fsync`` so the on-disk image is
         durable — a host crash must not cost a hidden object its blocks."""
         if not self._closed:
-            with self._io_lock:
-                self._file.flush()
-                os.fsync(self._file.fileno())
+            _DEVICE_FLUSHES.inc()
+            with maybe_span("device.fsync"):
+                with self._io_lock:
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if not self._closed:

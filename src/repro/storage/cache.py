@@ -38,9 +38,20 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.obs.metrics import get_registry
 from repro.storage.block_device import BlockDevice
 
 __all__ = ["CacheStats", "CachedDevice"]
+
+# Process-wide cache counters (summed across instances), mirrored from
+# the per-instance tallies so ``obs_metrics`` shows cache behaviour next
+# to device and journal traffic.  Module-level references keep the hot
+# read path at one gated increment.
+_REG = get_registry()
+_HITS = _REG.counter("storage.cache.hits", "reads served from the cache")
+_MISSES = _REG.counter("storage.cache.misses", "reads that went to the backing device")
+_EVICTIONS = _REG.counter("storage.cache.evictions", "LRU evictions")
+_WRITEBACKS = _REG.counter("storage.cache.writebacks", "dirty blocks written back")
 
 
 @dataclass(frozen=True)
@@ -130,9 +141,11 @@ class CachedDevice(BlockDevice):
             data = self._cache.get(index)
             if data is not None:
                 self._hits += 1
+                _HITS.inc()
                 self._cache.move_to_end(index)
                 return data
             self._misses += 1
+            _MISSES.inc()
         # Fetch outside the lock: a slow backing device (LatencyDevice,
         # FileDevice) must not stall other clients' cache hits.
         data = self._inner.read_block(index)
@@ -170,9 +183,11 @@ class CachedDevice(BlockDevice):
             if len(self._cache) > self._capacity:
                 victim, victim_data = self._cache.popitem(last=False)
                 self._evictions += 1
+                _EVICTIONS.inc()
                 if victim in self._dirty:
                     self._dirty.discard(victim)
                     self._writebacks += 1
+                    _WRITEBACKS.inc()
                     if evicted is None:
                         self._inner.write_block(victim, victim_data)
                     else:
@@ -203,6 +218,8 @@ class CachedDevice(BlockDevice):
                 else:
                     self._misses += 1
                     miss_positions.append(position)
+            _HITS.inc(len(indices) - len(miss_positions))
+            _MISSES.inc(len(miss_positions))
         if miss_positions:
             fetched = self._inner.read_blocks([indices[p] for p in miss_positions])
             with self._lock:
@@ -239,6 +256,7 @@ class CachedDevice(BlockDevice):
             dirty = sorted(self._dirty)
             if dirty:
                 self._writebacks += len(dirty)
+                _WRITEBACKS.inc(len(dirty))
                 self._inner.write_blocks([(index, self._cache[index]) for index in dirty])
             self._dirty.clear()
             self._inner.flush()

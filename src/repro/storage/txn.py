@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import JournalError
+from repro.obs.metrics import get_registry, percentile
+from repro.obs.trace import maybe_span
 from repro.storage.block_device import BlockDevice
 from repro.storage.journal import Journal, RecoveryReport, record_blocks_needed
 
@@ -77,7 +79,12 @@ class JournalMetrics:
 
 
 class TxnStats:
-    """Thread-safe journal/commit counters with batch-size percentiles."""
+    """Thread-safe journal/commit counters with batch-size percentiles.
+
+    Every ``note_*`` call also mirrors onto the process metric registry
+    as ``journal.*`` counters, so remote ``obs_metrics`` sees journal
+    behaviour without a separate snapshot plumbing path.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -89,21 +96,29 @@ class TxnStats:
         self.records_replayed = 0
         self._batches: list[int] = []
 
+    @staticmethod
+    def _mirror(name: str, by: int = 1) -> None:
+        get_registry().counter(f"journal.{name}").inc(by)
+
     def note_commit(self, n_blocks: int) -> None:
         """Account one journal-append commit of ``n_blocks`` images."""
         with self._lock:
             self.commits += 1
             self.blocks_journaled += n_blocks
+        self._mirror("commits")
+        self._mirror("blocks_journaled", n_blocks)
 
     def note_bypass(self) -> None:
         """Account one oversized commit that bypassed the journal."""
         with self._lock:
             self.bypass_commits += 1
+        self._mirror("bypass_commits")
 
     def note_checkpoint(self) -> None:
         """Account one journal checkpoint (in-place flush + header reset)."""
         with self._lock:
             self.checkpoints += 1
+        self._mirror("checkpoints")
 
     def note_fsync(self, batch: int) -> None:
         """Account one durability barrier covering ``batch`` commits."""
@@ -114,23 +129,23 @@ class TxnStats:
                     self._batches.append(batch)
                 else:  # cheap sliding window: recent behaviour dominates
                     self._batches[self.fsyncs % _BATCH_RESERVOIR] = batch
+        self._mirror("fsyncs")
+        get_registry().histogram(
+            "journal.fsync_batch",
+            "commits acknowledged per group fsync",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        ).observe(batch)
 
     def note_recovery(self, report: RecoveryReport) -> None:
         """Account a mount-time replay."""
         with self._lock:
             self.records_replayed += report.records_replayed
+        self._mirror("records_replayed", report.records_replayed)
 
     def snapshot(self) -> JournalMetrics:
         """Immutable copy of every counter, with batch percentiles."""
         with self._lock:
             batches = sorted(self._batches)
-
-            def pct(p: float) -> float:
-                if not batches:
-                    return 0.0
-                rank = min(len(batches) - 1, int(round(p / 100.0 * (len(batches) - 1))))
-                return float(batches[rank])
-
             return JournalMetrics(
                 commits=self.commits,
                 fsyncs=self.fsyncs,
@@ -138,8 +153,8 @@ class TxnStats:
                 checkpoints=self.checkpoints,
                 blocks_journaled=self.blocks_journaled,
                 records_replayed=self.records_replayed,
-                batch_p50=pct(50.0),
-                batch_p95=pct(95.0),
+                batch_p50=percentile(batches, 50.0),
+                batch_p95=percentile(batches, 95.0),
                 max_batch=batches[-1] if batches else 0,
             )
 
@@ -303,27 +318,28 @@ class TransactionManager:
             if self.sync_on_commit:
                 self._device.flush()
             return None
-        if not self._journal.fits(len(writes)):
-            # Oversized transaction: journal cannot make it atomic, but a
-            # checkpoint-bracketed direct write keeps it durable and keeps
-            # every *other* record replayable.
-            self.stats.note_bypass()
-            self.checkpoint()
-            self._device.write_blocks(writes)
-            self._device.flush()
-            return None
-        needed = record_blocks_needed(len(writes), self._device.block_size)
-        if needed > self._journal.free_blocks:
-            self.checkpoint()
-        seq = self._journal.append(writes)
-        with self._overlay_lock:
-            for index, image in writes:
-                self._overlay[index] = (seq, image)
-        self._last_commit_seq = seq
-        self.stats.note_commit(len(writes))
-        if self.sync_on_commit:
-            self.wait_durable(seq)
-        return seq
+        with maybe_span("journal.commit", blocks=len(writes)):
+            if not self._journal.fits(len(writes)):
+                # Oversized transaction: journal cannot make it atomic, but a
+                # checkpoint-bracketed direct write keeps it durable and keeps
+                # every *other* record replayable.
+                self.stats.note_bypass()
+                self.checkpoint()
+                self._device.write_blocks(writes)
+                self._device.flush()
+                return None
+            needed = record_blocks_needed(len(writes), self._device.block_size)
+            if needed > self._journal.free_blocks:
+                self.checkpoint()
+            seq = self._journal.append(writes)
+            with self._overlay_lock:
+                for index, image in writes:
+                    self._overlay[index] = (seq, image)
+            self._last_commit_seq = seq
+            self.stats.note_commit(len(writes))
+            if self.sync_on_commit:
+                self.wait_durable(seq)
+            return seq
 
     def wait_durable(self, seq: int) -> None:
         """Block until journal record ``seq`` is durable (group commit).
@@ -346,7 +362,8 @@ class TransactionManager:
                 target = self._journal.last_seq
                 already = self._durable_seq
             try:
-                self._device.flush()
+                with maybe_span("journal.fsync", batch=target - already):
+                    self._device.flush()
             finally:
                 with self._sync_cond:
                     self._sync_in_flight = False
@@ -408,19 +425,21 @@ class TransactionManager:
                 self._sync_cond.wait()
             self._sync_in_flight = True
         try:
-            self._device.flush()
-            with self._apply_lock:
-                with self._overlay_lock:
-                    last = self._journal.last_seq
-                    ready = [
-                        (index, entry[1]) for index, entry in self._overlay.items()
-                    ]
-                    self._overlay.clear()
-                if ready:
-                    self._device.write_blocks(ready)
-            self._device.flush()
-            self._journal.reset()
-            self.stats.note_checkpoint()
+            with maybe_span("journal.checkpoint"):
+                self._device.flush()
+                with self._apply_lock:
+                    with self._overlay_lock:
+                        last = self._journal.last_seq
+                        ready = [
+                            (index, entry[1])
+                            for index, entry in self._overlay.items()
+                        ]
+                        self._overlay.clear()
+                    if ready:
+                        self._device.write_blocks(ready)
+                self._device.flush()
+                self._journal.reset()
+                self.stats.note_checkpoint()
             with self._sync_cond:
                 if last > self._durable_seq:
                     self._durable_seq = last

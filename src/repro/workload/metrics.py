@@ -1,8 +1,14 @@
-"""Metric helpers shared by the experiment drivers."""
+"""Metric helpers shared by the experiment drivers.
+
+Percentile/median arithmetic lives in :mod:`repro.obs.metrics`; this
+module keeps only the experiment-facing :class:`Summary` shape.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.obs.metrics import median
 
 __all__ = ["Summary", "summarize", "space_utilization"]
 
@@ -24,16 +30,11 @@ def summarize(values: list[float]) -> Summary:
         return Summary(n=0, mean=0.0, minimum=0.0, median=0.0, maximum=0.0)
     ordered = sorted(values)
     n = len(ordered)
-    median = (
-        ordered[n // 2]
-        if n % 2
-        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
-    )
     return Summary(
         n=n,
         mean=sum(ordered) / n,
         minimum=ordered[0],
-        median=median,
+        median=median(ordered),
         maximum=ordered[-1],
     )
 

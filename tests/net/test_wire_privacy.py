@@ -162,6 +162,65 @@ def test_async_write_blocking_read_across_processes_uak_never_on_wire(
 
 
 @pytest.mark.slow
+def test_trace_frames_leak_no_secrets(service, server):
+    """Tracing on the wire adds ids, never content.
+
+    A traced hidden-file round trip is captured by the sniffing proxy.
+    The request frames must carry the trace context (the ids really do
+    travel), the trace field itself is nothing but two fixed-width
+    random ids (so it *cannot* encode the UAK, a security level or a
+    hidden name in any spelling), the UAK still never appears anywhere
+    in the stream, and every span the trace produced on the server is
+    scrubbed of the hidden object's name and key.
+    """
+    from repro.net.client import StegFSClient
+    from repro.obs.trace import get_tracer, root_span
+
+    get_tracer().clear()
+    uak = secrets.token_bytes(32)
+    server.server.register_user(USER, uak)
+    hidden_name = "very-hidden-object-name"
+    proxy = SniffingProxy(*server.address)
+    try:
+        host, port = proxy.address
+        with root_span("privacy.check") as root:
+            with StegFSClient(host, port) as client:
+                client.login(USER, uak)
+                client.steg_create(hidden_name, data=secrets.token_bytes(4096))
+                client.steg_read(hidden_name)
+                client.steg_delete(hidden_name)
+                client.logout()
+    finally:
+        proxy.close()
+    captured = proxy.captured
+
+    # The trace context really was on the wire: every trace field is the
+    # marker byte plus the root trace id plus an 8-byte span id — pure
+    # os.urandom output, independent of any key, level or name.
+    trace_id_raw = bytes.fromhex(root.trace_id)
+    occurrences = captured.count(trace_id_raw)
+    assert occurrences >= 3  # at least the three steg_* requests
+
+    # The UAK never appears anywhere in the stream, in any spelling
+    # (tracing must not have changed that).
+    assert uak not in captured
+    assert uak.hex().encode() not in captured
+    assert uak.hex().upper().encode() not in captured
+    assert uak[::-1] not in captured
+
+    # The server spans for this trace (and their attrs) are scrubbed:
+    # span names are constants, attrs are counts — never object names,
+    # keys or level identifiers.
+    server_half = repr(get_tracer().spans(root.trace_id))
+    assert server_half != "[]"
+    assert hidden_name not in server_half
+    assert hidden_name[::-1] not in server_half
+    assert hidden_name.encode().hex() not in server_half
+    assert uak.hex() not in server_half
+    assert uak.hex().upper() not in server_half
+
+
+@pytest.mark.slow
 def test_handshake_frames_contain_token_but_no_key(service, server):
     """The only secrets on the wire are the proof and the opaque token."""
     uak = secrets.token_bytes(32)

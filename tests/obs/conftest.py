@@ -1,0 +1,62 @@
+"""Fixtures for the observability tests: clean global rings, live server."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.net.server import start_in_thread
+from repro.obs import set_enabled
+from repro.obs.slowlog import get_events, get_slowlog
+from repro.obs.trace import get_tracer
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+
+USER = "alice"
+UAK = b"A" * 32
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Each test starts with empty rings and observability enabled.
+
+    The registry is deliberately NOT reset: instrumented modules hold
+    direct references to their counters, and resetting would orphan them
+    for every later test in the process.
+    """
+    set_enabled(True)
+    get_tracer().clear()
+    get_slowlog().clear()
+    get_events().clear()
+    yield
+    set_enabled(True)
+    get_tracer().clear()
+    get_slowlog().clear()
+    get_events().clear()
+    get_slowlog().set_threshold_ms(100.0)
+    get_tracer().set_sample_rate(1.0)
+
+
+@pytest.fixture
+def service():
+    steg = StegFS.mkfs(
+        RamDevice(block_size=512, total_blocks=8192),
+        params=StegFSParams.for_tests(),
+        inode_count=128,
+        rng=random.Random(23),
+        auto_flush=False,
+    )
+    svc = StegFSService(steg, max_workers=4)
+    yield svc
+    if not svc.closed:
+        svc.close()
+
+
+@pytest.fixture
+def server(service):
+    handle = start_in_thread(service, credentials={USER: UAK})
+    yield handle
+    handle.stop()

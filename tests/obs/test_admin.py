@@ -1,0 +1,114 @@
+"""The obs admin ops, over the wire, and the ``python -m repro.obs`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.net.client import StegFSClient
+from repro.obs.__main__ import main as obs_main
+from repro.obs.slowlog import get_events, get_slowlog
+from repro.obs.trace import root_span
+
+USER = "alice"
+UAK = b"A" * 32
+
+
+class TestServiceOps:
+    def test_ops_are_registered(self, service):
+        for name in ("obs_metrics", "obs_slowlog", "obs_trace", "obs_events"):
+            assert name in type(service).OPS
+            assert type(service).OPS[name].mutates is False
+
+    def test_obs_metrics_reflects_traffic(self, service):
+        service.create("/seen.txt", b"x" * 100)
+        text = service.obs_metrics()
+        assert "service.op.create.latency_ms" in text
+        assert "storage.device.blocks_written" in text
+
+    def test_obs_slowlog_returns_json_records(self, service):
+        get_slowlog().set_threshold_ms(0.0)
+        service.create("/slow.txt", b"y")
+        lines = service.obs_slowlog(limit=8)
+        assert lines and all(isinstance(line, str) for line in lines)
+        ops = [json.loads(line)["op"] for line in lines]
+        assert "create" in ops
+
+    def test_obs_trace_lists_then_fetches(self, service):
+        with root_span("test.root") as root:
+            service.create("/traced.txt", b"z")
+        listing = json.loads(service.obs_trace())
+        assert root.trace_id in listing["trace_ids"]
+        doc = json.loads(service.obs_trace(root.trace_id))
+        names = {span["name"] for span in doc["spans"]}
+        assert "test.root" in names
+        assert "service.create" in names
+
+    def test_obs_events_returns_json(self, service):
+        get_events().emit("cluster.shard_state", shard="s0", state="dead")
+        [line] = service.obs_events(limit=1)
+        event = json.loads(line)
+        assert event["kind"] == "cluster.shard_state"
+        assert event["shard"] == "s0"
+
+
+class TestOverTheWire:
+    def test_remote_metrics_and_trace(self, server):
+        host, port = server.address
+        with StegFSClient(host, port) as client:
+            client.login(USER, UAK)
+            client.steg_create("wired", data=b"payload")
+            text = client.obs_metrics()
+            assert "service.op.steg_create.latency_ms" in text
+            listing = json.loads(client.obs_trace())
+            assert "trace_ids" in listing
+            client.logout()
+
+    def test_remote_slowlog_and_events(self, server):
+        get_slowlog().set_threshold_ms(0.0)
+        host, port = server.address
+        with StegFSClient(host, port) as client:
+            client.login(USER, UAK)
+            client.create("/remote.txt", b"abc")
+            lines = client.obs_slowlog(limit=16)
+            assert any(json.loads(line)["op"] == "create" for line in lines)
+            assert isinstance(client.obs_events(limit=4), list)
+            client.logout()
+
+
+class TestCli:
+    def test_metrics_command(self, server, capsys):
+        host, port = server.address
+        with StegFSClient(host, port) as client:
+            client.login(USER, UAK)
+            client.create("/cli.txt", b"cli")
+            client.logout()
+        assert obs_main(["metrics", host, str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "service.op.create.latency_ms" in out
+
+    def test_trace_listing_and_tree(self, server, capsys):
+        host, port = server.address
+        with root_span("cli.root") as root:
+            with StegFSClient(host, port) as client:
+                client.login(USER, UAK)
+                client.steg_create("cli-obj", data=b"t")
+                client.logout()
+        assert obs_main(["trace", host, str(port)]) == 0
+        assert root.trace_id in capsys.readouterr().out
+        assert obs_main(["trace", host, str(port), root.trace_id]) == 0
+        tree = capsys.readouterr().out
+        assert f"trace {root.trace_id}" in tree
+        assert "service.steg_create" in tree
+
+    def test_slowlog_and_events_commands(self, server, capsys):
+        get_slowlog().set_threshold_ms(0.0)
+        get_events().emit("cluster.probe_sweep", probed=2, revived=1)
+        host, port = server.address
+        with StegFSClient(host, port) as client:
+            client.login(USER, UAK)
+            client.create("/cli2.txt", b"s")
+            client.logout()
+        assert obs_main(["slowlog", host, str(port), "--limit", "8"]) == 0
+        assert '"op": "create"' in capsys.readouterr().out
+        assert obs_main(["events", host, str(port)]) == 0
+        assert "cluster.probe_sweep" in capsys.readouterr().out

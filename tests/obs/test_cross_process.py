@@ -1,0 +1,93 @@
+"""Acceptance: one remote hidden-file write → one cross-process span tree.
+
+A client in a **separate OS process** opens a root span and writes a
+hidden file through :class:`StegFSClient`.  The trace context rides the
+request frame, the server re-roots its spans under the client's
+``net.client`` span, and afterwards the server half of the tree is
+retrievable by trace id via the ``obs_trace`` admin op.  Client and
+server halves must link into a single tree: every server span's parent
+chain bottoms out at a span id the client process owns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+USER = "alice"
+UAK = b"A" * 32
+
+_WRITER_SCRIPT = """
+import json, sys
+from repro.net.client import StegFSClient
+from repro.obs.trace import get_tracer, root_span
+
+host, port, user, uak_hex, objname = sys.argv[1:6]
+with root_span("client.request") as root:
+    with StegFSClient(host, int(port)) as client:
+        client.login(user, bytes.fromhex(uak_hex))
+        client.steg_create(objname, data=b"cross-process payload " * 64)
+        client.logout()
+    trace_id = root.trace_id
+sys.stdout.write(json.dumps({
+    "trace_id": trace_id,
+    "spans": get_tracer().spans(trace_id),
+}))
+"""
+
+
+@pytest.mark.slow
+def test_remote_hidden_write_yields_one_span_tree(service, server):
+    server.server.register_user(USER, UAK)
+    host, port = server.address
+
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _WRITER_SCRIPT, host, str(port), USER, UAK.hex(), "xproc"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    client_half = json.loads(completed.stdout)
+    trace_id = client_half["trace_id"]
+    client_spans = client_half["spans"]
+    client_names = {span["name"] for span in client_spans}
+    assert "client.request" in client_names
+    assert "net.client.steg_create" in client_names
+
+    # The server half is retrievable via the admin op, by the same id.
+    server_doc = json.loads(service.obs_trace(trace_id))
+    server_spans = server_doc["spans"]
+    server_names = {span["name"] for span in server_spans}
+    assert "net.server.steg_create" in server_names
+    assert "service.steg_create" in server_names
+    assert all(span["trace_id"] == trace_id for span in server_spans)
+
+    # Client and server halves link into ONE tree: walking parents from
+    # any server span reaches a client-owned span id, and the client root
+    # is the only span without a parent.
+    client_ids = {span["span_id"] for span in client_spans}
+    by_id = {span["span_id"]: span for span in client_spans + server_spans}
+    roots = [span for span in by_id.values() if span["parent_id"] is None]
+    assert [span["name"] for span in roots] == ["client.request"]
+    for span in server_spans:
+        node = span
+        while node["parent_id"] is not None and node["parent_id"] in by_id:
+            node = by_id[node["parent_id"]]
+        assert node["span_id"] in client_ids or node["parent_id"] in client_ids, (
+            f"server span {span['name']} does not reach the client half"
+        )
+
+    # The deep seams recorded under the same trace: the hidden write hit
+    # the device through the service span's subtree.
+    assert any(name.startswith("device.") for name in server_names), server_names

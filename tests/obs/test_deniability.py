@@ -1,0 +1,108 @@
+"""The observability hard invariant: no disk effect, no secrets exported.
+
+Two proofs:
+
+* **Byte-identity** — the same seeded workload, run once with
+  observability fully on (tracing, slowlog, metrics) and once with the
+  kill switch off, must leave *byte-identical* device images.  The
+  snapshot adversary of the paper holds the raw disk: telemetry that
+  perturbed a single allocation or wrote a single block would be a
+  distinguisher.
+* **Scrubbing** — after a hidden-file workload, no exported surface
+  (metric names, text exposition, span records, slowlog records,
+  events) contains the UAK or a hidden object name in any spelling.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.obs import set_enabled
+from repro.obs.metrics import get_registry
+from repro.obs.slowlog import get_events, get_slowlog
+from repro.obs.trace import get_tracer, root_span
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+
+UAK = b"\xaa" * 32
+HIDDEN_NAME = "deeply-secret-object"
+
+
+def _run_workload(traced: bool) -> bytes:
+    """One seeded service workload; returns the final raw device image."""
+    device = RamDevice(block_size=512, total_blocks=4096)
+    steg = StegFS.mkfs(
+        device,
+        params=StegFSParams.for_tests(),
+        inode_count=64,
+        rng=random.Random(99),
+        auto_flush=False,
+    )
+    service = StegFSService(steg, max_workers=2)
+    try:
+        def ops() -> None:
+            service.create("/plain.txt", b"public " * 100)
+            service.steg_create(HIDDEN_NAME, UAK, data=b"hidden " * 200)
+            service.write("/plain.txt", b"public v2 " * 120)
+            assert service.steg_read(HIDDEN_NAME, UAK) == b"hidden " * 200
+            service.steg_delete(HIDDEN_NAME, UAK)
+            service.flush()
+
+        if traced:
+            with root_span("workload"):
+                ops()
+        else:
+            ops()
+        return device.image()
+    finally:
+        if not service.closed:
+            service.close()
+
+
+def test_device_image_is_byte_identical_with_obs_on_and_off():
+    set_enabled(True)
+    get_slowlog().set_threshold_ms(0.0)  # keep EVERY op record
+    try:
+        image_on = _run_workload(traced=True)
+        assert get_tracer().spans(), "sanity: the traced run really recorded"
+        assert get_slowlog().records(), "sanity: the slowlog really recorded"
+    finally:
+        get_slowlog().set_threshold_ms(100.0)
+    set_enabled(False)
+    try:
+        image_off = _run_workload(traced=False)
+    finally:
+        set_enabled(True)
+    assert image_on == image_off
+
+
+def test_no_secret_appears_on_any_exported_surface():
+    get_slowlog().set_threshold_ms(0.0)
+    try:
+        _run_workload(traced=True)
+    finally:
+        get_slowlog().set_threshold_ms(100.0)
+
+    surfaces = [
+        get_registry().render_text(),
+        json.dumps(get_registry().snapshot(), default=str),
+        json.dumps(get_tracer().spans()),
+        json.dumps(get_slowlog().records()),
+        json.dumps(get_events().events()),
+        "\n".join(get_registry().names()),
+    ]
+    spellings = [
+        UAK.hex(),
+        UAK.hex().upper(),
+        UAK[::-1].hex(),
+        repr(UAK),
+        HIDDEN_NAME,
+        HIDDEN_NAME.upper(),
+        HIDDEN_NAME[::-1],
+    ]
+    for surface in surfaces:
+        for secret in spellings:
+            assert secret not in surface, f"secret {secret[:16]!r} leaked"

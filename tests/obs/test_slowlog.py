@@ -1,0 +1,105 @@
+"""Unit tests for the slow-op log and the event ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import set_enabled
+from repro.obs.slowlog import EventRing, SlowLog
+
+
+class TestSlowLog:
+    def test_keeps_only_slow_ops(self):
+        log = SlowLog(threshold_ms=10.0)
+        log.note("fast", 1.0)
+        log.note("slow", 25.0)
+        records = log.records()
+        assert [r["op"] for r in records] == ["slow"]
+        assert records[0]["slow"] is True
+        stats = log.stats()
+        assert stats["offered"] == 2 and stats["kept"] == 1
+
+    def test_failed_ops_always_kept(self):
+        log = SlowLog(threshold_ms=1000.0)
+        log.note("broken", 0.1, failed=True)
+        [record] = log.records()
+        assert record["failed"] is True
+        assert record["slow"] is False
+
+    def test_trace_attribution_and_attrs(self):
+        log = SlowLog(threshold_ms=0.0)
+        log.note("op", 5.0, trace=("11" * 8, "22" * 8), blocks=4)
+        [record] = log.records()
+        assert record["trace_id"] == "11" * 8
+        assert record["span_id"] == "22" * 8
+        assert record["attrs"] == {"blocks": 4}
+
+    def test_newest_first_with_limit(self):
+        log = SlowLog(threshold_ms=0.0)
+        for index in range(5):
+            log.note(f"op{index}", 1.0)
+        assert [r["op"] for r in log.records(limit=2)] == ["op4", "op3"]
+
+    def test_ring_is_bounded(self):
+        log = SlowLog(capacity=3, threshold_ms=0.0)
+        for index in range(10):
+            log.note(f"op{index}", 1.0)
+        assert [r["op"] for r in log.records()] == ["op9", "op8", "op7"]
+
+    def test_sub_threshold_sampling_is_deterministic(self):
+        def run() -> list[str]:
+            log = SlowLog(threshold_ms=100.0, sample_rate=0.25, seed=0x510)
+            for index in range(100):
+                log.note(f"op{index}", 1.0)
+            return [r["op"] for r in log.records()]
+
+        first, second = run(), run()
+        assert first == second
+        assert 0 < len(first) < 100
+
+    def test_threshold_is_adjustable(self):
+        log = SlowLog(threshold_ms=100.0)
+        log.note("op", 50.0)
+        assert log.records() == []
+        log.set_threshold_ms(10.0)
+        log.note("op", 50.0)
+        assert len(log.records()) == 1
+
+    def test_disabled_records_nothing(self):
+        log = SlowLog(threshold_ms=0.0)
+        set_enabled(False)
+        try:
+            log.note("op", 999.0)
+        finally:
+            set_enabled(True)
+        assert log.records() == []
+        assert log.stats()["offered"] == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SlowLog(capacity=0)
+
+
+class TestEventRing:
+    def test_emit_and_filter(self):
+        ring = EventRing()
+        ring.emit("cluster.shard_state", shard="s1", state="dead")
+        ring.emit("cluster.probe_sweep", probed=1, revived=0)
+        assert len(ring.events()) == 2
+        [flip] = ring.events(kind="cluster.shard_state")
+        assert flip["shard"] == "s1" and flip["state"] == "dead"
+
+    def test_newest_first_and_bounded(self):
+        ring = EventRing(capacity=2)
+        for index in range(4):
+            ring.emit("e", n=index)
+        assert [e["n"] for e in ring.events()] == [3, 2]
+
+    def test_disabled_records_nothing(self):
+        ring = EventRing()
+        set_enabled(False)
+        try:
+            ring.emit("e")
+        finally:
+            set_enabled(True)
+        assert ring.events() == []

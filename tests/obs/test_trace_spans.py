@@ -1,0 +1,150 @@
+"""Unit tests for span trees, context propagation and root sampling."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+import pytest
+
+from repro.obs import set_enabled
+from repro.obs.trace import Tracer, current_context, get_tracer, maybe_span, root_span
+
+
+def _by_name(records):
+    return {rec["name"]: rec for rec in records}
+
+
+class TestSpanTree:
+    def test_maybe_span_is_noop_outside_a_trace(self):
+        with maybe_span("orphan") as span:
+            assert span is None
+        assert get_tracer().spans() == []
+
+    def test_root_then_children_share_one_trace(self):
+        with root_span("request") as root:
+            with maybe_span("inner", blocks=3) as inner:
+                assert inner.trace_id == root.trace_id
+                assert inner.parent_id == root.span_id
+        records = get_tracer().spans()
+        spans = _by_name(records)
+        assert set(spans) == {"request", "inner"}
+        assert spans["inner"]["parent_id"] == spans["request"]["span_id"]
+        assert spans["inner"]["attrs"] == {"blocks": 3}
+        # Children finish (and are recorded) before their parent.
+        assert records[0]["name"] == "inner"
+
+    def test_error_is_recorded_as_type_name_only(self):
+        with pytest.raises(ValueError):
+            with root_span("failing"):
+                raise ValueError("secret detail that must not be recorded")
+        [record] = get_tracer().spans()
+        assert record["error"] == "ValueError"
+        assert "secret" not in str(record)
+
+    def test_current_context_tracks_active_span(self):
+        assert current_context() is None
+        with root_span("outer") as outer:
+            assert current_context() == (outer.trace_id, outer.span_id)
+        assert current_context() is None
+
+    def test_disabled_tracer_yields_none(self):
+        set_enabled(False)
+        try:
+            with root_span("dark") as span:
+                assert span is None
+        finally:
+            set_enabled(True)
+        assert get_tracer().spans() == []
+
+
+class TestRemoteContext:
+    def test_activate_adopts_a_remote_parent(self):
+        tracer = get_tracer()
+        token = tracer.activate(("aa" * 8, "bb" * 8))
+        try:
+            with maybe_span("server.op") as span:
+                assert span.trace_id == "aa" * 8
+                assert span.parent_id == "bb" * 8
+        finally:
+            tracer.deactivate(token)
+        assert current_context() is None
+
+    def test_explicit_parent_on_span(self):
+        tracer = get_tracer()
+        with tracer.span("op", parent=("cc" * 8, "dd" * 8)) as span:
+            assert span.trace_id == "cc" * 8
+        [record] = tracer.spans()
+        assert record["parent_id"] == "dd" * 8
+
+    def test_copied_context_carries_span_into_threads(self):
+        results: list[tuple[str, str] | None] = []
+
+        def leg() -> None:
+            with maybe_span("leg") as span:
+                results.append(span.context() if span else None)
+
+        with root_span("fanout") as root:
+            ctx = contextvars.copy_context()
+            thread = threading.Thread(target=ctx.run, args=(leg,))
+            thread.start()
+            thread.join()
+        assert results and results[0] is not None
+        assert results[0][0] == root.trace_id
+
+    def test_bare_thread_does_not_inherit_context(self):
+        results: list[object] = []
+
+        def leg() -> None:
+            with maybe_span("leg") as span:
+                results.append(span)
+
+        with root_span("fanout"):
+            thread = threading.Thread(target=leg)
+            thread.start()
+            thread.join()
+        assert results == [None]
+
+
+class TestSampling:
+    def test_zero_rate_drops_roots_but_not_children(self):
+        tracer = Tracer(sample_rate=0.0)
+        with tracer.span("root", root=True) as span:
+            assert span is None
+        with tracer.span("child", parent=("ee" * 8, "ff" * 8)) as span:
+            assert span is not None
+        assert [rec["name"] for rec in tracer.spans()] == ["child"]
+
+    def test_sampling_is_deterministic_for_a_seed(self):
+        def run() -> list[bool]:
+            tracer = Tracer(sample_rate=0.5, seed=0x0B5)
+            kept = []
+            for _ in range(64):
+                with tracer.span("r", root=True) as span:
+                    kept.append(span is not None)
+            return kept
+
+        first, second = run(), run()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            with tracer.span(f"s{index}", root=True):
+                pass
+        names = [rec["name"] for rec in tracer.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_trace_ids_ordered_and_distinct(self):
+        tracer = Tracer()
+        with tracer.span("a", root=True):
+            with tracer.span("a.child"):
+                pass
+        with tracer.span("b", root=True):
+            pass
+        assert len(tracer.trace_ids()) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)

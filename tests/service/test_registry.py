@@ -20,6 +20,7 @@ class TestRegistryContents:
             "open_session", "close_session", "connect", "disconnect",
             "connected_names", "session_read", "session_write",
             "flush", "dummy_tick",
+            "obs_metrics", "obs_slowlog", "obs_trace", "obs_events",
         }
         assert set(StegFSService.OPS) == expected
 

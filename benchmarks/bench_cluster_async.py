@@ -1,0 +1,64 @@
+"""Async vs threaded cluster plane — claim assertions.
+
+The tentpole claim of the async data-plane PR: the pipelined
+``AsyncClusterClient`` (first-ack-wins reads with leg cancellation,
+early-ack quorum writes) sustains >= 2x the aggregate ops/sec of the
+thread-per-leg ``ClusterClient`` baseline at 256 concurrent clients,
+on a four-shard cluster with one 8x laggard shard, with zero
+client-visible errors in either arm.
+
+Uses the smoke configuration even under pytest: each data point is a
+fixed-duration closed-loop window plus fixture setup, and the full
+configuration's three client counts x two arms would dominate the
+benchmark suite's runtime without changing the claim.
+
+Run standalone (CI smoke) with ``python benchmarks/bench_cluster_async.py
+--smoke`` — the CLI exits non-zero if the speedup claim fails, so the
+smoke job is a real gate.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import cluster_async
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cluster_async.run(smoke=True)
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: cluster_async.render(result))
+    print("\n" + text)
+
+
+class TestAsyncPlaneClaims:
+    def test_async_beats_threaded_at_peak_concurrency(self, result):
+        """The tentpole claim: >= 2x ops/sec at the largest client count."""
+        assert result.speedup_at_max >= 2.0, (
+            result.threaded_ops_per_sec,
+            result.async_ops_per_sec,
+        )
+
+    def test_no_client_visible_errors(self, result):
+        assert result.total_errors == 0, (
+            result.threaded_errors,
+            result.async_errors,
+        )
+
+    def test_first_ack_wins_engaged(self, result):
+        """The speedup must come from the racing read path, not luck."""
+        assert all(v > 0 for v in result.first_ack_wins), result.first_ack_wins
+
+    def test_losing_legs_cancelled(self, result):
+        """Racing without cancellation would just burn shard capacity."""
+        assert all(v > 0 for v in result.cancelled_legs), result.cancelled_legs
+
+
+if __name__ == "__main__":
+    raise SystemExit(cluster_async.main(sys.argv[1:]))

@@ -35,7 +35,15 @@ from repro.baselines import (
     clean_disk,
     frag_disk,
 )
-from repro.cluster import ClusterClient, RemoteShard, ServiceShard
+from repro.cluster import (
+    AsyncClusterClient,
+    AsyncRemoteShard,
+    AsyncServiceShard,
+    BlockingClusterClient,
+    ClusterClient,
+    RemoteShard,
+    ServiceShard,
+)
 from repro.core import (
     HiddenDirEntry,
     HiddenDirectory,
@@ -50,7 +58,7 @@ from repro.db import HiddenKVStore
 from repro.fs import FileSystem
 from repro.net import AsyncStegFSClient, StegFSClient, StegFSServer
 from repro.obs import MetricRegistry, SlowLog, Tracer, get_registry, get_tracer
-from repro.service import SessionManager, StegFSService
+from repro.service import AsyncServiceFront, SessionManager, StegFSService
 from repro.storage import (
     Bitmap,
     CachedDevice,
@@ -69,8 +77,13 @@ from repro.workload import WorkloadSpec, generate_jobs, replay_interleaved
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncClusterClient",
+    "AsyncRemoteShard",
+    "AsyncServiceFront",
+    "AsyncServiceShard",
     "AsyncStegFSClient",
     "Bitmap",
+    "BlockingClusterClient",
     "CacheStats",
     "CachedDevice",
     "ClusterClient",

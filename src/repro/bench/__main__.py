@@ -6,6 +6,7 @@ import sys
 
 from repro.bench import (
     ablation,
+    cluster_async,
     cluster_throughput,
     durability,
     fig6,
@@ -31,6 +32,7 @@ _EXPERIMENTS = {
     "net": lambda: net_throughput.render(net_throughput.run()),
     "durability": lambda: durability.render(durability.run()),
     "cluster": lambda: cluster_throughput.render(cluster_throughput.run()),
+    "cluster-async": lambda: cluster_async.render(cluster_async.run()),
     "obs": lambda: obs_overhead.render(obs_overhead.run()),
 }
 

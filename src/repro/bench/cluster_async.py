@@ -1,0 +1,513 @@
+"""Async vs threaded cluster data plane: ops/sec and p99 vs client count.
+
+The tentpole claim of the async-native data plane PR: at high client
+concurrency, the pipelined :class:`~repro.cluster.AsyncClusterClient`
+beats the thread-per-leg :class:`~repro.cluster.ClusterClient` baseline
+by **>= 2x aggregate ops/sec at 256 concurrent clients**, because
+
+* the async coordinator races read legs first-ack-wins and *cancels*
+  the losers, while the threaded coordinator's full fan-out waits for
+  every leg — so one slow shard prices every threaded read;
+* write legs past the quorum become background stragglers instead of
+  blocking the caller;
+* 256 concurrent async clients are 256 tasks on one loop, while the
+  threaded arm needs a real OS thread per client plus a bounded
+  coordinator pool whose size caps in-flight legs.
+
+The geometry makes the contrast concrete: four latency-priced StegFS
+shards, one of them a **laggard** running ``laggard_factor`` times
+slower than its peers (a degraded disk, an overloaded node).  With
+RF=3 over 4 shards the laggard sits in three quarters of all
+placements, so the threaded arm's wait-all reads are laggard-bound
+while the async arm returns at the fastest replica and cancels the
+laggard's leg before its executor ever starts it.
+
+Both arms drive the identical deterministic read-heavy workload
+(:class:`~repro.workload.live.OpMix` 90/10 read/write over a shared
+name set) against freshly built clusters per data point.  Each data
+point is a **fixed-duration closed loop**: every client issues its
+next op as soon as the previous one returns, until the measurement
+window closes.  Throughput counts the ops that completed inside the
+window; the latency percentiles additionally include the in-flight
+ops that straggle past it (a same-key write that must drain its
+predecessor's laggard leg can take many seconds — hiding it would
+flatter exactly the path this bench exists to expose).  Device
+pricing is on only during the window: fixture population runs free,
+and at the deadline a watchdog drops pricing again so the post-window
+drain does not dominate wall-clock — ops still in flight at the
+close therefore report truncated latencies, identically for both
+arms.
+
+Run from the command line (``--smoke`` for the CI-sized configuration)::
+
+    python -m repro.bench.cluster_async [--smoke]
+
+or through pytest via ``benchmarks/bench_cluster_async.py``, which
+asserts the >= 2x speedup-at-256-clients claim the CI smoke job gates
+on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.bench.common import format_table, write_result
+from repro.cluster.aio import AsyncClusterClient, AsyncServiceShard
+from repro.cluster.backend import ServiceShard
+from repro.cluster.coordinator import ClusterClient
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+from repro.storage.latency import LatencyDevice
+from repro.workload.live import ClientResult, LiveRunResult, OpMix
+
+__all__ = ["ClusterAsyncConfig", "ClusterAsyncResult", "run", "render", "main"]
+
+
+@dataclass(frozen=True)
+class ClusterAsyncConfig:
+    """Knobs for one async-vs-threaded comparison run."""
+
+    client_counts: tuple[int, ...] = (64, 128, 256)
+    #: Length of each measurement window (per arm, per client count).
+    duration_s: float = 15.0
+    #: Large enough that concurrent writers rarely collide on a name:
+    #: a same-key write must drain the previous write's laggard
+    #: straggler leg (by design — version ordering), so a small name
+    #: set would measure key-collision serialization, not the plane.
+    n_files: int = 128
+    file_size: int = 1024
+    payload_size: int = 1024
+    block_size: int = 512
+    blocks_per_shard: int = 4096
+    n_shards: int = 4
+    replication: int = 3
+    write_quorum: int = 2
+    #: One shard runs this many times slower than its peers.
+    laggard_factor: float = 8.0
+    #: Worker threads per shard service — identical for both arms, so
+    #: shard capacity is never the variable under test.
+    shard_workers: int = 16
+    #: The threaded coordinator's fan-out pool.  Fixed across client
+    #: counts: a thread-per-leg design cannot scale its pool with the
+    #: client count (256 clients x RF=3 would need 768 leg threads),
+    #: which is precisely the bottleneck the async plane removes.
+    coordinator_workers: int = 64
+    time_scale: float = 1.0
+    seed: int = 2003
+
+    @classmethod
+    def smoke(cls) -> "ClusterAsyncConfig":
+        """CI-sized configuration: seconds, not minutes.
+
+        Keeps the full 64 -> 256 client sweep (the claim is *at* 256
+        clients) with short windows; setup and drain are unpriced, so
+        each point costs little more than its window.
+        """
+        return cls(
+            client_counts=(64, 256),
+            duration_s=6.0,
+            n_files=64,
+            file_size=512,
+            payload_size=512,
+            blocks_per_shard=2048,
+        )
+
+
+@dataclass
+class ClusterAsyncResult:
+    """Everything the render and the claim assertions need."""
+
+    config: ClusterAsyncConfig
+    client_counts: list[int]
+    threaded_ops_per_sec: list[float] = field(default_factory=list)
+    threaded_p99_ms: list[float] = field(default_factory=list)
+    threaded_errors: list[int] = field(default_factory=list)
+    async_ops_per_sec: list[float] = field(default_factory=list)
+    async_p99_ms: list[float] = field(default_factory=list)
+    async_errors: list[int] = field(default_factory=list)
+    first_ack_wins: list[int] = field(default_factory=list)
+    cancelled_legs: list[int] = field(default_factory=list)
+    early_acks: list[int] = field(default_factory=list)
+
+    def speedup_at(self, n_clients: int) -> float:
+        """Async over threaded ops/sec ratio at one client count."""
+        if n_clients not in self.client_counts:
+            return 0.0
+        index = self.client_counts.index(n_clients)
+        base = self.threaded_ops_per_sec[index]
+        return self.async_ops_per_sec[index] / base if base > 0 else 0.0
+
+    @property
+    def speedup_at_max(self) -> float:
+        """The acceptance ratio: async/threaded at the largest count."""
+        return self.speedup_at(max(self.client_counts)) if self.client_counts else 0.0
+
+    @property
+    def total_errors(self) -> int:
+        """Client-visible errors across both arms (should be zero)."""
+        return sum(self.threaded_errors) + sum(self.async_errors)
+
+
+_DevicePricing = list[tuple[LatencyDevice, float]]
+
+
+def _build_services(
+    config: ClusterAsyncConfig,
+) -> tuple[dict[str, StegFSService], _DevicePricing]:
+    """Fresh latency-priced StegFS services, shard 0 the laggard.
+
+    Sleeps on one shard overlap across its worker pool (shared queue
+    depth, not one spindle): both arms see the same per-shard capacity,
+    so the comparison isolates the coordinator, not the storage.
+
+    Devices start **unpriced** (``time_scale=0``) so fixture population
+    is free; :func:`_price` turns the configured pricing on for the
+    measurement window and :func:`_unprice` turns it back off so the
+    post-window drain (in-flight ops, straggler legs) does not dominate
+    the run's wall-clock.
+    """
+    services = {}
+    pricing: _DevicePricing = []
+    for index in range(config.n_shards):
+        scale = config.time_scale * (config.laggard_factor if index == 0 else 1.0)
+        device = LatencyDevice(
+            RamDevice(config.block_size, config.blocks_per_shard),
+            time_scale=0.0,
+        )
+        pricing.append((device, scale))
+        steg = StegFS.mkfs(
+            device,
+            params=StegFSParams.for_tests(),
+            inode_count=max(64, config.n_files * 4),
+            rng=random.Random(config.seed + index),
+            auto_flush=False,
+        )
+        services[f"shard-{index}"] = StegFSService(
+            steg, max_workers=config.shard_workers
+        )
+    return services, pricing
+
+
+def _price(pricing: _DevicePricing) -> None:
+    """Turn the configured per-shard pricing on (window open)."""
+    for device, scale in pricing:
+        device.time_scale = scale
+
+
+def _unprice(pricing: _DevicePricing) -> None:
+    """Drop all pricing (window closed: drain at memory speed)."""
+    for device, _ in pricing:
+        device.time_scale = 0.0
+
+
+def _working_set(config: ClusterAsyncConfig) -> list[tuple[str, bytes]]:
+    """Deterministic (name, payload) pairs shared by both arms."""
+    rng = random.Random(config.seed)
+    return [
+        (f"bench-{index:04d}", rng.randbytes(config.file_size))
+        for index in range(config.n_files)
+    ]
+
+
+def _populate(cluster: ClusterClient, config: ClusterAsyncConfig, uak: bytes) -> list[str]:
+    """Create the shared working set through ``cluster`` (setup, unpriced).
+
+    Runs with device pricing off, so this is CPU-bound; a helper pool
+    still overlaps the per-create fan-out round-trips.
+    """
+    pairs = _working_set(config)
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        futures = [
+            pool.submit(cluster.steg_create, name, uak, data=payload)
+            for name, payload in pairs
+        ]
+        for future in futures:
+            future.result()
+    cluster.flush()
+    return [name for name, _ in pairs]
+
+
+def _timed_op(
+    result: ClientResult, deadline: float, begun: float, failed: bool
+) -> None:
+    """Record one finished op: latency always, throughput only in-window.
+
+    An op that completes after the deadline still contributes its
+    latency (the tail is part of the story) but not to ops/sec — the
+    window closed without it.
+    """
+    done = time.perf_counter()
+    if failed:
+        result.errors += 1
+    elif done <= deadline:
+        result.ops += 1
+    result.latencies_ms.append((done - begun) * 1000.0)
+
+
+def _run_threaded_arm(
+    config: ClusterAsyncConfig, n_clients: int, uak: bytes
+) -> LiveRunResult:
+    """One data point for the baseline: threads through ``ClusterClient``.
+
+    A closed loop per client thread: draw from the 90/10 mix, issue,
+    repeat until the window closes.  Same RNG seeding as the async arm,
+    so both arms draw the same op/name/payload sequences.
+    """
+    services, pricing = _build_services(config)
+    shards = {
+        shard_id: ServiceShard(service, owns_service=True)
+        for shard_id, service in services.items()
+    }
+    cluster = ClusterClient(
+        shards,
+        replication=config.replication,
+        write_quorum=config.write_quorum,
+        read_fanout=None,  # full fan-out: every read waits all alive legs
+        max_workers=config.coordinator_workers,
+        owns_backends=True,
+    )
+    try:
+        names = _populate(cluster, config, uak)
+        mix = OpMix.read_heavy()
+        barrier = threading.Barrier(n_clients + 1)
+        results: list[ClientResult] = [ClientResult(client=i) for i in range(n_clients)]
+        deadline_ref: list[float] = []
+
+        def client_main(index: int) -> None:
+            rng = random.Random(((config.seed ^ n_clients) << 16) ^ index)
+            result = results[index]
+            barrier.wait()
+            deadline = deadline_ref[0]
+            while time.perf_counter() < deadline:
+                op = mix.choose(rng)
+                begun = time.perf_counter()
+                failed = False
+                try:
+                    if op == "read":
+                        cluster.steg_read(rng.choice(names), uak)
+                    else:
+                        cluster.steg_write(
+                            rng.choice(names), uak, rng.randbytes(config.payload_size)
+                        )
+                except Exception:
+                    failed = True
+                _timed_op(result, deadline, begun, failed)
+
+        threads = [
+            threading.Thread(target=client_main, args=(i,), name=f"bench-client-{i}")
+            for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        _price(pricing)
+        watchdog = threading.Timer(config.duration_s, _unprice, args=(pricing,))
+        watchdog.start()
+        deadline_ref.append(time.perf_counter() + config.duration_s)
+        barrier.wait()
+        try:
+            for thread in threads:
+                thread.join()
+        finally:
+            watchdog.cancel()
+            _unprice(pricing)
+        return LiveRunResult(
+            n_clients=n_clients, elapsed_s=config.duration_s, clients=results
+        )
+    finally:
+        cluster.close()
+
+
+async def _async_client_loop(
+    cluster: AsyncClusterClient,
+    uak: bytes,
+    names: list[str],
+    config: ClusterAsyncConfig,
+    n_clients: int,
+    index: int,
+    start: asyncio.Event,
+    deadline_ref: list[float],
+) -> ClientResult:
+    """One async client: the coroutine twin of the threaded closed loop.
+
+    Same RNG seeding, same :class:`OpMix` draws, same payload sizes —
+    given the same seed both arms issue the identical op sequence, so
+    the only variable is the coordinator underneath.
+    """
+    rng = random.Random(((config.seed ^ n_clients) << 16) ^ index)
+    mix = OpMix.read_heavy()
+    result = ClientResult(client=index)
+    await start.wait()
+    deadline = deadline_ref[0]
+    while time.perf_counter() < deadline:
+        op = mix.choose(rng)
+        begun = time.perf_counter()
+        failed = False
+        try:
+            if op == "read":
+                await cluster.steg_read(rng.choice(names), uak)
+            else:
+                await cluster.steg_write(
+                    rng.choice(names), uak, rng.randbytes(config.payload_size)
+                )
+        except Exception:
+            failed = True
+        _timed_op(result, deadline, begun, failed)
+    return result
+
+
+async def _run_async_point(
+    config: ClusterAsyncConfig, n_clients: int, uak: bytes
+) -> tuple[LiveRunResult, dict[str, int]]:
+    """One data point for the async arm: tasks through ``AsyncClusterClient``."""
+    services, pricing = _build_services(config)
+    shards = {
+        shard_id: AsyncServiceShard(service, owns_service=True)
+        for shard_id, service in services.items()
+    }
+    cluster = AsyncClusterClient(
+        shards,
+        replication=config.replication,
+        write_quorum=config.write_quorum,
+        read_fanout=None,  # full fan-out — but first ack wins, losers cancel
+        owns_backends=True,
+    )
+    try:
+        pairs = _working_set(config)
+        await asyncio.gather(
+            *(cluster.steg_create(name, uak, data=payload) for name, payload in pairs)
+        )
+        await cluster.flush()
+        names = [name for name, _ in pairs]
+        start = asyncio.Event()
+        deadline_ref: list[float] = []
+        tasks = [
+            asyncio.ensure_future(
+                _async_client_loop(
+                    cluster, uak, names, config, n_clients, i, start, deadline_ref
+                )
+            )
+            for i in range(n_clients)
+        ]
+        await asyncio.sleep(0)  # let every client reach the start event
+        _price(pricing)
+        watchdog = threading.Timer(config.duration_s, _unprice, args=(pricing,))
+        watchdog.start()
+        deadline_ref.append(time.perf_counter() + config.duration_s)
+        start.set()
+        try:
+            clients = list(await asyncio.gather(*tasks))
+        finally:
+            watchdog.cancel()
+            _unprice(pricing)
+        await cluster.flush()  # settle write stragglers before reading stats
+        stats = cluster.stats.snapshot()
+        return (
+            LiveRunResult(
+                n_clients=n_clients, elapsed_s=config.duration_s, clients=clients
+            ),
+            stats,
+        )
+    finally:
+        await cluster.close()
+
+
+def _run_async_arm(
+    config: ClusterAsyncConfig, n_clients: int, uak: bytes
+) -> tuple[LiveRunResult, dict[str, int]]:
+    """Run the async data point on a fresh event loop."""
+    return asyncio.run(_run_async_point(config, n_clients, uak))
+
+
+def run(
+    smoke: bool = False, config: ClusterAsyncConfig | None = None
+) -> ClusterAsyncResult:
+    """Sweep client counts; both arms rebuild their cluster per point."""
+    config = config or (
+        ClusterAsyncConfig.smoke() if smoke else ClusterAsyncConfig()
+    )
+    uak = b"K" * 32
+    result = ClusterAsyncResult(
+        config=config, client_counts=list(config.client_counts)
+    )
+    for n_clients in config.client_counts:
+        threaded = _run_threaded_arm(config, n_clients, uak)
+        result.threaded_ops_per_sec.append(threaded.ops_per_sec)
+        result.threaded_p99_ms.append(threaded.latency_ms(99))
+        result.threaded_errors.append(threaded.total_errors)
+        aio, stats = _run_async_arm(config, n_clients, uak)
+        result.async_ops_per_sec.append(aio.ops_per_sec)
+        result.async_p99_ms.append(aio.latency_ms(99))
+        result.async_errors.append(aio.total_errors)
+        result.first_ack_wins.append(stats.get("async.first_ack_wins", 0))
+        result.cancelled_legs.append(stats.get("async.cancelled_legs", 0))
+        result.early_acks.append(stats.get("async.early_acks", 0))
+    return result
+
+
+def render(result: ClusterAsyncResult) -> str:
+    """Paper-style table; persisted to benchmarks/results/."""
+    headers = ["clients"] + [str(n) for n in result.client_counts]
+    rows = [
+        ["threaded ops/s"] + [f"{v:.1f}" for v in result.threaded_ops_per_sec],
+        ["async ops/s"] + [f"{v:.1f}" for v in result.async_ops_per_sec],
+        ["speedup"] + [f"{result.speedup_at(n):.2f}x" for n in result.client_counts],
+        ["threaded p99 ms"] + [f"{v:.1f}" for v in result.threaded_p99_ms],
+        ["async p99 ms"] + [f"{v:.1f}" for v in result.async_p99_ms],
+        ["threaded errors"] + [str(v) for v in result.threaded_errors],
+        ["async errors"] + [str(v) for v in result.async_errors],
+        ["first-ack wins"] + [str(v) for v in result.first_ack_wins],
+        ["cancelled legs"] + [str(v) for v in result.cancelled_legs],
+        ["early acks"] + [str(v) for v in result.early_acks],
+    ]
+    config = result.config
+    text = format_table(
+        f"Async vs threaded cluster plane "
+        f"({config.n_shards} shards, one {config.laggard_factor:.0f}x laggard, "
+        f"RF={config.replication} W={config.write_quorum}, read-heavy mix)",
+        headers,
+        rows,
+    )
+    text += (
+        f"\nSpeedup at {max(result.client_counts)} clients: "
+        f"{result.speedup_at_max:.2f}x\n"
+    )
+    write_result("cluster_async", text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``--smoke`` gates the >= 2x claim for CI)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized configuration"
+    )
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    print(render(result))
+    if args.smoke:
+        target = max(result.client_counts)
+        if result.speedup_at_max < 2.0:
+            print(
+                f"FAIL: async speedup at {target} clients "
+                f"{result.speedup_at_max:.2f}x < 2.0x"
+            )
+            return 1
+        if result.total_errors:
+            print(
+                "FAIL: client errors during sweep: "
+                f"threaded={result.threaded_errors} async={result.async_errors}"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

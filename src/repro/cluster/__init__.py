@@ -20,6 +20,13 @@ one namespace:
   only ring-affected objects with byte-identical verification.
 """
 
+from repro.cluster.aio import (
+    AsyncClusterClient,
+    AsyncRemoteShard,
+    AsyncServiceShard,
+    AsyncShardBackend,
+    BlockingClusterClient,
+)
 from repro.cluster.backend import SHARD_FAILURES, RemoteShard, ServiceShard, ShardBackend
 from repro.cluster.coordinator import ClusterClient, ClusterStats
 from repro.cluster.health import HealthMonitor, ShardState
@@ -27,6 +34,11 @@ from repro.cluster.rebalance import RebalanceReport, add_shard, remove_shard, re
 
 __all__ = [
     "SHARD_FAILURES",
+    "AsyncClusterClient",
+    "AsyncRemoteShard",
+    "AsyncServiceShard",
+    "AsyncShardBackend",
+    "BlockingClusterClient",
     "ClusterClient",
     "ClusterStats",
     "HealthMonitor",

@@ -1,0 +1,1625 @@
+"""Async-native cluster data plane: pipelined fan-out, first-ack reads.
+
+The threaded :class:`~repro.cluster.coordinator.ClusterClient` fans each
+operation out on a worker pool over *blocking* shard calls, so its
+concurrency — not the shards' — caps throughput: every in-flight leg
+costs a pool thread, and a read waits for its slowest consulted replica.
+This module rebuilds that hot path asyncio-first:
+
+* :class:`AsyncShardBackend` — the awaitable mirror of
+  :class:`~repro.cluster.backend.ShardBackend`, satisfied by
+  :class:`AsyncServiceShard` (in-process volumes through an
+  :class:`~repro.service.aio.AsyncServiceFront`) and
+  :class:`AsyncRemoteShard` (pipelined
+  :class:`~repro.net.client.AsyncStegFSClient` connections — many
+  in-flight legs per socket, no thread apiece).
+* :class:`AsyncClusterClient` — the coordinator.  Replica reads are
+  **first-ack-wins**: every consulted replica is raced, the first intact
+  fragment at or above the coordinator's own acked version wins, and the
+  losing legs are cancelled (legs still queued behind a slow shard are
+  genuinely shed).  Writes are **early-ack**: legs go out concurrently
+  and the call returns at write quorum while the remaining "straggler"
+  legs drain in the background, serialized against the next same-key
+  mutation.  IDA reads accumulate shares and reconstruct the moment any
+  version has ``m`` of them.
+* :class:`BlockingClusterClient` — the same blocking surface as
+  :class:`~repro.cluster.coordinator.ClusterClient`, implemented as a
+  thin wrapper that drives one :class:`AsyncClusterClient` on a private
+  event-loop thread — for callers that want the async data plane without
+  adopting asyncio.
+
+Semantics kept from the threaded coordinator: the per-coordinator
+version clock and in-memory tombstones, W-of-N / m-of-n quorum checks,
+read-repair (re-checked against the acked clock under the per-key lock),
+failover via the shared :class:`~repro.cluster.health.HealthMonitor`.
+Semantics deliberately weakened: a first-ack read may return an older
+*intact* version than a slower replica holds when the newer write came
+from a different coordinator — the acked-version guard makes the race
+read-your-writes within one coordinator, which is the same session
+guarantee the threaded client offers its own callers.
+
+Counters land on the shared :class:`~repro.cluster.coordinator.
+ClusterStats` under ``async.*`` names, so the process registry exposes
+them as ``cluster.async.reads``, ``cluster.async.first_ack_wins``,
+``cluster.async.cancelled_legs``, ``cluster.async.early_acks`` and so on
+next to the threaded tier's counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import inspect
+from typing import Any, Awaitable, Callable, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.cluster.backend import SHARD_FAILURES
+from repro.cluster.coordinator import (
+    ClusterStats,
+    _Outcome,
+    _ReadVerdict,
+    hidden_key,
+    plain_key,
+)
+from repro.cluster.fragment import (
+    HEADER_LEN,
+    MODE_IDA,
+    MODE_REPLICATE,
+    Fragment,
+    decode_fragment,
+    decode_header,
+    digest_of,
+    encode_fragment,
+)
+from repro.cluster.health import HealthMonitor
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.crypto.ida import Share, disperse, reconstruct
+from repro.errors import (
+    ClusterError,
+    ClusterQuorumError,
+    CryptoError,
+    FileExistsError_,
+    FileNotFoundError_,
+    FragmentFormatError,
+    HiddenObjectExistsError,
+    HiddenObjectNotFoundError,
+    ReproError,
+    ServiceClosedError,
+    ShardUnavailableError,
+)
+from repro.obs.trace import maybe_span
+from repro.service.aio import AsyncServiceFront
+
+__all__ = [
+    "AsyncClusterClient",
+    "AsyncRemoteShard",
+    "AsyncServiceShard",
+    "AsyncShardBackend",
+    "BlockingClusterClient",
+]
+
+_ShardCall = Callable[[str, "AsyncShardBackend"], Awaitable[Any]]
+
+
+@runtime_checkable
+class AsyncShardBackend(Protocol):
+    """What the async coordinator needs from one shard (awaitable)."""
+
+    async def ping(self) -> bool:  # pragma: no cover - protocol
+        """Liveness check: ``True`` when the shard answers."""
+        ...
+
+    # plain namespace -------------------------------------------------
+    async def put(self, path: str, data: bytes) -> None:  # pragma: no cover
+        """Create-or-replace a plain file at ``path``."""
+        ...
+
+    async def read(self, path: str) -> bytes:  # pragma: no cover - protocol
+        """Read a plain file's full contents."""
+        ...
+
+    async def exists(self, path: str) -> bool:  # pragma: no cover - protocol
+        """Whether a plain file exists at ``path``."""
+        ...
+
+    async def unlink(self, path: str) -> None:  # pragma: no cover - protocol
+        """Delete a plain file."""
+        ...
+
+    async def listdir(self, path: str = "/") -> list[str]:  # pragma: no cover
+        """List plain directory entries under ``path``."""
+        ...
+
+    # hidden namespace ------------------------------------------------
+    async def steg_put(
+        self, objname: str, uak: bytes, data: bytes
+    ) -> None:  # pragma: no cover - protocol
+        """Create-or-replace a hidden object's stored bytes."""
+        ...
+
+    async def steg_read(
+        self, objname: str, uak: bytes
+    ) -> bytes:  # pragma: no cover - protocol
+        """Read a hidden object's stored bytes."""
+        ...
+
+    async def steg_read_extent(
+        self, objname: str, uak: bytes, offset: int, length: int
+    ) -> bytes:  # pragma: no cover - protocol
+        """Read ``length`` bytes of a hidden object from ``offset``."""
+        ...
+
+    async def steg_delete(
+        self, objname: str, uak: bytes
+    ) -> None:  # pragma: no cover - protocol
+        """Delete a hidden object."""
+        ...
+
+    async def steg_list(self, uak: bytes) -> list[str]:  # pragma: no cover
+        """List hidden object names readable with ``uak``."""
+        ...
+
+    async def flush(self) -> None:  # pragma: no cover - protocol
+        """Make the shard's volume durable."""
+        ...
+
+    async def close(self) -> None:  # pragma: no cover - protocol
+        """Release the shard's resources (connection or service)."""
+        ...
+
+
+class AsyncServiceShard:
+    """In-process async shard: a service behind an awaitable front.
+
+    Blocking volume work runs on the service's own worker pool via
+    :class:`~repro.service.aio.AsyncServiceFront`, so the event loop
+    never blocks on crypto or block I/O.  Cancelling a leg that already
+    entered the pool does not abort the disk work — the thread finishes
+    and the result is discarded — but legs still queued are freed.
+
+    Args:
+        service: the :class:`~repro.service.StegFSService` to wrap.
+        owns_service: close the service when this shard is closed.
+    """
+
+    def __init__(self, service: Any, *, owns_service: bool = False) -> None:
+        self._service = service
+        self._front = AsyncServiceFront(service)
+        self._owns_service = owns_service
+
+    @property
+    def service(self) -> Any:
+        """The wrapped service (tests reach through for inspection)."""
+        return self._service
+
+    async def ping(self) -> bool:
+        """Liveness: a closed service raises, which the caller maps to dead."""
+        if getattr(self._service, "closed", False):
+            raise ServiceClosedError("shard service has been shut down")
+        return True
+
+    # plain namespace -------------------------------------------------
+
+    async def put(self, path: str, data: bytes) -> None:
+        """Upsert a plain file (write, falling back to create).
+
+        The create leg tolerates Exists and re-writes — a concurrent
+        repair or a duplicated delivery may have created the file in
+        between, and an upsert must converge on the newest payload.
+        """
+        try:
+            await self._front.call("write", path, data)
+        except FileNotFoundError_:
+            try:
+                await self._front.call("create", path, data)
+            except FileExistsError_:
+                await self._front.call("write", path, data)
+
+    async def read(self, path: str) -> bytes:
+        """Read a plain file."""
+        return await self._front.call("read", path)
+
+    async def exists(self, path: str) -> bool:
+        """Whether a plain path exists on this shard."""
+        return await self._front.call("exists", path)
+
+    async def unlink(self, path: str) -> None:
+        """Delete a plain file."""
+        await self._front.call("unlink", path)
+
+    async def listdir(self, path: str = "/") -> list[str]:
+        """List a plain directory."""
+        return await self._front.call("listdir", path)
+
+    # hidden namespace ------------------------------------------------
+
+    async def steg_put(self, objname: str, uak: bytes, data: bytes) -> None:
+        """Upsert a hidden file (write, falling back to create)."""
+        try:
+            await self._front.call("steg_write", objname, uak, data)
+        except HiddenObjectNotFoundError:
+            try:
+                await self._front.call("steg_create", objname, uak, data=data)
+            except HiddenObjectExistsError:
+                await self._front.call("steg_write", objname, uak, data)
+
+    async def steg_read(self, objname: str, uak: bytes) -> bytes:
+        """Read a hidden file."""
+        return await self._front.call("steg_read", objname, uak)
+
+    async def steg_read_extent(
+        self, objname: str, uak: bytes, offset: int, length: int
+    ) -> bytes:
+        """Read one extent of a hidden file (fragment-header probes)."""
+        return await self._front.call(
+            "steg_read_extent", objname, uak, offset, length
+        )
+
+    async def steg_delete(self, objname: str, uak: bytes) -> None:
+        """Delete a hidden object."""
+        await self._front.call("steg_delete", objname, uak)
+
+    async def steg_list(self, uak: bytes) -> list[str]:
+        """List the hidden root for ``uak``."""
+        return await self._front.call("steg_list", uak)
+
+    async def flush(self) -> None:
+        """Flush the shard volume."""
+        await self._front.call("flush")
+
+    async def close(self) -> None:
+        """Shut the service down if this adapter owns it."""
+        if self._owns_service and not getattr(self._service, "closed", True):
+            await asyncio.to_thread(self._service.close)
+
+
+def _key_tag(uak: bytes) -> str:
+    return hashlib.sha256(uak).hexdigest()[:16]
+
+
+class AsyncRemoteShard:
+    """Remote async shard: a pipelined client logged in as one user.
+
+    The client's session token encodes the UAK server-side, so hidden
+    calls drop the key on the wire; per-call keys are checked against a
+    hash of the login key so a routing bug can never silently cross
+    namespaces (and the raw key is never stored here).
+
+    Args:
+        client: an opened, logged-in :class:`AsyncStegFSClient`.
+        uak: the key the client's session was opened with.
+        owns_client: close the client when this shard is closed.
+
+    Raises:
+        ClusterError: a call carries a key other than the login key.
+    """
+
+    def __init__(self, client: Any, uak: bytes, *, owns_client: bool = True) -> None:
+        self._client = client
+        self._tag = _key_tag(uak)
+        self._owns_client = owns_client
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        user_id: str,
+        uak: bytes,
+        *,
+        pool_size: int = 2,
+    ) -> "AsyncRemoteShard":
+        """Dial a ``StegFSServer`` and log in; returns the ready adapter."""
+        from repro.net.client import AsyncStegFSClient  # optional-dep direction
+
+        client = AsyncStegFSClient(host, port, pool_size=pool_size)
+        await client.open()
+        try:
+            await client.login(user_id, uak)
+        except BaseException:
+            await client.close()
+            raise
+        return cls(client, uak)
+
+    def _check_key(self, uak: bytes) -> None:
+        if _key_tag(uak) != self._tag:
+            raise ClusterError(
+                "remote shard session was authenticated with a different key"
+            )
+
+    async def ping(self) -> bool:
+        """Round-trip liveness check over the wire."""
+        return await self._client.ping()
+
+    # plain namespace -------------------------------------------------
+
+    async def put(self, path: str, data: bytes) -> None:
+        """Upsert a plain file on the remote volume."""
+        try:
+            await self._client.write(path, data)
+        except FileNotFoundError_:
+            try:
+                await self._client.create(path, data)
+            except FileExistsError_:
+                await self._client.write(path, data)
+
+    async def read(self, path: str) -> bytes:
+        """Read a plain file."""
+        return await self._client.read(path)
+
+    async def exists(self, path: str) -> bool:
+        """Whether a plain path exists on this shard."""
+        return await self._client.exists(path)
+
+    async def unlink(self, path: str) -> None:
+        """Delete a plain file."""
+        await self._client.unlink(path)
+
+    async def listdir(self, path: str = "/") -> list[str]:
+        """List a plain directory."""
+        return await self._client.listdir(path)
+
+    # hidden namespace ------------------------------------------------
+
+    async def steg_put(self, objname: str, uak: bytes, data: bytes) -> None:
+        """Upsert a hidden file on the remote volume."""
+        self._check_key(uak)
+        try:
+            await self._client.steg_write(objname, data)
+        except HiddenObjectNotFoundError:
+            try:
+                await self._client.steg_create(objname, data=data)
+            except HiddenObjectExistsError:
+                await self._client.steg_write(objname, data)
+
+    async def steg_read(self, objname: str, uak: bytes) -> bytes:
+        """Read a hidden file."""
+        self._check_key(uak)
+        return await self._client.steg_read(objname)
+
+    async def steg_read_extent(
+        self, objname: str, uak: bytes, offset: int, length: int
+    ) -> bytes:
+        """Read one extent of a hidden file."""
+        self._check_key(uak)
+        return await self._client.steg_read_extent(objname, offset, length)
+
+    async def steg_delete(self, objname: str, uak: bytes) -> None:
+        """Delete a hidden object."""
+        self._check_key(uak)
+        await self._client.steg_delete(objname)
+
+    async def steg_list(self, uak: bytes) -> list[str]:
+        """List the session's hidden root."""
+        self._check_key(uak)
+        return await self._client.steg_list()
+
+    async def flush(self) -> None:
+        """Flush the remote volume."""
+        await self._client.flush()
+
+    async def close(self) -> None:
+        """Close the pipelined connections if this adapter owns them."""
+        if self._owns_client:
+            await self._client.close()
+
+
+def _classify_empty_read(
+    outcomes: dict[str, _Outcome],
+    missing_error: type[ReproError],
+    what: str,
+) -> ReproError:
+    downs = [sid for sid, outcome in outcomes.items() if outcome.down]
+    corrupt = [
+        sid
+        for sid, outcome in outcomes.items()
+        if outcome.ok is False and not outcome.down
+        and isinstance(outcome.error, FragmentFormatError)
+    ]
+    if downs:
+        return ShardUnavailableError(
+            f"{what}: no intact copy reachable "
+            f"({len(downs)} placement shard(s) down)"
+        )
+    if corrupt:
+        return FragmentFormatError(f"{what}: every reachable copy corrupt")
+    return missing_error(what)
+
+
+def _reap(tasks: Iterable[asyncio.Task]) -> None:
+    """Cancel tasks without awaiting them; mark exceptions retrieved."""
+
+    def silence(task: asyncio.Task) -> None:
+        if not task.cancelled():
+            task.exception()
+
+    for task in tasks:
+        task.cancel()
+        task.add_done_callback(silence)
+
+
+class AsyncClusterClient:
+    """Route cluster operations over async shards with pipelined fan-out.
+
+    The awaitable counterpart of :class:`~repro.cluster.coordinator.
+    ClusterClient`: same placement (consistent-hash ring), redundancy
+    modes (``replicate`` / ``ida``), quorum rules, version clock,
+    tombstones, read-repair and failover — but every fan-out leg is a
+    task on the caller's event loop instead of a pool thread, replica
+    reads are first-ack-wins with losing legs cancelled, and writes
+    return at quorum with the remaining legs draining in the background.
+
+    One instance belongs to one event loop; it is safe for any number of
+    tasks on that loop.  Threaded callers want
+    :class:`BlockingClusterClient`.
+
+    Args:
+        shards: shard id → :class:`AsyncShardBackend`.
+        mode: ``"replicate"`` (full copies) or ``"ida"`` (m-of-n shares).
+        replication / write_quorum: N and W for replicate mode.
+        ida_m / ida_n / ida_write_quorum: dispersal geometry.
+        read_fanout: replicas raced per read (None = whole placement).
+        vnodes: ring virtual nodes per shard.
+        health: shared failure detector (one is created if omitted).
+        owns_backends: close every backend on :meth:`close`.
+
+    Raises:
+        ClusterError: invalid geometry, or operations after close.
+        ShardUnavailableError: no alive shard can serve an operation.
+        ClusterQuorumError: a write could not reach its quorum.
+    """
+
+    def __init__(
+        self,
+        shards: Mapping[str, AsyncShardBackend]
+        | Iterable[tuple[str, AsyncShardBackend]],
+        *,
+        mode: str = MODE_REPLICATE,
+        replication: int = 3,
+        write_quorum: int = 2,
+        ida_m: int = 2,
+        ida_n: int = 4,
+        ida_write_quorum: int | None = None,
+        read_fanout: int | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        health: HealthMonitor | None = None,
+        owns_backends: bool = False,
+    ) -> None:
+        if mode not in (MODE_REPLICATE, MODE_IDA):
+            raise ClusterError(f"unknown cluster mode {mode!r}")
+        if not 1 <= write_quorum <= replication:
+            raise ClusterError(
+                f"need 1 <= write_quorum <= replication, "
+                f"got W={write_quorum}, N={replication}"
+            )
+        if not 1 <= ida_m <= ida_n:
+            raise ClusterError(f"need 1 <= m <= n, got m={ida_m}, n={ida_n}")
+        if ida_write_quorum is None:
+            ida_write_quorum = min(ida_n, ida_m + 1)
+        if not ida_m <= ida_write_quorum <= ida_n:
+            raise ClusterError(
+                f"need m <= ida_write_quorum <= n, got {ida_write_quorum}"
+            )
+        self._mode = mode
+        self._replication = replication
+        self._write_quorum = write_quorum
+        self._ida_m = ida_m
+        self._ida_n = ida_n
+        self._ida_write_quorum = ida_write_quorum
+        self._read_fanout = read_fanout
+        self._shards: dict[str, AsyncShardBackend] = dict(
+            shards.items() if isinstance(shards, Mapping) else shards
+        )
+        if not self._shards:
+            raise ClusterError("a cluster needs at least one shard")
+        self._ring = HashRing(sorted(self._shards), vnodes=vnodes)
+        self._health = health or HealthMonitor()
+        for shard_id in self._shards:
+            self._health.register(shard_id)
+        self._stats = ClusterStats()
+        self._owns_backends = owns_backends
+        # Coordinator write clock and tombstones: key -> (version, exists).
+        # Loop-confined — every mutation happens on the owning event loop.
+        self._versions: dict[str, tuple[int, bool]] = {}
+        # Striped per-key asyncio locks: a write and a read-repair of the
+        # same object must not interleave their shard puts (the classic
+        # read-repair/write race), and a new same-key write must not race
+        # the previous write's straggler legs.
+        self._key_locks = tuple(asyncio.Lock() for _ in range(64))
+        # key -> background write legs still draining after an early ack.
+        self._stragglers: dict[str, set[asyncio.Task]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """Redundancy mode for hidden files (``replicate`` or ``ida``)."""
+        return self._mode
+
+    @property
+    def shards(self) -> dict[str, AsyncShardBackend]:
+        """Shard id → backend (a copy)."""
+        return dict(self._shards)
+
+    @property
+    def health(self) -> HealthMonitor:
+        """The failure detector the coordinator routes by."""
+        return self._health
+
+    @property
+    def stats(self) -> ClusterStats:
+        """Cluster-level counters (``async.*`` names)."""
+        return self._stats
+
+    @property
+    def width(self) -> int:
+        """Placement width: replicas or IDA shares per object."""
+        return self._ida_n if self._mode == MODE_IDA else self._replication
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Counters plus per-shard routing state, like the threaded client."""
+        health = {
+            shard_id: {
+                "state": record.state.value,
+                "successes": record.successes,
+                "failures": record.failures,
+                "consecutive_failures": record.consecutive_failures,
+            }
+            for shard_id, record in self._health.snapshot().items()
+        }
+        return {
+            "mode": self._mode,
+            "width": self.width,
+            "counters": self._stats.snapshot(),
+            "shards": health,
+        }
+
+    def placement(self, key: str) -> tuple[str, ...]:
+        """The ordered shard placement for a ring key."""
+        return self._ring.nodes_for(key, self.width)
+
+    def attach_shard(self, shard_id: str, backend: AsyncShardBackend) -> None:
+        """Add a shard to the ring (placement changes immediately)."""
+        if shard_id in self._shards:
+            raise ClusterError(f"shard {shard_id!r} already attached")
+        self._ring.add_node(shard_id)
+        self._shards[shard_id] = backend
+        self._health.register(shard_id)
+
+    def detach_shard(self, shard_id: str) -> AsyncShardBackend:
+        """Remove a shard from the ring; returns its backend (not closed)."""
+        if shard_id not in self._shards:
+            raise ClusterError(f"shard {shard_id!r} is not attached")
+        if len(self._shards) == 1:
+            raise ClusterError("cannot detach the last shard")
+        self._ring.remove_node(shard_id)
+        backend = self._shards.pop(shard_id)
+        self._health.forget(shard_id)
+        return backend
+
+    # ------------------------------------------------------------------
+    # fan-out plumbing
+    # ------------------------------------------------------------------
+
+    async def _guarded(self, shard_id: str, call: _ShardCall) -> _Outcome:
+        backend = self._shards.get(shard_id)
+        if backend is None:
+            return _Outcome(
+                down=True, error=ClusterError(f"shard {shard_id!r} detached")
+            )
+        with maybe_span("cluster.shard_call", shard=shard_id):
+            try:
+                value = await call(shard_id, backend)
+            except SHARD_FAILURES as exc:
+                self._health.record_failure(shard_id)
+                self._stats.increment("async.failovers")
+                return _Outcome(down=True, error=exc)
+            except ReproError as exc:
+                self._health.record_success(shard_id)
+                return _Outcome(error=exc)
+        self._health.record_success(shard_id)
+        return _Outcome(value=value)
+
+    def _spawn(
+        self, shard_ids: Iterable[str], call: _ShardCall
+    ) -> dict[asyncio.Task, str]:
+        if self._closed:
+            raise ClusterError("cluster client has been closed")
+        return {
+            asyncio.ensure_future(self._guarded(sid, call)): sid
+            for sid in shard_ids
+        }
+
+    async def _fanout(
+        self, shard_ids: Iterable[str], call: _ShardCall
+    ) -> dict[str, _Outcome]:
+        """Run ``call`` on every named shard concurrently; await them all."""
+        tasks = self._spawn(shard_ids, call)
+        if not tasks:
+            return {}
+        try:
+            results = await asyncio.gather(*tasks)
+        except BaseException:
+            _reap(tasks)
+            raise
+        return dict(zip(tasks.values(), results))
+
+    def _alive(self, placement: tuple[str, ...] | list[str]) -> list[str]:
+        alive = self._health.alive_of(tuple(placement))
+        if not alive:
+            raise ShardUnavailableError(
+                f"no alive shard in placement {tuple(placement)!r}"
+            )
+        return alive
+
+    # ------------------------------------------------------------------
+    # version clock and tombstones (loop-confined, no locks needed)
+    # ------------------------------------------------------------------
+
+    def _key_lock(self, key: str) -> asyncio.Lock:
+        digest = int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big")
+        return self._key_locks[digest % len(self._key_locks)]
+
+    def _observe_version(self, key: str, version: int, exists: bool = True) -> None:
+        current = self._versions.get(key)
+        if current is None or version > current[0]:
+            self._versions[key] = (version, exists)
+
+    def _next_version(self, key: str, floor: int) -> int:
+        current = self._versions.get(key, (0, False))[0]
+        return max(current, floor) + 1
+
+    def _tombstone(self, key: str) -> None:
+        current = self._versions.get(key, (0, False))[0]
+        self._versions[key] = (current, False)
+
+    def _version_floor(self, key: str) -> int:
+        version, exists = self._versions.get(key, (0, True))
+        return 0 if exists else version
+
+    def _acked_version(self, key: str) -> int:
+        cached = self._versions.get(key)
+        return cached[0] if cached and cached[1] else 0
+
+    async def _probe_versions(
+        self, alive: list[str], probe: _ShardCall
+    ) -> int | None:
+        self._stats.increment("async.version_probes")
+        outcomes = await self._fanout(alive, probe)
+        best: int | None = None
+        for outcome in outcomes.values():
+            if not outcome.ok:
+                continue
+            try:
+                header = decode_header(outcome.value)
+            except FragmentFormatError:
+                continue
+            if best is None or header.version > best:
+                best = header.version
+        return best
+
+    async def _resolve_write_version(
+        self, key: str, alive: list[str], probe: _ShardCall
+    ) -> tuple[int, bool]:
+        cached = self._versions.get(key)
+        if cached is not None:
+            version, exists = cached
+            return self._next_version(key, version), exists
+        observed = await self._probe_versions(alive, probe)
+        if observed is None:
+            return self._next_version(key, 0), False
+        return self._next_version(key, observed), True
+
+    def _commit_version(self, key: str, version: int) -> None:
+        self._observe_version(key, version, exists=True)
+
+    # ------------------------------------------------------------------
+    # write stragglers (early-acked legs still draining)
+    # ------------------------------------------------------------------
+
+    def _track_stragglers(self, key: str, tasks: Iterable[asyncio.Task]) -> None:
+        bucket = self._stragglers.setdefault(key, set())
+        for task in tasks:
+            bucket.add(task)
+            task.add_done_callback(
+                lambda t, key=key: self._straggler_done(key, t)
+            )
+
+    def _straggler_done(self, key: str, task: asyncio.Task) -> None:
+        bucket = self._stragglers.get(key)
+        if bucket is not None:
+            bucket.discard(task)
+            if not bucket:
+                self._stragglers.pop(key, None)
+        if task.cancelled() or task.exception() is not None:
+            return
+        outcome = task.result()
+        if not outcome.ok:
+            self._stats.increment("async.straggler_failures")
+
+    async def _drain_stragglers(self, key: str) -> None:
+        """Wait out the previous same-key write's background legs."""
+        tasks = list(self._stragglers.get(key, ()))
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _drain_all_stragglers(self) -> None:
+        tasks = [t for bucket in self._stragglers.values() for t in bucket]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # fragment store primitives (early-ack at quorum)
+    # ------------------------------------------------------------------
+
+    async def _store_quorum(
+        self,
+        key: str,
+        tasks: dict[asyncio.Task, str],
+        total: int,
+        quorum: int,
+        what: str,
+    ) -> int:
+        """Await write legs until ``quorum`` acks; leave the rest draining."""
+        pending: set[asyncio.Task] = set(tasks)
+        acks = 0
+        try:
+            while pending and acks < quorum:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    if task.result().ok:
+                        acks += 1
+        except BaseException:
+            _reap(pending)
+            raise
+        if acks < quorum:
+            raise ClusterQuorumError(
+                f"{what} reached {acks} of {total} shards (quorum {quorum})"
+            )
+        if pending:
+            self._stats.increment("async.early_acks")
+            self._track_stragglers(key, pending)
+        elif acks < total:
+            self._stats.increment("async.degraded_writes")
+        return acks
+
+    async def _store_replicated(
+        self,
+        key: str,
+        placement: tuple[str, ...],
+        version: int,
+        data: bytes,
+        put: Callable[[str, AsyncShardBackend, bytes], Awaitable[None]],
+    ) -> int:
+        alive = self._alive(placement)
+        envelope = encode_fragment(
+            Fragment(
+                mode=MODE_REPLICATE,
+                version=version,
+                index=0,
+                m=1,
+                n=len(placement),
+                digest=digest_of(data),
+                payload=data,
+            )
+        )
+        tasks = self._spawn(
+            alive, lambda sid, backend: put(sid, backend, envelope)
+        )
+        quorum = min(self._write_quorum, len(placement))
+        return await self._store_quorum(
+            key, tasks, len(placement), quorum, "write"
+        )
+
+    async def _store_dispersed(
+        self,
+        key: str,
+        placement: tuple[str, ...],
+        version: int,
+        data: bytes,
+        put: Callable[[str, AsyncShardBackend, bytes], Awaitable[None]],
+    ) -> int:
+        n_eff = len(placement)
+        if n_eff < self._ida_m:
+            raise ClusterError(
+                f"cannot disperse across {n_eff} shards with m={self._ida_m}"
+            )
+        alive = set(self._alive(placement))
+        digest = digest_of(data)
+        shares = disperse(data, self._ida_m, n_eff)
+        envelopes = {
+            shard_id: encode_fragment(
+                Fragment(
+                    mode=MODE_IDA,
+                    version=version,
+                    index=shares[position].index,
+                    m=self._ida_m,
+                    n=n_eff,
+                    digest=digest,
+                    payload=shares[position].payload,
+                )
+            )
+            for position, shard_id in enumerate(placement)
+            if shard_id in alive
+        }
+        tasks = self._spawn(
+            envelopes, lambda sid, backend: put(sid, backend, envelopes[sid])
+        )
+        quorum = max(self._ida_m, min(self._ida_write_quorum, n_eff))
+        return await self._store_quorum(key, tasks, n_eff, quorum, "dispersal")
+
+    # ------------------------------------------------------------------
+    # first-ack-wins reads
+    # ------------------------------------------------------------------
+
+    def _consider(
+        self,
+        shard_id: str,
+        outcome: _Outcome,
+        outcomes: dict[str, _Outcome],
+        candidates: dict[str, Fragment],
+        floor: int,
+    ) -> Fragment | None:
+        """Decode and verify one completed leg into ``candidates``."""
+        if not outcome.ok or shard_id in candidates:
+            return None
+        try:
+            fragment = decode_fragment(outcome.value)
+        except FragmentFormatError as exc:
+            outcomes[shard_id] = _Outcome(error=exc)
+            return None
+        if fragment.version <= floor:
+            return None
+        if digest_of(fragment.payload) != fragment.digest:
+            outcomes[shard_id] = _Outcome(
+                error=FragmentFormatError("replica digest mismatch")
+            )
+            return None
+        candidates[shard_id] = fragment
+        return fragment
+
+    async def _race_round(
+        self,
+        targets: list[str],
+        fetch: _ShardCall,
+        outcomes: dict[str, _Outcome],
+        candidates: dict[str, Fragment],
+        floor: int,
+        min_version: int,
+    ) -> Fragment | None:
+        """Race one wave of fetch legs; first acceptable fragment wins.
+
+        Acceptable means intact (decodes, digest matches, above the
+        tombstone floor) and at or above ``min_version`` — the newest
+        version this coordinator itself acked, so a race can never
+        travel back past the caller's own writes.  On a win the still
+        pending legs are cancelled and awaited (their late errors are
+        swallowed); legs already executing on a shard's worker pool
+        finish there and are discarded.
+        """
+        tasks = self._spawn(targets, fetch)
+        pending: set[asyncio.Task] = set(tasks)
+        winner: Fragment | None = None
+        try:
+            while pending and winner is None:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    shard_id = tasks[task]
+                    outcome = task.result()
+                    outcomes[shard_id] = outcome
+                    fragment = self._consider(
+                        shard_id, outcome, outcomes, candidates, floor
+                    )
+                    if fragment is None or fragment.version < min_version:
+                        continue
+                    if winner is None or fragment.version > winner.version:
+                        winner = fragment
+        except BaseException:
+            _reap(pending)
+            raise
+        if pending:
+            self._stats.increment("async.cancelled_legs", len(pending))
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        return winner
+
+    async def _read_replicated(
+        self,
+        key: str,
+        placement: tuple[str, ...],
+        floor: int,
+        fetch: _ShardCall,
+        missing_error: type[ReproError],
+        what: str,
+        min_version: int = 0,
+    ) -> _ReadVerdict:
+        """First-ack-wins replica read with the threaded client's fallbacks.
+
+        ``read_fanout`` bounds the first wave; the read widens to the
+        rest of the alive placement when the narrow wave yields nothing
+        acceptable.  If no leg produced an acceptable fragment but some
+        produced intact ones (all below ``min_version``), the newest of
+        those wins — mirroring the threaded coordinator's post-widening
+        behaviour.  Only legs that completed are considered for the
+        stale (repair) list; cancelled losers are unknown, not stale.
+        """
+        alive = self._alive(placement)
+        fanout = len(alive) if self._read_fanout is None else self._read_fanout
+        targets = alive[: max(1, fanout)]
+        outcomes: dict[str, _Outcome] = {}
+        candidates: dict[str, Fragment] = {}
+        winner = await self._race_round(
+            targets, fetch, outcomes, candidates, floor, min_version
+        )
+        if winner is None and len(targets) < len(alive):
+            self._stats.increment("async.quorum_widenings")
+            rest = [sid for sid in alive if sid not in outcomes]
+            winner = await self._race_round(
+                rest, fetch, outcomes, candidates, floor, min_version
+            )
+        if winner is not None:
+            self._stats.increment("async.first_ack_wins")
+        elif candidates:
+            winner = max(candidates.values(), key=lambda f: f.version)
+        else:
+            raise _classify_empty_read(outcomes, missing_error, what)
+        stale = [
+            shard_id
+            for shard_id in outcomes
+            if candidates.get(shard_id) is None
+            or candidates[shard_id].version < winner.version
+        ]
+        return _ReadVerdict(data=winner.payload, version=winner.version, stale=stale)
+
+    async def _read_dispersed(
+        self,
+        key: str,
+        placement: tuple[str, ...],
+        floor: int,
+        fetch: _ShardCall,
+        missing_error: type[ReproError],
+        what: str,
+        min_version: int = 0,
+    ) -> _ReadVerdict:
+        """Accumulate-until-m share read: reconstruct as soon as possible.
+
+        Legs race over the whole alive placement; the moment any version
+        at or above ``min_version`` holds ``m`` intact shares, the file
+        is reconstructed and the remaining legs are cancelled.  When no
+        version gets there early, every leg is awaited and the newest
+        reconstructable version wins — the threaded client's semantics.
+        """
+        alive = self._alive(placement)
+        outcomes: dict[str, _Outcome] = {}
+        holders: dict[str, Fragment] = {}
+        by_version: dict[int, dict[int, Fragment]] = {}
+        tasks = self._spawn(alive, fetch)
+        pending: set[asyncio.Task] = set(tasks)
+        early: tuple[bytes, int] | None = None
+
+        def absorb(shard_id: str, outcome: _Outcome) -> dict[int, Fragment] | None:
+            outcomes[shard_id] = outcome
+            if not outcome.ok:
+                return None
+            try:
+                fragment = decode_fragment(outcome.value)
+            except FragmentFormatError as exc:
+                outcomes[shard_id] = _Outcome(error=exc)
+                return None
+            if fragment.version <= floor:
+                return None
+            holders[shard_id] = fragment
+            group = by_version.setdefault(fragment.version, {})
+            group[fragment.index] = fragment
+            return group
+
+        def attempt(group: dict[int, Fragment]) -> bytes | None:
+            if len(group) < min(f.m for f in group.values()):
+                return None
+            sample = next(iter(group.values()))
+            shares = [Share(f.index, f.payload) for f in group.values()]
+            try:
+                data = reconstruct(shares, sample.m)
+            except CryptoError:
+                return None
+            if digest_of(data) != sample.digest:
+                return None
+            return data
+
+        try:
+            while pending and early is None:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    shard_id = tasks[task]
+                    group = absorb(shard_id, task.result())
+                    if group is None:
+                        continue
+                    version = holders[shard_id].version
+                    if version < min_version:
+                        continue
+                    data = attempt(group)
+                    if data is not None:
+                        early = (data, version)
+        except BaseException:
+            _reap(pending)
+            raise
+        if pending:
+            self._stats.increment("async.cancelled_legs", len(pending))
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        if early is not None:
+            data, version = early
+            self._stats.increment("async.reconstructions")
+            self._stats.increment("async.first_ack_wins")
+        else:
+            resolved: tuple[bytes, int] | None = None
+            for version in sorted(by_version, reverse=True):
+                data = attempt(by_version[version])
+                if data is not None:
+                    resolved = (data, version)
+                    break
+            if resolved is None:
+                if holders:
+                    downs = [
+                        sid for sid, outcome in outcomes.items() if outcome.down
+                    ]
+                    if downs:
+                        raise ShardUnavailableError(
+                            f"{what}: only {len(holders)} share(s) reachable, "
+                            f"{len(downs)} placement shard(s) down"
+                        )
+                    raise ClusterError(
+                        f"{what}: {len(holders)} share(s) survive, need "
+                        f"{min(f.m for f in holders.values())} to reconstruct"
+                    )
+                raise _classify_empty_read(outcomes, missing_error, what)
+            data, version = resolved
+            self._stats.increment("async.reconstructions")
+        stale = [
+            shard_id
+            for shard_id in outcomes
+            if holders.get(shard_id) is None
+            or holders[shard_id].version < version
+        ]
+        return _ReadVerdict(data=data, version=version, stale=stale)
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+
+    async def _repair_replicated(
+        self,
+        placement: tuple[str, ...],
+        verdict: _ReadVerdict,
+        put: Callable[[str, AsyncShardBackend, bytes], Awaitable[None]],
+    ) -> None:
+        if not verdict.stale:
+            return
+        envelope = encode_fragment(
+            Fragment(
+                mode=MODE_REPLICATE,
+                version=verdict.version,
+                index=0,
+                m=1,
+                n=len(placement),
+                digest=digest_of(verdict.data),
+                payload=verdict.data,
+            )
+        )
+        outcomes = await self._fanout(
+            verdict.stale, lambda sid, backend: put(sid, backend, envelope)
+        )
+        repaired = sum(1 for outcome in outcomes.values() if outcome.ok)
+        if repaired:
+            self._stats.increment("async.read_repairs", repaired)
+
+    async def _repair_dispersed(
+        self,
+        placement: tuple[str, ...],
+        verdict: _ReadVerdict,
+        put: Callable[[str, AsyncShardBackend, bytes], Awaitable[None]],
+    ) -> None:
+        if not verdict.stale:
+            return
+        digest = digest_of(verdict.data)
+        shares = disperse(verdict.data, self._ida_m, len(placement))
+        position_of = {shard_id: i for i, shard_id in enumerate(placement)}
+        envelopes = {
+            shard_id: encode_fragment(
+                Fragment(
+                    mode=MODE_IDA,
+                    version=verdict.version,
+                    index=shares[position_of[shard_id]].index,
+                    m=self._ida_m,
+                    n=len(placement),
+                    digest=digest,
+                    payload=shares[position_of[shard_id]].payload,
+                )
+            )
+            for shard_id in verdict.stale
+            if shard_id in position_of
+        }
+        outcomes = await self._fanout(
+            envelopes, lambda sid, backend: put(sid, backend, envelopes[sid])
+        )
+        repaired = sum(1 for outcome in outcomes.values() if outcome.ok)
+        if repaired:
+            self._stats.increment("async.read_repairs", repaired)
+
+    # ------------------------------------------------------------------
+    # plain namespace (always replicated)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _plain_put(
+        path: str,
+    ) -> Callable[[str, AsyncShardBackend, bytes], Awaitable[None]]:
+        return lambda sid, backend, envelope: backend.put(path, envelope)
+
+    @staticmethod
+    def _plain_probe(path: str) -> _ShardCall:
+        return lambda sid, backend: backend.read(path)
+
+    async def create(self, path: str, data: bytes = b"") -> None:
+        """Create a plain file across its placement (early-acked W-of-N)."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        async with self._key_lock(key):
+            await self._drain_stragglers(key)
+            version, exists = await self._resolve_write_version(
+                key, alive, self._plain_probe(path)
+            )
+            if exists:
+                raise FileExistsError_(path)
+            await self._store_replicated(
+                key, placement, version, data, self._plain_put(path)
+            )
+            self._commit_version(key, version)
+        self._stats.increment("async.writes")
+
+    async def write(self, path: str, data: bytes) -> None:
+        """Replace a plain file's contents (must exist somewhere)."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        async with self._key_lock(key):
+            await self._drain_stragglers(key)
+            version, exists = await self._resolve_write_version(
+                key, alive, self._plain_probe(path)
+            )
+            if not exists:
+                raise FileNotFoundError_(path)
+            await self._store_replicated(
+                key, placement, version, data, self._plain_put(path)
+            )
+            self._commit_version(key, version)
+        self._stats.increment("async.writes")
+
+    async def read(self, path: str) -> bytes:
+        """Read a plain file: first intact acceptable replica wins."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        verdict = await self._read_replicated(
+            key,
+            placement,
+            self._version_floor(key),
+            lambda sid, backend: backend.read(path),
+            FileNotFoundError_,
+            path,
+            min_version=self._acked_version(key),
+        )
+        self._observe_version(key, verdict.version)
+        if verdict.stale:
+            async with self._key_lock(key):
+                await self._drain_stragglers(key)
+                if verdict.version >= self._acked_version(key):
+                    await self._repair_replicated(
+                        placement, verdict, self._plain_put(path)
+                    )
+        self._stats.increment("async.reads")
+        return verdict.data
+
+    async def unlink(self, path: str) -> None:
+        """Delete a plain file from every reachable replica."""
+        key = plain_key(path)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        async with self._key_lock(key):
+            await self._drain_stragglers(key)
+            outcomes = await self._fanout(
+                alive, lambda sid, backend: backend.unlink(path)
+            )
+            removed = sum(1 for outcome in outcomes.values() if outcome.ok)
+            missing = sum(
+                1
+                for outcome in outcomes.values()
+                if isinstance(outcome.error, FileNotFoundError_)
+            )
+            if removed == 0 and missing == len(outcomes):
+                raise FileNotFoundError_(path)
+            if removed == 0 and missing == 0:
+                raise _classify_empty_read(outcomes, FileNotFoundError_, path)
+            self._tombstone(key)
+        self._stats.increment("async.deletes")
+
+    async def exists(self, path: str) -> bool:
+        """Whether any reachable replica holds a live version of ``path``."""
+        try:
+            await self.read(path)
+        except (FileNotFoundError_, FragmentFormatError):
+            return False
+        return True
+
+    async def listdir(self, path: str = "/") -> list[str]:
+        """Union of the path's listing across every alive shard."""
+        alive = self._health.alive_of(tuple(self._shards))
+        if not alive:
+            raise ShardUnavailableError("no alive shard to list")
+        outcomes = await self._fanout(
+            alive, lambda sid, backend: backend.listdir(path)
+        )
+        names: set[str] = set()
+        for outcome in outcomes.values():
+            if outcome.ok:
+                names.update(outcome.value)
+        return sorted(
+            name
+            for name in names
+            if self._version_floor(plain_key(f"{path}/{name}")) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # hidden namespace (mode-dependent redundancy)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hidden_put(
+        objname: str, uak: bytes
+    ) -> Callable[[str, AsyncShardBackend, bytes], Awaitable[None]]:
+        return lambda sid, backend, envelope: backend.steg_put(
+            objname, uak, envelope
+        )
+
+    @staticmethod
+    def _hidden_probe(objname: str, uak: bytes) -> _ShardCall:
+        return lambda sid, backend: backend.steg_read_extent(
+            objname, uak, 0, HEADER_LEN
+        )
+
+    async def _store_hidden(
+        self,
+        key: str,
+        objname: str,
+        uak: bytes,
+        placement: tuple[str, ...],
+        version: int,
+        data: bytes,
+    ) -> None:
+        put = self._hidden_put(objname, uak)
+        if self._mode == MODE_IDA:
+            await self._store_dispersed(key, placement, version, data, put)
+        else:
+            await self._store_replicated(key, placement, version, data, put)
+
+    async def steg_create(
+        self, objname: str, uak: bytes, data: bytes = b"", objtype: str = "f"
+    ) -> None:
+        """Create a hidden file, replicated or dispersed per the mode."""
+        if objtype != "f":
+            raise ClusterError(
+                "the cluster namespace is flat: hidden directories are "
+                "a per-shard concept"
+            )
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        async with self._key_lock(key):
+            await self._drain_stragglers(key)
+            version, exists = await self._resolve_write_version(
+                key, alive, self._hidden_probe(objname, uak)
+            )
+            if exists:
+                raise HiddenObjectExistsError(objname)
+            await self._store_hidden(key, objname, uak, placement, version, data)
+            self._commit_version(key, version)
+        self._stats.increment("async.writes")
+
+    async def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
+        """Replace a hidden file's contents."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        async with self._key_lock(key):
+            await self._drain_stragglers(key)
+            version, exists = await self._resolve_write_version(
+                key, alive, self._hidden_probe(objname, uak)
+            )
+            if not exists:
+                raise HiddenObjectNotFoundError(objname)
+            await self._store_hidden(key, objname, uak, placement, version, data)
+            self._commit_version(key, version)
+        self._stats.increment("async.writes")
+
+    async def steg_read(self, objname: str, uak: bytes) -> bytes:
+        """Read a hidden file: first-ack replicas or any-m-of-n shares."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        floor = self._version_floor(key)
+        fetch = lambda sid, backend: backend.steg_read(objname, uak)  # noqa: E731
+        put = self._hidden_put(objname, uak)
+        if self._mode == MODE_IDA:
+            verdict = await self._read_dispersed(
+                key,
+                placement,
+                floor,
+                fetch,
+                HiddenObjectNotFoundError,
+                objname,
+                min_version=self._acked_version(key),
+            )
+        else:
+            verdict = await self._read_replicated(
+                key,
+                placement,
+                floor,
+                fetch,
+                HiddenObjectNotFoundError,
+                objname,
+                min_version=self._acked_version(key),
+            )
+        if verdict.stale:
+            async with self._key_lock(key):
+                await self._drain_stragglers(key)
+                # Re-check under the lock: a writer may have advanced the
+                # object past this read's winner, making the repair stale.
+                if verdict.version >= self._acked_version(key):
+                    if self._mode == MODE_IDA:
+                        await self._repair_dispersed(placement, verdict, put)
+                    else:
+                        await self._repair_replicated(placement, verdict, put)
+        self._observe_version(key, verdict.version)
+        self._stats.increment("async.reads")
+        return verdict.data
+
+    async def steg_delete(self, objname: str, uak: bytes) -> None:
+        """Delete a hidden object from every reachable placement shard."""
+        key = hidden_key(objname, uak)
+        placement = self.placement(key)
+        alive = self._alive(placement)
+        async with self._key_lock(key):
+            await self._drain_stragglers(key)
+            outcomes = await self._fanout(
+                alive, lambda sid, backend: backend.steg_delete(objname, uak)
+            )
+            removed = sum(1 for outcome in outcomes.values() if outcome.ok)
+            missing = sum(
+                1
+                for outcome in outcomes.values()
+                if isinstance(outcome.error, HiddenObjectNotFoundError)
+            )
+            if removed == 0 and missing == len(outcomes):
+                raise HiddenObjectNotFoundError(objname)
+            if removed == 0 and missing == 0:
+                raise _classify_empty_read(
+                    outcomes, HiddenObjectNotFoundError, objname
+                )
+            self._tombstone(key)
+        self._stats.increment("async.deletes")
+
+    async def steg_list(self, uak: bytes) -> list[str]:
+        """Union of hidden names for ``uak`` across every alive shard."""
+        alive = self._health.alive_of(tuple(self._shards))
+        if not alive:
+            raise ShardUnavailableError("no alive shard to list")
+        outcomes = await self._fanout(
+            alive, lambda sid, backend: backend.steg_list(uak)
+        )
+        names: set[str] = set()
+        for outcome in outcomes.values():
+            if outcome.ok:
+                names.update(outcome.value)
+        return sorted(
+            name
+            for name in names
+            if self._version_floor(hidden_key(name, uak)) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    async def probe_dead_shards(self) -> dict[str, bool]:
+        """Ping every dead shard concurrently; revived ones rejoin routing."""
+        return await self._health.probe_all_async(dict(self._shards))
+
+    async def flush(self) -> None:
+        """Drain straggler writes, then flush every alive shard volume."""
+        await self._drain_all_stragglers()
+        alive = self._health.alive_of(tuple(self._shards))
+        await self._fanout(alive, lambda sid, backend: backend.flush())
+
+    async def close(self) -> None:
+        """Drain stragglers, stop probing, optionally close the backends."""
+        if self._closed:
+            return
+        await self._drain_all_stragglers()
+        self._closed = True
+        self._health.stop()
+        if self._owns_backends:
+            for backend in self._shards.values():
+                try:
+                    await backend.close()
+                except Exception:
+                    pass
+
+    async def __aenter__(self) -> "AsyncClusterClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+class BlockingClusterClient:
+    """Threaded facade over an :class:`AsyncClusterClient`.
+
+    Runs a private event loop on a daemon thread, builds the async
+    client there, and exposes the familiar blocking cluster surface by
+    submitting each call with ``run_coroutine_threadsafe`` — the async
+    data plane (pipelined legs, first-ack reads, early-ack writes)
+    without the caller adopting asyncio.  Safe for many threads; every
+    operation is serialized onto the one loop.
+
+    Args:
+        factory: zero-argument callable (plain or async) executed *on
+            the loop thread* that returns the
+            :class:`AsyncClusterClient` to drive.  Backends that must be
+            created on the loop (e.g. :meth:`AsyncRemoteShard.connect`)
+            belong inside the factory.
+
+    Raises:
+        ClusterError: operations after :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[
+            [], "AsyncClusterClient | Awaitable[AsyncClusterClient]"
+        ],
+    ) -> None:
+        import threading
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="stegfs-cluster-aio", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+        async def build() -> AsyncClusterClient:
+            built = factory()
+            if inspect.isawaitable(built):
+                built = await built
+            return built
+
+        try:
+            self._client = asyncio.run_coroutine_threadsafe(
+                build(), self._loop
+            ).result()
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    def _run(self, coro: Awaitable[Any]) -> Any:
+        if self._closed:
+            coro.close()  # type: ignore[attr-defined]
+            raise ClusterError("cluster client has been closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    @property
+    def async_client(self) -> AsyncClusterClient:
+        """The wrapped async coordinator (inspect its stats and health)."""
+        return self._client
+
+    @property
+    def stats(self) -> ClusterStats:
+        """Cluster-level counters (``async.*`` names)."""
+        return self._client.stats
+
+    @property
+    def health(self) -> HealthMonitor:
+        """The failure detector the coordinator routes by."""
+        return self._client.health
+
+    # plain namespace -------------------------------------------------
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a plain file across its placement."""
+        self._run(self._client.create(path, data))
+
+    def write(self, path: str, data: bytes) -> None:
+        """Replace a plain file's contents."""
+        self._run(self._client.write(path, data))
+
+    def read(self, path: str) -> bytes:
+        """Read a plain file."""
+        return self._run(self._client.read(path))
+
+    def unlink(self, path: str) -> None:
+        """Delete a plain file."""
+        self._run(self._client.unlink(path))
+
+    def exists(self, path: str) -> bool:
+        """Whether any reachable replica holds a live version."""
+        return self._run(self._client.exists(path))
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Union listing across every alive shard."""
+        return self._run(self._client.listdir(path))
+
+    # hidden namespace ------------------------------------------------
+
+    def steg_create(
+        self, objname: str, uak: bytes, data: bytes = b"", objtype: str = "f"
+    ) -> None:
+        """Create a hidden file under ``uak``."""
+        self._run(self._client.steg_create(objname, uak, data, objtype))
+
+    def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
+        """Replace a hidden file's contents."""
+        self._run(self._client.steg_write(objname, uak, data))
+
+    def steg_read(self, objname: str, uak: bytes) -> bytes:
+        """Read a hidden file."""
+        return self._run(self._client.steg_read(objname, uak))
+
+    def steg_delete(self, objname: str, uak: bytes) -> None:
+        """Delete a hidden object."""
+        self._run(self._client.steg_delete(objname, uak))
+
+    def steg_list(self, uak: bytes) -> list[str]:
+        """Union of hidden names for ``uak`` across alive shards."""
+        return self._run(self._client.steg_list(uak))
+
+    # maintenance -----------------------------------------------------
+
+    def probe_dead_shards(self) -> dict[str, bool]:
+        """Ping every dead shard; revived ones rejoin routing."""
+        return self._run(self._client.probe_dead_shards())
+
+    def flush(self) -> None:
+        """Drain stragglers and flush every alive shard."""
+        self._run(self._client.flush())
+
+    def close(self) -> None:
+        """Close the async client, stop the loop thread, join it."""
+        if self._closed:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._client.close(), self._loop
+            ).result()
+        finally:
+            self._closed = True
+            self._shutdown_loop()
+
+    def __enter__(self) -> "BlockingClusterClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -52,46 +52,59 @@ class ShardBackend(Protocol):
     """What the coordinator needs from one shard."""
 
     def ping(self) -> bool:  # pragma: no cover - protocol
+        """Liveness check: ``True`` when the shard answers."""
         ...
 
     # plain namespace -------------------------------------------------
     def put(self, path: str, data: bytes) -> None:  # pragma: no cover
+        """Create-or-replace a plain file at ``path``."""
         ...
 
     def read(self, path: str) -> bytes:  # pragma: no cover - protocol
+        """Read a plain file's full contents."""
         ...
 
     def exists(self, path: str) -> bool:  # pragma: no cover - protocol
+        """Whether a plain file exists at ``path``."""
         ...
 
     def unlink(self, path: str) -> None:  # pragma: no cover - protocol
+        """Delete a plain file."""
         ...
 
     def listdir(self, path: str = "/") -> list[str]:  # pragma: no cover
+        """List plain directory entries under ``path``."""
         ...
 
     # hidden namespace ------------------------------------------------
     def steg_put(self, objname: str, uak: bytes, data: bytes) -> None:  # pragma: no cover
+        """Create-or-replace a hidden object's stored bytes."""
         ...
 
     def steg_read(self, objname: str, uak: bytes) -> bytes:  # pragma: no cover
+        """Read a hidden object's stored bytes."""
         ...
 
     def steg_read_extent(
         self, objname: str, uak: bytes, offset: int, length: int
     ) -> bytes:  # pragma: no cover - protocol
+        """Read ``length`` bytes of a hidden object from ``offset``."""
         ...
 
     def steg_delete(self, objname: str, uak: bytes) -> None:  # pragma: no cover
+        """Delete a hidden object."""
         ...
 
     def steg_list(self, uak: bytes) -> list[str]:  # pragma: no cover
+        """List hidden object names readable with ``uak``."""
         ...
 
     def flush(self) -> None:  # pragma: no cover - protocol
+        """Make the shard's volume durable."""
         ...
 
     def close(self) -> None:  # pragma: no cover - protocol
+        """Release the shard's resources (connection or service)."""
         ...
 
 

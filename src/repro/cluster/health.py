@@ -20,7 +20,9 @@ honest, and counting it down would amplify client typos into outages.
 
 from __future__ import annotations
 
+import asyncio
 import enum
+import inspect
 import threading
 import time
 from dataclasses import dataclass
@@ -191,9 +193,17 @@ class HealthMonitor:
     def probe_all(self, backends: Mapping[str, "object"]) -> dict[str, bool]:
         """Probe every **dead** shard (cheap recovery sweep).
 
-        Alive shards are left alone — their liveness is continuously
-        confirmed by real traffic, and probing them would add load for
-        no information.
+        Contract: only shards currently marked DEAD are pinged, and only
+        they appear in the returned ``{shard_id: alive}`` mapping — an
+        empty dict means "every tracked shard was already alive", not
+        "everything is down".  Alive shards are deliberately left alone:
+        their liveness is continuously confirmed by real traffic, and
+        probing them would add load for no information.  A dead shard
+        that answers is revived immediately (:meth:`record_success`),
+        so one sweep after a backend restart restores routing.
+
+        Each ping is a blocking call on the calling thread; use
+        :meth:`probe_all_async` from an event loop.
         """
         results: dict[str, bool] = {}
         for shard_id, backend in backends.items():
@@ -206,6 +216,68 @@ class HealthMonitor:
                 revived=sum(1 for alive in results.values() if alive),
             )
         return results
+
+    async def probe_async(self, shard_id: str, backend: "object") -> bool:
+        """Ping one backend from an event loop; update state from the outcome.
+
+        Works with both backend flavours: an async ``ping`` coroutine is
+        awaited in place, a blocking ``ping`` is pushed to the default
+        executor so the loop never stalls on a dead socket's timeout.
+        """
+        ping = backend.ping
+        try:
+            if inspect.iscoroutinefunction(ping):
+                alive = bool(await ping())
+            else:
+                alive = bool(await asyncio.to_thread(ping))
+        except Exception:
+            alive = False
+        if alive:
+            self.record_success(shard_id)
+        else:
+            self.record_failure(shard_id)
+        return alive
+
+    async def probe_all_async(
+        self, backends: Mapping[str, "object"]
+    ) -> dict[str, bool]:
+        """Async :meth:`probe_all`: ping every dead shard concurrently.
+
+        Same dead-shards-only contract and return shape as
+        :meth:`probe_all`; the pings run as parallel tasks instead of a
+        serial blocking sweep, so one unreachable shard's timeout does
+        not delay the others.
+        """
+        dead = [
+            (shard_id, backend)
+            for shard_id, backend in backends.items()
+            if not self.is_alive(shard_id)
+        ]
+        if not dead:
+            return {}
+        outcomes = await asyncio.gather(
+            *(self.probe_async(shard_id, backend) for shard_id, backend in dead)
+        )
+        results = {shard_id: alive for (shard_id, _), alive in zip(dead, outcomes)}
+        get_events().emit(
+            "cluster.probe_sweep",
+            probed=len(results),
+            revived=sum(1 for alive in results.values() if alive),
+        )
+        return results
+
+    async def probe_loop(
+        self, backends: Mapping[str, "object"], interval_s: float = 1.0
+    ) -> None:
+        """Run :meth:`probe_all_async` forever; cancel the task to stop.
+
+        The asyncio counterpart of :meth:`start_probe_loop` — a single
+        coroutine on the caller's loop instead of a daemon thread, so a
+        long-lived async deployment pays no thread for its sweeps.
+        """
+        while True:
+            await asyncio.sleep(interval_s)
+            await self.probe_all_async(backends)
 
     def start_probe_loop(
         self, backends: Mapping[str, "object"], interval_s: float = 1.0

@@ -12,10 +12,11 @@ object, let alone written to a socket.
   LIFO connection pool hands each in-flight call a private socket, so
   callers never interleave frames.  ``pool_size`` bounds both sockets and
   concurrency.
-* :class:`AsyncStegFSClient` — one connection, fully pipelined: requests
-  carry correlation ids, a background reader task resolves each pending
-  future as its response arrives, so ``asyncio.gather`` over many calls
-  keeps the link saturated.
+* :class:`AsyncStegFSClient` — ``pool_size`` long-lived connections,
+  fully pipelined: requests carry correlation ids, a background reader
+  task per connection resolves each pending future as its response
+  arrives, so ``asyncio.gather`` over many calls keeps every link
+  saturated without a thread or socket per in-flight operation.
 
 Typed errors raised inside the server arrive as the *same*
 :mod:`repro.errors` class with the same message (see
@@ -416,60 +417,36 @@ class StegFSClient:
         return self._call("obs_events", limit)
 
 
-class AsyncStegFSClient:
-    """Asyncio remote client: one connection, pipelined request ids.
+class _AsyncConn:
+    """One pipelined connection: streams, reader task, pending futures.
 
-    Usage::
-
-        client = AsyncStegFSClient(host, port)
-        await client.open()
-        await client.login("alice", uak)
-        data = await client.steg_read("secret")
-        await client.close()
-
-    Many coroutines may call concurrently; responses are matched to
-    callers by correlation id, so slow operations never head-of-line
-    block fast ones beyond what the server's own scheduling imposes.
+    Not shared across event loops.  All coordination objects (the write
+    lock, the pending futures) belong to the loop that opened it.
     """
 
-    def __init__(
-        self, host: str, port: int, *, max_frame: int = DEFAULT_MAX_FRAME
-    ) -> None:
-        self._host = host
-        self._port = port
-        self._max_frame = max_frame
-        self._reader: asyncio.StreamReader | None = None
-        self._writer: asyncio.StreamWriter | None = None
-        self._reader_task: asyncio.Task | None = None
-        self._write_lock = asyncio.Lock()
-        self._pending: dict[int, asyncio.Future] = {}
-        self._next_id = 1
-        self._token: bytes | None = None
-        self._dead_error: Exception | None = None
+    def __init__(self, max_frame: int) -> None:
+        self.max_frame = max_frame
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.reader_task: asyncio.Task | None = None
+        self.write_lock = asyncio.Lock()
+        self.pending: dict[int, asyncio.Future] = {}
+        self.next_id = 1
+        self.dead_error: Exception | None = None
 
-    async def open(self) -> "AsyncStegFSClient":
-        """Connect and start the response-dispatch task."""
-        self._reader, self._writer = await asyncio.open_connection(
-            self._host, self._port
-        )
-        self._reader_task = asyncio.ensure_future(self._read_loop())
-        return self
-
-    async def __aenter__(self) -> "AsyncStegFSClient":
-        return await self.open()
-
-    async def __aexit__(self, *exc_info: object) -> None:
-        await self.close()
+    async def open(self, host: str, port: int) -> None:
+        self.reader, self.writer = await asyncio.open_connection(host, port)
+        self.reader_task = asyncio.ensure_future(self._read_loop())
 
     async def _read_loop(self) -> None:
-        assert self._reader is not None
+        assert self.reader is not None
         error: Exception = ConnectionClosedError("server closed the connection")
         try:
             while True:
-                frame = await read_frame(self._reader, self._max_frame)
+                frame = await read_frame(self.reader, self.max_frame)
                 if frame is None:
                     break
-                future = self._pending.pop(frame.request_id, None)
+                future = self.pending.pop(frame.request_id, None)
                 if future is None or future.done():
                     continue
                 if isinstance(frame, ErrorFrame):
@@ -487,25 +464,24 @@ class AsyncStegFSClient:
         except Exception as exc:
             error = exc
         # Record the cause *before* failing the pending futures, so a
-        # _call racing this shutdown either finds its future failed here
-        # or sees _dead_error and fails fast instead of awaiting forever.
-        self._dead_error = error
-        for future in self._pending.values():
+        # call racing this shutdown either finds its future failed here
+        # or sees dead_error and fails fast instead of awaiting forever.
+        self.dead_error = error
+        for future in self.pending.values():
             if not future.done():
                 future.set_exception(error)
-        self._pending.clear()
+        self.pending.clear()
 
-    async def _call(self, op: str, *args: Any) -> Any:
-        if self._writer is None:
-            raise ConnectionClosedError("client is not connected: call open() first")
-        if self._dead_error is not None:
+    async def call(self, op: str, args: tuple[Any, ...]) -> Any:
+        if self.dead_error is not None:
             # The reader task already exited: nothing will ever resolve a
             # newly registered future, so fail now with the original cause.
-            raise type(self._dead_error)(str(self._dead_error))
-        request_id = self._next_id
-        self._next_id += 1
+            raise type(self.dead_error)(str(self.dead_error))
+        assert self.writer is not None
+        request_id = self.next_id
+        self.next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
+        self.pending[request_id] = future
         with maybe_span(f"net.client.{op}"):
             data = encode_frame(
                 Request(
@@ -514,12 +490,119 @@ class AsyncStegFSClient:
                     args=args,
                     trace_ctx=current_context(),
                 ),
-                self._max_frame,
+                self.max_frame,
             )
-            async with self._write_lock:
-                self._writer.write(data)
-                await self._writer.drain()
+            async with self.write_lock:
+                self.writer.write(data)
+                await self.writer.drain()
             return await future
+
+    async def close(self) -> None:
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+            try:
+                await self.reader_task
+            except asyncio.CancelledError:
+                pass
+            self.reader_task = None
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self.writer = None
+            self.reader = None
+
+
+class AsyncStegFSClient:
+    """Asyncio remote client: pipelined request ids over a connection pool.
+
+    Usage::
+
+        client = AsyncStegFSClient(host, port)
+        await client.open()
+        await client.login("alice", uak)
+        data = await client.steg_read("secret")
+        await client.close()
+
+    Many coroutines may call concurrently; responses are matched to
+    callers by correlation id, so slow operations never head-of-line
+    block fast ones beyond what the server's own scheduling imposes.
+    ``pool_size`` (default 1) spreads calls round-robin over that many
+    long-lived connections — useful when a single socket's in-order
+    framing becomes the bottleneck under heavy fan-out, as in the
+    cluster coordinator's pipelined shard legs.
+
+    Not thread-safe: one instance belongs to one event loop.  Threaded
+    callers want :class:`StegFSClient`.
+
+    Raises:
+        ConnectionClosedError: calling before :meth:`open`, after
+            :meth:`close`, or once every pooled connection has died.
+        HandshakeError: hidden/session ops before :meth:`login`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 1,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._max_frame = max_frame
+        self._conns: list[_AsyncConn] = []
+        self._rr = 0
+        self._token: bytes | None = None
+
+    @property
+    def _reader_task(self) -> asyncio.Task | None:
+        # Back-compat peek used by tests: the first connection's reader.
+        return self._conns[0].reader_task if self._conns else None
+
+    async def open(self) -> "AsyncStegFSClient":
+        """Connect every pooled socket and start its dispatch task."""
+        conns: list[_AsyncConn] = []
+        try:
+            for _ in range(self._pool_size):
+                conn = _AsyncConn(self._max_frame)
+                await conn.open(self._host, self._port)
+                conns.append(conn)
+        except BaseException:
+            for conn in conns:
+                await conn.close()
+            raise
+        self._conns = conns
+        return self
+
+    async def __aenter__(self) -> "AsyncStegFSClient":
+        return await self.open()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def _pick(self) -> _AsyncConn:
+        """Next live connection, round-robin; typed error when none."""
+        if not self._conns:
+            raise ConnectionClosedError("client is not connected: call open() first")
+        start = self._rr
+        self._rr = (self._rr + 1) % len(self._conns)
+        for offset in range(len(self._conns)):
+            conn = self._conns[(start + offset) % len(self._conns)]
+            if conn.dead_error is None:
+                return conn
+        dead = self._conns[start].dead_error
+        assert dead is not None
+        raise type(dead)(str(dead))
+
+    async def _call(self, op: str, *args: Any) -> Any:
+        return await self._pick().call(op, args)
 
     def _require_token(self) -> bytes:
         if self._token is None:
@@ -535,10 +618,17 @@ class AsyncStegFSClient:
         return await self._call("ping")
 
     async def login(self, user_id: str, uak: bytes) -> None:
-        """HMAC challenge–response handshake; stores only the token."""
-        nonce = await self._call("hello", user_id)
+        """HMAC challenge–response handshake; stores only the token.
+
+        Both legs run on one pooled connection — the server scopes
+        handshake challenges to the connection that issued them.  The
+        resulting token is server-global, so every pooled connection
+        shares it afterwards.
+        """
+        conn = self._pick()
+        nonce = await conn.call("hello", (user_id,))
         proof = auth_proof(uak, nonce, user_id)
-        self._token = await self._call("authenticate", user_id, proof)
+        self._token = await conn.call("authenticate", (user_id, proof))
 
     async def logout(self) -> None:
         """Close the remote session and forget the token."""
@@ -547,22 +637,10 @@ class AsyncStegFSClient:
         await self._call("close_session", token)
 
     async def close(self) -> None:
-        """Tear the connection down; pending calls fail with a typed error."""
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            try:
-                await self._reader_task
-            except asyncio.CancelledError:
-                pass
-            self._reader_task = None
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
-            self._writer = None
-            self._reader = None
+        """Tear every connection down; pending calls fail with a typed error."""
+        conns, self._conns = self._conns, []
+        for conn in conns:
+            await conn.close()
 
     # ------------------------------------------------------------------
     # plain namespace

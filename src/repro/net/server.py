@@ -71,7 +71,7 @@ from repro.net.protocol import (
     read_frame,
 )
 from repro.obs.metrics import get_registry
-from repro.obs.trace import get_tracer, maybe_span
+from repro.service.aio import AsyncServiceFront
 from repro.service.registry import OpSpec
 from repro.service.service import StegFSService
 
@@ -111,21 +111,6 @@ class ServerStats:
             get_registry().counter(f"net.server.{name}").inc(by)
 
 
-def _run_traced(ctx: tuple[str, str], call: Any) -> Any:
-    """Run a dispatched op in the worker thread under a remote span.
-
-    ``run_in_executor`` does not propagate ``contextvars``, so the
-    server re-activates the request's trace context explicitly around
-    the blocking call.
-    """
-    tracer = get_tracer()
-    token = tracer.activate(ctx)
-    try:
-        return call()
-    finally:
-        tracer.deactivate(token)
-
-
 @dataclass
 class _RemoteSession:
     """Server-side record behind one issued session token."""
@@ -163,6 +148,7 @@ class StegFSServer:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self._service = service
+        self._front = AsyncServiceFront(service)
         self._host = host
         self._port = port
         self._max_frame = max_frame
@@ -326,16 +312,15 @@ class StegFSServer:
                 f"operation {op!r} is not available over the wire"
             )
         kwargs = self._bind_args(spec, args)
-        method = getattr(self._service, op)
-        loop = asyncio.get_running_loop()
-        call: Any = functools.partial(method, **kwargs)
         # Continue the client's trace: the net.server span covers queueing
-        # plus execution, and its context is re-activated inside the worker
-        # thread (contextvars do not cross run_in_executor on their own).
-        with get_tracer().span(f"net.server.{op}", parent=request.trace_ctx) as span:
-            if span is not None:
-                call = functools.partial(_run_traced, span.context(), call)
-            return await loop.run_in_executor(self._service.executor, call)
+        # plus execution, and the front re-activates its context inside the
+        # worker thread (contextvars do not cross run_in_executor alone).
+        return await self._front.call(
+            op,
+            _span_name=f"net.server.{op}",
+            _parent=request.trace_ctx,
+            **kwargs,
+        )
 
     def _bind_args(self, spec: OpSpec, args: tuple[Any, ...]) -> dict[str, Any]:
         if spec.injects is not None:

@@ -23,12 +23,14 @@ the volume so hot blocks skip the disk, and see
 measurement harness.
 """
 
+from repro.service.aio import AsyncServiceFront
 from repro.service.locks import LockStripes, RWLock
 from repro.service.registry import OpSpec, build_registry, service_op
 from repro.service.service import OpStats, ServiceStats, StegFSService
 from repro.service.sessions import ServiceSession, SessionManager
 
 __all__ = [
+    "AsyncServiceFront",
     "LockStripes",
     "OpSpec",
     "OpStats",

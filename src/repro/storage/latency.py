@@ -72,6 +72,23 @@ class LatencyDevice(BlockDevice):
         return self._model
 
     @property
+    def time_scale(self) -> float:
+        """Current sleep multiplier (``0`` = account time, never sleep)."""
+        return self._time_scale
+
+    @time_scale.setter
+    def time_scale(self, value: float) -> None:
+        """Retune pricing on a live device.
+
+        Benchmarks use this to make fixture setup and post-measurement
+        drain free while keeping the measured window fully priced; the
+        model keeps accounting ``busy_ms`` either way.
+        """
+        if value < 0:
+            raise ValueError(f"time_scale must be >= 0, got {value}")
+        self._time_scale = value
+
+    @property
     def busy_ms(self) -> float:
         """Total modeled (unscaled) service time charged so far."""
         return self._model.busy_ms

@@ -1,0 +1,163 @@
+"""Async transport edge cases: dropped connections under pipelined load.
+
+The pipelined :class:`AsyncStegFSClient` keeps many requests in flight
+per socket, so a dying connection strands a *batch*, not one call.
+These tests pin down the contract: every stranded call fails promptly
+with the typed :class:`ConnectionClosedError` (nothing hangs, nothing
+leaks an unretrieved task exception), and the server shrugs off a peer
+that vanishes while its operation is still running on the service's
+worker pool.
+
+The scenarios stall the server deterministically by occupying every
+service worker thread with gate jobs submitted straight to the
+service's executor — requests then queue behind the gate exactly as
+they would behind a slow disk.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import threading
+from typing import Any, Awaitable, Callable
+
+import pytest
+
+from repro.errors import ConnectionClosedError
+from repro.net.client import AsyncStegFSClient
+
+# Must match the credentials tests/net/conftest.py registers.
+USER = "alice"
+UAK = b"A" * 32
+
+
+class _ExecutorGate:
+    """Occupy every service worker thread until released."""
+
+    def __init__(self, service, workers: int = 4) -> None:
+        self._event = threading.Event()
+        self._ready = threading.Barrier(workers + 1)
+        self._futures = [
+            service.executor.submit(self._hold) for _ in range(workers)
+        ]
+        # Only return once every worker is provably parked on the gate,
+        # so the next submitted op cannot sneak into a free thread.
+        self._ready.wait(timeout=5.0)
+
+    def _hold(self) -> None:
+        self._ready.wait(timeout=5.0)
+        self._event.wait(timeout=10.0)
+
+    def release(self) -> None:
+        self._event.set()
+        for future in self._futures:
+            future.result(timeout=5.0)
+
+
+def _run(scenario: Callable[[], Awaitable[None]]) -> None:
+    """Run ``scenario``; fail if any task exception went unretrieved."""
+    reports: list[dict[str, Any]] = []
+
+    async def wrapped() -> None:
+        asyncio.get_running_loop().set_exception_handler(
+            lambda loop, context: reports.append(context)
+        )
+        await scenario()
+        gc.collect()
+        await asyncio.sleep(0)
+        gc.collect()
+
+    asyncio.run(wrapped())
+    assert not reports, [r.get("message") for r in reports]
+
+
+class TestClientDroppedMidBatch:
+    def test_close_fails_every_pending_call_typed(self, service, address):
+        async def scenario() -> None:
+            host, port = address
+            client = AsyncStegFSClient(host, port)
+            await client.open()
+            await client.login(USER, UAK)
+            gate = _ExecutorGate(service)
+            try:
+                # A pipelined batch: all eight are on the wire, none can
+                # complete while the workers are gated.
+                batch = [
+                    asyncio.ensure_future(
+                        client.steg_create(f"doc-{i}", data=b"x" * 64)
+                    )
+                    for i in range(8)
+                ]
+                await asyncio.sleep(0.1)
+                assert not any(task.done() for task in batch)
+                await client.close()
+                results = await asyncio.gather(*batch, return_exceptions=True)
+            finally:
+                gate.release()
+            # Every stranded call failed promptly with the typed error —
+            # no hangs, no bare OSError, no silent None.
+            assert len(results) == 8
+            assert all(
+                isinstance(r, ConnectionClosedError) for r in results
+            ), results
+            with pytest.raises(ConnectionClosedError):
+                await client.ping()
+
+        _run(scenario)
+
+    def test_server_survives_peer_vanishing_mid_op(self, service, address):
+        async def scenario() -> None:
+            host, port = address
+            first = AsyncStegFSClient(host, port)
+            await first.open()
+            await first.login(USER, UAK)
+            gate = _ExecutorGate(service)
+            try:
+                doomed = asyncio.ensure_future(
+                    first.steg_create("orphan", data=b"y" * 64)
+                )
+                await asyncio.sleep(0.1)
+                # Drop the connection while the op is still queued for
+                # the worker pool; the server will finish the op and
+                # find nobody to answer.
+                await first.close()
+                with pytest.raises(ConnectionClosedError):
+                    await doomed
+            finally:
+                gate.release()
+            # The server shrugged it off: a fresh client gets a fresh
+            # session and full service, and the orphaned op's effect is
+            # visible (it did run — only its reply had no destination).
+            async with AsyncStegFSClient(host, port) as second:
+                await second.login(USER, UAK)
+                assert await second.ping()
+                assert await second.steg_list() == ["orphan"]
+                await second.steg_delete("orphan")
+                await second.logout()
+
+        _run(scenario)
+
+
+class TestConnectionPool:
+    def test_pooled_connections_share_login_and_pipeline(self, address):
+        async def scenario() -> None:
+            host, port = address
+            async with AsyncStegFSClient(host, port, pool_size=3) as client:
+                # login runs on one pooled socket; the token must be
+                # honoured on all of them as calls round-robin.
+                await client.login(USER, UAK)
+                names = [f"pool-{i}" for i in range(12)]
+                await asyncio.gather(
+                    *(
+                        client.steg_create(name, data=name.encode() * 10)
+                        for name in names
+                    )
+                )
+                reads = await asyncio.gather(
+                    *(client.steg_read(name) for name in names)
+                )
+                assert reads == [name.encode() * 10 for name in names]
+                assert await client.steg_list() == sorted(names)
+                await client.logout()
+
+        _run(scenario)

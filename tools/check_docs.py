@@ -1,0 +1,85 @@
+"""Markdown link checker for README.md and docs/ (stdlib only).
+
+Walks every markdown file, extracts inline links and validates the
+relative ones: the target file must exist, and a ``#fragment`` must
+match a heading in the target (GitHub's slug rules, close enough:
+lowercase, punctuation stripped, spaces to dashes).  External links
+(``http``/``https``/``mailto``) are skipped — CI must not depend on
+the network — as are badge-style repo-relative ``../../actions`` URLs.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link), so CI can run it bare:
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Inline markdown links, skipping image embeds' leading "!".
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {_slug(m.group(1)) for m in _HEADING.finditer(path.read_text())}
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks: their brackets are code, not links."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one human-readable problem string per broken link."""
+    problems: list[str] = []
+    rel = path.relative_to(ROOT) if path.is_relative_to(ROOT) else path
+    for match in _LINK.finditer(_strip_code_blocks(path.read_text())):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("../../"):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if _slug(fragment) not in _anchors(resolved):
+                problems.append(f"{rel}: missing anchor -> {target}")
+    return problems
+
+
+def check_all() -> list[str]:
+    """Check README.md plus every markdown file under docs/."""
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    return problems
+
+
+def main() -> int:
+    """CLI entry point; prints problems and returns the exit code."""
+    problems = check_all()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = 1 + len(list((ROOT / "docs").glob("*.md")))
+    print(f"checked {checked} markdown file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,8 +48,10 @@ next to the threaded tier's counters.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import hashlib
 import inspect
+import time
 from typing import Any, Awaitable, Callable, Iterable, Mapping, Protocol, runtime_checkable
 
 from repro.cluster.backend import SHARD_FAILURES
@@ -86,6 +88,7 @@ from repro.errors import (
     ServiceClosedError,
     ShardUnavailableError,
 )
+from repro.obs.metrics import get_registry
 from repro.obs.trace import maybe_span
 from repro.service.aio import AsyncServiceFront
 
@@ -271,6 +274,16 @@ class AsyncServiceShard:
         if self._owns_service and not getattr(self._service, "closed", True):
             await asyncio.to_thread(self._service.close)
 
+    # observability ---------------------------------------------------
+
+    async def obs_snapshot(self) -> str:
+        """The shard's merge-ready telemetry document (JSON; scrape hook)."""
+        return await self._front.call("obs_snapshot")
+
+    async def obs_trace(self, trace_id: str = "") -> str:
+        """The shard's span records for one trace (JSON; stitch hook)."""
+        return await self._front.call("obs_trace", trace_id)
+
 
 def _key_tag(uak: bytes) -> str:
     return hashlib.sha256(uak).hexdigest()[:16]
@@ -402,6 +415,16 @@ class AsyncRemoteShard:
         if self._owns_client:
             await self._client.close()
 
+    # observability ---------------------------------------------------
+
+    async def obs_snapshot(self) -> str:
+        """The remote process's telemetry document (JSON, over the wire)."""
+        return await self._client.obs_snapshot()
+
+    async def obs_trace(self, trace_id: str = "") -> str:
+        """The remote process's spans for one trace (JSON, over the wire)."""
+        return await self._client.obs_trace(trace_id)
+
 
 def _classify_empty_read(
     outcomes: dict[str, _Outcome],
@@ -527,6 +550,18 @@ class AsyncClusterClient:
         self._key_locks = tuple(asyncio.Lock() for _ in range(64))
         # key -> background write legs still draining after an early ack.
         self._stragglers: dict[str, set[asyncio.Task]] = {}
+        # Telemetry for the straggler machinery: backlog depth and how
+        # long callers queue on the per-key stripes.  Process-wide series
+        # — two clients in one process add into the same instruments.
+        registry = get_registry()
+        self._straggler_gauge = registry.gauge(
+            "cluster.async.stragglers.pending",
+            "early-acked write legs still draining in the background",
+        )
+        self._lock_wait_hist = registry.histogram(
+            "cluster.async.key_lock_wait_ms",
+            "milliseconds spent queueing on a per-key stripe lock",
+        )
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -662,6 +697,18 @@ class AsyncClusterClient:
         digest = int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big")
         return self._key_locks[digest % len(self._key_locks)]
 
+    @contextlib.asynccontextmanager
+    async def _locked(self, key: str):
+        """Hold ``key``'s stripe lock, recording how long we queued for it."""
+        lock = self._key_lock(key)
+        started = time.perf_counter()
+        await lock.acquire()
+        self._lock_wait_hist.observe((time.perf_counter() - started) * 1000.0)
+        try:
+            yield
+        finally:
+            lock.release()
+
     def _observe_version(self, key: str, version: int, exists: bool = True) -> None:
         current = self._versions.get(key)
         if current is None or version > current[0]:
@@ -723,11 +770,13 @@ class AsyncClusterClient:
         bucket = self._stragglers.setdefault(key, set())
         for task in tasks:
             bucket.add(task)
+            self._straggler_gauge.add(1)
             task.add_done_callback(
                 lambda t, key=key: self._straggler_done(key, t)
             )
 
     def _straggler_done(self, key: str, task: asyncio.Task) -> None:
+        self._straggler_gauge.add(-1)
         bucket = self._stragglers.get(key)
         if bucket is not None:
             bucket.discard(task)
@@ -1175,7 +1224,7 @@ class AsyncClusterClient:
         key = plain_key(path)
         placement = self.placement(key)
         alive = self._alive(placement)
-        async with self._key_lock(key):
+        async with self._locked(key):
             await self._drain_stragglers(key)
             version, exists = await self._resolve_write_version(
                 key, alive, self._plain_probe(path)
@@ -1193,7 +1242,7 @@ class AsyncClusterClient:
         key = plain_key(path)
         placement = self.placement(key)
         alive = self._alive(placement)
-        async with self._key_lock(key):
+        async with self._locked(key):
             await self._drain_stragglers(key)
             version, exists = await self._resolve_write_version(
                 key, alive, self._plain_probe(path)
@@ -1221,7 +1270,7 @@ class AsyncClusterClient:
         )
         self._observe_version(key, verdict.version)
         if verdict.stale:
-            async with self._key_lock(key):
+            async with self._locked(key):
                 await self._drain_stragglers(key)
                 if verdict.version >= self._acked_version(key):
                     await self._repair_replicated(
@@ -1235,7 +1284,7 @@ class AsyncClusterClient:
         key = plain_key(path)
         placement = self.placement(key)
         alive = self._alive(placement)
-        async with self._key_lock(key):
+        async with self._locked(key):
             await self._drain_stragglers(key)
             outcomes = await self._fanout(
                 alive, lambda sid, backend: backend.unlink(path)
@@ -1324,7 +1373,7 @@ class AsyncClusterClient:
         key = hidden_key(objname, uak)
         placement = self.placement(key)
         alive = self._alive(placement)
-        async with self._key_lock(key):
+        async with self._locked(key):
             await self._drain_stragglers(key)
             version, exists = await self._resolve_write_version(
                 key, alive, self._hidden_probe(objname, uak)
@@ -1340,7 +1389,7 @@ class AsyncClusterClient:
         key = hidden_key(objname, uak)
         placement = self.placement(key)
         alive = self._alive(placement)
-        async with self._key_lock(key):
+        async with self._locked(key):
             await self._drain_stragglers(key)
             version, exists = await self._resolve_write_version(
                 key, alive, self._hidden_probe(objname, uak)
@@ -1379,7 +1428,7 @@ class AsyncClusterClient:
                 min_version=self._acked_version(key),
             )
         if verdict.stale:
-            async with self._key_lock(key):
+            async with self._locked(key):
                 await self._drain_stragglers(key)
                 # Re-check under the lock: a writer may have advanced the
                 # object past this read's winner, making the repair stale.
@@ -1397,7 +1446,7 @@ class AsyncClusterClient:
         key = hidden_key(objname, uak)
         placement = self.placement(key)
         alive = self._alive(placement)
-        async with self._key_lock(key):
+        async with self._locked(key):
             await self._drain_stragglers(key)
             outcomes = await self._fanout(
                 alive, lambda sid, backend: backend.steg_delete(objname, uak)
@@ -1545,6 +1594,41 @@ class BlockingClusterClient:
     def health(self) -> HealthMonitor:
         """The failure detector the coordinator routes by."""
         return self._client.health
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Counters plus per-shard routing state, like the threaded client.
+
+        The health snapshot is loop-confined state, so the read is
+        delegated onto the private loop rather than taken from this
+        thread mid-probe.
+        """
+
+        async def grab() -> dict[str, Any]:
+            return self._client.stats_snapshot()
+
+        return self._run(grab())
+
+    def scrape_targets(self, *, include_self: bool = True) -> dict[str, Any]:
+        """Scrapeables for a :class:`~repro.obs.cluster.TelemetryCollector`.
+
+        Each shard entry is a :class:`~repro.obs.cluster.ScrapeTarget`
+        whose callables submit the backend's ``obs_snapshot`` /
+        ``obs_trace`` coroutines onto the private loop, so a collector
+        thread can poll remote and embedded shards alike without touching
+        asyncio.  ``include_self`` adds a ``_coordinator`` entry for this
+        process's own registry and tracer.
+        """
+        from repro.obs.cluster import ScrapeTarget  # avoid import cycle
+
+        targets: dict[str, Any] = {}
+        for shard_id, backend in self._client.shards.items():
+            targets[shard_id] = ScrapeTarget(
+                lambda b=backend: self._run(b.obs_snapshot()),
+                lambda trace_id, b=backend: self._run(b.obs_trace(trace_id)),
+            )
+        if include_self:
+            targets["_coordinator"] = ScrapeTarget.local(role="coordinator")
+        return targets
 
     # plain namespace -------------------------------------------------
 

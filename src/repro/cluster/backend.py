@@ -200,6 +200,16 @@ class ServiceShard:
         if self._owns_service and not getattr(self._service, "closed", True):
             self._service.close()
 
+    # observability ---------------------------------------------------
+
+    def obs_snapshot(self) -> str:
+        """The shard's merge-ready telemetry document (JSON; scrape hook)."""
+        return self._service.obs_snapshot()
+
+    def obs_trace(self, trace_id: str = "") -> str:
+        """The shard's span records for one trace (JSON; stitch hook)."""
+        return self._service.obs_trace(trace_id)
+
 
 def _key_tag(uak: bytes) -> str:
     # Same non-reversible tag the service layer stripes by: enough to
@@ -326,3 +336,13 @@ class RemoteShard:
         """Close the pooled connections if this adapter owns them."""
         if self._owns_client:
             self._client.close()
+
+    # observability ---------------------------------------------------
+
+    def obs_snapshot(self) -> str:
+        """The remote process's telemetry document (JSON, over the wire)."""
+        return self._client.obs_snapshot()
+
+    def obs_trace(self, trace_id: str = "") -> str:
+        """The remote process's spans for one trace (JSON, over the wire)."""
+        return self._client.obs_trace(trace_id)

@@ -291,6 +291,21 @@ class ClusterClient:
         with self._ring_lock:
             return self._ring.copy()
 
+    def scrape_targets(self, *, include_self: bool = True) -> dict[str, Any]:
+        """Scrapeables for a :class:`~repro.obs.cluster.TelemetryCollector`.
+
+        One entry per attached shard (the backend adapters expose
+        ``obs_snapshot``/``obs_trace``), plus — with ``include_self`` —
+        a ``_coordinator`` entry for this process's own telemetry, so a
+        collector sees the cluster counters next to the shard traffic.
+        """
+        from repro.obs.cluster import ScrapeTarget  # avoid import cycle
+
+        targets: dict[str, Any] = dict(self.shards)
+        if include_self:
+            targets["_coordinator"] = ScrapeTarget.local(role="coordinator")
+        return targets
+
     # ------------------------------------------------------------------
     # membership (data migration lives in repro.cluster.rebalance)
     # ------------------------------------------------------------------

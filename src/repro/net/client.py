@@ -416,6 +416,10 @@ class StegFSClient:
         """Newest-first server health/probe events as JSON strings."""
         return self._call("obs_events", limit)
 
+    def obs_snapshot(self) -> str:
+        """The server process's merge-ready telemetry document (JSON)."""
+        return self._call("obs_snapshot")
+
 
 class _AsyncConn:
     """One pipelined connection: streams, reader task, pending futures.
@@ -793,6 +797,10 @@ class AsyncStegFSClient:
     async def obs_events(self, limit: int = 64) -> list[str]:
         """Newest-first server health/probe events as JSON strings."""
         return await self._call("obs_events", limit)
+
+    async def obs_snapshot(self) -> str:
+        """The server process's merge-ready telemetry document (JSON)."""
+        return await self._call("obs_snapshot")
 
 
 def fetch_hidden(host: str, port: int, user_id: str, uak: bytes, objname: str) -> bytes:

@@ -15,7 +15,7 @@ design and by test (``tests/obs/test_deniability.py``):
   and durations; never keys, security levels, or hidden-object names, in
   any spelling.
 
-Four parts:
+Five parts:
 
 * :mod:`repro.obs.metrics` — a process-wide :class:`MetricRegistry` of
   named counters, gauges and fixed-bucket histograms (lock-striped,
@@ -32,9 +32,18 @@ Four parts:
   attribution, plus a general event ring (shard health transitions,
   probe results).
 * :mod:`repro.obs.admin` — read-only ``obs_metrics`` / ``obs_slowlog`` /
-  ``obs_trace`` / ``obs_events`` service ops, exposed through
-  :class:`~repro.net.server.StegFSServer` and both clients, and a
-  ``python -m repro.obs`` CLI against a live server.
+  ``obs_trace`` / ``obs_events`` / ``obs_snapshot`` service ops, exposed
+  through :class:`~repro.net.server.StegFSServer` and both clients, and
+  a ``python -m repro.obs`` CLI against a live server (including the
+  cluster ``scrape`` / ``top`` subcommands).
+* :mod:`repro.obs.cluster` + :mod:`repro.obs.rules` — the pull-based
+  cluster telemetry plane: a :class:`TelemetryCollector` scrapes every
+  shard's ``obs_snapshot`` document, keeps a per-shard
+  :class:`TimeSeriesRing` (counter rates, histogram deltas, windowed
+  percentiles), merges labeled snapshots cluster-wide, stitches
+  cross-shard traces, and evaluates declarative alert rules
+  (dead/flapping shards, quorum widening, error-budget burn, fsync tail
+  latency, straggler backlog).
 
 **Kill switch** — ``REPRO_OBS=off`` in the environment (or
 :func:`set_enabled`\\ ``(False)`` at runtime) turns every instrument into

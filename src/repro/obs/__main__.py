@@ -1,15 +1,26 @@
-"""Observability CLI against a live StegFS server.
+"""Observability CLI against live StegFS servers.
 
 Usage::
 
-    python -m repro.obs metrics  HOST PORT
-    python -m repro.obs slowlog  HOST PORT [--limit N]
-    python -m repro.obs trace    HOST PORT [TRACE_ID]
-    python -m repro.obs events   HOST PORT [--limit N]
+    python -m repro.obs metrics  HOST PORT [--json]
+    python -m repro.obs slowlog  HOST PORT [--limit N] [--json]
+    python -m repro.obs trace    HOST PORT [TRACE_ID] [--json]
+    python -m repro.obs events   HOST PORT [--limit N] [--json]
+    python -m repro.obs scrape   ENDPOINT [ENDPOINT ...] [--json]
+    python -m repro.obs top      ENDPOINT [ENDPOINT ...] [--interval S]
 
-All four commands are read-only and unauthenticated (admin-kind ops
-carry no credentials), printing exactly what the server's in-RAM rings
-hold — scrubbed operation names, durations and counts, never content.
+The single-server commands take ``HOST PORT``; the cluster commands take
+one or more ``ENDPOINT`` specs, each ``HOST:PORT`` or ``NAME=HOST:PORT``
+(the name becomes the per-shard label).  ``scrape`` performs one
+collector sweep and prints the merged, labeled view; ``top`` redraws a
+per-shard dashboard (ops/sec, p99, cache hit ratio, routing state,
+firing alerts) until interrupted.
+
+All commands are read-only and unauthenticated (admin-kind ops carry no
+credentials), printing exactly what the servers' in-RAM rings hold —
+scrubbed operation names, durations and counts, never content.  Any
+connection or protocol failure exits non-zero with a one-line error on
+stderr rather than a traceback.
 """
 
 from __future__ import annotations
@@ -17,17 +28,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
+from repro.errors import ReproError
 from repro.net.client import StegFSClient
 
 __all__ = ["main"]
+
+_CLEAR = "\x1b[H\x1b[2J"
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Pull metrics, slow-op records, traces and events "
-        "from a running StegFS server.",
+        description="Pull metrics, slow-op records, traces, events and "
+        "cluster telemetry from running StegFS servers.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -36,16 +51,92 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("port", type=int, help="server port")
         return p
 
-    endpoint(sub.add_parser("metrics", help="text exposition of all metrics"))
-    slow = endpoint(sub.add_parser("slowlog", help="newest slow-op records"))
+    def jsonable(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
+        p.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        return p
+
+    jsonable(
+        endpoint(sub.add_parser("metrics", help="text exposition of all metrics"))
+    )
+    slow = jsonable(
+        endpoint(sub.add_parser("slowlog", help="newest slow-op records"))
+    )
     slow.add_argument("--limit", type=int, default=32, help="records to fetch")
-    trace = endpoint(sub.add_parser("trace", help="span tree for one trace"))
+    trace = jsonable(
+        endpoint(sub.add_parser("trace", help="span tree for one trace"))
+    )
     trace.add_argument(
         "trace_id", nargs="?", default="", help="trace id (omit to list ids)"
     )
-    events = endpoint(sub.add_parser("events", help="newest health/probe events"))
+    events = jsonable(
+        endpoint(sub.add_parser("events", help="newest health/probe events"))
+    )
     events.add_argument("--limit", type=int, default=32, help="events to fetch")
+
+    def cluster(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
+        p.add_argument(
+            "endpoints",
+            nargs="+",
+            metavar="ENDPOINT",
+            help="HOST:PORT or NAME=HOST:PORT, one per shard",
+        )
+        p.add_argument(
+            "--window",
+            type=float,
+            default=30.0,
+            help="rate/percentile window in seconds",
+        )
+        return p
+
+    scrape = jsonable(
+        cluster(
+            sub.add_parser(
+                "scrape", help="one collector sweep across every endpoint"
+            )
+        )
+    )
+    scrape.add_argument(
+        "--samples",
+        type=int,
+        default=2,
+        help="sweeps to take (>=2 yields rates)",
+    )
+    scrape.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between the sweeps",
+    )
+    top = cluster(
+        sub.add_parser("top", help="live per-shard dashboard (Ctrl-C quits)")
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period in seconds"
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="redraws before exiting (0 = until interrupted)",
+    )
     return parser
+
+
+def _parse_endpoint(spec: str) -> tuple[str, str, int]:
+    """``NAME=HOST:PORT`` or ``HOST:PORT`` -> (label, host, port)."""
+    label, sep, hostport = spec.partition("=")
+    if not sep:
+        label, hostport = "", spec
+    host, sep, port = hostport.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"bad endpoint {spec!r}: expected [NAME=]HOST:PORT")
+    try:
+        number = int(port)
+    except ValueError:
+        raise ValueError(f"bad endpoint {spec!r}: port {port!r} is not a number")
+    return label or hostport, host, number
 
 
 def _render_trace(document: str) -> str:
@@ -84,20 +175,172 @@ def _render_trace(document: str) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+# ---------------------------------------------------------------------------
+# cluster commands
+# ---------------------------------------------------------------------------
+
+
+def _connect_targets(specs: list[str]) -> dict[str, StegFSClient]:
+    """Dial every endpoint; close the partial set if any dial fails."""
+    clients: dict[str, StegFSClient] = {}
+    try:
+        for spec in specs:
+            label, host, port = _parse_endpoint(spec)
+            if label in clients:
+                raise ValueError(f"duplicate shard label {label!r}")
+            clients[label] = StegFSClient(host, port)
+    except BaseException:
+        for client in clients.values():
+            client.close()
+        raise
+    return clients
+
+
+def _view_document(collector: "TelemetryCollector", window_s: float) -> dict:
+    """The JSON shape ``scrape --json`` emits (also used by tests)."""
+    view = collector.latest()
+    return {
+        "ts_unix": view.ts if view else 0.0,
+        "states": view.states() if view else {},
+        "shards": {
+            sid: sample.snapshot
+            for sid, sample in (view.samples if view else {}).items()
+            if sample.ok
+        },
+        "merged": view.merged if view else {},
+        "table": collector.table(window_s=window_s),
+        "alerts": [alert.to_dict() for alert in collector.alerts()],
+    }
+
+
+def _run_scrape(args: argparse.Namespace) -> int:
+    from repro.obs.cluster import TelemetryCollector
+
+    clients = _connect_targets(args.endpoints)
+    try:
+        collector = TelemetryCollector(clients, interval_s=args.interval)
+        for sweep in range(max(1, args.samples)):
+            if sweep:
+                time.sleep(args.interval)
+            view = collector.scrape_once()
+        if not any(sample.ok for sample in view.samples.values()):
+            # Partial failure is data (shards show as unreachable); a sweep
+            # that reached nobody is an error.
+            print("error: no endpoint could be scraped", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(_view_document(collector, args.window), sort_keys=True))
+        else:
+            sys.stdout.write(view.render_text())
+    finally:
+        for client in clients.values():
+            client.close()
+    return 0
+
+
+def _format_table(rows: list[dict], alerts: list) -> str:
+    header = (
+        f"{'SHARD':<16} {'STATE':<12} {'OPS/S':>9} {'P99 MS':>9} "
+        f"{'CACHE':>7} {'SAMPLES':>8}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row['shard']:<16} {row['state']:<12} "
+            f"{row['ops_per_s']:>9.1f} {row['p99_ms']:>9.2f} "
+            f"{row['cache_hit_ratio']:>6.1%} {row['samples']:>8}"
+        )
+    lines.append("")
+    if alerts:
+        lines.append("ALERTS")
+        for alert in alerts:
+            where = f" {alert.shard}" if alert.shard else ""
+            lines.append(f"  [{alert.severity}] {alert.rule}{where}: {alert.message}")
+    else:
+        lines.append("no alerts firing")
+    return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    from repro.obs.cluster import TelemetryCollector
+
+    clients = _connect_targets(args.endpoints)
+    try:
+        collector = TelemetryCollector(clients, interval_s=args.interval)
+        redraws = 0
+        while True:
+            collector.scrape_once()
+            rows = collector.table(window_s=args.window)
+            banner = (
+                f"stegfs obs top — {len(rows)} shards, every "
+                f"{args.interval:g}s, window {args.window:g}s"
+            )
+            sys.stdout.write(
+                f"{_CLEAR}{banner}\n\n"
+                + _format_table(rows, collector.alerts())
+                + "\n"
+            )
+            sys.stdout.flush()
+            redraws += 1
+            if args.count and redraws >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    finally:
+        for client in clients.values():
+            client.close()
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "scrape":
+        return _run_scrape(args)
+    if args.command == "top":
+        return _run_top(args)
     with StegFSClient(args.host, args.port) as client:
         if args.command == "metrics":
-            sys.stdout.write(client.obs_metrics())
+            if args.json:
+                snapshot = json.loads(client.obs_snapshot())
+                print(json.dumps(snapshot, sort_keys=True))
+            else:
+                sys.stdout.write(client.obs_metrics())
         elif args.command == "slowlog":
-            for line in client.obs_slowlog(limit=args.limit):
-                print(line)
+            records = client.obs_slowlog(limit=args.limit)
+            if args.json:
+                print(json.dumps([json.loads(r) for r in records]))
+            else:
+                for line in records:
+                    print(line)
         elif args.command == "trace":
-            print(_render_trace(client.obs_trace(args.trace_id)))
+            document = client.obs_trace(args.trace_id)
+            if args.json:
+                print(document)
+            else:
+                print(_render_trace(document))
         else:
-            for line in client.obs_events(limit=args.limit):
-                print(line)
+            events = client.obs_events(limit=args.limit)
+            if args.json:
+                print(json.dumps([json.loads(e) for e in events]))
+            else:
+                for line in events:
+                    print(line)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (OSError, ReproError, ValueError, json.JSONDecodeError) as exc:
+        message = str(exc) or type(exc).__name__
+        print(f"error: {message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

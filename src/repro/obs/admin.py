@@ -29,6 +29,7 @@ __all__ = [
     "obs_events",
     "obs_metrics",
     "obs_slowlog",
+    "obs_snapshot",
     "obs_trace",
 ]
 
@@ -73,7 +74,22 @@ def obs_events(self, limit: int = 64) -> list:
     ]
 
 
-_OPS = (obs_metrics, obs_slowlog, obs_trace, obs_events)
+@service_op("admin", mutates=False)
+def obs_snapshot(self) -> str:
+    """This process's merge-ready telemetry document as one JSON string.
+
+    The structured scrape surface behind the cluster
+    :class:`~repro.obs.cluster.TelemetryCollector`: metrics snapshot,
+    health stanza, slow-op digest and process identity — see
+    :func:`repro.obs.cluster.build_snapshot` for the schema.  JSON
+    because the wire value codec carries strings, not dicts.
+    """
+    from repro.obs.cluster import build_snapshot  # avoid import cycle
+
+    return json.dumps(build_snapshot(service=self), sort_keys=True)
+
+
+_OPS = (obs_metrics, obs_slowlog, obs_trace, obs_events, obs_snapshot)
 
 
 def install_obs_ops(cls: type) -> None:

@@ -39,10 +39,13 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "Reservoir",
+    "escape_label_value",
     "get_registry",
     "median",
     "merge_snapshots",
+    "normalize_snapshot",
     "percentile",
+    "render_labeled_text",
 ]
 
 #: Default histogram bucket upper bounds in milliseconds: sub-ms cache
@@ -438,24 +441,7 @@ class MetricRegistry:
         cumulative ``{le=...}`` lines plus ``_count``/``_sum``, the shape
         scrapers and the benches' result tables both consume.
         """
-        lines: list[str] = []
-        for name, data in self.snapshot().items():
-            if data["type"] in ("counter", "gauge"):
-                value = data["value"]
-                rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(
-                    value, float
-                ) else str(value)
-                lines.append(f"{name} {rendered}")
-                continue
-            running = 0
-            for le, count in data["buckets"].items():
-                running += count
-                lines.append(f'{name}{{le="{le:g}"}} {running}')
-            running += data["inf"]
-            lines.append(f'{name}{{le="+Inf"}} {running}')
-            lines.append(f"{name}_count {data['count']}")
-            lines.append(f"{name}_sum {data['sum']:.6f}")
-        return "\n".join(lines) + ("\n" if lines else "")
+        return render_labeled_text(self.snapshot())
 
 
 def merge_snapshots(snapshots: Iterable[dict[str, dict]]) -> dict[str, dict]:
@@ -491,13 +477,93 @@ def merge_snapshots(snapshots: Iterable[dict[str, dict]]) -> dict[str, dict]:
                 for le, count in data["buckets"].items():
                     base["buckets"][le] = base["buckets"].get(le, 0) + count
                 base["inf"] += data["inf"]
+                nonempty_before = base["count"] > 0
                 base["count"] += data["count"]
                 base["sum"] += data["sum"]
                 if data["count"]:
-                    base["min"] = min(base["min"], data["min"]) if base["count"] else data["min"]
-                    base["max"] = max(base["max"], data["max"])
+                    # An empty part encodes min/max as 0.0 — those are
+                    # placeholders, not observations, so only real parts
+                    # may participate in the min/max fold (anything else
+                    # breaks merge associativity).
+                    if nonempty_before:
+                        base["min"] = min(base["min"], data["min"])
+                        base["max"] = max(base["max"], data["max"])
+                    else:
+                        base["min"] = data["min"]
+                        base["max"] = data["max"]
                 base["mean"] = base["sum"] / base["count"] if base["count"] else 0.0
     return merged
+
+
+def normalize_snapshot(snapshot: dict[str, dict]) -> dict[str, dict]:
+    """Undo a JSON round-trip's damage to a registry snapshot.
+
+    JSON object keys are always strings, so a snapshot that crossed the
+    wire comes back with histogram bucket bounds as ``"0.5"`` instead of
+    ``0.5`` — and merging it with a local float-keyed snapshot would
+    silently double the bucket space.  Returns a deep-enough copy with
+    every bucket key coerced back to float; counters and gauges pass
+    through untouched.
+    """
+    out: dict[str, dict] = {}
+    for name, data in snapshot.items():
+        if data.get("type") == "histogram":
+            fixed = dict(data)
+            fixed["buckets"] = {
+                float(le): count for le, count in data["buckets"].items()
+            }
+            out[name] = fixed
+        else:
+            out[name] = dict(data)
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for text exposition (backslash, quote, newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_labeled_text(
+    snapshot: dict[str, dict], labels: dict[str, str] | None = None
+) -> str:
+    """Text exposition of one snapshot, with optional labels on every line.
+
+    The rendering behind :meth:`MetricRegistry.render_text` (no labels)
+    and the cluster collector's per-shard view (``shard="s0"`` on each
+    sample).  Label values are escaped; histogram bucket keys may be
+    floats or strings (post-JSON snapshots).
+    """
+    pairs = [
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in (labels or {}).items()
+    ]
+
+    def fmt(extra: list[str]) -> str:
+        merged_pairs = pairs + extra
+        return "{" + ",".join(merged_pairs) + "}" if merged_pairs else ""
+
+    lines: list[str] = []
+    for name, data in sorted(snapshot.items()):
+        if data["type"] in ("counter", "gauge"):
+            value = data["value"]
+            rendered = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(
+                value, float
+            ) else str(value)
+            lines.append(f"{name}{fmt([])} {rendered}")
+            continue
+        running = 0
+        for le, count in data["buckets"].items():
+            running += count
+            bucket_label = 'le="{:g}"'.format(float(le))
+            lines.append(f"{name}{fmt([bucket_label])} {running}")
+        running += data["inf"]
+        inf_label = 'le="+Inf"'
+        lines.append(f"{name}{fmt([inf_label])} {running}")
+        lines.append(f"{name}_count{fmt([])} {data['count']}")
+        lines.append(f"{name}_sum{fmt([])} {data['sum']:.6f}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 #: The process-wide registry every subsystem records into by default.

@@ -36,6 +36,7 @@ writes correct (durable at ack) at naive-fsync speed instead of failing.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator
@@ -363,7 +364,12 @@ class TransactionManager:
                 already = self._durable_seq
             try:
                 with maybe_span("journal.fsync", batch=target - already):
+                    fsync_started = time.perf_counter()
                     self._device.flush()
+                    get_registry().histogram(
+                        "journal.fsync_ms",
+                        "wall time of one group-commit device flush",
+                    ).observe((time.perf_counter() - fsync_started) * 1000.0)
             finally:
                 with self._sync_cond:
                     self._sync_in_flight = False

@@ -1,0 +1,133 @@
+"""The ``python -m repro.obs`` CLI: JSON modes, cluster commands, errors.
+
+Every subcommand runs in-process (``main(argv)``) against the conftest's
+live threaded server, asserting both human and ``--json`` output; failure
+paths must exit non-zero with a one-line ``error:`` on stderr and no
+traceback.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.__main__ import main
+from repro.obs.trace import root_span
+
+UAK = b"A" * 32
+
+
+def run(capsys, argv: list[str]) -> tuple[int, str, str]:
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSingleServerJson:
+    def test_metrics_json_is_a_snapshot_document(self, service, server, capsys):
+        service.create("/cli-file", b"x")
+        host, port = server.address
+        code, out, _ = run(capsys, ["metrics", host, str(port), "--json"])
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == 1
+        assert document["metrics"]["shard.op.create.count"]["value"] == 1
+
+    def test_metrics_text_still_renders(self, service, server, capsys):
+        service.create("/cli-file", b"x")
+        host, port = server.address
+        code, out, _ = run(capsys, ["metrics", host, str(port)])
+        assert code == 0
+        assert "service.op.create.latency_ms" in out
+
+    def test_slowlog_json_is_an_array(self, service, server, capsys):
+        host, port = server.address
+        code, out, _ = run(capsys, ["slowlog", host, str(port), "--json"])
+        assert code == 0
+        assert isinstance(json.loads(out), list)
+
+    def test_events_json_is_an_array(self, service, server, capsys):
+        host, port = server.address
+        code, out, _ = run(capsys, ["events", host, str(port), "--json"])
+        assert code == 0
+        assert isinstance(json.loads(out), list)
+
+    def test_trace_json_round_trips_the_document(self, service, server, capsys):
+        with root_span("cli.test") as span:
+            service.read("/missing") if False else None
+            trace_id = span.trace_id
+        host, port = server.address
+        code, out, _ = run(capsys, ["trace", host, str(port), trace_id, "--json"])
+        assert code == 0
+        document = json.loads(out)
+        assert document["trace_id"] == trace_id
+
+
+class TestClusterCommands:
+    def test_scrape_json_labels_shards_and_merges(self, service, server, capsys):
+        service.steg_create("cli-obj", UAK, data=b"payload")
+        host, port = server.address
+        endpoint = f"shard-a={host}:{port}"
+        code, out, _ = run(
+            capsys,
+            ["scrape", endpoint, "--json", "--samples", "2", "--interval", "0.05"],
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["states"] == {"shard-a": "alive"}
+        assert document["shards"]["shard-a"]["schema"] == 1
+        assert document["merged"]["shard.op.steg_create.count"]["value"] == 1
+        (row,) = document["table"]
+        assert row["shard"] == "shard-a"
+        assert document["alerts"] == []
+
+    def test_scrape_text_is_the_labeled_exposition(self, service, server, capsys):
+        host, port = server.address
+        code, out, _ = run(
+            capsys,
+            [
+                "scrape",
+                f"{host}:{port}",
+                "--samples",
+                "1",
+            ],
+        )
+        assert code == 0
+        assert 'shard="_merged"' in out
+
+    def test_top_redraws_and_exits_after_count(self, service, server, capsys):
+        host, port = server.address
+        code, out, _ = run(
+            capsys,
+            ["top", f"s0={host}:{port}", "--interval", "0.05", "--count", "2"],
+        )
+        assert code == 0
+        assert out.count("stegfs obs top") == 2
+        assert "SHARD" in out and "s0" in out
+        assert "no alerts firing" in out
+
+
+class TestErrorPaths:
+    def test_unreachable_server_exits_one_with_one_line_error(self, capsys):
+        code, out, err = run(capsys, ["metrics", "127.0.0.1", "1", "--json"])
+        assert code == 1
+        assert out == ""
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_bad_endpoint_spec_exits_one(self, capsys):
+        code, _, err = run(capsys, ["scrape", "not-an-endpoint"])
+        assert code == 1
+        assert "error: bad endpoint" in err
+
+    def test_unreachable_scrape_endpoint_exits_one(self, capsys):
+        code, _, err = run(capsys, ["scrape", "127.0.0.1:1"])
+        assert code == 1
+        assert err.startswith("error: ")
+
+    def test_duplicate_labels_exit_one(self, service, server, capsys):
+        host, port = server.address
+        endpoint = f"dup={host}:{port}"
+        code, _, err = run(capsys, ["scrape", endpoint, endpoint])
+        assert code == 1
+        assert "duplicate shard label" in err

@@ -1,0 +1,373 @@
+"""Unit tests for the cluster telemetry plane's moving parts.
+
+Fake targets (bare callables returning snapshot documents) and an
+injected clock drive :class:`TelemetryCollector` deterministically:
+scrape outcomes, ring derivations (rates, histogram deltas, windowed
+percentiles), state stamping, alert edges, the dashboard table and
+trace stitching — no sockets, no sleeps except one thread-loop smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.cluster import (
+    ScrapeTarget,
+    TelemetryCollector,
+    TimeSeriesRing,
+    build_snapshot,
+    stitch_trace,
+)
+from repro.obs.rules import dead_shard_rule
+from repro.obs.slowlog import get_events
+from repro.obs.trace import get_tracer, root_span
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, by: float) -> None:
+        self.now += by
+
+
+def doc(metrics: dict | None = None) -> dict:
+    return {
+        "schema": 1,
+        "ts_unix": 0.0,  # the collector stamps its own clock on ring entries
+        "process": {"pid": 1, "role": "shard"},
+        "health": {"up": True},
+        "metrics": metrics or {},
+    }
+
+
+def counter(value: float) -> dict:
+    return {"type": "counter", "value": value}
+
+
+def gauge(value: float) -> dict:
+    return {"type": "gauge", "value": value}
+
+
+def histogram(buckets: dict, count: int, total: float, maximum: float) -> dict:
+    return {
+        "type": "histogram",
+        "buckets": buckets,
+        "inf": 0,
+        "count": count,
+        "sum": total,
+        "min": 0.0,
+        "max": maximum,
+        "mean": total / count if count else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# scrape targets
+# ---------------------------------------------------------------------------
+
+
+class TestScrapeTarget:
+    def test_wraps_bare_callables_and_passes_targets_through(self):
+        target = ScrapeTarget.wrap(lambda: doc({"x": counter(1)}))
+        assert target.snapshot()["metrics"]["x"]["value"] == 1
+        assert ScrapeTarget.wrap(target) is target
+
+    def test_wraps_objects_with_obs_snapshot(self):
+        class Endpoint:
+            def obs_snapshot(self):
+                return json.dumps(doc({"x": counter(2)}))
+
+            def obs_trace(self, trace_id):
+                return json.dumps({"trace_id": trace_id, "spans": [{"span_id": "s"}]})
+
+        target = ScrapeTarget.wrap(Endpoint())
+        assert target.snapshot()["metrics"]["x"]["value"] == 2
+        assert target.trace("t") == [{"span_id": "s"}]
+
+    def test_rejects_unscrapeable_objects(self):
+        with pytest.raises(TypeError, match="cannot scrape"):
+            ScrapeTarget.wrap(object())
+
+    def test_normalises_json_bucket_keys_to_floats(self):
+        raw = json.dumps(
+            doc({"h": histogram({1.0: 2, 5.0: 1}, 3, 4.0, 3.0)})
+        )
+        target = ScrapeTarget.wrap(lambda: raw)
+        buckets = target.snapshot()["metrics"]["h"]["buckets"]
+        assert set(buckets) == {1.0, 5.0}
+
+    def test_trace_empty_when_unsupported(self):
+        assert ScrapeTarget.wrap(lambda: doc()).trace("t") == []
+
+    def test_local_target_reports_this_process(self):
+        snapshot = ScrapeTarget.local(role="coordinator").snapshot()
+        assert snapshot["process"]["role"] == "coordinator"
+        assert snapshot["schema"] == 1
+
+
+# ---------------------------------------------------------------------------
+# the time-series ring
+# ---------------------------------------------------------------------------
+
+
+class TestTimeSeriesRing:
+    def entry(self, ts: float, metrics: dict, ok: bool = True) -> dict:
+        return {"ts_unix": ts, "metrics": metrics, "_scrape": {"ok": ok}}
+
+    def test_capacity_must_hold_a_pair(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            TimeSeriesRing(1)
+
+    def test_ring_evicts_oldest(self):
+        ring = TimeSeriesRing(2)
+        for ts in (1.0, 2.0, 3.0):
+            ring.append(self.entry(ts, {}))
+        assert [s["ts_unix"] for s in ring.samples()] == [2.0, 3.0]
+
+    def test_counter_rate_between_window_endpoints(self):
+        ring = TimeSeriesRing(8)
+        ring.append(self.entry(0.0, {"ops": counter(10)}))
+        ring.append(self.entry(5.0, {"ops": counter(60)}))
+        assert ring.rate("ops") == pytest.approx(10.0)
+        assert ring.rate("missing") == 0.0
+
+    def test_counter_reset_clamps_to_zero(self):
+        ring = TimeSeriesRing(8)
+        ring.append(self.entry(0.0, {"ops": counter(100)}))
+        ring.append(self.entry(5.0, {"ops": counter(3)}))  # process restarted
+        assert ring.rate("ops") == 0.0
+
+    def test_failed_scrapes_are_skipped_by_derivation(self):
+        ring = TimeSeriesRing(8)
+        ring.append(self.entry(0.0, {"ops": counter(0)}))
+        ring.append(self.entry(1.0, {}, ok=False))
+        ring.append(self.entry(2.0, {"ops": counter(20)}))
+        assert ring.rate("ops") == pytest.approx(10.0)
+
+    def test_window_excludes_old_samples(self):
+        ring = TimeSeriesRing(8)
+        ring.append(self.entry(0.0, {"ops": counter(0)}))
+        ring.append(self.entry(100.0, {"ops": counter(100)}))
+        ring.append(self.entry(110.0, {"ops": counter(200)}))
+        assert ring.rate("ops", window_s=15.0) == pytest.approx(10.0)
+
+    def test_histogram_delta_and_windowed_percentile(self):
+        ring = TimeSeriesRing(8)
+        ring.append(
+            self.entry(0.0, {"h": histogram({1.0: 5, 10.0: 0}, 5, 2.0, 0.9)})
+        )
+        ring.append(
+            self.entry(10.0, {"h": histogram({1.0: 5, 10.0: 100}, 105, 500.0, 9.0)})
+        )
+        delta = ring.histogram_delta("h")
+        assert delta["buckets"] == {1.0: 0, 10.0: 100}
+        assert delta["count"] == 100
+        assert delta["seconds"] == pytest.approx(10.0)
+        # All 100 new observations landed in the 10ms bucket.
+        assert ring.windowed_percentile("h", 99.0) == pytest.approx(10.0)
+        assert ring.windowed_percentile("missing", 99.0) == 0.0
+
+    def test_single_sample_yields_zeros(self):
+        ring = TimeSeriesRing(8)
+        ring.append(self.entry(0.0, {"h": histogram({1.0: 1}, 1, 0.5, 0.5)}))
+        assert ring.histogram_delta("h")["count"] == 0
+        assert ring.windowed_percentile("h", 99.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# the collector
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryCollector:
+    def test_rejects_empty_targets_and_bad_interval(self):
+        with pytest.raises(ValueError, match="at least one target"):
+            TelemetryCollector({})
+        with pytest.raises(ValueError, match="interval"):
+            TelemetryCollector({"s0": lambda: doc()}, interval_s=0.0)
+
+    def test_scrape_merges_and_labels_per_shard(self):
+        clock = FakeClock()
+        collector = TelemetryCollector(
+            {
+                "s0": lambda: doc({"ops": counter(3)}),
+                "s1": lambda: doc({"ops": counter(4)}),
+            },
+            clock=clock,
+        )
+        view = collector.scrape_once()
+        assert view.states() == {"s0": "alive", "s1": "alive"}
+        assert view.merged["ops"]["value"] == 7
+        text = view.render_text()
+        assert 'ops{shard="s0"} 3' in text
+        assert 'ops{shard="s1"} 4' in text
+        assert 'ops{shard="_merged"} 7' in text
+
+    def test_failed_scrape_is_unreachable_and_scrubbed(self):
+        def broken():
+            raise ConnectionError("secret-host-detail")
+
+        clock = FakeClock()
+        collector = TelemetryCollector(
+            {"s0": lambda: doc(), "s1": broken}, clock=clock
+        )
+        view = collector.scrape_once()
+        sample = view.samples["s1"]
+        assert not sample.ok
+        assert sample.state == "unreachable"
+        # Only the exception class crosses into telemetry, not the message.
+        assert sample.error == "ConnectionError"
+        assert "secret-host-detail" not in json.dumps(
+            [a.to_dict() for a in view.alerts]
+        )
+
+    def test_dead_shard_alert_fires_and_resolves_with_events(self):
+        alive = {"up": True}
+
+        def flaky():
+            if not alive["up"]:
+                raise ConnectionError("down")
+            return doc()
+
+        clock = FakeClock()
+        edges: list[tuple[str, str]] = []
+        collector = TelemetryCollector(
+            {"s0": flaky},
+            rules=[dead_shard_rule()],
+            clock=clock,
+            on_alert=lambda alert, state: edges.append((alert.rule, state)),
+        )
+        assert collector.scrape_once().alerts == []
+
+        alive["up"] = False
+        clock.advance(1.0)
+        alerts = collector.scrape_once().alerts
+        assert [a.rule for a in alerts] == ["dead_shard"]
+        assert alerts[0].shard == "s0"
+        first_since = alerts[0].since
+
+        clock.advance(1.0)
+        alerts = collector.scrape_once().alerts
+        assert alerts[0].since == first_since  # still the same incident
+
+        alive["up"] = True
+        clock.advance(1.0)
+        assert collector.scrape_once().alerts == []
+        assert edges == [("dead_shard", "firing"), ("dead_shard", "resolved")]
+
+        states = [
+            (e["state"], e["rule"])
+            for e in get_events().events(kind="obs.alert", limit=16)
+        ]
+        assert ("firing", "dead_shard") in states
+        assert ("resolved", "dead_shard") in states
+
+    def test_health_monitor_vote_beats_alive(self):
+        from repro.cluster.health import HealthMonitor
+
+        health = HealthMonitor()
+        health.register("s0")
+        health.mark_dead("s0")
+        collector = TelemetryCollector(
+            {"s0": lambda: doc()}, health=health, clock=FakeClock()
+        )
+        assert collector.scrape_once().states() == {"s0": "dead"}
+
+    def test_table_derives_rates_and_liveness(self):
+        clock = FakeClock()
+        state = {"ops": 0}
+
+        def target():
+            return doc({"shard.ops_total": counter(state["ops"])})
+
+        collector = TelemetryCollector({"s0": target}, clock=clock)
+        collector.scrape_once()
+        state["ops"] = 50
+        clock.advance(10.0)
+        collector.scrape_once()
+        (row,) = collector.table(window_s=60.0)
+        assert row["shard"] == "s0"
+        assert row["state"] == "alive"
+        assert row["ops_per_s"] == pytest.approx(5.0)
+        assert row["samples"] == 2
+
+    def test_background_loop_scrapes_until_stopped(self):
+        collector = TelemetryCollector(
+            {"s0": lambda: doc({"ops": counter(1)})}, interval_s=0.02
+        )
+        with collector:
+            deadline = time.time() + 5.0
+            while collector.latest() is None and time.time() < deadline:
+                time.sleep(0.01)
+        assert collector.latest() is not None
+        assert len(collector.ring("s0")) >= 1
+
+
+# ---------------------------------------------------------------------------
+# trace stitching
+# ---------------------------------------------------------------------------
+
+
+class TestStitchTrace:
+    def test_stitch_dedupes_and_orders_spans(self):
+        with root_span("cluster.write") as root:
+            trace_id = root.trace_id
+            with root_span("cluster.shard_call"):
+                pass
+        local = get_tracer().spans(trace_id)
+        assert len(local) == 2
+
+        # A remote shard returns one duplicate span and one of its own.
+        remote_only = {
+            "trace_id": trace_id,
+            "span_id": "remote-1",
+            "parent_id": local[0]["span_id"],
+            "name": "service.steg_put",
+            "start_unix": local[-1]["start_unix"] + 1.0,
+            "duration_ms": 1.0,
+        }
+
+        class Remote:
+            def obs_snapshot(self):
+                return json.dumps(doc())
+
+            def obs_trace(self, tid):
+                return json.dumps(
+                    {"trace_id": tid, "spans": [dict(local[0]), remote_only]}
+                )
+
+        stitched = stitch_trace(trace_id, [Remote()])
+        ids = [span["span_id"] for span in stitched["spans"]]
+        assert ids.count(local[0]["span_id"]) == 1  # deduplicated
+        assert ids[-1] == "remote-1"  # ordered by start time
+        assert stitched["trace_id"] == trace_id
+
+    def test_unreachable_target_does_not_sink_the_stitch(self):
+        class Broken:
+            def obs_snapshot(self):
+                return json.dumps(doc())
+
+            def obs_trace(self, tid):
+                raise ConnectionError("down")
+
+        stitched = stitch_trace("nope", [Broken()])
+        assert stitched == {"trace_id": "nope", "spans": []}
+
+
+def test_build_snapshot_injects_per_service_op_counters(service):
+    service.create("/plain", b"x")
+    service.read("/plain")
+    snapshot = build_snapshot(service=service)
+    metrics = snapshot["metrics"]
+    assert metrics["shard.op.create.count"]["value"] == 1
+    assert metrics["shard.op.read.count"]["value"] == 1
+    assert metrics["shard.ops_total"]["value"] == 2
+    assert snapshot["health"]["up"] is True
+    assert snapshot["process"]["role"] == "shard"

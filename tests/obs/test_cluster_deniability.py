@@ -1,0 +1,194 @@
+"""The telemetry plane under the deniability invariant.
+
+Two proofs, extending ``test_deniability`` to the cluster scrape path:
+
+* **Wire scrubbing** — after a hidden-file workload, every byte a
+  :class:`TelemetryCollector` pulls over a real TCP connection (captured
+  by a sniffing proxy between collector and server) is free of the UAK
+  and the hidden object's name in any spelling — raw, hex, upper-hex,
+  reversed, repr.  The scrape surface is unauthenticated and travels in
+  clear, so it must already be scrubbed when it leaves the server.
+* **Byte-identity** — the same seeded workload leaves a byte-identical
+  device image whether or not a collector is scraping the service the
+  whole time.  Scraping is pure observation: the snapshot adversary of
+  the paper must find nothing to distinguish.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+
+from repro.net.client import StegFSClient
+from repro.core.params import StegFSParams
+from repro.core.stegfs import StegFS
+from repro.obs.cluster import TelemetryCollector, stitch_trace
+from repro.obs.slowlog import get_slowlog
+from repro.obs.trace import root_span
+from repro.service.service import StegFSService
+from repro.storage.block_device import RamDevice
+
+UAK = b"\xaa" * 32
+HIDDEN_NAME = "deeply-secret-object"
+
+
+class SniffingProxy:
+    """TCP forwarder that records every byte in both directions.
+
+    (Test directories are not packages, so this mirrors the proxy in
+    ``tests/net/test_wire_privacy.py`` rather than importing it.)
+    """
+
+    def __init__(self, target_host: str, target_port: int) -> None:
+        self._target = (target_host, target_port)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self.address = self._listener.getsockname()
+        self._captured = bytearray()
+        self._lock = threading.Lock()
+        self._running = True
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    @property
+    def captured(self) -> bytes:
+        with self._lock:
+            return bytes(self._captured)
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                inbound, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                outbound = socket.create_connection(self._target, timeout=10)
+            except OSError:
+                inbound.close()
+                continue
+            for src, dst in ((inbound, outbound), (outbound, inbound)):
+                threading.Thread(
+                    target=self._pump, args=(src, dst), daemon=True
+                ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                chunk = src.recv(65536)
+                if not chunk:
+                    break
+                with self._lock:
+                    self._captured.extend(chunk)
+                dst.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+
+    def close(self) -> None:
+        self._running = False
+        self._listener.close()
+
+
+def _hidden_workload(service: StegFSService) -> str:
+    """A traced hidden-file round trip; returns the trace id."""
+    with root_span("hidden.workload") as span:
+        service.steg_create(HIDDEN_NAME, UAK, data=b"hidden " * 200)
+        assert service.steg_read(HIDDEN_NAME, UAK) == b"hidden " * 200
+        service.steg_delete(HIDDEN_NAME, UAK)
+        return span.trace_id
+
+
+def test_scraped_telemetry_carries_no_secret_in_any_spelling(service, server):
+    get_slowlog().set_threshold_ms(0.0)  # record EVERY op, worst case
+    trace_id = _hidden_workload(service)
+
+    proxy = SniffingProxy(*server.address)
+    client = StegFSClient(*proxy.address)
+    try:
+        collector = TelemetryCollector({"s0": client}, interval_s=0.05)
+        view = collector.scrape_once()
+        assert view.states() == {"s0": "alive"}, "sanity: the scrape worked"
+        stitched = stitch_trace(trace_id, [client], include_local=False)
+        assert stitched["spans"], "sanity: the shard really exported spans"
+
+        text_surfaces = [
+            json.dumps(view.samples["s0"].snapshot, default=str),
+            view.render_text(),
+            json.dumps(stitched),
+            "\n".join(client.obs_slowlog(limit=64)),
+            "\n".join(client.obs_events(limit=64)),
+            client.obs_metrics(),
+        ]
+    finally:
+        client.close()
+        proxy.close()
+
+    spellings = [
+        UAK.hex(),
+        UAK.hex().upper(),
+        UAK[::-1].hex(),
+        repr(UAK),
+        HIDDEN_NAME,
+        HIDDEN_NAME.upper(),
+        HIDDEN_NAME[::-1],
+    ]
+    for surface in text_surfaces:
+        for secret in spellings:
+            assert secret not in surface, f"secret {secret[:16]!r} exported"
+
+    captured = proxy.captured
+    assert captured, "sanity: the proxy really saw the scrape traffic"
+    for secret_bytes in [UAK, UAK[::-1]] + [s.encode() for s in spellings]:
+        assert secret_bytes not in captured, (
+            f"secret {secret_bytes[:16]!r} crossed the wire"
+        )
+
+
+def _imaged_workload(scraped: bool) -> bytes:
+    """One seeded service workload; returns the final raw device image."""
+    device = RamDevice(block_size=512, total_blocks=4096)
+    steg = StegFS.mkfs(
+        device,
+        params=StegFSParams.for_tests(),
+        inode_count=64,
+        rng=random.Random(99),
+        auto_flush=False,
+    )
+    service = StegFSService(steg, max_workers=2)
+    try:
+        def ops(observe=lambda: None) -> None:
+            service.create("/plain.txt", b"public " * 100)
+            observe()
+            service.steg_create(HIDDEN_NAME, UAK, data=b"hidden " * 200)
+            observe()
+            service.write("/plain.txt", b"public v2 " * 120)
+            assert service.steg_read(HIDDEN_NAME, UAK) == b"hidden " * 200
+            observe()
+            service.steg_delete(HIDDEN_NAME, UAK)
+            service.flush()
+            observe()
+
+        if scraped:
+            # Background loop AND explicit sweeps interleaved with the ops.
+            with TelemetryCollector({"shard": service}, interval_s=0.02) as coll:
+                ops(observe=lambda: coll.scrape_once())
+                assert len(coll.ring("shard")) >= 4, "sanity: scrapes happened"
+        else:
+            ops()
+        return device.image()
+    finally:
+        if not service.closed:
+            service.close()
+
+
+def test_device_image_is_byte_identical_with_collector_on_and_off():
+    assert _imaged_workload(scraped=True) == _imaged_workload(scraped=False)

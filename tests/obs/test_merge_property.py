@@ -1,0 +1,173 @@
+"""Property tests: snapshot merging is a well-behaved fold.
+
+The cluster collector folds per-shard registry snapshots with
+:func:`merge_snapshots`, and correctness of every derived number (rates,
+windowed percentiles, the merged exposition) rests on the fold being
+associative and — for counters and histograms — order-independent.
+Gauges are deliberately last-writer-wins, so order *does* matter for
+them; that asymmetry is pinned here too.  Observations are integers so
+sums are exact and float non-associativity cannot blur the comparisons.
+
+Also covers the text-exposition edges the cluster view leans on:
+an empty snapshot renders to nothing, and label values with quotes,
+backslashes and newlines stay one-line and unambiguous.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    MetricRegistry,
+    escape_label_value,
+    merge_snapshots,
+    normalize_snapshot,
+    render_labeled_text,
+)
+
+BUCKETS = (1.0, 5.0, 25.0)
+
+
+def _counter(value: int) -> dict:
+    return {"type": "counter", "value": value}
+
+
+def _gauge(value: int) -> dict:
+    return {"type": "gauge", "value": float(value)}
+
+
+def _histogram(observations: list[int]) -> dict:
+    buckets = {le: 0 for le in BUCKETS}
+    inf = 0
+    for value in observations:
+        for le in BUCKETS:
+            if value <= le:
+                buckets[le] += 1
+                break
+        else:
+            inf += 1
+    count = len(observations)
+    total = sum(observations)
+    return {
+        "type": "histogram",
+        "buckets": buckets,
+        "inf": inf,
+        "count": count,
+        "sum": total,
+        "min": min(observations) if observations else 0.0,
+        "max": max(observations) if observations else 0.0,
+        "mean": total / count if count else 0.0,
+    }
+
+
+observations = st.lists(st.integers(min_value=0, max_value=100), max_size=8)
+
+# One snapshot: each name's type is fixed by its prefix, so any two
+# generated snapshots can be merged without type conflicts.
+snapshot = st.fixed_dictionaries(
+    {},
+    optional={
+        "c0": st.integers(min_value=0, max_value=1000).map(_counter),
+        "c1": st.integers(min_value=0, max_value=1000).map(_counter),
+        "g0": st.integers(min_value=-50, max_value=50).map(_gauge),
+        "h0": observations.map(_histogram),
+        "h1": observations.map(_histogram),
+    },
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=snapshot, b=snapshot, c=snapshot)
+def test_merge_is_associative(a, b, c):
+    """Folding pairwise in either association equals the flat fold."""
+    flat = merge_snapshots([a, b, c])
+    left = merge_snapshots([merge_snapshots([a, b]), c])
+    right = merge_snapshots([a, merge_snapshots([b, c])])
+    assert left == flat
+    assert right == flat
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    parts=st.lists(snapshot, min_size=2, max_size=4),
+    data=st.data(),
+)
+def test_counters_and_histograms_merge_order_independent(parts, data):
+    """Any permutation of the parts merges to the same totals (gauges
+    excluded — they are last-writer-wins by contract)."""
+    stripped = [
+        {name: d for name, d in part.items() if d["type"] != "gauge"}
+        for part in parts
+    ]
+    baseline = merge_snapshots(stripped)
+    shuffled = data.draw(st.permutations(stripped))
+    assert merge_snapshots(shuffled) == baseline
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=5))
+def test_gauges_merge_last_writer_wins(values):
+    parts = [{"g0": _gauge(value)} for value in values]
+    merged = merge_snapshots(parts)
+    assert merged["g0"]["value"] == float(values[-1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(observed=observations)
+def test_empty_histogram_is_merge_identity(observed):
+    """An empty shard's histogram must not poison min/max/mean.
+
+    Regression for the fold treating an empty part's 0.0 min/max
+    placeholders as real observations when the empty part came first.
+    """
+    empty = {"h0": _histogram([])}
+    loaded = {"h0": _histogram(observed)}
+    for ordering in ([empty, loaded], [loaded, empty], [empty, loaded, empty]):
+        merged = merge_snapshots(ordering)
+        assert merged["h0"] == loaded["h0"], ordering
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=snapshot, b=snapshot)
+def test_merge_commutes_with_json_round_trip(a, b):
+    """Normalising a wire-crossed snapshot restores the exact fold."""
+    wired = normalize_snapshot(json.loads(json.dumps(b)))
+    assert merge_snapshots([a, wired]) == merge_snapshots([a, b])
+
+
+# ---------------------------------------------------------------------------
+# text exposition edges
+# ---------------------------------------------------------------------------
+
+
+def test_render_text_empty_registry_is_empty():
+    assert MetricRegistry().render_text() == ""
+    assert render_labeled_text({}) == ""
+    assert render_labeled_text({}, {"shard": "s0"}) == ""
+
+
+def test_escape_label_value_covers_the_specials():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+
+
+def test_render_labeled_text_escapes_label_values():
+    text = render_labeled_text(
+        {"m": _counter(3)}, {"shard": 'quo"te\\slash\nline'}
+    )
+    assert text == 'm{shard="quo\\"te\\\\slash\\nline"} 3\n'
+    assert "\n" not in text.rstrip("\n")  # stays one line
+
+
+def test_render_labeled_text_histogram_lines_are_cumulative():
+    text = render_labeled_text({"h": _histogram([0, 3, 99])}, {"shard": "s0"})
+    lines = text.splitlines()
+    assert 'h{shard="s0",le="1"} 1' in lines
+    assert 'h{shard="s0",le="5"} 2' in lines
+    assert 'h{shard="s0",le="25"} 2' in lines
+    assert 'h{shard="s0",le="+Inf"} 3' in lines
+    assert 'h_count{shard="s0"} 3' in lines

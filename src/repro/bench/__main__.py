@@ -17,6 +17,7 @@ from repro.bench import (
     obs_overhead,
     service_throughput,
     space,
+    stream_path,
     tables,
 )
 
@@ -34,6 +35,7 @@ _EXPERIMENTS = {
     "cluster": lambda: cluster_throughput.render(cluster_throughput.run()),
     "cluster-async": lambda: cluster_async.render(cluster_async.run()),
     "obs": lambda: obs_overhead.render(obs_overhead.run()),
+    "stream": lambda: stream_path.render(stream_path.run()),
 }
 
 

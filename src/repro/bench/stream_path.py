@@ -1,0 +1,344 @@
+"""Wire data path: legacy copy-everything framing vs the streaming path.
+
+The zero-copy rework's claim is about the **wire layer**, so this bench
+isolates it: a precomputed 1 MiB extent (no cipher — AES-CTR at Python
+speed would drown the signal) served over a real socket pair, one thread
+per side.  One *op* is a ``steg_read_extent``-shaped exchange: a small
+request up, the 1 MiB extent back down — the device-to-socket direction
+whose copy discipline the rework targets.
+
+Two implementations move the same logical frames:
+
+* **legacy** — the pre-streaming codec, reproduced here verbatim from
+  history: the payload is copied into its tagged form, the tagged pieces
+  are joined, the length prefix is prepended (another copy), ``sendall``
+  ships the single big frame; the receiver joins ``recv`` chunks, the
+  decoder copies the payload slice back out, and the consumer holds it
+  as real bytes — five-ish full traversals of every megabyte.
+* **stream** — ``encode_message_vectored`` + ``sendmsg_all`` on the
+  server (the extent travels as memoryviews of the stored buffer, framed
+  as bounded CHUNK runs) into the client's chunk iterator (preallocated
+  ``recv_into``, each chunk consumed as a zero-copy view, never
+  reassembled) — the same consume path ``steg_read_stream`` exposes.
+
+Reported: ops/sec for each path (best of ``trials``), the throughput
+ratio, tracemalloc peak during a traced batch, and the allocation ratio.
+The CI smoke gate asserts the issue's acceptance bar: **≥ 1.5× ops/sec**
+and **≥ 3× lower peak allocation** on 1 MiB extents.
+
+Run with ``python -m repro.bench stream`` or
+``python benchmarks/bench_stream_path.py --smoke``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import struct
+import threading
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bench.common import format_table, write_result
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    ChunkFrame,
+    FrameReceiver,
+    Request,
+    Response,
+    decode_frame,
+    encode_message_vectored,
+    sendmsg_all,
+)
+
+__all__ = ["StreamPathConfig", "StreamPathResult", "run", "render", "main"]
+
+_LEN = struct.Struct("<I")
+
+# Tag bytes of the historical value codec (mirrored from the protocol
+# module; fixed on the wire, so literals are safe here).
+_T_INT = 3
+_T_BYTES = 5
+_T_STR = 6
+
+
+# ---------------------------------------------------------------------------
+# legacy reference: the pre-streaming codec, copy for copy
+# ---------------------------------------------------------------------------
+
+
+def _legacy_encode_value(value: Any) -> bytes:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return bytes([_T_INT]) + struct.pack("<q", value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)  # the copy the old codec always made
+        return bytes([_T_BYTES]) + _LEN.pack(len(raw)) + raw
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_T_STR]) + _LEN.pack(len(raw)) + raw
+    raise TypeError(f"legacy bench codec does not model {type(value).__name__}")
+
+
+def _legacy_encode_frame(frame: Any) -> bytes:
+    if isinstance(frame, Request):
+        op_raw = frame.op.encode("utf-8")
+        body = bytes([1]) + _LEN.pack(frame.request_id) + _LEN.pack(len(op_raw)) + op_raw
+        body += _LEN.pack(len(frame.args))
+        body += b"".join(_legacy_encode_value(arg) for arg in frame.args)
+    elif isinstance(frame, Response):
+        body = bytes([2]) + _LEN.pack(frame.request_id) + _legacy_encode_value(frame.value)
+    else:
+        raise TypeError(f"legacy bench codec does not model {type(frame).__name__}")
+    return _LEN.pack(len(body)) + body
+
+
+def _legacy_recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _legacy_recv_frame(sock: socket.socket) -> Any:
+    header = _legacy_recv_exactly(sock, 4)
+    (length,) = _LEN.unpack(header)
+    body = _legacy_recv_exactly(sock, length)
+    # zero_copy=False: every payload slice is copied out, as before.
+    return decode_frame(body)
+
+
+def _legacy_send_frame(sock: socket.socket, frame: Any) -> None:
+    sock.sendall(_legacy_encode_frame(frame))
+
+
+# ---------------------------------------------------------------------------
+# the two serve loops (extent reads: small request up, 1 MiB down)
+# ---------------------------------------------------------------------------
+
+
+def _legacy_server(sock: socket.socket, extent: bytes, ops: int) -> None:
+    for _ in range(ops):
+        request = _legacy_recv_frame(sock)
+        _legacy_send_frame(sock, Response(request_id=request.request_id, value=extent))
+
+
+def _legacy_client_op(sock: socket.socket, rid: int, expect: int) -> int:
+    _legacy_send_frame(
+        sock, Request(request_id=rid, op="steg_read_extent", args=("obj", 0, expect))
+    )
+    response = _legacy_recv_frame(sock)
+    # The old consume path always held a real bytes copy of the extent.
+    return len(bytes(response.value))
+
+
+def _stream_server(sock: socket.socket, extent: bytes, ops: int, max_frame: int) -> None:
+    receiver = FrameReceiver(max_frame=max_frame)
+    for _ in range(ops):
+        request = receiver.recv_message(sock)
+        response = Response(request_id=request.request_id, value=extent)
+        for buffers in encode_message_vectored(response, max_frame=max_frame):
+            sendmsg_all(sock, buffers)
+
+
+def _stream_client_op(
+    sock: socket.socket, receiver: FrameReceiver, rid: int, expect: int, max_frame: int
+) -> int:
+    """One streamed extent read, consumed chunk by chunk as views.
+
+    This is the ``steg_read_stream`` consume shape: each CHUNK's payload
+    is used where it lies in the receive buffer and never reassembled,
+    so the client's live memory stays one wire frame, not one extent.
+    """
+    request = Request(request_id=rid, op="steg_read_extent", args=("obj", 0, expect))
+    for buffers in encode_message_vectored(request, max_frame=max_frame):
+        sendmsg_all(sock, buffers)
+    got = 0
+    while True:
+        frame = receiver.recv_wire(sock, zero_copy=True)
+        if isinstance(frame, ChunkFrame):
+            got += len(frame.payload)  # consume the view in place
+            if frame.is_end:
+                # The chunked run wraps the encoded Response: subtract
+                # its kind/rid/tag/len envelope from the byte count.
+                return got - 10
+        elif isinstance(frame, Response):
+            return len(frame.value)
+        else:
+            raise ProtocolError(f"unexpected frame {type(frame).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# measurement
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamPathConfig:
+    """Knobs for one run."""
+
+    payload_size: int = 1 << 20  # the issue's 1 MiB extents
+    ops: int = 48  # timed ops per trial
+    trials: int = 3  # best-of, to shrug off scheduler noise
+    traced_ops: int = 8  # ops under tracemalloc (slow, so fewer)
+    max_frame: int = 256 * 1024  # streaming path: 1 MiB rides as 4+ chunks
+
+    @classmethod
+    def smoke(cls) -> "StreamPathConfig":
+        """CI-sized: same payload (the claim is per-extent), fewer ops."""
+        return cls(ops=24, trials=3, traced_ops=6)
+
+
+@dataclass
+class StreamPathResult:
+    """Measured outcome of one run."""
+
+    config: StreamPathConfig
+    legacy_ops_per_s: float
+    stream_ops_per_s: float
+    legacy_peak_bytes: int
+    stream_peak_bytes: int
+
+    @property
+    def speedup(self) -> float:
+        return self.stream_ops_per_s / self.legacy_ops_per_s
+
+    @property
+    def alloc_ratio(self) -> float:
+        return self.legacy_peak_bytes / max(self.stream_peak_bytes, 1)
+
+
+def _run_pair(config: StreamPathConfig, legacy: bool, ops: int):
+    """Socketpair + serve thread; returns (client, server, per-op fn, thread)."""
+    extent = bytes(range(256)) * (config.payload_size // 256)
+    client, server = socket.socketpair()
+    client.settimeout(60.0)
+    server.settimeout(60.0)
+    if legacy:
+        thread = threading.Thread(
+            target=_legacy_server, args=(server, extent, ops), daemon=True
+        )
+        thread.start()
+
+        def op(rid: int) -> int:
+            return _legacy_client_op(client, rid, config.payload_size)
+
+    else:
+        thread = threading.Thread(
+            target=_stream_server,
+            args=(server, extent, ops, config.max_frame),
+            daemon=True,
+        )
+        thread.start()
+        receiver = FrameReceiver(max_frame=config.max_frame)
+
+        def op(rid: int) -> int:
+            return _stream_client_op(
+                client, receiver, rid, config.payload_size, config.max_frame
+            )
+
+    return client, server, op, thread
+
+
+def _timed_trial(config: StreamPathConfig, legacy: bool) -> float:
+    client, server, op, thread = _run_pair(config, legacy, config.ops + 1)
+    try:
+        assert op(0) == config.payload_size  # warmup: primes the recv buffers
+        start = time.perf_counter()
+        for rid in range(1, config.ops + 1):
+            n = op(rid)
+            assert n == config.payload_size
+        elapsed = time.perf_counter() - start
+        thread.join(timeout=30.0)
+        return config.ops / elapsed
+    finally:
+        client.close()
+        server.close()
+
+
+def _traced_peak(config: StreamPathConfig, legacy: bool) -> int:
+    client, server, op, thread = _run_pair(config, legacy, config.traced_ops + 1)
+    try:
+        op(0)  # warmup outside the trace
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            for rid in range(1, config.traced_ops + 1):
+                op(rid)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        thread.join(timeout=30.0)
+        return peak
+    finally:
+        client.close()
+        server.close()
+
+
+def run(config: StreamPathConfig | None = None) -> StreamPathResult:
+    """Measure both paths; best-of-``trials`` throughput, one traced pass."""
+    config = config or StreamPathConfig()
+    legacy_ops = max(_timed_trial(config, legacy=True) for _ in range(config.trials))
+    stream_ops = max(_timed_trial(config, legacy=False) for _ in range(config.trials))
+    legacy_peak = _traced_peak(config, legacy=True)
+    stream_peak = _traced_peak(config, legacy=False)
+    return StreamPathResult(
+        config=config,
+        legacy_ops_per_s=legacy_ops,
+        stream_ops_per_s=stream_ops,
+        legacy_peak_bytes=legacy_peak,
+        stream_peak_bytes=stream_peak,
+    )
+
+
+def render(result: StreamPathResult) -> str:
+    """Paper-style table; also dropped in ``benchmarks/results/``."""
+    mib = result.config.payload_size / (1 << 20)
+    rows = [
+        [
+            "legacy (copy + sendall)",
+            f"{result.legacy_ops_per_s:.1f}",
+            f"{result.legacy_ops_per_s * mib:.0f}",
+            f"{result.legacy_peak_bytes / (1 << 20):.2f}",
+        ],
+        [
+            "stream (vectored + chunked)",
+            f"{result.stream_ops_per_s:.1f}",
+            f"{result.stream_ops_per_s * mib:.0f}",
+            f"{result.stream_peak_bytes / (1 << 20):.2f}",
+        ],
+        [
+            "ratio (stream / legacy)",
+            f"{result.speedup:.2f}x",
+            "",
+            f"{result.alloc_ratio:.2f}x lower",
+        ],
+    ]
+    text = format_table(
+        f"Wire data path: {mib:.0f} MiB extent reads "
+        f"(served over a socketpair; {result.config.ops} ops, "
+        f"best of {result.config.trials})",
+        ["path", "ops/sec", "MiB/s served", "tracemalloc peak (MiB)"],
+        rows,
+    )
+    write_result("stream_path", text)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    args = parser.parse_args(argv)
+    config = StreamPathConfig.smoke() if args.smoke else StreamPathConfig()
+    print(render(run(config)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

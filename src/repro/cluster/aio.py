@@ -320,11 +320,22 @@ class AsyncRemoteShard:
         uak: bytes,
         *,
         pool_size: int = 2,
+        max_message: int | None = None,
     ) -> "AsyncRemoteShard":
-        """Dial a ``StegFSServer`` and log in; returns the ready adapter."""
-        from repro.net.client import AsyncStegFSClient  # optional-dep direction
+        """Dial a ``StegFSServer`` and log in; returns the ready adapter.
 
-        client = AsyncStegFSClient(host, port, pool_size=pool_size)
+        ``max_message`` bounds one streamed transfer (IDA share legs and
+        replica payloads larger than a wire frame travel as CHUNK runs);
+        ``None`` keeps the client's default.
+        """
+        from repro.net.client import DEFAULT_MAX_MESSAGE, AsyncStegFSClient
+
+        client = AsyncStegFSClient(
+            host,
+            port,
+            pool_size=pool_size,
+            max_message=DEFAULT_MAX_MESSAGE if max_message is None else max_message,
+        )
         await client.open()
         try:
             await client.login(user_id, uak)

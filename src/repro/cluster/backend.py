@@ -241,11 +241,23 @@ class RemoteShard:
         *,
         pool_size: int = 2,
         timeout: float | None = 30.0,
+        max_message: int | None = None,
     ) -> "RemoteShard":
-        """Dial a ``StegFSServer`` and log in; returns the ready adapter."""
-        from repro.net.client import StegFSClient  # optional-dep direction
+        """Dial a ``StegFSServer`` and log in; returns the ready adapter.
 
-        client = StegFSClient(host, port, pool_size=pool_size, timeout=timeout)
+        ``max_message`` bounds one streamed transfer (fragment payloads
+        larger than a wire frame travel as CHUNK runs); ``None`` keeps
+        the client's default.
+        """
+        from repro.net.client import DEFAULT_MAX_MESSAGE, StegFSClient
+
+        client = StegFSClient(
+            host,
+            port,
+            pool_size=pool_size,
+            timeout=timeout,
+            max_message=DEFAULT_MAX_MESSAGE if max_message is None else max_message,
+        )
         client.login(user_id, uak)
         return cls(client, uak)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 
-from repro.crypto.vector_aes import ctr_xor, ctr_xor_many
+from repro.crypto.vector_aes import ctr_xor, ctr_xor_concat, ctr_xor_many, ctr_xor_pad
 from repro.errors import StegFSError
 
 __all__ = [
@@ -35,6 +35,7 @@ __all__ = [
     "seal",
     "seal_many",
     "unseal",
+    "unseal_concat",
     "unseal_many",
     "unseal_prefix",
 ]
@@ -85,15 +86,17 @@ def seal_many(
     Equivalent to ``[seal(key, p, block_size, rng) for p in payloads]``
     (same rng draw order: one ``randbytes(NONCE_SIZE)`` per payload, in
     order), but the whole batch shares a single vectorised keystream
-    computation.
+    computation.  Payloads may be any bytes-like objects — ``memoryview``
+    slices of a wire frame seal without an intermediate copy; the zero
+    padding happens inside the cipher's work matrix, never as a per-
+    payload ``ljust`` allocation.
     """
     room = capacity(block_size)
     for payload in payloads:
         if len(payload) > room:
             raise StegFSError(f"payload of {len(payload)} bytes exceeds sealed capacity {room}")
     nonces = [rng.randbytes(NONCE_SIZE) for _ in payloads]
-    padded = [payload.ljust(room, b"\x00") for payload in payloads]
-    bodies = ctr_xor_many(encryption_key, nonces, padded)
+    bodies = ctr_xor_pad(encryption_key, nonces, payloads, room)
     return [nonce + body for nonce, body in zip(nonces, bodies)]
 
 
@@ -101,14 +104,40 @@ def unseal_many(encryption_key: bytes, block_images: list[bytes]) -> list[bytes]
     """Decrypt a batch of sealed block images in one vectorised AES pass.
 
     Equivalent to ``[unseal(key, img) for img in block_images]``; images
-    must share one size (device blocks do).
+    must share one size (device blocks do).  Nonce and body are taken as
+    views — the ciphertext is never copied before the XOR pass.
     """
-    for image in block_images:
-        if len(image) <= NONCE_SIZE:
-            raise StegFSError(f"block image of {len(image)} bytes too small")
-    nonces = [image[:NONCE_SIZE] for image in block_images]
-    bodies = [image[NONCE_SIZE:] for image in block_images]
+    views = [memoryview(image) for image in block_images]
+    for view in views:
+        if len(view) <= NONCE_SIZE:
+            raise StegFSError(f"block image of {len(view)} bytes too small")
+    nonces = [view[:NONCE_SIZE] for view in views]
+    bodies = [view[NONCE_SIZE:] for view in views]
     return ctr_xor_many(encryption_key, nonces, bodies)
+
+
+def unseal_concat(
+    encryption_key: bytes,
+    block_images: list[bytes],
+    *,
+    start: int = 0,
+    length: int | None = None,
+) -> bytes:
+    """Decrypt a run of sealed blocks into one contiguous buffer.
+
+    Returns payload bytes ``[start, start + length)`` of the run's
+    logical concatenation (everything by default) with a *single* output
+    allocation — the read path's replacement for unseal-slice-join-slice.
+    Byte-for-byte equal to ``b"".join(unseal_many(key, images))[start :
+    start + length]``.
+    """
+    views = [memoryview(image) for image in block_images]
+    for view in views:
+        if len(view) <= NONCE_SIZE:
+            raise StegFSError(f"block image of {len(view)} bytes too small")
+    nonces = [view[:NONCE_SIZE] for view in views]
+    bodies = [view[NONCE_SIZE:] for view in views]
+    return ctr_xor_concat(encryption_key, nonces, bodies, start=start, length=length)
 
 
 def unseal_prefix(encryption_key: bytes, block_image: bytes, length: int) -> bytes:

@@ -188,12 +188,14 @@ class HiddenFile:
         """Read and decrypt the whole object.
 
         One scatter-gather device read for every data block, one
-        vectorised unseal pass — the batched pipeline end-to-end.
+        vectorised unseal pass straight into a single output buffer —
+        the batched pipeline end-to-end, no per-block slices to join.
         """
         data_blocks, _chain = self._mapped_blocks()
         images = self._volume.device.read_blocks(data_blocks)
-        pieces = blockio.unseal_many(self._keys.encryption_key, images)
-        return b"".join(pieces)[: self._header.size]
+        return blockio.unseal_concat(
+            self._keys.encryption_key, images, length=self._header.size
+        )
 
     def read_extent(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes starting at byte ``offset``.
@@ -213,9 +215,12 @@ class HiddenFile:
         last = (end - 1) // room
         data_blocks, _chain = self._mapped_blocks()
         images = self._volume.device.read_blocks(data_blocks[first : last + 1])
-        pieces = blockio.unseal_many(self._keys.encryption_key, images)
-        span = b"".join(pieces)
-        return span[offset - first * room : end - first * room]
+        return blockio.unseal_concat(
+            self._keys.encryption_key,
+            images,
+            start=offset - first * room,
+            length=end - offset,
+        )
 
     def write(self, data: bytes) -> None:
         """Replace the object's contents with ``data``.
@@ -237,7 +242,11 @@ class HiddenFile:
             data_blocks = self._resize(old_data, n_data)
             chain_blocks = self._resize(old_chain, n_chain)
 
-            chunks = [data[index * room : (index + 1) * room] for index in range(n_data)]
+            # Slicing a view keeps each chunk a zero-copy window into the
+            # caller's buffer (which may itself be a wire-frame view);
+            # seal_many consumes bytes-likes directly.
+            view = memoryview(data)
+            chunks = [view[index * room : (index + 1) * room] for index in range(n_data)]
             sealed = blockio.seal_many(
                 self._keys.encryption_key, chunks, volume.block_size, volume.rng
             )
@@ -268,6 +277,9 @@ class HiddenFile:
 
     def _write_extent(self, offset: int, data: bytes) -> None:
         volume = self._volume
+        # A view keeps the overlay slices below zero-copy whatever the
+        # caller handed us (bytes, bytearray, or a wire-frame view).
+        data = memoryview(data)
         room = blockio.capacity(volume.block_size)
         old_size = self._header.size
         new_size = max(old_size, offset + len(data))

@@ -15,7 +15,14 @@ import numpy as np
 
 from repro.crypto.aes import AES, INV_SBOX, SBOX, _MUL2, _MUL3
 
-__all__ = ["VectorAES", "ctr_keystream", "ctr_xor", "ctr_xor_many"]
+__all__ = [
+    "VectorAES",
+    "ctr_keystream",
+    "ctr_xor",
+    "ctr_xor_concat",
+    "ctr_xor_many",
+    "ctr_xor_pad",
+]
 
 _SBOX_NP = np.frombuffer(SBOX, dtype=np.uint8)
 _INV_SBOX_NP = np.frombuffer(INV_SBOX, dtype=np.uint8)
@@ -170,3 +177,111 @@ def ctr_xor_many(
     data_mat = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(n_items, length)
     raw = (data_mat ^ stream).tobytes()
     return [raw[i * length : (i + 1) * length] for i in range(n_items)]
+
+
+def _batch_keystream(
+    key: bytes, nonces: list[bytes], item_len: int, start_block: int
+) -> np.ndarray:
+    """One keystream row per message: ``(n_items, item_len)`` uint8."""
+    if any(len(n) != 8 for n in nonces):
+        raise ValueError("CTR nonces must be 8 bytes")
+    n_items = len(nonces)
+    per = (item_len + 15) // 16
+    cipher = _cached_cipher(bytes(key))
+    blocks = np.zeros((n_items * per, 16), dtype=np.uint8)
+    nonce_mat = np.frombuffer(b"".join(nonces), dtype=np.uint8).reshape(n_items, 8)
+    blocks[:, :8] = np.repeat(nonce_mat, per, axis=0)
+    _write_counters(
+        blocks,
+        np.tile(np.arange(start_block, start_block + per, dtype=np.uint64), n_items),
+    )
+    return cipher.encrypt_blocks(blocks).reshape(n_items, per * 16)[:, :item_len]
+
+
+def ctr_xor_pad(
+    key: bytes,
+    nonces: list[bytes],
+    datas: list,
+    padded_length: int,
+    start_block: int = 0,
+) -> list[bytes]:
+    """CTR-transform many messages, zero-padding each to ``padded_length``.
+
+    Byte-for-byte equal to ``ctr_xor_many(key, nonces, [d.ljust(padded_
+    length, b"\\x00") for d in datas])`` — zero bytes XOR the keystream to
+    the keystream itself, exactly what ljust-then-encrypt produces — but
+    without materialising a padded copy of every payload.  ``datas`` may
+    hold any bytes-like objects (``bytes``, ``bytearray``, ``memoryview``
+    slices of a wire frame), of *different* lengths up to the pad.
+    """
+    if len(nonces) != len(datas):
+        raise ValueError(f"got {len(nonces)} nonces for {len(datas)} messages")
+    n_items = len(datas)
+    if n_items == 0:
+        return []
+    if padded_length <= 0:
+        raise ValueError(f"padded_length must be positive, got {padded_length}")
+    for d in datas:
+        if len(d) > padded_length:
+            raise ValueError(
+                f"message of {len(d)} bytes exceeds padded length {padded_length}"
+            )
+    stream = _batch_keystream(key, nonces, padded_length, start_block)
+    # One matrix holds the padded plaintext, the XOR runs in place, and
+    # tobytes() is the single output allocation for the whole batch.
+    mat = np.zeros((n_items, padded_length), dtype=np.uint8)
+    for i, d in enumerate(datas):
+        n = len(d)
+        if n:
+            mat[i, :n] = np.frombuffer(d, dtype=np.uint8)
+    mat ^= stream
+    raw = mat.tobytes()
+    return [raw[i * padded_length : (i + 1) * padded_length] for i in range(n_items)]
+
+
+def ctr_xor_concat(
+    key: bytes,
+    nonces: list[bytes],
+    datas: list,
+    *,
+    start: int = 0,
+    length: int | None = None,
+    start_block: int = 0,
+) -> bytes:
+    """CTR-transform equal-length messages into ONE concatenated buffer.
+
+    Returns ``plaintexts[start : start + length]`` of the logical
+    concatenation — the whole run by default.  This is the read-path
+    engine: a run of sealed block bodies becomes the caller's extent in a
+    single pass, with one gather into the work matrix, an in-place XOR,
+    and one output allocation — instead of per-block slices joined and
+    re-sliced.  Accepts any bytes-like inputs.
+    """
+    n_items = len(datas)
+    if len(nonces) != n_items:
+        raise ValueError(f"got {len(nonces)} nonces for {n_items} messages")
+    if n_items == 0:
+        if start or length:
+            raise ValueError("range requested from an empty batch")
+        return b""
+    item_len = len(datas[0])
+    if any(len(d) != item_len for d in datas):
+        raise ValueError("ctr_xor_concat requires equal-length messages")
+    total = n_items * item_len
+    if length is None:
+        length = total - start
+    if start < 0 or length < 0 or start + length > total:
+        raise ValueError(
+            f"range [{start}, {start + length}) outside the {total}-byte batch"
+        )
+    if item_len == 0:
+        return b""
+    stream = _batch_keystream(key, nonces, item_len, start_block)
+    mat = np.empty((n_items, item_len), dtype=np.uint8)
+    for i, d in enumerate(datas):
+        mat[i] = np.frombuffer(d, dtype=np.uint8)
+    mat ^= stream
+    flat = mat.reshape(-1)
+    if start == 0 and length == total:
+        return flat.tobytes()
+    return flat[start : start + length].tobytes()

@@ -431,10 +431,14 @@ class FileSystem:
                     if logical < -(-inode.size // bs)
                     else b"\x00" * bs
                 )
-                chunk = (
-                    existing[:lo]
-                    + data[block_start + lo - offset : block_start + hi - offset]
-                    + existing[hi:]
+                # join (not +) so a memoryview overlay from the zero-copy
+                # wire path composes with the bytes prefix/suffix.
+                chunk = b"".join(
+                    (
+                        existing[:lo],
+                        data[block_start + lo - offset : block_start + hi - offset],
+                        existing[hi:],
+                    )
                 )
             self._device.write_block(blocks[logical], chunk)
         inode.size = max(inode.size, end)
@@ -732,7 +736,9 @@ class FileSystem:
         for i, block in enumerate(blocks):
             chunk = data[i * bs : (i + 1) * bs]
             if len(chunk) < bs:
-                chunk = chunk.ljust(bs, b"\x00")
+                # join (not ljust) keeps bytes-like chunks — memoryview
+                # slices off the wire — working without a copy first.
+                chunk = b"".join((chunk, bytes(bs - len(chunk))))
             self._device.write_block(block, chunk)
         inode.size = len(data)
         mapper.set_blocks(blocks)

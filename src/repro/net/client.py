@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 import queue
 import socket
+import struct
 import threading
 from typing import Any, Callable, Iterator
 
@@ -37,15 +38,20 @@ from repro.errors import ConnectionClosedError, HandshakeError, ProtocolError
 from repro.fs.filesystem import FileStat
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
+    DEFAULT_MAX_MESSAGE,
+    ChunkFrame,
     ErrorFrame,
+    FrameAssembler,
+    FrameReceiver,
     Request,
     Response,
+    _RESPONSE,
+    _T_BYTES,
     auth_proof,
-    encode_frame,
+    encode_message_vectored,
     error_to_exception,
-    read_frame,
-    recv_frame,
-    send_frame,
+    read_message,
+    send_message,
 )
 from repro.obs.trace import current_context, maybe_span
 
@@ -64,20 +70,39 @@ def _check_response(frame: Any, request_id: int) -> Any:
     return frame.value
 
 
+# A streamed RESPONSE body's fixed prefix when the value is bytes:
+# kind(1) | request_id(4) | value tag(1) | value length(4).
+_STREAM_HEAD = struct.Struct("<BIBI")
+
+
 class _PooledConnection:
     """One socket plus its monotonically increasing request-id counter."""
 
-    def __init__(self, host: str, port: int, timeout: float | None) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        max_message: int = DEFAULT_MAX_MESSAGE,
+    ) -> None:
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.max_frame = max_frame
+        self.max_message = max_message
+        # One reusable receive buffer + chunk reassembly per socket.
+        self.receiver = FrameReceiver(max_frame=max_frame, max_message=max_message)
         self.next_id = 1
         #: Successful exchanges completed on this socket.  A connection
         #: with ``completed > 0`` that suddenly errors most likely died
         #: while idle in the pool (server restart, idle timeout) — the
         #: staleness signal the client's retry-once policy keys on.
         self.completed = 0
+        #: Whether the most recent :meth:`stream` left the wire in a clean
+        #: state (exchange fully consumed) — the pool's keep/evict signal.
+        self.stream_clean = True
 
-    def call(self, op: str, args: tuple[Any, ...], max_frame: int) -> Any:
+    def call(self, op: str, args: tuple[Any, ...]) -> Any:
         request_id = self.next_id
         self.next_id += 1
         # Inside a trace, the round-trip gets its own span and its context
@@ -90,10 +115,119 @@ class _PooledConnection:
                 args=args,
                 trace_ctx=current_context(),
             )
-            send_frame(self.sock, request, max_frame)
-            value = _check_response(recv_frame(self.sock, max_frame), request_id)
+            send_message(
+                self.sock,
+                request,
+                max_frame=self.max_frame,
+                max_message=self.max_message,
+            )
+            value = _check_response(
+                self.receiver.recv_message(self.sock), request_id
+            )
         self.completed += 1
         return value
+
+    def stream(self, op: str, args: tuple[Any, ...]) -> Iterator[bytes]:
+        """Issue one bytes-returning op and yield its payload incrementally.
+
+        A streamed RESPONSE arrives as CHUNK frames; each chunk's data
+        portion is yielded as soon as it is off the wire, so the full
+        payload is never buffered client-side.  A small (unchunked)
+        response yields its whole value once.  ``stream_clean`` is left
+        False while frames may remain unread — the pool evicts on that.
+        """
+        self.stream_clean = False
+        request_id = self.next_id
+        self.next_id += 1
+        with maybe_span(f"net.client.{op}"):
+            request = Request(
+                request_id=request_id,
+                op=op,
+                args=args,
+                trace_ctx=current_context(),
+            )
+            send_message(
+                self.sock,
+                request,
+                max_frame=self.max_frame,
+                max_message=self.max_message,
+            )
+            head = bytearray()
+            value_len: int | None = None
+            got = 0
+            next_seq = 0
+            while True:
+                frame = self.receiver.recv_wire(self.sock, zero_copy=True)
+                if not isinstance(frame, ChunkFrame):
+                    # Whole-frame reply: an error, or a payload small
+                    # enough that the server never chunked it.
+                    self.stream_clean = True
+                    value = _check_response(frame, request_id)
+                    if not isinstance(value, (bytes, bytearray, memoryview)):
+                        raise ProtocolError(
+                            f"streamed operation {op!r} returned "
+                            f"{type(value).__name__}, expected bytes"
+                        )
+                    self.completed += 1
+                    yield bytes(value)
+                    return
+                if frame.request_id != request_id:
+                    raise ProtocolError(
+                        f"chunk correlation mismatch: sent {request_id}, "
+                        f"got {frame.request_id}"
+                    )
+                if frame.seq != next_seq:
+                    raise ProtocolError(
+                        f"chunk seq {frame.seq}, expected {next_seq}"
+                    )
+                next_seq += 1
+                payload = memoryview(frame.payload)
+                if value_len is None:
+                    # Accumulate the fixed response prefix (spread over
+                    # chunks only under absurdly small frame limits).
+                    take = min(_STREAM_HEAD.size - len(head), len(payload))
+                    head += payload[:take]
+                    payload = payload[take:]
+                    if len(head) < _STREAM_HEAD.size:
+                        if frame.is_end:
+                            raise ProtocolError(
+                                "streamed response ended inside its header"
+                            )
+                        continue
+                    kind, rid, tag, value_len = _STREAM_HEAD.unpack(head)
+                    if kind != _RESPONSE:
+                        raise ProtocolError(
+                            f"streamed frame kind {kind}, expected RESPONSE"
+                        )
+                    if rid != request_id:
+                        raise ProtocolError(
+                            f"response correlation mismatch: sent "
+                            f"{request_id}, got {rid}"
+                        )
+                    if tag != _T_BYTES:
+                        raise ProtocolError(
+                            f"streamed operation {op!r} returned value tag "
+                            f"{tag}, expected bytes"
+                        )
+                got += len(payload)
+                if got > value_len:
+                    raise ProtocolError(
+                        f"streamed response overran its declared "
+                        f"{value_len}-byte value"
+                    )
+                if len(payload):
+                    # Copy out: the view aliases the reusable receive
+                    # buffer, which the next recv overwrites.
+                    yield bytes(payload)
+                if frame.is_end:
+                    if got != value_len:
+                        raise ProtocolError(
+                            f"streamed response ended at {got} of "
+                            f"{value_len} value bytes"
+                        )
+                    self.stream_clean = True
+                    self.completed += 1
+                    return
 
     def close(self) -> None:
         try:
@@ -119,6 +253,7 @@ class StegFSClient:
         *,
         pool_size: int = 1,
         max_frame: int = DEFAULT_MAX_FRAME,
+        max_message: int = DEFAULT_MAX_MESSAGE,
         timeout: float | None = 30.0,
     ) -> None:
         if pool_size < 1:
@@ -127,6 +262,7 @@ class StegFSClient:
         self._port = port
         self._pool_size = pool_size
         self._max_frame = max_frame
+        self._max_message = max(max_message, max_frame)
         self._timeout = timeout
         self._idle: queue.LifoQueue[_PooledConnection] = queue.LifoQueue()
         self._created = 0
@@ -138,47 +274,64 @@ class StegFSClient:
     # pool plumbing
     # ------------------------------------------------------------------
 
-    @contextmanager
-    def _connection(self) -> Iterator[_PooledConnection]:
+    def _acquire(self) -> _PooledConnection:
+        """Check a connection out of the pool (creating up to the cap)."""
         if self._closed:
             raise ConnectionClosedError("client has been closed")
-        conn: _PooledConnection | None = None
         try:
-            conn = self._idle.get_nowait()
+            return self._idle.get_nowait()
         except queue.Empty:
-            create = False
-            with self._pool_lock:
-                if self._created < self._pool_size:
-                    self._created += 1
-                    create = True
-            if create:
-                try:
-                    conn = _PooledConnection(self._host, self._port, self._timeout)
-                except BaseException:
-                    with self._pool_lock:
-                        self._created -= 1
-                    raise
-            else:
-                # Block *outside* the pool lock: a connection becomes free
-                # when another thread returns or drops one, and that drop
-                # path needs the lock itself.
-                conn = self._idle.get()
+            pass
+        create = False
+        with self._pool_lock:
+            if self._created < self._pool_size:
+                self._created += 1
+                create = True
+        if create:
+            try:
+                return _PooledConnection(
+                    self._host,
+                    self._port,
+                    self._timeout,
+                    self._max_frame,
+                    self._max_message,
+                )
+            except BaseException:
+                with self._pool_lock:
+                    self._created -= 1
+                raise
+        # Block *outside* the pool lock: a connection becomes free when
+        # another thread returns or drops one, and that drop path needs
+        # the lock itself.
+        return self._idle.get()
+
+    def _release(self, conn: _PooledConnection) -> None:
+        """Return a healthy connection to the pool."""
+        self._idle.put(conn)
+
+    def _evict(self, conn: _PooledConnection) -> None:
+        """Drop a desynchronized or dead connection from the pool."""
+        conn.close()
+        with self._pool_lock:
+            self._created -= 1
+
+    @contextmanager
+    def _connection(self) -> Iterator[_PooledConnection]:
+        conn = self._acquire()
         try:
             yield conn
         except (ProtocolError, ConnectionClosedError, OSError):
             # The stream is desynchronized (or gone): drop the socket
             # rather than return it to the pool.
-            conn.close()
-            with self._pool_lock:
-                self._created -= 1
+            self._evict(conn)
             raise
         except BaseException:
             # Typed remote errors arrive as a complete, well-framed
             # exchange — the connection is still healthy, keep it.
-            self._idle.put(conn)
+            self._release(conn)
             raise
         else:
-            self._idle.put(conn)
+            self._release(conn)
 
     def _exchange(self, fn: "Callable[[_PooledConnection], Any]") -> Any:
         """Run ``fn`` on a pooled connection, retrying once on staleness.
@@ -212,7 +365,7 @@ class StegFSClient:
                 raise
 
     def _call(self, op: str, *args: Any) -> Any:
-        return self._exchange(lambda conn: conn.call(op, args, self._max_frame))
+        return self._exchange(lambda conn: conn.call(op, args))
 
     def _require_token(self) -> bytes:
         if self._token is None:
@@ -236,9 +389,9 @@ class StegFSClient:
         """
 
         def handshake(conn: _PooledConnection) -> bytes:
-            nonce = conn.call("hello", (user_id,), self._max_frame)
+            nonce = conn.call("hello", (user_id,))
             proof = auth_proof(uak, nonce, user_id)
-            return conn.call("authenticate", (user_id, proof), self._max_frame)
+            return conn.call("authenticate", (user_id, proof))
 
         self._token = self._exchange(handshake)
 
@@ -352,6 +505,45 @@ class StegFSClient:
             "steg_write_extent", self._require_token(), objname, offset, data
         )
 
+    def steg_read_stream(
+        self, objname: str, offset: int = 0, length: int | None = None
+    ) -> Iterator[bytes]:
+        """Read a hidden file (or one extent) as an iterator of chunks.
+
+        Yields payload pieces as they come off the wire — bounded by the
+        connection's ``max_frame`` — so a multi-gigabyte hidden object
+        never materializes client-side.  ``b"".join(...)`` of the pieces
+        equals :meth:`steg_read` / :meth:`steg_read_extent` byte for byte.
+
+        No retry-once here: once bytes have been yielded, replaying the
+        request could silently duplicate a prefix.  A consumer that
+        abandons the iterator mid-stream leaves unread frames on the
+        socket, so the connection is dropped rather than pooled.
+        """
+        token = self._require_token()
+        if length is None:
+            if offset:
+                raise ValueError("offset requires an explicit length")
+            op, args = "steg_read", (token, objname)
+        else:
+            op, args = "steg_read_extent", (token, objname, offset, length)
+        conn = self._acquire()
+        try:
+            yield from conn.stream(op, args)
+        except (ProtocolError, ConnectionClosedError, OSError):
+            self._evict(conn)
+            raise
+        except BaseException:
+            # GeneratorExit (abandoned mid-stream) or a typed remote
+            # error: keep the socket only when the exchange fully drained.
+            if conn.stream_clean:
+                self._release(conn)
+            else:
+                self._evict(conn)
+            raise
+        else:
+            self._release(conn)
+
     def steg_delete(self, objname: str) -> None:
         """Delete a hidden object."""
         self._call("steg_delete", self._require_token(), objname)
@@ -428,13 +620,17 @@ class _AsyncConn:
     lock, the pending futures) belong to the loop that opened it.
     """
 
-    def __init__(self, max_frame: int) -> None:
+    def __init__(
+        self, max_frame: int, max_message: int = DEFAULT_MAX_MESSAGE
+    ) -> None:
         self.max_frame = max_frame
+        self.max_message = max_message
         self.reader: asyncio.StreamReader | None = None
         self.writer: asyncio.StreamWriter | None = None
         self.reader_task: asyncio.Task | None = None
         self.write_lock = asyncio.Lock()
         self.pending: dict[int, asyncio.Future] = {}
+        self.assembler = FrameAssembler(max_message=max_message)
         self.next_id = 1
         self.dead_error: Exception | None = None
 
@@ -447,7 +643,12 @@ class _AsyncConn:
         error: Exception = ConnectionClosedError("server closed the connection")
         try:
             while True:
-                frame = await read_frame(self.reader, self.max_frame)
+                # read_message reassembles streamed CHUNK runs — chunks of
+                # different request ids may interleave; the assembler
+                # demultiplexes before any future resolves.
+                frame = await read_message(
+                    self.reader, self.max_frame, assembler=self.assembler
+                )
                 if frame is None:
                     break
                 future = self.pending.pop(frame.request_id, None)
@@ -487,18 +688,22 @@ class _AsyncConn:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self.pending[request_id] = future
         with maybe_span(f"net.client.{op}"):
-            data = encode_frame(
+            wire = encode_message_vectored(
                 Request(
                     request_id=request_id,
                     op=op,
                     args=args,
                     trace_ctx=current_context(),
                 ),
-                self.max_frame,
+                max_frame=self.max_frame,
+                max_message=self.max_message,
             )
-            async with self.write_lock:
-                self.writer.write(data)
-                await self.writer.drain()
+            for buffers in wire:
+                # Lock per wire frame: chunks of a large streamed request
+                # interleave with other calls instead of blocking them.
+                async with self.write_lock:
+                    self.writer.writelines(buffers)
+                    await self.writer.drain()
             return await future
 
     async def close(self) -> None:
@@ -554,6 +759,7 @@ class AsyncStegFSClient:
         *,
         pool_size: int = 1,
         max_frame: int = DEFAULT_MAX_FRAME,
+        max_message: int = DEFAULT_MAX_MESSAGE,
     ) -> None:
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
@@ -561,6 +767,7 @@ class AsyncStegFSClient:
         self._port = port
         self._pool_size = pool_size
         self._max_frame = max_frame
+        self._max_message = max(max_message, max_frame)
         self._conns: list[_AsyncConn] = []
         self._rr = 0
         self._token: bytes | None = None
@@ -575,7 +782,7 @@ class AsyncStegFSClient:
         conns: list[_AsyncConn] = []
         try:
             for _ in range(self._pool_size):
-                conn = _AsyncConn(self._max_frame)
+                conn = _AsyncConn(self._max_frame, self._max_message)
                 await conn.open(self._host, self._port)
                 conns.append(conn)
         except BaseException:

@@ -36,6 +36,16 @@ requests executing; beyond that the read loop stops pulling frames off
 the socket, letting TCP flow control push back on the client.  Frames
 over ``max_frame`` are refused on both encode and decode.
 
+**Streaming** — logical frames larger than ``max_frame`` travel as CHUNK
+runs (see :mod:`repro.net.protocol`).  Inbound chunks reassemble through
+a per-connection :class:`~repro.net.protocol.FrameAssembler` bounded by
+``max_message``; only operations whose :class:`~repro.service.registry.
+OpSpec` declares ``streams=True`` accept a streamed request — a chunked
+``mkdir`` is refused after reassembly, before dispatch.  Outbound
+responses to streaming ops are sent vectored and chunk-by-chunk, the
+write lock taken per wire frame so a long stream never starves pings or
+unrelated responses on the same connection.
+
 For tests, benches and examples, :func:`start_in_thread` runs a server
 (and its private event loop) on a daemon thread and returns a handle with
 the bound address and a thread-safe ``stop()``.
@@ -62,11 +72,15 @@ from repro.errors import (
 )
 from repro.net.protocol import (
     DEFAULT_MAX_FRAME,
+    DEFAULT_MAX_MESSAGE,
+    ChunkFrame,
     ErrorFrame,
+    FrameAssembler,
     Request,
     Response,
     auth_proof,
-    encode_frame,
+    decode_frame,
+    encode_message_vectored,
     exception_to_frame,
     read_frame,
 )
@@ -127,6 +141,7 @@ class _Connection:
 
     reader: asyncio.StreamReader
     writer: asyncio.StreamWriter
+    assembler: FrameAssembler = field(default_factory=FrameAssembler)
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
     challenges: dict[str, bytes] = field(default_factory=dict)
     tasks: set[asyncio.Task] = field(default_factory=set)
@@ -143,6 +158,7 @@ class StegFSServer:
         *,
         credentials: Mapping[str, bytes] | None = None,
         max_frame: int = DEFAULT_MAX_FRAME,
+        max_message: int = DEFAULT_MAX_MESSAGE,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
     ) -> None:
         if max_inflight < 1:
@@ -152,6 +168,7 @@ class StegFSServer:
         self._host = host
         self._port = port
         self._max_frame = max_frame
+        self._max_message = max(max_message, max_frame)
         self._max_inflight = max_inflight
         self._credentials: dict[str, bytes] = dict(credentials or {})
         self._credentials_lock = threading.Lock()
@@ -220,17 +237,31 @@ class StegFSServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = _Connection(reader=reader, writer=writer)
+        conn = _Connection(
+            reader=reader,
+            writer=writer,
+            assembler=FrameAssembler(max_message=self._max_message),
+        )
         self._connections.add(conn)
         self.stats.bump("connections_total")
         self.stats.bump("connections_open")
         inflight = asyncio.Semaphore(self._max_inflight)
         try:
             while True:
-                frame = await read_frame(reader, self._max_frame)
+                # zero_copy is safe here: every asyncio frame body is a
+                # fresh buffer, and chunk payloads are copied out by the
+                # assembler before the next read.
+                frame = await read_frame(reader, self._max_frame, zero_copy=True)
                 if frame is None:
                     break
                 self.stats.bump("frames_in")
+                chunked = False
+                if isinstance(frame, ChunkFrame):
+                    assembled = conn.assembler.add(frame)
+                    if assembled is None:
+                        continue
+                    frame = decode_frame(assembled, zero_copy=True)
+                    chunked = True
                 if not isinstance(frame, Request):
                     raise ProtocolError(
                         f"expected a REQUEST frame, got {type(frame).__name__}"
@@ -238,7 +269,9 @@ class StegFSServer:
                 # Backpressure: when max_inflight requests are executing,
                 # stop reading until one completes — TCP does the rest.
                 await inflight.acquire()
-                task = asyncio.ensure_future(self._serve_request(conn, frame))
+                task = asyncio.ensure_future(
+                    self._serve_request(conn, frame, chunked=chunked)
+                )
                 conn.tasks.add(task)
                 task.add_done_callback(
                     lambda t, c=conn, s=inflight: (c.tasks.discard(t), s.release())
@@ -261,25 +294,51 @@ class StegFSServer:
             self.stats.bump("connections_open", -1)
             writer.close()
 
-    async def _send(self, conn: _Connection, frame: Response | ErrorFrame) -> None:
+    async def _send(
+        self,
+        conn: _Connection,
+        frame: Response | ErrorFrame,
+        *,
+        allow_stream: bool = False,
+    ) -> None:
+        # Responses to streaming ops may exceed one frame and go out as a
+        # CHUNK run; everything else must fit in max_frame as before.
+        max_message = self._max_message if allow_stream else self._max_frame
         try:
-            data = encode_frame(frame, self._max_frame)
+            wire = encode_message_vectored(
+                frame, max_frame=self._max_frame, max_message=max_message
+            )
         except FrameTooLargeError as exc:
             # The *result* did not fit; the error about that always will.
-            data = encode_frame(
-                exception_to_frame(frame.request_id, exc), self._max_frame
-            )
+            frame = exception_to_frame(frame.request_id, exc)
+            wire = encode_message_vectored(frame, max_frame=self._max_frame)
         if isinstance(frame, ErrorFrame):
             self.stats.bump("errors_out")
-        async with conn.write_lock:
-            try:
-                conn.writer.write(data)
-                await conn.writer.drain()
-                self.stats.bump("frames_out")
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+        for buffers in wire:
+            # Lock per wire frame, not per message: chunks of a long
+            # stream interleave with other requests' responses (the
+            # client's assembler demultiplexes by request id).
+            async with conn.write_lock:
+                try:
+                    conn.writer.writelines(buffers)
+                    await conn.writer.drain()
+                    self.stats.bump("frames_out")
+                except (ConnectionResetError, BrokenPipeError):
+                    return
 
-    async def _serve_request(self, conn: _Connection, request: Request) -> None:
+    async def _serve_request(
+        self, conn: _Connection, request: Request, *, chunked: bool = False
+    ) -> None:
+        spec = self._service.OPS.get(request.op)
+        streams = spec is not None and spec.remote and spec.streams
+        if chunked and not streams:
+            # A streamed control-plane request is refused after reassembly,
+            # before any dispatch: only bulk-payload ops opt into CHUNK.
+            exc = FrameTooLargeError(
+                f"operation {request.op!r} does not accept streamed requests"
+            )
+            await self._send(conn, exception_to_frame(request.request_id, exc))
+            return
         try:
             value = await self._execute(conn, request)
         except ReproError as exc:
@@ -290,7 +349,11 @@ class StegFSServer:
         except Exception as exc:  # non-repro bug: surface as RemoteError
             await self._send(conn, exception_to_frame(request.request_id, exc))
             return
-        await self._send(conn, Response(request_id=request.request_id, value=value))
+        await self._send(
+            conn,
+            Response(request_id=request.request_id, value=value),
+            allow_stream=streams,
+        )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -341,6 +404,12 @@ class StegFSServer:
             raise ProtocolError(
                 f"operation {spec.name!r} takes at most {len(spec.params)} "
                 f"argument(s) on the wire, got {len(args)}"
+            )
+        if not spec.streams:
+            # Streaming ops are audited end-to-end for bytes-like inputs;
+            # everything else gets real bytes, as it always has.
+            args = tuple(
+                bytes(arg) if isinstance(arg, memoryview) else arg for arg in args
             )
         kwargs = dict(zip(spec.params, args))
         kwargs.update(injected)
@@ -490,6 +559,7 @@ def start_in_thread(
     *,
     credentials: Mapping[str, bytes] | None = None,
     max_frame: int = DEFAULT_MAX_FRAME,
+    max_message: int = DEFAULT_MAX_MESSAGE,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
     startup_timeout: float = 10.0,
 ) -> ServerHandle:
@@ -510,6 +580,7 @@ def start_in_thread(
                 port,
                 credentials=credentials,
                 max_frame=max_frame,
+                max_message=max_message,
                 max_inflight=max_inflight,
             )
             try:

@@ -26,6 +26,12 @@ Each spec records what a remote front end must know to dispatch safely:
 * ``remote`` — whether the op may be called over the wire at all
   (``steg_update`` takes a callable and ``open_session`` takes a raw UAK,
   so both are local-only).
+* ``streams`` — whether the op moves bulk payloads and therefore accepts
+  chunk-streamed requests larger than one wire frame (and may have its
+  response streamed back).  Control-plane ops leave this off, so a peer
+  cannot smuggle an oversized ``mkdir`` through the CHUNK path: the
+  server rejects streamed requests for non-streaming ops after
+  reassembly, before dispatch.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ class OpSpec:
     injects: str | None
     params: tuple[str, ...]
     remote: bool
+    streams: bool = False
 
     @property
     def authenticated(self) -> bool:
@@ -66,6 +73,7 @@ def service_op(
     mutates: bool,
     injects: str | None = None,
     remote: bool = True,
+    streams: bool = False,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Declare a service method as a registered operation.
 
@@ -77,7 +85,7 @@ def service_op(
         raise ValueError(f"unknown op kind {kind!r} (expected one of {KINDS})")
 
     def decorate(method: Callable[..., Any]) -> Callable[..., Any]:
-        setattr(method, _ATTR, (kind, mutates, injects, remote))
+        setattr(method, _ATTR, (kind, mutates, injects, remote, streams))
         return method
 
     return decorate
@@ -90,7 +98,7 @@ def build_registry(cls: type) -> dict[str, OpSpec]:
         marker = getattr(member, _ATTR, None)
         if marker is None:
             continue
-        kind, mutates, injects, remote = marker
+        kind, mutates, injects, remote, streams = marker
         # functools.wraps sets __wrapped__, so this sees the real signature
         # even through the stats-counting wrapper.
         signature = inspect.signature(member)
@@ -109,6 +117,7 @@ def build_registry(cls: type) -> dict[str, OpSpec]:
             injects=injects,
             params=tuple(params),
             remote=remote,
+            streams=streams,
         )
     return registry
 

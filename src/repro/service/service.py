@@ -417,28 +417,28 @@ class StegFSService:
     # plain namespace
     # ------------------------------------------------------------------
 
-    @service_op("plain", mutates=True)
+    @service_op("plain", mutates=True, streams=True)
     @_counted
     def create(self, path: str, data: bytes = b"") -> None:
         """Create a plain file."""
         with self._exclusive(self._plain_key(path)):
             self._steg.create(path, data)
 
-    @service_op("plain", mutates=False)
+    @service_op("plain", mutates=False, streams=True)
     @_counted
     def read(self, path: str) -> bytes:
         """Read a plain file."""
         with self._shared(self._plain_key(path)):
             return self._steg.read(path)
 
-    @service_op("plain", mutates=True)
+    @service_op("plain", mutates=True, streams=True)
     @_counted
     def write(self, path: str, data: bytes) -> None:
         """Replace a plain file's contents."""
         with self._exclusive(self._plain_key(path)):
             self._steg.write(path, data)
 
-    @service_op("plain", mutates=True)
+    @service_op("plain", mutates=True, streams=True)
     @_counted
     def append(self, path: str, data: bytes) -> None:
         """Append to a plain file (read–modify–write, stripe-serialized)."""
@@ -491,7 +491,7 @@ class StegFSService:
     # hidden namespace (direct, UAK-addressed)
     # ------------------------------------------------------------------
 
-    @service_op("hidden", mutates=True, injects="uak")
+    @service_op("hidden", mutates=True, injects="uak", streams=True)
     @_counted
     def steg_create(
         self,
@@ -505,28 +505,28 @@ class StegFSService:
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_create(objname, uak, objtype=objtype, data=data, owner=owner)
 
-    @service_op("hidden", mutates=False, injects="uak")
+    @service_op("hidden", mutates=False, injects="uak", streams=True)
     @_counted
     def steg_read(self, objname: str, uak: bytes) -> bytes:
         """Read a hidden file."""
         with self._shared(self._hidden_key(objname, uak)):
             return self._steg.steg_read(objname, uak)
 
-    @service_op("hidden", mutates=False, injects="uak")
+    @service_op("hidden", mutates=False, injects="uak", streams=True)
     @_counted
     def steg_read_extent(self, objname: str, uak: bytes, offset: int, length: int) -> bytes:
         """Read one extent of a hidden file (batched block run)."""
         with self._shared(self._hidden_key(objname, uak)):
             return self._steg.steg_read_extent(objname, uak, offset, length)
 
-    @service_op("hidden", mutates=True, injects="uak")
+    @service_op("hidden", mutates=True, injects="uak", streams=True)
     @_counted
     def steg_write(self, objname: str, uak: bytes, data: bytes) -> None:
         """Replace a hidden file's contents."""
         with self._exclusive(self._hidden_key(objname, uak)):
             self._steg.steg_write(objname, uak, data)
 
-    @service_op("hidden", mutates=True, injects="uak")
+    @service_op("hidden", mutates=True, injects="uak", streams=True)
     @_counted
     def steg_write_extent(self, objname: str, uak: bytes, offset: int, data: bytes) -> None:
         """Write one extent of a hidden file in place (batched run;
@@ -645,7 +645,7 @@ class StegFSService:
             with record.lock:
                 return record.session.connected_names()
 
-    @service_op("session", mutates=False, injects="session_id")
+    @service_op("session", mutates=False, injects="session_id", streams=True)
     @_counted
     def session_read(self, session_id: str, objname: str) -> bytes:
         """Read a connected object through the session."""
@@ -653,7 +653,7 @@ class StegFSService:
             with record.lock, self._shared(self._session_key(record, objname)):
                 return record.session.read(objname)
 
-    @service_op("session", mutates=True, injects="session_id")
+    @service_op("session", mutates=True, injects="session_id", streams=True)
     @_counted
     def session_write(self, session_id: str, objname: str, data: bytes) -> None:
         """Write a connected object through the session."""

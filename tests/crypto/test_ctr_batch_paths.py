@@ -1,0 +1,139 @@
+"""The batch CTR fast paths must equal the reference compositions.
+
+``ctr_xor_pad`` and ``ctr_xor_concat`` exist so the zero-copy data path
+can seal and unseal block runs with one work matrix and one output
+allocation.  Their contract is equational: pad ≡ ljust-then-
+``ctr_xor_many``; concat ≡ join-then-slice of per-message transforms.
+Hypothesis drives the shapes, fixed vectors pin the edges.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.vector_aes import (
+    ctr_xor,
+    ctr_xor_concat,
+    ctr_xor_many,
+    ctr_xor_pad,
+)
+
+KEY = b"0123456789abcdef"
+
+
+def _nonces(n: int) -> list[bytes]:
+    return [bytes([i]) * 8 for i in range(n)]
+
+
+class TestCtrXorPad:
+    @given(
+        datas=st.lists(st.binary(min_size=0, max_size=96), min_size=1, max_size=8),
+        pad_extra=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equals_ljust_then_many(self, datas, pad_extra):
+        padded = max(len(d) for d in datas) + pad_extra
+        padded = max(padded, 1)
+        nonces = _nonces(len(datas))
+        expect = ctr_xor_many(KEY, nonces, [d.ljust(padded, b"\x00") for d in datas])
+        assert ctr_xor_pad(KEY, nonces, datas, padded) == expect
+
+    def test_accepts_memoryviews(self):
+        backing = bytes(range(200))
+        views = [memoryview(backing)[10:70], memoryview(backing)[70:75]]
+        plain = [bytes(v) for v in views]
+        assert ctr_xor_pad(KEY, _nonces(2), views, 64) == ctr_xor_pad(
+            KEY, _nonces(2), plain, 64
+        )
+
+    def test_overlong_message_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_xor_pad(KEY, _nonces(1), [b"x" * 9], 8)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_xor_pad(KEY, _nonces(2), [b"x"], 8)
+
+    def test_empty_batch(self):
+        assert ctr_xor_pad(KEY, [], [], 8) == []
+
+    def test_start_block_threads_through(self):
+        data = b"q" * 40
+        expect = ctr_xor(KEY, _nonces(1)[0], b"\x00" * 32 + data)[32:]
+        assert ctr_xor_pad(KEY, _nonces(1), [data], 40, start_block=2) == [expect]
+
+
+class TestCtrXorConcat:
+    @given(
+        n_items=st.integers(min_value=1, max_value=6),
+        item_len=st.integers(min_value=1, max_value=80),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equals_join_of_many(self, n_items, item_len, data):
+        datas = [
+            data.draw(st.binary(min_size=item_len, max_size=item_len))
+            for _ in range(n_items)
+        ]
+        nonces = _nonces(n_items)
+        whole = b"".join(ctr_xor_many(KEY, nonces, datas))
+        assert ctr_xor_concat(KEY, nonces, datas) == whole
+        # And any sub-range equals the slice of the join.
+        total = n_items * item_len
+        start = data.draw(st.integers(min_value=0, max_value=total))
+        length = data.draw(st.integers(min_value=0, max_value=total - start))
+        assert (
+            ctr_xor_concat(KEY, nonces, datas, start=start, length=length)
+            == whole[start : start + length]
+        )
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_xor_concat(KEY, _nonces(2), [b"ab", b"abc"])
+
+    def test_range_outside_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ctr_xor_concat(KEY, _nonces(1), [b"abcd"], start=3, length=2)
+
+    def test_empty_batch_returns_empty(self):
+        assert ctr_xor_concat(KEY, [], []) == b""
+
+    def test_memoryview_inputs(self):
+        backing = bytes(range(64))
+        views = [memoryview(backing)[:32], memoryview(backing)[32:]]
+        assert ctr_xor_concat(KEY, _nonces(2), views) == ctr_xor_concat(
+            KEY, _nonces(2), [bytes(v) for v in views]
+        )
+
+
+class TestBlockioBatchPaths:
+    def test_seal_many_accepts_memoryviews_and_matches_bytes(self):
+        import random
+
+        from repro.core import blockio
+
+        payloads = [bytes([i]) * (40 + i) for i in range(4)]
+        key = b"k" * 32
+        a = blockio.seal_many(key, payloads, 64, rng=random.Random(5))
+        b = blockio.seal_many(
+            key, [memoryview(p) for p in payloads], 64, rng=random.Random(5)
+        )
+        assert a == b
+
+    def test_unseal_concat_equals_join_of_unseal_many(self):
+        import random
+
+        from repro.core import blockio
+
+        key = b"k" * 32
+        payloads = [bytes([i ^ 0x5A]) * 56 for i in range(5)]
+        images = blockio.seal_many(key, payloads, 64, rng=random.Random(7))
+        whole = b"".join(blockio.unseal_many(key, images))
+        assert blockio.unseal_concat(key, images) == whole
+        for start, length in [(0, 10), (55, 60), (100, 0), (279, 1), (0, 280)]:
+            assert (
+                blockio.unseal_concat(key, images, start=start, length=length)
+                == whole[start : start + length]
+            )

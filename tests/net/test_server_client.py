@@ -197,12 +197,36 @@ class TestDispatchHardening:
         assert isinstance(frame, ErrorFrame)
         assert frame.error_class == "FrameTooLargeError"
 
-    def test_client_side_max_frame_enforced(self, address):
+    def test_oversized_request_streams_within_message_limit(self, address):
+        # A request over max_frame no longer fails: it streams as CHUNK
+        # frames (create is a streaming-capable op) and lands intact.
+        # Read back through a default-limit client: the fixture server's
+        # own max_frame is the default, so it answers a small client's
+        # read with one whole frame that client would refuse.
         with StegFSClient(*address, max_frame=1024) as small:
+            small.create("/big-streamed", b"x" * 4096)
+        with StegFSClient(*address) as normal:
+            assert normal.read("/big-streamed") == b"x" * 4096
+            normal.unlink("/big-streamed")
+
+    def test_client_side_max_message_enforced(self, address):
+        # The ceiling moved from per-frame to per-message: a payload over
+        # max_message is refused client-side before any bytes are sent.
+        with StegFSClient(*address, max_frame=1024, max_message=2048) as small:
             from repro.errors import FrameTooLargeError
 
             with pytest.raises(FrameTooLargeError):
-                small.create("/big", b"x" * 4096)
+                small.create("/too-big", b"x" * 4096)
+
+    def test_chunked_control_plane_request_refused(self, address):
+        # Only ops flagged streams=True accept a streamed request: an
+        # oversized mkdir path must bounce with a typed error, after
+        # reassembly but before dispatch.
+        with StegFSClient(*address, max_frame=1024) as small:
+            from repro.errors import FrameTooLargeError
+
+            with pytest.raises(FrameTooLargeError, match="does not accept"):
+                small.mkdir("/" + "d" * 4096)
 
     def test_garbage_frame_gets_protocol_error(self, address):
         host, port = address

@@ -1,0 +1,275 @@
+"""Streamed extent transfers over real TCP, including mid-stream death.
+
+The fixture server runs with a deliberately small ``max_frame`` so every
+multi-kilobyte transfer genuinely exercises the CHUNK path in both
+directions — requests chunk on the client, responses chunk on the
+server.  A byte-budgeted kill-switch proxy then proves the failure
+contract: a connection that dies mid-stream surfaces a typed transport
+error and never half-applies a write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.client import AsyncStegFSClient, StegFSClient
+from repro.net.server import start_in_thread
+
+USER = "alice"
+UAK = b"A" * 32
+
+# Small enough that a few-KiB payload streams as many chunks, large
+# enough for the handshake and control ops to stay single-frame.
+SMALL_FRAME = 2048
+
+
+@pytest.fixture
+def small_server(service):
+    handle = start_in_thread(
+        service, credentials={USER: UAK}, max_frame=SMALL_FRAME
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def small_address(small_server):
+    return small_server.address
+
+
+@pytest.fixture
+def client(small_address):
+    with StegFSClient(*small_address, pool_size=2, max_frame=SMALL_FRAME) as c:
+        c.login(USER, UAK)
+        yield c
+
+
+def _pattern(n: int) -> bytes:
+    return bytes((i * 131 + 17) & 0xFF for i in range(n))
+
+
+class TestStreamedExtents:
+    """Extent ops larger than max_frame round-trip over real TCP."""
+
+    def test_hidden_write_read_beyond_max_frame(self, client):
+        payload = _pattern(8 * SMALL_FRAME)
+        client.steg_create("big", data=payload)
+        assert client.steg_read("big") == payload
+
+    def test_extent_ops_beyond_max_frame(self, client):
+        base = _pattern(10 * SMALL_FRAME)
+        client.steg_create("doc", data=base)
+        # Read an extent that spans several wire frames.
+        offset, length = SMALL_FRAME // 2, 6 * SMALL_FRAME
+        assert client.steg_read_extent("doc", offset, length) == base[offset : offset + length]
+        # Overwrite an extent larger than a frame, then verify the splice.
+        patch = _pattern(5 * SMALL_FRAME)[::-1]
+        client.steg_write_extent("doc", offset, patch)
+        expect = base[:offset] + patch + base[offset + len(patch) :]
+        assert client.steg_read("doc") == expect
+
+    def test_plain_namespace_streams_too(self, client):
+        payload = _pattern(6 * SMALL_FRAME)
+        client.create("/big.bin", payload)
+        assert client.read("/big.bin") == payload
+
+    def test_read_stream_iterator_matches_whole_read(self, client):
+        payload = _pattern(7 * SMALL_FRAME + 123)
+        client.steg_create("it", data=payload)
+        pieces = list(client.steg_read_stream("it"))
+        assert len(pieces) > 1, "payload this size must arrive as chunks"
+        assert all(len(p) <= SMALL_FRAME for p in pieces)
+        assert b"".join(pieces) == payload
+
+    def test_read_stream_extent_slice(self, client):
+        payload = _pattern(6 * SMALL_FRAME)
+        client.steg_create("sl", data=payload)
+        offset, length = 777, 4 * SMALL_FRAME
+        got = b"".join(client.steg_read_stream("sl", offset, length))
+        assert got == payload[offset : offset + length]
+
+    def test_read_stream_offset_without_length_rejected(self, client):
+        client.steg_create("x", data=b"abc")
+        with pytest.raises(ValueError):
+            next(iter(client.steg_read_stream("x", offset=1)))
+
+    def test_abandoned_stream_leaves_client_usable(self, client):
+        payload = _pattern(8 * SMALL_FRAME)
+        client.steg_create("ab", data=payload)
+        stream = client.steg_read_stream("ab")
+        next(stream)
+        stream.close()  # abandon mid-stream: that socket must be dropped
+        # The pool replaces the evicted connection transparently.
+        assert client.steg_read("ab") == payload
+        assert client.ping() is True
+
+    def test_async_client_streams_beyond_max_frame(self, small_address):
+        host, port = small_address
+        payload = _pattern(9 * SMALL_FRAME)
+
+        async def scenario():
+            async with AsyncStegFSClient(host, port, max_frame=SMALL_FRAME) as c:
+                await c.login(USER, UAK)
+                await c.steg_create("aio", data=payload)
+                whole = await c.steg_read("aio")
+                part = await c.steg_read_extent("aio", 100, 5 * SMALL_FRAME)
+                return whole, part
+
+        whole, part = asyncio.run(scenario())
+        assert whole == payload
+        assert part == payload[100 : 100 + 5 * SMALL_FRAME]
+
+
+class KillSwitchProxy:
+    """TCP forwarder that can be armed to die after N more bytes.
+
+    Until :meth:`arm` is called, it forwards transparently (so the
+    handshake and setup traffic pass).  Once armed, a shared byte budget
+    drains as traffic flows in the chosen direction; when it hits zero
+    every proxied socket is torn down abruptly — including connections
+    accepted after arming, so the client's retry-once lands on a dead
+    proxy instead of silently succeeding.
+    """
+
+    def __init__(self, upstream: tuple[str, int]) -> None:
+        self._upstream = upstream
+        self._lock = threading.Lock()
+        self._budget: int | None = None  # None = unlimited
+        self._armed_c2s = False
+        self._socks: list[socket.socket] = []
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self._listener.getsockname()
+        self._threads: list[threading.Thread] = []
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+
+    def arm(self, budget: int, *, client_to_server: bool) -> None:
+        with self._lock:
+            self._budget = budget
+            self._armed_c2s = client_to_server
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self._upstream, timeout=5.0)
+            except OSError:
+                downstream.close()
+                continue
+            with self._lock:
+                self._socks += [downstream, upstream]
+            for src, dst, c2s in (
+                (downstream, upstream, True),
+                (upstream, downstream, False),
+            ):
+                t = threading.Thread(
+                    target=self._pump, args=(src, dst, c2s), daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+
+    def _pump(self, src: socket.socket, dst: socket.socket, c2s: bool) -> None:
+        try:
+            while True:
+                data = src.recv(4096)
+                if not data:
+                    break
+                with self._lock:
+                    if self._budget is not None and c2s == self._armed_c2s:
+                        if self._budget <= 0:
+                            self._kill_locked()
+                            return
+                        data = data[: self._budget]
+                        self._budget -= len(data)
+                        tripped = self._budget <= 0
+                    else:
+                        tripped = False
+                dst.sendall(data)
+                if tripped:
+                    with self._lock:
+                        self._kill_locked()
+                    return
+        except OSError:
+            pass
+        finally:
+            for s in (src, dst):
+                try:
+                    s.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+    def _kill_locked(self) -> None:
+        # shutdown(), not close(): a pump thread blocked in recv holds
+        # the fd's kernel reference, so close() alone would defer the
+        # FIN until that thread wakes — shutdown tears the connection
+        # down immediately and wakes the blocked recv too.
+        for s in self._socks:
+            try:
+                s.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                s.close()
+            except OSError:
+                pass
+        self._socks.clear()
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            self._kill_locked()
+
+
+@pytest.fixture
+def proxied(small_address):
+    proxy = KillSwitchProxy(small_address)
+    client = StegFSClient(*proxy.address, pool_size=1, max_frame=SMALL_FRAME)
+    try:
+        client.login(USER, UAK)
+        yield proxy, client
+    finally:
+        client.close()
+        proxy.close()
+
+
+class TestMidStreamDeath:
+    def test_killed_upload_is_typed_and_not_half_applied(self, proxied, client):
+        proxy, victim = proxied
+        before = _pattern(4 * SMALL_FRAME)
+        client.steg_create("victim", data=before)
+        # Let roughly one chunk through, then cut the wire: the server
+        # sees a half-finished CHUNK run that never dispatches.
+        proxy.arm(SMALL_FRAME, client_to_server=True)
+        with pytest.raises((NetworkError, OSError)):
+            victim.steg_write("victim", _pattern(8 * SMALL_FRAME)[::-1])
+        # No half-applied write: the direct client sees the old bytes.
+        assert client.steg_read("victim") == before
+
+    def test_killed_download_is_typed(self, proxied, client):
+        proxy, victim = proxied
+        payload = _pattern(8 * SMALL_FRAME)
+        client.steg_create("down", data=payload)
+        proxy.arm(2 * SMALL_FRAME, client_to_server=False)
+        with pytest.raises((NetworkError, OSError)):
+            victim.steg_read("down")
+
+    def test_killed_stream_iterator_is_typed(self, proxied, client):
+        proxy, victim = proxied
+        payload = _pattern(8 * SMALL_FRAME)
+        client.steg_create("iter", data=payload)
+        proxy.arm(3 * SMALL_FRAME, client_to_server=False)
+        with pytest.raises((NetworkError, OSError)):
+            for _ in victim.steg_read_stream("iter"):
+                pass

@@ -1,0 +1,63 @@
+"""Detectability before/after jittered dummy scheduling — the CI gate.
+
+A four-shard embedded cluster on a fake clock, churned twice: once in
+lockstep (every shard's ``dummy_tick`` on one shared deadline) and once
+through the :class:`~repro.cluster.dummy_sched.DummyScheduler` with
+stagger and ±60% jitter.  The deniability observatory scores both arms
+from the scraped rings, and the gates assert the whole story:
+
+* lockstep churn is a near-perfect signature (cross-shard correlation
+  ≥ 0.8) and fires the ``detectability_budget`` alert;
+* jittered churn drops below the correlation ceiling, keeps the fused
+  score inside the 0.6 budget, and fires nothing;
+* both arms actually churned (events on every shard).
+
+Run standalone (CI smoke) with
+``python benchmarks/bench_detectability.py --smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from conftest import run_once
+from repro.bench import detectability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return detectability.run(smoke=True)
+
+
+def test_runs_and_renders(benchmark, result):
+    text = run_once(benchmark, lambda: detectability.render(result))
+    print("\n" + text)
+
+
+class TestDetectabilityClaims:
+    def test_lockstep_is_a_signature(self, result):
+        """Unjittered churn correlates near-perfectly across shards."""
+        assert result.correlation("lockstep") >= result.config.lockstep_floor
+
+    def test_lockstep_fires_the_budget_alert(self, result):
+        assert "detectability_budget" in result.alerts["lockstep"]
+
+    def test_jitter_decorrelates(self, result):
+        """The gated number: scheduler jitter clears the ceiling."""
+        assert result.correlation("jittered") <= result.config.jittered_ceiling
+
+    def test_jitter_clears_the_budget(self, result):
+        assert result.fused("jittered") <= result.config.budget
+        assert "detectability_budget" not in result.alerts["jittered"]
+
+    def test_both_arms_actually_churned(self, result):
+        for arm in ("lockstep", "jittered"):
+            events = result.events[arm]
+            assert len(events) == result.config.shards
+            assert all(count > 0 for count in events.values())
+
+
+if __name__ == "__main__":
+    raise SystemExit(detectability.main(sys.argv[1:]))

@@ -9,12 +9,15 @@ from repro.analysis.entropy import (
     scan_volume,
 )
 from repro.analysis.snapshot import SnapshotDelta, SnapshotMonitor
+from repro.analysis.timeline import SnapshotTimeline, TimelineSample
 
 __all__ = [
     "BlockRandomnessReport",
     "DetectionReport",
     "SnapshotDelta",
     "SnapshotMonitor",
+    "SnapshotTimeline",
+    "TimelineSample",
     "bit_balance_z",
     "byte_chi2",
     "census_unaccounted",

@@ -1,0 +1,270 @@
+"""Time-series steganalysis features over periodic shard snapshots.
+
+The snapshot-differencing intruder of §3.1 (see :mod:`repro.analysis.
+snapshot`) gets strictly stronger with *many* disks: if every shard's
+dummy churn ticks on the same fixed cadence, the attacker does not need
+to attribute any individual block — the cross-shard synchrony itself is
+the signature, because real user traffic is never that coordinated.
+This module computes the timing features such an attacker would extract
+from a sequence of cheap public observations (allocation counts and
+cumulative update counters per shard, timestamped):
+
+* **allocation-delta entropy** — Shannon entropy of the distribution of
+  non-zero allocation-count changes per interval.  Near-zero entropy
+  means every burst allocates the same amount: a fixed-size maintenance
+  signature rather than organic traffic.
+* **churn inter-arrival CV** — coefficient of variation of the gaps
+  between update events on one shard.  CV → 0 is a metronome (the
+  fixed-cadence tick the paper's "updates periodically" naively
+  suggests); a Poisson-like cover process sits near CV = 1.
+* **cross-shard timing correlation** — maximum pairwise Pearson
+  correlation of binned update-event counts across shards.  Lockstep
+  churn scores ≈ 1; independently jittered churn decays toward 0.
+
+:class:`SnapshotTimeline` is deliberately dumb storage plus pure
+functions of it: no clocks, no I/O, no observability imports — the
+cluster observatory (:mod:`repro.obs.steg`) and the offline report
+generator (``tools/steg_report.py``) both feed it and read the same
+numbers, so the live alert and the written report can never disagree
+about what the attacker sees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = [
+    "SnapshotTimeline",
+    "TimelineSample",
+    "pearson",
+    "shannon_entropy",
+]
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One public observation of one shard at one instant.
+
+    ``allocated`` is the shard bitmap's allocated-block count;
+    ``churn`` is a cumulative update counter (monotone except across
+    process restarts).  Either may be ``None`` when the scrape that
+    produced the sample did not carry it.
+    """
+
+    ts: float
+    allocated: float | None = None
+    churn: float | None = None
+
+
+def shannon_entropy(values: Iterable[float]) -> float:
+    """Shannon entropy (bits) of the empirical distribution of ``values``."""
+    counts: dict[float, int] = {}
+    total = 0
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+        total += 1
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def pearson(xs: list[float], ys: list[float]) -> float | None:
+    """Pearson correlation of two equal-length series.
+
+    Returns ``None`` when either series has zero variance (correlation
+    is undefined, not zero — a constant series carries no timing
+    information either way).
+    """
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    if n < 2:
+        return None
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    dx = [x - mean_x for x in xs]
+    dy = [y - mean_y for y in ys]
+    var_x = sum(d * d for d in dx)
+    var_y = sum(d * d for d in dy)
+    if var_x == 0.0 or var_y == 0.0:
+        return None
+    cov = sum(a * b for a, b in zip(dx, dy))
+    return cov / math.sqrt(var_x * var_y)
+
+
+class SnapshotTimeline:
+    """Per-shard observation series plus the attacker's derived features.
+
+    Observations must be recorded oldest-first per shard (the recorder
+    enforces it); all feature functions are pure reads.
+    """
+
+    def __init__(self) -> None:
+        self._series: dict[str, list[TimelineSample]] = {}
+
+    def record(
+        self,
+        shard: str,
+        ts: float,
+        *,
+        allocated: float | None = None,
+        churn: float | None = None,
+    ) -> None:
+        """Append one observation of ``shard`` taken at ``ts``."""
+        series = self._series.setdefault(shard, [])
+        if series and ts < series[-1].ts:
+            raise ValueError(
+                f"timeline for {shard!r} must be recorded oldest-first: "
+                f"{ts} < {series[-1].ts}"
+            )
+        series.append(TimelineSample(ts=ts, allocated=allocated, churn=churn))
+
+    def shards(self) -> list[str]:
+        """Shard ids with at least one observation, sorted."""
+        return sorted(self._series)
+
+    def samples(self, shard: str) -> list[TimelineSample]:
+        """Oldest-first observations for one shard (copy)."""
+        return list(self._series.get(shard, ()))
+
+    def __len__(self) -> int:
+        return sum(len(series) for series in self._series.values())
+
+    # -- allocation features -------------------------------------------
+
+    def alloc_deltas(self, shard: str) -> list[float]:
+        """Signed allocation-count changes between consecutive samples.
+
+        Samples without an allocation reading are skipped (the delta
+        spans the gap); fewer than two readings yield no deltas.
+        """
+        readings = [
+            s.allocated for s in self._series.get(shard, ()) if s.allocated is not None
+        ]
+        return [b - a for a, b in zip(readings, readings[1:])]
+
+    def alloc_delta_entropy(self, shard: str) -> float:
+        """Shannon entropy (bits) of the *non-zero* allocation deltas.
+
+        Zero deltas are idle intervals, not allocation events; counting
+        them would let a mostly-quiet volume mask a fixed-size
+        signature.  No non-zero deltas → 0.0 (nothing to profile).
+        """
+        return shannon_entropy(d for d in self.alloc_deltas(shard) if d != 0)
+
+    # -- churn timing features -----------------------------------------
+
+    def churn_events(self, shard: str) -> list[float]:
+        """Timestamps at which the shard's update counter increased.
+
+        The counter is cumulative, so an increase between consecutive
+        readings is one-or-more updates landing in that interval,
+        attributed to the later timestamp (the attacker's observation
+        resolution).  Decreases are a counter reset (process restart)
+        and clamp to "no event" rather than going negative; a value
+        already present in the first reading predates the window and
+        yields no event.
+        """
+        events: list[float] = []
+        previous: float | None = None
+        for sample in self._series.get(shard, ()):
+            if sample.churn is None:
+                continue
+            if previous is not None and sample.churn > previous:
+                events.append(sample.ts)
+            previous = sample.churn
+        return events
+
+    def churn_intervals(self, shard: str) -> list[float]:
+        """Gaps between consecutive churn events on one shard."""
+        events = self.churn_events(shard)
+        return [b - a for a, b in zip(events, events[1:])]
+
+    def churn_timing_cv(self, shard: str) -> float | None:
+        """Coefficient of variation of the churn inter-arrival times.
+
+        ``None`` when there are fewer than two intervals (or the mean
+        gap is zero): periodicity is simply not measurable yet, which
+        is different from measuring CV = 0.
+        """
+        intervals = self.churn_intervals(shard)
+        n = len(intervals)
+        if n < 2:
+            return None
+        mean = sum(intervals) / n
+        if mean <= 0.0:
+            return None
+        variance = sum((gap - mean) ** 2 for gap in intervals) / n
+        return math.sqrt(variance) / mean
+
+    def cross_shard_correlation(
+        self, bin_s: float | None = None, *, min_events: int = 3
+    ) -> float:
+        """Max pairwise Pearson correlation of binned churn events.
+
+        Only shards with at least ``min_events`` events participate
+        (singleton coincidences are noise, not synchrony); fewer than
+        two such shards → 0.0.  With ``bin_s=None`` the bin width
+        adapts to the event density — half the busiest shard's mean
+        inter-event gap — so perfectly periodic lockstep churn yields
+        alternating occupied/empty bins (variance > 0, correlation
+        ≈ 1) instead of the degenerate all-ones histogram a naive
+        one-event-per-bin width would produce.  Negative correlations
+        clamp to 0: anti-synchrony is not a detectability signal.
+        """
+        per_shard = {
+            shard: events
+            for shard in self.shards()
+            if len(events := self.churn_events(shard)) >= min_events
+        }
+        if len(per_shard) < 2:
+            return 0.0
+        all_events = [ts for events in per_shard.values() for ts in events]
+        start, end = min(all_events), max(all_events)
+        span = end - start
+        if span <= 0.0:
+            # Every qualifying event across every shard landed on the
+            # same instant: that is perfect synchrony by definition.
+            return 1.0
+        if bin_s is None:
+            busiest = max(len(events) for events in per_shard.values())
+            bin_s = span / (2 * busiest)
+        if bin_s <= 0.0:
+            raise ValueError(f"bin width must be positive, got {bin_s}")
+        n_bins = int(span / bin_s) + 1
+        histograms: dict[str, list[float]] = {}
+        for shard, events in per_shard.items():
+            counts = [0.0] * n_bins
+            for ts in events:
+                index = min(n_bins - 1, int((ts - start) / bin_s))
+                counts[index] += 1.0
+            histograms[shard] = counts
+        best = 0.0
+        shards = sorted(histograms)
+        for i, left in enumerate(shards):
+            for right in shards[i + 1 :]:
+                r = pearson(histograms[left], histograms[right])
+                if r is not None:
+                    best = max(best, r)
+        return min(1.0, best)
+
+    # -- bulk summaries ------------------------------------------------
+
+    def feature_summary(self) -> Mapping[str, dict]:
+        """Per-shard feature dict (JSON-ready; the document's stanza)."""
+        out: dict[str, dict] = {}
+        for shard in self.shards():
+            cv = self.churn_timing_cv(shard)
+            out[shard] = {
+                "samples": len(self._series[shard]),
+                "churn_events": len(self.churn_events(shard)),
+                "interval_cv": cv,
+                "alloc_delta_entropy_bits": self.alloc_delta_entropy(shard),
+            }
+        return out

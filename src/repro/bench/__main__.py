@@ -8,6 +8,7 @@ from repro.bench import (
     ablation,
     cluster_async,
     cluster_throughput,
+    detectability,
     durability,
     fig6,
     fig7,
@@ -36,6 +37,7 @@ _EXPERIMENTS = {
     "cluster-async": lambda: cluster_async.render(cluster_async.run()),
     "obs": lambda: obs_overhead.render(obs_overhead.run()),
     "stream": lambda: stream_path.render(stream_path.run()),
+    "detectability": lambda: detectability.render(detectability.run()),
 }
 
 

@@ -15,6 +15,9 @@ one namespace:
 * :mod:`repro.cluster.coordinator` — :class:`ClusterClient`, the
   client-facing facade: quorum-replicated or IDA-dispersed hidden
   files, versioned fragments, read-repair, failover.
+* :mod:`repro.cluster.dummy_sched` — fleet-wide dummy-churn scheduling
+  with stagger and seeded jitter, so per-shard maintenance never drums
+  in the lockstep a multi-disk snapshot attacker correlates on.
 * :mod:`repro.cluster.health` — failure detection and recovery probing.
 * :mod:`repro.cluster.rebalance` — add/remove/replace shards, migrating
   only ring-affected objects with byte-identical verification.
@@ -29,6 +32,7 @@ from repro.cluster.aio import (
 )
 from repro.cluster.backend import SHARD_FAILURES, RemoteShard, ServiceShard, ShardBackend
 from repro.cluster.coordinator import ClusterClient, ClusterStats
+from repro.cluster.dummy_sched import DummyScheduler
 from repro.cluster.health import HealthMonitor, ShardState
 from repro.cluster.rebalance import RebalanceReport, add_shard, remove_shard, repair
 
@@ -41,6 +45,7 @@ __all__ = [
     "BlockingClusterClient",
     "ClusterClient",
     "ClusterStats",
+    "DummyScheduler",
     "HealthMonitor",
     "RebalanceReport",
     "RemoteShard",

@@ -200,6 +200,16 @@ class ServiceShard:
         if self._owns_service and not getattr(self._service, "closed", True):
             self._service.close()
 
+    # maintenance -----------------------------------------------------
+
+    def dummy_tick(self) -> int | None:
+        """One round of dummy churn on this shard (scheduler hook)."""
+        return self._service.dummy_tick()
+
+    def dummy_interval(self, base_s: float, jitter: float = 0.5) -> float:
+        """Next churn delay, drawn from this shard's own volume RNG."""
+        return self._service.dummy_interval(base_s, jitter)
+
     # observability ---------------------------------------------------
 
     def obs_snapshot(self) -> str:
@@ -209,6 +219,10 @@ class ServiceShard:
     def obs_trace(self, trace_id: str = "") -> str:
         """The shard's span records for one trace (JSON; stitch hook)."""
         return self._service.obs_trace(trace_id)
+
+    def obs_deniability(self) -> str:
+        """The shard's RAM-only deniability stanza (JSON)."""
+        return self._service.obs_deniability()
 
 
 def _key_tag(uak: bytes) -> str:
@@ -349,6 +363,17 @@ class RemoteShard:
         if self._owns_client:
             self._client.close()
 
+    # maintenance -----------------------------------------------------
+
+    def dummy_tick(self) -> int | None:
+        """One round of dummy churn on the remote volume (scheduler hook).
+
+        No ``dummy_interval`` counterpart: the cluster scheduler draws
+        delays for remote shards from its own seeded RNG rather than
+        paying a round trip per delay.
+        """
+        return self._client.dummy_tick()
+
     # observability ---------------------------------------------------
 
     def obs_snapshot(self) -> str:
@@ -358,3 +383,7 @@ class RemoteShard:
     def obs_trace(self, trace_id: str = "") -> str:
         """The remote process's spans for one trace (JSON, over the wire)."""
         return self._client.obs_trace(trace_id)
+
+    def obs_deniability(self) -> str:
+        """The remote process's deniability stanza (JSON, over the wire)."""
+        return self._client.obs_deniability()

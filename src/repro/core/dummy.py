@@ -10,6 +10,9 @@ paper concedes and the reason abandoned blocks exist as the stronger decoy.
 
 from __future__ import annotations
 
+import time
+from collections import deque
+
 from repro.core.hidden_file import HiddenFile
 from repro.core.keys import ObjectKeys
 from repro.core.volume import HiddenVolume
@@ -18,6 +21,9 @@ from repro.errors import HiddenObjectNotFoundError, NoSpaceError
 
 __all__ = ["DummyManager"]
 
+#: Completed-tick timestamps kept for interval statistics (RAM-only).
+_TICK_HISTORY = 64
+
 
 class DummyManager:
     """Creates and periodically churns the dummy hidden files."""
@@ -25,6 +31,9 @@ class DummyManager:
     def __init__(self, volume: HiddenVolume, system_seed: bytes) -> None:
         self._volume = volume
         self._seed = system_seed
+        self._created = 0
+        self._updates = 0
+        self._tick_times: deque[float] = deque(maxlen=_TICK_HISTORY)
 
     def _keys(self, index: int) -> ObjectKeys:
         fak = subkey(self._seed, "dummy", index.to_bytes(4, "little"))
@@ -53,7 +62,24 @@ class DummyManager:
             except NoSpaceError:
                 break
             created += 1
+        self._created = created
         return created
+
+    @property
+    def created(self) -> int:
+        """How many dummies mkfs managed to create on this volume."""
+        return self._created
+
+    @property
+    def updates(self) -> int:
+        """Completed churn rewrites since this manager was constructed.
+
+        A plain in-RAM counter (it lives and dies with the process, never
+        the volume): the observatory exports it as the cumulative
+        ``steg.dummy.updates`` metric, and exporting anything persistent
+        would hand the snapshot attacker a churn ledger.
+        """
+        return self._updates
 
     def open(self, index: int) -> HiddenFile:
         """Open one dummy file (system-side maintenance access)."""
@@ -92,4 +118,45 @@ class DummyManager:
             # A full volume simply skips churn; deniability degrades
             # gracefully rather than erroring user writes.
             return None
+        self._updates += 1
+        self._tick_times.append(time.monotonic())
         return index
+
+    def next_interval(self, base_s: float, jitter: float = 0.5) -> float:
+        """Seconds until the next churn tick: ``base_s`` ± ``jitter``.
+
+        Drawn uniformly from ``[base_s·(1-jitter), base_s·(1+jitter)]``
+        using the *volume* RNG — the same seeded stream that already
+        decides dummy contents and placement — so a deployment's whole
+        churn behaviour replays from one seed.  A fixed cadence
+        (``jitter=0``) is exactly the correlated-timing signature the
+        cluster scheduler exists to remove; callers should keep the
+        default unless they are the "before" arm of a measurement.
+        """
+        if base_s <= 0:
+            raise ValueError(f"base interval must be positive, got {base_s}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter == 0.0:
+            return float(base_s)
+        return base_s * self._volume.rng.uniform(1.0 - jitter, 1.0 + jitter)
+
+    def interval_stats(self) -> dict:
+        """Observed gaps between recent ticks (RAM-only; JSON-ready).
+
+        ``{"ticks": n, "mean_s": m, "cv": c}`` over the retained tick
+        history; ``mean_s``/``cv`` are ``None`` until two gaps exist.
+        """
+        times = list(self._tick_times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        if len(gaps) < 2:
+            return {"ticks": len(times), "mean_s": None, "cv": None}
+        mean = sum(gaps) / len(gaps)
+        if mean <= 0.0:
+            return {"ticks": len(times), "mean_s": mean, "cv": None}
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return {
+            "ticks": len(times),
+            "mean_s": mean,
+            "cv": (variance**0.5) / mean,
+        }

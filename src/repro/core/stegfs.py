@@ -571,6 +571,15 @@ class StegFS:
             self._after_hidden_op()
             return updated
 
+    def dummy_interval(self, base_s: float, jitter: float = 0.5) -> float:
+        """Draw the next churn delay from the volume RNG (seeded, jittered).
+
+        The scheduling hook behind the cluster ``DummyScheduler``: the
+        delay comes from the same seeded stream as dummy contents, so a
+        volume's entire churn schedule replays from its seed.
+        """
+        return self._dummies.next_interval(base_s, jitter)
+
     def hidden_footprint(self, objname: str, uak: bytes) -> dict[str, list[int]]:
         """Ground-truth block ownership of one hidden object (analysis)."""
         entry = self._resolve_entry(objname, uak)

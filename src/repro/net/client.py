@@ -612,6 +612,10 @@ class StegFSClient:
         """The server process's merge-ready telemetry document (JSON)."""
         return self._call("obs_snapshot")
 
+    def obs_deniability(self) -> str:
+        """The server process's RAM-only deniability stanza (JSON)."""
+        return self._call("obs_deniability")
+
 
 class _AsyncConn:
     """One pipelined connection: streams, reader task, pending futures.
@@ -1008,6 +1012,10 @@ class AsyncStegFSClient:
     async def obs_snapshot(self) -> str:
         """The server process's merge-ready telemetry document (JSON)."""
         return await self._call("obs_snapshot")
+
+    async def obs_deniability(self) -> str:
+        """The server process's RAM-only deniability stanza (JSON)."""
+        return await self._call("obs_deniability")
 
 
 def fetch_hidden(host: str, port: int, user_id: str, uak: bytes, objname: str) -> bytes:

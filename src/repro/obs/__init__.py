@@ -44,6 +44,14 @@ Five parts:
   cross-shard traces, and evaluates declarative alert rules
   (dead/flapping shards, quorum widening, error-budget burn, fsync tail
   latency, straggler backlog).
+* :mod:`repro.obs.steg` — the deniability observatory: reduces the
+  scraped ``steg.alloc.blocks`` / ``steg.dummy.updates`` series through
+  :class:`~repro.analysis.timeline.SnapshotTimeline` into the timing
+  features a multi-disk snapshot attacker would extract, fuses them
+  into a :class:`DetectabilityScore` exported as ``steg.detectability.*``
+  gauges, the read-only ``obs_deniability`` admin op, the
+  ``detectability_budget`` alert rule and ``python -m repro.obs
+  deniability`` (see ``docs/deniability.md``).
 
 **Kill switch** — ``REPRO_OBS=off`` in the environment (or
 :func:`set_enabled`\\ ``(False)`` at runtime) turns every instrument into

@@ -8,13 +8,17 @@ Usage::
     python -m repro.obs events   HOST PORT [--limit N] [--json]
     python -m repro.obs scrape   ENDPOINT [ENDPOINT ...] [--json]
     python -m repro.obs top      ENDPOINT [ENDPOINT ...] [--interval S]
+    python -m repro.obs deniability ENDPOINT [ENDPOINT ...] [--json]
 
 The single-server commands take ``HOST PORT``; the cluster commands take
 one or more ``ENDPOINT`` specs, each ``HOST:PORT`` or ``NAME=HOST:PORT``
 (the name becomes the per-shard label).  ``scrape`` performs one
 collector sweep and prints the merged, labeled view; ``top`` redraws a
 per-shard dashboard (ops/sec, p99, cache hit ratio, routing state,
-firing alerts) until interrupted.
+firing alerts) until interrupted; ``deniability`` takes a few sweeps,
+scores the cluster as a multi-disk snapshot attacker would (cross-shard
+churn synchrony, per-shard periodicity) and prints the stitched
+detectability document with any ``detectability_budget`` alert.
 
 All commands are read-only and unauthenticated (admin-kind ops carry no
 credentials), printing exactly what the servers' in-RAM rings hold —
@@ -104,6 +108,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweeps to take (>=2 yields rates)",
     )
     scrape.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between the sweeps",
+    )
+    deniability = jsonable(
+        cluster(
+            sub.add_parser(
+                "deniability",
+                help="steganalysis sweep: detectability score and budget",
+            )
+        )
+    )
+    deniability.add_argument(
+        "--samples",
+        type=int,
+        default=3,
+        help="sweeps to take (>=2 yields churn timing)",
+    )
+    deniability.add_argument(
         "--interval",
         type=float,
         default=0.5,
@@ -238,6 +262,105 @@ def _run_scrape(args: argparse.Namespace) -> int:
     return 0
 
 
+def _deniability_document(collector: "TelemetryCollector", window_s: float) -> dict:
+    """The stitched deniability document (``deniability --json``'s shape)."""
+    from repro.obs.steg import (
+        build_deniability_document,
+        export_detectability,
+        score_timeline,
+        timeline_from_rings,
+    )
+
+    rings = {sid: collector.ring(sid) for sid in collector.shard_ids}
+    timeline = timeline_from_rings(rings, window_s=window_s)
+    score = score_timeline(timeline)
+    export_detectability(score)
+    view = collector.latest()
+    stanzas = {}
+    for sid, sample in (view.samples if view else {}).items():
+        stanza = (sample.snapshot or {}).get("_deniability")
+        if stanza is not None:
+            stanzas[sid] = stanza
+    return build_deniability_document(
+        score=score,
+        timeline=timeline,
+        shards=stanzas,
+        alerts=collector.alerts(),
+    )
+
+
+def _render_deniability(document: dict) -> str:
+    """Human-readable deniability summary (non-``--json`` output)."""
+    score = document["score"]
+    lines = [f"detectability score: {score['score']:.3f}"]
+    for name in (
+        "timing_correlation",
+        "churn_periodicity",
+        "alloc_predictability",
+        "census_precision",
+        "flag_excess",
+    ):
+        value = score.get(name)
+        shown = "n/a (needs disk access)" if value is None else f"{value:.3f}"
+        if value is None and name in ("timing_correlation", "churn_periodicity"):
+            shown = "n/a (too few churn events)"
+        lines.append(f"  {name:<22} {shown}")
+    lines.append("")
+    lines.append(f"{'SHARD':<16} {'SAMPLES':>8} {'EVENTS':>7} {'CV':>6} {'dH bits':>8}")
+    for shard, features in sorted(document["features"].items()):
+        cv = features["interval_cv"]
+        lines.append(
+            f"{shard:<16} {features['samples']:>8} {features['churn_events']:>7} "
+            f"{'-' if cv is None else f'{cv:.2f}':>6} "
+            f"{features['alloc_delta_entropy_bits']:>8.2f}"
+        )
+    lines.append("")
+    alerts = document["alerts"]
+    if alerts:
+        lines.append("ALERTS")
+        for alert in alerts:
+            where = f" {alert['shard']}" if alert.get("shard") else ""
+            lines.append(
+                f"  [{alert['severity']}] {alert['rule']}{where}: {alert['message']}"
+            )
+    else:
+        lines.append("no alerts firing")
+    return "\n".join(lines)
+
+
+def _run_deniability(args: argparse.Namespace) -> int:
+    from repro.obs.cluster import TelemetryCollector
+
+    clients = _connect_targets(args.endpoints)
+    try:
+        collector = TelemetryCollector(clients, interval_s=args.interval)
+        for sweep in range(max(2, args.samples)):
+            if sweep:
+                time.sleep(args.interval)
+            view = collector.scrape_once()
+        if not any(sample.ok for sample in view.samples.values()):
+            print("error: no endpoint could be scraped", file=sys.stderr)
+            return 1
+        for sid, sample in view.samples.items():
+            if not sample.ok or sample.snapshot is None:
+                continue
+            try:
+                sample.snapshot["_deniability"] = json.loads(
+                    clients[sid].obs_deniability()
+                )
+            except (OSError, ReproError):
+                pass  # a shard without the op still contributes timing
+        document = _deniability_document(collector, args.window)
+        if args.json:
+            print(json.dumps(document, sort_keys=True))
+        else:
+            print(_render_deniability(document))
+    finally:
+        for client in clients.values():
+            client.close()
+    return 0
+
+
 def _format_table(rows: list[dict], alerts: list) -> str:
     header = (
         f"{'SHARD':<16} {'STATE':<12} {'OPS/S':>9} {'P99 MS':>9} "
@@ -301,6 +424,8 @@ def _run_top(args: argparse.Namespace) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "scrape":
         return _run_scrape(args)
+    if args.command == "deniability":
+        return _run_deniability(args)
     if args.command == "top":
         return _run_top(args)
     with StegFSClient(args.host, args.port) as client:

@@ -5,14 +5,15 @@ defined here and grafted onto :class:`~repro.service.StegFSService` by
 :func:`install_obs_ops` (called in ``service.py`` *before* the class's
 ``OPS`` registry is built, so front ends dispatch them like any other
 op).  Keeping the definitions in this package keeps the service module
-free of observability internals — the service only knows it hosts four
-extra admin ops.
+free of observability internals — the service only knows it hosts a
+handful of extra admin ops.
 
 Return types bend to the wire value codec, which carries str/list but
 not dicts: ``obs_metrics`` returns the text exposition, and the
-slowlog/trace/event ops return JSON strings (one per record, or one
-document per trace).  All four are read-only and return only
-already-scrubbed records — the deniability tests cover their output.
+slowlog/trace/event/snapshot/deniability ops return JSON strings (one
+per record, or one document per pull).  All are read-only and return
+only already-scrubbed records — the deniability tests cover their
+output.
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from repro.service.registry import service_op
 
 __all__ = [
     "install_obs_ops",
+    "obs_deniability",
     "obs_events",
     "obs_metrics",
     "obs_slowlog",
@@ -89,7 +91,21 @@ def obs_snapshot(self) -> str:
     return json.dumps(build_snapshot(service=self), sort_keys=True)
 
 
-_OPS = (obs_metrics, obs_slowlog, obs_trace, obs_events, obs_snapshot)
+@service_op("admin", mutates=False)
+def obs_deniability(self) -> str:
+    """This process's RAM-only deniability stanza as one JSON string.
+
+    Allocation level, dummy-churn counters and any locally exported
+    ``steg.detectability.*`` gauges — see
+    :func:`repro.obs.steg.local_deniability_stanza`.  Reads memory
+    only; the op must never open a dummy or touch the device.
+    """
+    from repro.obs.steg import local_deniability_stanza  # avoid import cycle
+
+    return json.dumps(local_deniability_stanza(self), sort_keys=True)
+
+
+_OPS = (obs_metrics, obs_slowlog, obs_trace, obs_events, obs_snapshot, obs_deniability)
 
 
 def install_obs_ops(cls: type) -> None:

@@ -102,6 +102,23 @@ def build_snapshot(*, role: str = "shard", service: Any = None) -> dict:
                     "value": errors,
                 }
         metrics["shard.ops_total"] = {"type": "counter", "value": total}
+        # Deniability-observatory series: per-shard allocation level and
+        # cumulative dummy churn, read from in-RAM state only (the bitmap
+        # and the tick counter live in memory; nothing touches the
+        # device).  Per-service like shard.op.*, so embedded shards
+        # sharing one registry still attribute churn to the right disk.
+        try:
+            steg = service.steg
+            metrics["steg.alloc.blocks"] = {
+                "type": "gauge",
+                "value": int(steg.fs.bitmap.allocated_count),
+            }
+            metrics["steg.dummy.updates"] = {
+                "type": "counter",
+                "value": int(steg.dummies.updates),
+            }
+        except Exception:
+            pass  # not every scraped service wraps a StegFS volume
     slow = get_slowlog()
     digest: dict[str, dict] = {}
     for record in slow.records(limit=128):

@@ -25,6 +25,11 @@ cluster tier actually produces:
   the threshold (durability is about to become the bottleneck).
 * ``straggler_backlog`` — the async write path's straggler backlog is
   growing sweep over sweep (legs piling up behind a dying shard).
+* ``detectability_budget`` — the deniability observatory's fused
+  steganalysis score (cross-shard churn synchrony, per-shard
+  periodicity; :mod:`repro.obs.steg`) burst its budget: the fleet is
+  behaving like a fleet, which is exactly what a multi-disk snapshot
+  attacker looks for.
 
 Alert payloads obey the scrub rules by construction: rule names,
 shard ids, counts and thresholds — never keys, levels or hidden names.
@@ -366,8 +371,18 @@ def default_rules(
     error_budget: float = 0.01,
     fsync_p99_ms: float = 100.0,
     straggler_samples: int = 3,
+    detectability_budget: float = 0.6,
+    detectability_window_s: float | None = 120.0,
+    detectability_min_events: int = 3,
 ) -> list[Rule]:
-    """The built-in rule set with tunable thresholds."""
+    """The built-in rule set with tunable thresholds.
+
+    ``detectability_budget`` caps the fused steganalysis score from
+    :mod:`repro.obs.steg` (imported lazily: that module builds on this
+    one's :class:`Rule`/:class:`Firing` types).
+    """
+    from repro.obs.steg import detectability_budget_rule
+
     return [
         dead_shard_rule(),
         flapping_shard_rule(window_s=flap_window_s),
@@ -375,4 +390,9 @@ def default_rules(
         error_budget_rule(budget=error_budget),
         fsync_p99_rule(threshold_ms=fsync_p99_ms),
         straggler_backlog_rule(min_samples=straggler_samples),
+        detectability_budget_rule(
+            detectability_budget,
+            window_s=detectability_window_s,
+            min_events=detectability_min_events,
+        ),
     ]

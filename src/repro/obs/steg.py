@@ -1,0 +1,358 @@
+"""Deniability observatory: scoring the cluster as a snapshot attacker.
+
+The rest of :mod:`repro.obs` answers "is the cluster healthy?"; this
+module answers the question the system actually exists for: *how
+detectable is the hidden workload to an adversary watching every disk?*
+It re-uses the scrape plane end to end — per-shard ``steg.alloc.blocks``
+and ``steg.dummy.updates`` series already land in each
+:class:`~repro.obs.cluster.TimeSeriesRing` — and reduces them through
+:class:`~repro.analysis.timeline.SnapshotTimeline` into the features a
+multi-disk snapshot-differencing intruder would extract, fused into one
+:class:`DetectabilityScore`:
+
+* ``timing_correlation`` — cross-shard Pearson correlation of binned
+  dummy-update events (lockstep churn ≈ 1.0);
+* ``churn_periodicity`` — how metronomic each shard's own churn is
+  (full credit below CV 0, none at or past CV ½ — halfway to Poisson);
+* ``alloc_predictability`` — 1 − normalised allocation-delta entropy,
+  down-weighted ×½ in the fusion because size constancy alone is a
+  weaker tell than timing;
+* ``census_precision`` / ``flag_excess`` — the *offline* attacker
+  results (:func:`repro.analysis.attacker.detection_report`,
+  :func:`repro.analysis.entropy.scan_volume`), supplied only by tools
+  that legitimately read the device (``tools/steg_report.py``).  The
+  live observatory never computes them: scanning the disk from the obs
+  plane would violate the RAM-only invariant it is scored against.
+
+The fused score is the **max** of the present components — an attacker
+needs one good signal, not an average — and feeds four surfaces: the
+``steg.detectability.*`` gauges, the ``obs_deniability`` admin op, the
+``detectability_budget`` alert rule, and ``python -m repro.obs
+deniability``.  Everything exported is counts, timestamps and derived
+statistics; never keys, levels or hidden names.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.analysis.timeline import SnapshotTimeline
+from repro.obs.metrics import MetricRegistry, get_registry
+from repro.obs.rules import Firing, Rule
+
+__all__ = [
+    "ALLOC_METRIC",
+    "CHURN_METRIC",
+    "DetectabilityScore",
+    "build_deniability_document",
+    "detectability_budget_rule",
+    "export_detectability",
+    "local_deniability_stanza",
+    "score_timeline",
+    "timeline_from_rings",
+]
+
+#: Gauge carrying each shard's allocated-block count in scrape snapshots.
+ALLOC_METRIC = "steg.alloc.blocks"
+
+#: Counter carrying each shard's cumulative dummy rewrites.
+CHURN_METRIC = "steg.dummy.updates"
+
+#: Prefix for the fused score's exported gauges.
+METRIC_PREFIX = "steg.detectability"
+
+#: CV at (and beyond) which churn timing earns zero periodicity credit.
+_CV_CEILING = 0.5
+
+
+@dataclass(frozen=True)
+class DetectabilityScore:
+    """Fused attacker-advantage estimate, each component in [0, 1].
+
+    ``None`` means "not measured this round" (too few events, or the
+    component needs disk access the caller did not have) — distinct
+    from measuring zero.
+    """
+
+    timing_correlation: float | None = None
+    churn_periodicity: float | None = None
+    alloc_predictability: float | None = None
+    census_precision: float | None = None
+    flag_excess: float | None = None
+
+    @property
+    def score(self) -> float:
+        """The fused score: max over present components (weakest link).
+
+        ``alloc_predictability`` enters at half weight — constant-size
+        churn is corroborating, not damning — so it can colour the
+        score but never fire the budget alert on its own.
+        """
+        candidates = [
+            self.timing_correlation,
+            self.churn_periodicity,
+            self.census_precision,
+            self.flag_excess,
+        ]
+        present = [_clamp(c) for c in candidates if c is not None]
+        if self.alloc_predictability is not None:
+            present.append(0.5 * _clamp(self.alloc_predictability))
+        return max(present) if present else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready copy, fused score included."""
+        return {
+            "score": self.score,
+            "timing_correlation": self.timing_correlation,
+            "churn_periodicity": self.churn_periodicity,
+            "alloc_predictability": self.alloc_predictability,
+            "census_precision": self.census_precision,
+            "flag_excess": self.flag_excess,
+        }
+
+
+def _clamp(value: float) -> float:
+    return max(0.0, min(1.0, float(value)))
+
+
+def periodicity_from_cv(cv: float) -> float:
+    """Map an inter-arrival CV to periodicity credit in [0, 1].
+
+    CV 0 is a metronome (credit 1); credit decays linearly and hits 0
+    at CV ½ — far enough from periodic that the attacker's comb filter
+    loses lock, and exactly what ±50 % uniform jitter (CV ≈ 0.29)
+    comfortably undershoots, while still charging *some* advantage.
+    """
+    return _clamp(1.0 - cv / _CV_CEILING)
+
+
+def flag_excess_from_rate(flag_rate: float, baseline: float = 0.002) -> float:
+    """Content-randomness advantage from a :func:`scan_volume` flag rate.
+
+    ``baseline`` is the false-positive floor a truly random volume pays
+    (≈ 2·10⁻³ from the chi² bound); only the excess above it counts.
+    """
+    if flag_rate <= baseline:
+        return 0.0
+    return _clamp((flag_rate - baseline) / (1.0 - baseline))
+
+
+# ---------------------------------------------------------------------------
+# scrape plane → timeline → score
+# ---------------------------------------------------------------------------
+
+
+def timeline_from_rings(
+    rings: Mapping[str, Any], *, window_s: float | None = None
+) -> SnapshotTimeline:
+    """Rebuild the attacker's observation timeline from scrape rings.
+
+    Walks each shard's ok samples (the collector's own clock stamps
+    ``ts_unix``), lifting :data:`ALLOC_METRIC` and :data:`CHURN_METRIC`
+    into a :class:`SnapshotTimeline`.  Shards whose samples never carry
+    either metric (the coordinator's own process, plain servers) simply
+    contribute nothing.
+    """
+    timeline = SnapshotTimeline()
+    for shard in sorted(rings):
+        samples = [
+            s
+            for s in rings[shard].samples()
+            if s.get("_scrape", {}).get("ok", True)
+        ]
+        if window_s is not None and samples:
+            horizon = samples[-1]["ts_unix"] - window_s
+            samples = [s for s in samples if s["ts_unix"] >= horizon]
+        for sample in samples:
+            metrics = sample.get("metrics", {})
+            allocated = _metric_value(metrics, ALLOC_METRIC)
+            churn = _metric_value(metrics, CHURN_METRIC)
+            if allocated is None and churn is None:
+                continue
+            timeline.record(
+                shard, sample["ts_unix"], allocated=allocated, churn=churn
+            )
+    return timeline
+
+
+def _metric_value(metrics: Mapping[str, Any], name: str) -> float | None:
+    data = metrics.get(name)
+    if data is None or data.get("type") not in ("counter", "gauge"):
+        return None
+    return float(data["value"])
+
+
+def score_timeline(
+    timeline: SnapshotTimeline,
+    *,
+    bin_s: float | None = None,
+    min_events: int = 3,
+) -> DetectabilityScore:
+    """The timing components measurable from scraped telemetry alone.
+
+    Periodicity and allocation predictability are each the *worst*
+    (most detectable) shard — one metronomic shard betrays the cluster
+    regardless of how jittered its peers are.  Components without
+    enough data stay ``None``.
+    """
+    qualifying = [
+        s
+        for s in timeline.shards()
+        if len(timeline.churn_events(s)) >= min_events
+    ]
+    correlation: float | None = None
+    if len(qualifying) >= 2:
+        correlation = timeline.cross_shard_correlation(bin_s, min_events=min_events)
+    periodicity: float | None = None
+    predictability: float | None = None
+    for shard in timeline.shards():
+        cv = timeline.churn_timing_cv(shard)
+        if cv is not None and len(timeline.churn_events(shard)) >= min_events:
+            credit = periodicity_from_cv(cv)
+            periodicity = credit if periodicity is None else max(periodicity, credit)
+        deltas = [d for d in timeline.alloc_deltas(shard) if d != 0]
+        if len(deltas) >= 2:
+            entropy = timeline.alloc_delta_entropy(shard)
+            max_entropy = _log2(len(deltas))
+            if max_entropy > 0.0:
+                flatness = _clamp(1.0 - entropy / max_entropy)
+                predictability = (
+                    flatness
+                    if predictability is None
+                    else max(predictability, flatness)
+                )
+    return DetectabilityScore(
+        timing_correlation=correlation,
+        churn_periodicity=periodicity,
+        alloc_predictability=predictability,
+    )
+
+
+def _log2(n: int) -> float:
+    return math.log2(n) if n > 1 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# exports: gauges, rule, admin stanza, stitched document
+# ---------------------------------------------------------------------------
+
+
+def export_detectability(
+    score: DetectabilityScore, registry: MetricRegistry | None = None
+) -> None:
+    """Mirror the score onto ``steg.detectability.*`` gauges.
+
+    Absent components export as -1.0 (gauges cannot be unset, and a
+    sentinel outside [0, 1] cannot be mistaken for a measurement).
+    """
+    registry = registry or get_registry()
+    doc = score.to_dict()
+    for name, value in doc.items():
+        registry.gauge(f"{METRIC_PREFIX}.{name}").set(
+            -1.0 if value is None else float(value)
+        )
+
+
+def detectability_budget_rule(
+    budget: float = 0.6,
+    *,
+    window_s: float | None = 120.0,
+    min_events: int = 3,
+    bin_s: float | None = None,
+) -> Rule:
+    """Cluster-wide alert: the fused detectability score burst its budget.
+
+    Evaluated per scrape sweep from the rings alone (no disk access, so
+    only the timing components participate).  Fires as one cluster-wide
+    alert (``shard=None``) — synchrony is a property of the fleet, not
+    a shard — and resolves once jittered scheduling drags the score
+    back under ``budget`` within the window.
+    """
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget must be in (0, 1], got {budget}")
+
+    def check(view: Any, rings: Mapping[str, Any]) -> list[Firing]:
+        timeline = timeline_from_rings(rings, window_s=window_s)
+        score = score_timeline(timeline, bin_s=bin_s, min_events=min_events)
+        export_detectability(score)
+        if score.score > budget:
+            return [
+                Firing(
+                    shard=None,
+                    message=(
+                        f"detectability {score.score:.2f} exceeds budget "
+                        f"{budget:g} (corr="
+                        f"{_fmt(score.timing_correlation)}, periodicity="
+                        f"{_fmt(score.churn_periodicity)})"
+                    ),
+                    value=score.score,
+                )
+            ]
+        return []
+
+    return Rule(name="detectability_budget", severity="warning", check=check)
+
+
+def _fmt(value: float | None) -> str:
+    return "n/a" if value is None else f"{value:.2f}"
+
+
+def local_deniability_stanza(service: Any) -> dict:
+    """One process's RAM-only deniability stanza (the admin op's body).
+
+    Reads only in-memory state: the bitmap's allocation count, the
+    dummy manager's tick counters, and whatever ``steg.detectability.*``
+    gauges a collector already exported into this process.  Never opens
+    a dummy, reads a block, or touches the device — this is the surface
+    the byte-identity test sniffs.
+    """
+    stanza: dict[str, Any] = {"schema": 1}
+    try:
+        steg = service.steg
+        bitmap = steg.fs.bitmap
+        dummies = steg.dummies
+    except Exception:
+        return stanza
+    stanza["alloc"] = {
+        "allocated_blocks": int(bitmap.allocated_count),
+        "total_blocks": int(bitmap.total_blocks),
+    }
+    stanza["dummy"] = {
+        "created": dummies.created,
+        "updates": dummies.updates,
+        "intervals": dummies.interval_stats(),
+    }
+    gauges = {}
+    for name, data in get_registry().snapshot().items():
+        if name.startswith(METRIC_PREFIX + "."):
+            gauges[name] = data.get("value")
+    if gauges:
+        stanza["detectability"] = gauges
+    return stanza
+
+
+def build_deniability_document(
+    *,
+    score: DetectabilityScore,
+    timeline: SnapshotTimeline,
+    shards: Mapping[str, dict] | None = None,
+    alerts: list | None = None,
+) -> dict:
+    """The merge-ready cluster document behind ``obs deniability``.
+
+    Fuses the cluster-level score and per-shard timing features with
+    each process's local stanza (``obs_deniability``) and the currently
+    firing alerts.  Plain JSON-able throughout.
+    """
+    return {
+        "schema": 1,
+        "score": score.to_dict(),
+        "features": dict(timeline.feature_summary()),
+        "shards": dict(shards or {}),
+        "alerts": [
+            alert.to_dict() if hasattr(alert, "to_dict") else dict(alert)
+            for alert in (alerts or [])
+        ],
+    }

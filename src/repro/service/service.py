@@ -696,6 +696,18 @@ class StegFSService:
                 window.close()
             return updated
 
+    def dummy_interval(self, base_s: float, jitter: float = 0.5) -> float:
+        """Draw the next churn delay from the volume RNG (local-only hook).
+
+        Serialized under the exclusive volume lock because the draw
+        advances the shared seeded stream.  Not a registered op: the
+        cluster ``DummyScheduler`` calls it on embedded shards, while
+        remote shards fall back to the scheduler's own RNG rather than
+        spending a round trip per delay.
+        """
+        with self._volume_lock.write_locked():
+            return self._steg.dummy_interval(base_s, jitter)
+
     # ------------------------------------------------------------------
     # worker pool
     # ------------------------------------------------------------------

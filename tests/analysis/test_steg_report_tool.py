@@ -1,0 +1,109 @@
+"""The offline steganalysis report tool, end to end on a tiny fleet.
+
+``tools/steg_report.py`` is the only place the *complete* fused score —
+timing features plus the device-level census and scan components — is
+ever assembled, so its document shape, arm ordering, scrub self-check
+and CLI exit discipline all get pinned here.  Imported by path, like
+``check_docs``: ``tools/`` is deliberately not a package.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location(
+        "steg_report", REPO_ROOT / "tools" / "steg_report.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def document(tool):
+    # Small but long enough for stable CV estimates (see the tool's
+    # --smoke sizing); one run feeds every assertion below.
+    return tool.run(shards=2, base_s=6.0, duration_s=90.0, scrape_s=1.0, seed=3)
+
+
+class TestDocument:
+    def test_shape_and_config_echo(self, document):
+        assert document["schema"] == 1
+        assert document["config"]["shards"] == 2
+        assert set(document["arms"]) == {"lockstep", "jittered"}
+        for arm in document["arms"].values():
+            assert set(arm) == {"score", "features", "offline"}
+
+    def test_all_five_components_are_measured(self, document):
+        for arm in document["arms"].values():
+            score = arm["score"]
+            assert score["timing_correlation"] is not None
+            assert score["churn_periodicity"] is not None
+            assert score["census_precision"] is not None
+            assert score["flag_excess"] is not None
+
+    def test_lockstep_beats_jittered(self, document):
+        lockstep = document["arms"]["lockstep"]["score"]
+        jittered = document["arms"]["jittered"]["score"]
+        assert lockstep["timing_correlation"] == pytest.approx(1.0)
+        assert lockstep["score"] > jittered["score"]
+
+    def test_census_recall_is_total_but_precision_is_not(self, document):
+        for arm in document["arms"].values():
+            for row in arm["offline"].values():
+                assert row["census_recall"] == 1.0
+                assert row["census_precision"] < 0.5
+
+    def test_hidden_data_does_not_raise_the_flag_rate(self, document):
+        for arm in document["arms"].values():
+            for row in arm["offline"].values():
+                assert row["flag_rate"] <= 0.01
+
+    def test_scrub_self_check_passes_and_catches_leaks(self, tool, document):
+        assert document["scrub_ok"] is True
+        assert tool.scrub_check(document) is True
+        leaky = {"note": f"wrote {tool.SECRET_NAME} today"}
+        assert tool.scrub_check(leaky) is False
+        assert tool.scrub_check({"k": tool.UAK.hex()}) is False
+
+    def test_document_is_json_serializable(self, document):
+        json.loads(json.dumps(document))
+
+
+class TestRendering:
+    def test_markdown_has_tables_and_verdicts(self, tool, document):
+        text = tool.render_markdown(document)
+        assert text.startswith("# Steganalysis report")
+        assert "## Fused detectability" in text
+        assert "## Offline attacks per volume" in text
+        assert "| lockstep |" in text and "| jittered |" in text
+        assert "**PASS**" in text
+
+    def test_cli_writes_markdown_and_json_siblings(self, tool, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = tool.main(
+            [
+                "--shards",
+                "2",
+                "--duration",
+                "30",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert out.read_text().startswith("# Steganalysis report")
+        sibling = json.loads(out.with_suffix(".json").read_text())
+        assert sibling["schema"] == 1

@@ -1,0 +1,182 @@
+"""Property tests: the attacker's timeline features are well-behaved.
+
+:class:`SnapshotTimeline` turns arbitrary scrape histories into the
+numbers that fire a cluster-wide alert, so the edges matter more than
+the happy path: empty timelines, a single snapshot, counter resets mid
+window, shards that never report one of the two metrics.  Hypothesis
+drives the recorder with generated histories and pins the invariants
+each feature promises in its docstring.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.timeline import SnapshotTimeline, pearson, shannon_entropy
+
+# Monotone timestamps with positive gaps; values kept small and exact.
+_gaps = st.lists(
+    st.floats(min_value=0.25, max_value=16.0, allow_nan=False, width=32),
+    min_size=0,
+    max_size=24,
+)
+_counters = st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=24)
+
+
+def _timestamps(gaps: list[float]) -> list[float]:
+    out, now = [], 0.0
+    for gap in gaps:
+        now += gap
+        out.append(now)
+    return out
+
+
+class TestPrimitives:
+    def test_entropy_of_nothing_is_zero(self):
+        assert shannon_entropy([]) == 0.0
+
+    def test_entropy_of_a_constant_is_zero(self):
+        assert shannon_entropy([4.0] * 10) == 0.0
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=64))
+    def test_entropy_is_bounded_by_log_support(self, values):
+        entropy = shannon_entropy(values)
+        assert 0.0 <= entropy <= math.log2(len(set(values))) + 1e-9
+
+    def test_pearson_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            pearson([1.0, 2.0], [1.0])
+
+    def test_pearson_of_constant_series_is_none(self):
+        assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) is None
+
+    @given(
+        st.lists(st.integers(-20, 20), min_size=2, max_size=32),
+        st.integers(1, 5),
+        st.integers(-10, 10),
+    )
+    def test_pearson_of_affine_copy_is_one(self, xs, scale, shift):
+        xs = [float(x) for x in xs]
+        ys = [scale * x + shift for x in xs]
+        r = pearson(xs, ys)
+        if r is not None:  # None ⇔ xs constant
+            assert r == pytest.approx(1.0)
+
+
+class TestTimelineEdges:
+    def test_empty_timeline_yields_nothing_everywhere(self):
+        timeline = SnapshotTimeline()
+        assert len(timeline) == 0
+        assert timeline.shards() == []
+        assert timeline.samples("ghost") == []
+        assert timeline.alloc_deltas("ghost") == []
+        assert timeline.alloc_delta_entropy("ghost") == 0.0
+        assert timeline.churn_events("ghost") == []
+        assert timeline.churn_timing_cv("ghost") is None
+        assert timeline.cross_shard_correlation() == 0.0
+        assert dict(timeline.feature_summary()) == {}
+
+    def test_single_snapshot_yields_no_features(self):
+        timeline = SnapshotTimeline()
+        timeline.record("s0", 1.0, allocated=100.0, churn=7.0)
+        assert timeline.alloc_deltas("s0") == []
+        # A non-zero counter in the very first reading predates the
+        # window: it must not count as an observed event.
+        assert timeline.churn_events("s0") == []
+        assert timeline.churn_timing_cv("s0") is None
+        assert timeline.cross_shard_correlation() == 0.0
+
+    def test_out_of_order_recording_is_rejected(self):
+        timeline = SnapshotTimeline()
+        timeline.record("s0", 5.0, churn=1.0)
+        with pytest.raises(ValueError, match="oldest-first"):
+            timeline.record("s0", 4.0, churn=2.0)
+
+    def test_counter_reset_clamps_to_no_event(self):
+        timeline = SnapshotTimeline()
+        for ts, churn in [(1.0, 5.0), (2.0, 6.0), (3.0, 0.0), (4.0, 1.0)]:
+            timeline.record("s0", ts, churn=churn)
+        # The restart (6 → 0) is not an event; the post-restart increase is.
+        assert timeline.churn_events("s0") == [2.0, 4.0]
+
+    def test_missing_metric_samples_span_the_gap(self):
+        timeline = SnapshotTimeline()
+        timeline.record("s0", 1.0, allocated=10.0)
+        timeline.record("s0", 2.0, churn=3.0)  # no allocation reading
+        timeline.record("s0", 3.0, allocated=14.0)
+        assert timeline.alloc_deltas("s0") == [4.0]
+
+
+class TestTimelineProperties:
+    @given(_gaps, _counters)
+    @settings(max_examples=60, deadline=None)
+    def test_events_are_a_subset_of_sample_times(self, gaps, counters):
+        timeline = SnapshotTimeline()
+        stamps = _timestamps(gaps)
+        for ts, value in zip(stamps, counters):
+            timeline.record("s0", ts, churn=float(value))
+        events = timeline.churn_events("s0")
+        assert set(events) <= set(stamps)
+        assert events == sorted(events)
+        # Each event needs a strictly earlier reading to diff against.
+        n = min(len(stamps), len(counters))
+        assert len(events) <= max(0, n - 1)
+
+    @given(_gaps, _counters)
+    @settings(max_examples=60, deadline=None)
+    def test_intervals_are_positive_and_cv_finite(self, gaps, counters):
+        timeline = SnapshotTimeline()
+        for ts, value in zip(_timestamps(gaps), counters):
+            timeline.record("s0", ts, churn=float(value))
+        intervals = timeline.churn_intervals("s0")
+        assert all(gap > 0 for gap in intervals)
+        cv = timeline.churn_timing_cv("s0")
+        if len(intervals) < 2:
+            assert cv is None
+        else:
+            assert cv is not None and cv >= 0.0 and math.isfinite(cv)
+
+    @given(_gaps)
+    @settings(max_examples=60, deadline=None)
+    def test_metronomic_churn_has_zero_cv_and_full_correlation(self, gaps):
+        # Two shards ticking in perfect lockstep at a fixed cadence.
+        timeline = SnapshotTimeline()
+        stamps = [float(i) * 2.0 for i in range(max(len(gaps), 4))]
+        for count, ts in enumerate(stamps):
+            for shard in ("s0", "s1"):
+                timeline.record(shard, ts, churn=float(count))
+        for shard in ("s0", "s1"):
+            assert timeline.churn_timing_cv(shard) == pytest.approx(0.0)
+        assert timeline.cross_shard_correlation() == pytest.approx(1.0)
+
+    @given(st.integers(2, 6), st.integers(3, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_correlation_is_always_in_unit_interval(self, shards, events):
+        import random
+
+        rng = random.Random(shards * 100 + events)
+        timeline = SnapshotTimeline()
+        for index in range(shards):
+            now, count = 0.0, 0.0
+            for _ in range(events + 1):
+                timeline.record(f"s{index}", now, churn=count)
+                now += rng.uniform(0.5, 4.0)
+                count += 1.0
+        assert 0.0 <= timeline.cross_shard_correlation() <= 1.0
+
+    @given(_gaps, st.lists(st.integers(0, 500), min_size=0, max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_entropy_bounded_by_distinct_nonzero_deltas(self, gaps, allocs):
+        timeline = SnapshotTimeline()
+        for ts, value in zip(_timestamps(gaps), allocs):
+            timeline.record("s0", ts, allocated=float(value))
+        nonzero = [d for d in timeline.alloc_deltas("s0") if d != 0]
+        entropy = timeline.alloc_delta_entropy("s0")
+        if not nonzero:
+            assert entropy == 0.0
+        else:
+            assert 0.0 <= entropy <= math.log2(len(set(nonzero))) + 1e-9

@@ -1,0 +1,194 @@
+"""The cluster dummy scheduler: phases, jitter, resilience, threading.
+
+Everything timing-sensitive runs against :meth:`DummyScheduler.poll`
+with a fake clock — the deterministic core — so the assertions are
+about *which* deadlines exist, not about wall-clock races.  The one
+thread test only checks start/stop hygiene.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster.dummy_sched import DummyScheduler
+
+
+class FakeShard:
+    """A tick target with a volume-RNG-style ``dummy_interval`` hook."""
+
+    def __init__(self, gaps: list[float] | None = None):
+        self.ticks = 0
+        self._gaps = list(gaps or [])
+        self.interval_calls: list[tuple[float, float]] = []
+
+    def dummy_tick(self) -> int:
+        self.ticks += 1
+        return self.ticks
+
+    def dummy_interval(self, base_s: float, jitter: float = 0.5) -> float:
+        self.interval_calls.append((base_s, jitter))
+        return self._gaps.pop(0) if self._gaps else base_s
+
+
+class BareShard:
+    """A tick target *without* the hook (a remote shard's shape)."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def dummy_tick(self) -> int:
+        self.ticks += 1
+        return self.ticks
+
+
+class FlakyShard(BareShard):
+    def __init__(self):
+        super().__init__()
+        self.dead = False
+
+    def dummy_tick(self) -> int:
+        if self.dead:
+            raise ConnectionError("shard unreachable")
+        return super().dummy_tick()
+
+
+def make(targets, **kwargs):
+    now = [0.0]
+    defaults = dict(base_interval_s=10.0, seed=7, clock=lambda: now[0])
+    defaults.update(kwargs)
+    return DummyScheduler(targets, **defaults), now
+
+
+class TestConstruction:
+    def test_rejects_an_empty_fleet(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            DummyScheduler({})
+
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError, match="base interval"):
+            DummyScheduler({"s0": BareShard()}, base_interval_s=0.0)
+
+    def test_rejects_jitter_outside_range(self):
+        for bad in (-0.1, 1.0, 2.0):
+            with pytest.raises(ValueError, match="jitter"):
+                DummyScheduler({"s0": BareShard()}, jitter=bad)
+
+
+class TestSchedule:
+    def test_lockstep_shares_one_first_deadline(self):
+        shards = {f"s{i}": BareShard() for i in range(4)}
+        scheduler, _ = make(shards, jitter=0.0, stagger=False)
+        assert set(scheduler.due_times().values()) == {10.0}
+
+    def test_stagger_phase_shifts_across_the_base_interval(self):
+        shards = {f"s{i}": BareShard() for i in range(4)}
+        scheduler, _ = make(shards, jitter=0.0, stagger=True)
+        due = scheduler.due_times()
+        # Phases 0, 2.5, 5, 7.5 on top of the fixed 10s gap.
+        assert [due[f"s{i}"] for i in range(4)] == [10.0, 12.5, 15.0, 17.5]
+
+    def test_jittered_gaps_stay_inside_the_band(self):
+        shards = {f"s{i}": BareShard() for i in range(8)}
+        scheduler, now = make(shards, jitter=0.4, stagger=False)
+        for _ in range(50):
+            now[0] += 5.0
+            before = scheduler.due_times()
+            for sid in scheduler.poll(now[0]):
+                gap = scheduler.due_times()[sid] - now[0]
+                assert 6.0 <= gap <= 14.0
+                assert before[sid] <= now[0]
+
+    def test_zero_jitter_is_a_metronome(self):
+        scheduler, now = make({"s0": BareShard()}, jitter=0.0, stagger=False)
+        ticks = []
+        for _ in range(100):
+            now[0] += 1.0
+            if scheduler.poll(now[0]):
+                ticks.append(now[0])
+        assert ticks == [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+
+
+class TestHookPreference:
+    def test_embedded_hook_supplies_the_gaps(self):
+        shard = FakeShard(gaps=[3.0, 4.0, 5.0])
+        scheduler, now = make({"s0": shard}, jitter=0.25, stagger=False)
+        assert scheduler.due_times()["s0"] == 3.0
+        now[0] = 3.0
+        scheduler.poll(now[0])
+        assert scheduler.due_times()["s0"] == 7.0
+        # Every draw went through the hook, with the scheduler's knobs.
+        assert shard.interval_calls == [(10.0, 0.25), (10.0, 0.25)]
+
+    def test_hookless_shards_use_the_scheduler_rng(self):
+        a, _ = make({"s0": BareShard()}, jitter=0.5, stagger=False, seed=42)
+        b, _ = make({"s0": BareShard()}, jitter=0.5, stagger=False, seed=42)
+        assert a.due_times() == b.due_times()  # same seed, same draws
+
+    def test_hook_failure_falls_back_to_the_scheduler_rng(self):
+        class BrokenHook(BareShard):
+            def dummy_interval(self, base_s, jitter=0.5):
+                raise ConnectionError("hook over a dead wire")
+
+        scheduler, _ = make({"s0": BrokenHook()}, jitter=0.5, stagger=False)
+        gap = scheduler.due_times()["s0"]
+        assert 5.0 <= gap <= 15.0
+
+
+class TestPoll:
+    def test_ticks_only_due_shards(self):
+        shards = {"s0": BareShard(), "s1": BareShard()}
+        scheduler, now = make(shards, jitter=0.0, stagger=True)
+        now[0] = 10.0  # s0 due at 10, s1 at 15
+        assert scheduler.poll(now[0]) == ["s0"]
+        assert shards["s0"].ticks == 1
+        assert shards["s1"].ticks == 0
+        assert scheduler.tick_counts() == {"s0": 1, "s1": 0}
+
+    def test_failed_ticks_are_counted_and_rescheduled(self):
+        shard = FlakyShard()
+        scheduler, now = make({"s0": shard}, jitter=0.0, stagger=False)
+        shard.dead = True
+        now[0] = 10.0
+        assert scheduler.poll(now[0]) == []
+        assert scheduler.failure_counts() == {"s0": 1}
+        assert scheduler.due_times()["s0"] == 20.0  # churn outlives the outage
+        shard.dead = False
+        now[0] = 20.0
+        assert scheduler.poll(now[0]) == ["s0"]
+        assert scheduler.tick_counts() == {"s0": 1}
+
+    def test_a_long_gap_yields_one_tick_not_a_burst(self):
+        shard = BareShard()
+        scheduler, now = make({"s0": shard}, jitter=0.0, stagger=False)
+        now[0] = 95.0  # nine deadlines elapsed unobserved
+        scheduler.poll(now[0])
+        assert shard.ticks == 1
+        assert scheduler.due_times()["s0"] == 105.0
+
+
+class TestBackgroundLoop:
+    def test_context_manager_starts_and_stops_the_thread(self):
+        shard = BareShard()
+        before = threading.active_count()
+        scheduler = DummyScheduler(
+            {"s0": shard}, base_interval_s=0.02, jitter=0.0, stagger=False, seed=1
+        )
+        with scheduler:
+            deadline = threading.Event()
+            for _ in range(200):
+                if shard.ticks >= 2:
+                    break
+                deadline.wait(0.01)
+        assert shard.ticks >= 2
+        assert threading.active_count() == before
+
+    def test_double_start_is_rejected(self):
+        scheduler = DummyScheduler({"s0": BareShard()}, base_interval_s=1.0, seed=1)
+        scheduler.start(poll_interval_s=0.5)
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                scheduler.start()
+        finally:
+            scheduler.stop()

@@ -1,0 +1,295 @@
+"""The deniability observatory: score fusion, rule, stanza, op, CLI.
+
+Unit-level coverage for :mod:`repro.obs.steg` — the score algebra and
+its ``None`` semantics, rebuilding timelines from scrape rings, the
+gauge export sentinel, the ``detectability_budget`` fire/resolve edges —
+plus the two serving surfaces: the ``obs_deniability`` admin op (local
+and over the wire) and ``python -m repro.obs deniability``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.client import StegFSClient
+from repro.obs.__main__ import main as obs_main
+from repro.obs.metrics import MetricRegistry
+from repro.obs.rules import RuleEngine, default_rules
+from repro.obs.steg import (
+    ALLOC_METRIC,
+    CHURN_METRIC,
+    DetectabilityScore,
+    detectability_budget_rule,
+    export_detectability,
+    flag_excess_from_rate,
+    local_deniability_stanza,
+    periodicity_from_cv,
+    score_timeline,
+    timeline_from_rings,
+)
+from repro.analysis.timeline import SnapshotTimeline
+
+USER = "alice"
+UAK = b"A" * 32
+
+
+class TestScoreFusion:
+    def test_empty_score_is_zero(self):
+        score = DetectabilityScore()
+        assert score.score == 0.0
+        assert score.to_dict()["score"] == 0.0
+
+    def test_fusion_takes_the_max_component(self):
+        score = DetectabilityScore(
+            timing_correlation=0.2, churn_periodicity=0.9, census_precision=0.4
+        )
+        assert score.score == 0.9
+
+    def test_alloc_predictability_enters_at_half_weight(self):
+        alone = DetectabilityScore(alloc_predictability=1.0)
+        assert alone.score == 0.5
+        outvoted = DetectabilityScore(
+            alloc_predictability=1.0, timing_correlation=0.7
+        )
+        assert outvoted.score == 0.7
+
+    def test_none_means_not_measured_not_zero(self):
+        measured_zero = DetectabilityScore(timing_correlation=0.0)
+        assert measured_zero.to_dict()["timing_correlation"] == 0.0
+        unmeasured = DetectabilityScore()
+        assert unmeasured.to_dict()["timing_correlation"] is None
+
+    def test_components_clamp_into_the_unit_interval(self):
+        score = DetectabilityScore(timing_correlation=3.0, flag_excess=-1.0)
+        assert score.score == 1.0
+
+    def test_periodicity_credit_decays_linearly_in_cv(self):
+        assert periodicity_from_cv(0.0) == 1.0
+        assert periodicity_from_cv(0.25) == pytest.approx(0.5)
+        assert periodicity_from_cv(0.5) == 0.0
+        assert periodicity_from_cv(2.0) == 0.0
+
+    def test_flag_excess_charges_only_above_the_floor(self):
+        assert flag_excess_from_rate(0.0) == 0.0
+        assert flag_excess_from_rate(0.002) == 0.0
+        assert flag_excess_from_rate(1.0) == 1.0
+        assert 0.0 < flag_excess_from_rate(0.1) < flag_excess_from_rate(0.5)
+
+
+class _FakeRing:
+    def __init__(self, samples: list[dict]):
+        self._samples = samples
+
+    def samples(self) -> list[dict]:
+        return list(self._samples)
+
+
+def _sample(ts: float, *, alloc=None, churn=None, ok=True) -> dict:
+    metrics = {}
+    if alloc is not None:
+        metrics[ALLOC_METRIC] = {"type": "gauge", "value": float(alloc)}
+    if churn is not None:
+        metrics[CHURN_METRIC] = {"type": "counter", "value": float(churn)}
+    return {"ts_unix": ts, "metrics": metrics, "_scrape": {"ok": ok}}
+
+
+def _lockstep_rings(shards: int = 3, ticks: int = 6) -> dict:
+    rings = {}
+    for index in range(shards):
+        samples = [
+            _sample(float(t), alloc=100 + 4 * t, churn=t) for t in range(ticks)
+        ]
+        rings[f"s{index}"] = _FakeRing(samples)
+    return rings
+
+
+class TestTimelineFromRings:
+    def test_lifts_both_metrics_per_sample(self):
+        timeline = timeline_from_rings(_lockstep_rings(shards=2, ticks=3))
+        assert timeline.shards() == ["s0", "s1"]
+        [first, *_] = timeline.samples("s0")
+        assert first.allocated == 100.0 and first.churn == 0.0
+
+    def test_failed_scrapes_are_excluded(self):
+        rings = {
+            "s0": _FakeRing(
+                [
+                    _sample(0.0, churn=0),
+                    _sample(1.0, churn=5, ok=False),
+                    _sample(2.0, churn=1),
+                ]
+            )
+        }
+        timeline = timeline_from_rings(rings)
+        assert [s.ts for s in timeline.samples("s0")] == [0.0, 2.0]
+
+    def test_samples_without_either_metric_contribute_nothing(self):
+        rings = {"plain": _FakeRing([{"ts_unix": 1.0, "metrics": {}}])}
+        assert timeline_from_rings(rings).shards() == []
+
+    def test_window_keeps_only_the_recent_horizon(self):
+        rings = {
+            "s0": _FakeRing([_sample(float(t), churn=t) for t in range(10)])
+        }
+        timeline = timeline_from_rings(rings, window_s=3.0)
+        assert [s.ts for s in timeline.samples("s0")] == [6.0, 7.0, 8.0, 9.0]
+
+
+class TestScoreTimeline:
+    def test_lockstep_cluster_scores_maximal_timing(self):
+        score = score_timeline(timeline_from_rings(_lockstep_rings()))
+        assert score.timing_correlation == pytest.approx(1.0)
+        assert score.churn_periodicity == pytest.approx(1.0)
+        assert score.score == pytest.approx(1.0)
+
+    def test_offline_components_stay_unmeasured(self):
+        score = score_timeline(timeline_from_rings(_lockstep_rings()))
+        assert score.census_precision is None
+        assert score.flag_excess is None
+
+    def test_single_shard_has_no_correlation(self):
+        score = score_timeline(timeline_from_rings(_lockstep_rings(shards=1)))
+        assert score.timing_correlation is None
+        assert score.churn_periodicity == pytest.approx(1.0)
+
+    def test_too_few_events_measures_nothing(self):
+        score = score_timeline(
+            timeline_from_rings(_lockstep_rings(shards=2, ticks=2))
+        )
+        assert score.timing_correlation is None
+        assert score.churn_periodicity is None
+        assert score.score == 0.0
+
+    def test_periodicity_is_the_worst_shard(self):
+        timeline = SnapshotTimeline()
+        for t in range(8):  # metronome
+            timeline.record("tick", float(t), churn=float(t))
+        jittery = [0.0, 1.0, 4.5, 5.0, 9.5, 10.5, 15.0]
+        for count, ts in enumerate(jittery):
+            timeline.record("loose", ts, churn=float(count))
+        score = score_timeline(timeline)
+        assert score.churn_periodicity == pytest.approx(1.0)
+
+
+class TestExportAndRule:
+    def test_export_writes_gauges_with_none_sentinel(self):
+        registry = MetricRegistry()
+        score = DetectabilityScore(timing_correlation=0.8)
+        export_detectability(score, registry)
+        snapshot = registry.snapshot()
+        assert snapshot["steg.detectability.timing_correlation"]["value"] == 0.8
+        assert snapshot["steg.detectability.census_precision"]["value"] == -1.0
+        assert snapshot["steg.detectability.score"]["value"] == 0.8
+
+    def test_budget_must_be_a_sane_fraction(self):
+        with pytest.raises(ValueError, match="budget"):
+            detectability_budget_rule(0.0)
+        with pytest.raises(ValueError, match="budget"):
+            detectability_budget_rule(1.5)
+
+    def test_rule_is_wired_into_the_default_set(self):
+        assert "detectability_budget" in {r.name for r in default_rules()}
+
+    def test_rule_fires_cluster_wide_and_resolves(self):
+        now = [100.0]
+        engine = RuleEngine(
+            [detectability_budget_rule(0.6, window_s=None)], clock=lambda: now[0]
+        )
+        alerts = engine.evaluate(None, _lockstep_rings())
+        assert [a.rule for a in alerts] == ["detectability_budget"]
+        assert alerts[0].shard is None
+        assert "exceeds budget" in alerts[0].message
+        # Quiet rings (no churn at all) resolve the alert.
+        quiet = {
+            "s0": _FakeRing([_sample(float(t), churn=0) for t in range(6)]),
+            "s1": _FakeRing([_sample(float(t), churn=0) for t in range(6)]),
+        }
+        now[0] += 10.0
+        assert engine.evaluate(None, quiet) == []
+
+
+class TestDeniabilityStanza:
+    def test_stanza_reads_only_ram_state(self, service):
+        service.steg_create("ghost", UAK, data=b"g" * 600)
+        service.dummy_tick()
+        stanza = local_deniability_stanza(service)
+        assert stanza["schema"] == 1
+        assert stanza["alloc"]["allocated_blocks"] > 0
+        assert stanza["alloc"]["total_blocks"] == 8192
+        assert stanza["dummy"]["updates"] == 1
+        assert stanza["dummy"]["created"] == 2  # for_tests() dummy_count
+
+    def test_stanza_never_spells_secrets(self, service):
+        service.steg_create("ghost", UAK, data=b"g" * 600)
+        blob = json.dumps(local_deniability_stanza(service)).lower()
+        for forbidden in ("ghost", UAK.hex(), "uak", "level"):
+            assert forbidden not in blob
+
+    def test_stanza_degrades_to_schema_only_without_a_volume(self):
+        assert local_deniability_stanza(object()) == {"schema": 1}
+
+    def test_admin_op_is_registered_readonly_and_json(self, service):
+        assert type(service).OPS["obs_deniability"].mutates is False
+        document = json.loads(service.obs_deniability())
+        assert document["schema"] == 1
+        assert "alloc" in document
+
+
+class TestOverTheWire:
+    def test_client_fetches_the_stanza(self, server):
+        host, port = server.address
+        with StegFSClient(host, port) as client:
+            client.login(USER, UAK)
+            client.steg_create("wired", data=b"w" * 600)
+            document = json.loads(client.obs_deniability())
+            assert document["schema"] == 1
+            assert document["alloc"]["allocated_blocks"] > 0
+            client.logout()
+
+    def test_cli_deniability_json_document(self, service, server, capsys):
+        service.dummy_tick()
+        host, port = server.address
+        code = obs_main(
+            [
+                "deniability",
+                f"s0={host}:{port}",
+                "--json",
+                "--samples",
+                "2",
+                "--interval",
+                "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == 1
+        assert set(document["score"]) == {
+            "score",
+            "timing_correlation",
+            "churn_periodicity",
+            "alloc_predictability",
+            "census_precision",
+            "flag_excess",
+        }
+        assert "s0" in document["shards"]
+        assert document["shards"]["s0"]["schema"] == 1
+
+    def test_cli_deniability_text_renders_the_table(self, service, server, capsys):
+        host, port = server.address
+        code = obs_main(
+            [
+                "deniability",
+                f"s0={host}:{port}",
+                "--samples",
+                "2",
+                "--interval",
+                "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "detectability score:" in out
+        assert "SHARD" in out and "s0" in out

@@ -21,7 +21,7 @@ class TestRegistryContents:
             "connected_names", "session_read", "session_write",
             "flush", "dummy_tick",
             "obs_metrics", "obs_slowlog", "obs_trace", "obs_events",
-            "obs_snapshot",
+            "obs_snapshot", "obs_deniability",
         }
         assert set(StegFSService.OPS) == expected
 
